@@ -1,0 +1,124 @@
+"""Minimal in-tree PEP 517/660 build backend.
+
+The offline target environment has setuptools but no ``wheel`` package,
+so the stock setuptools backend cannot build (editable) wheels.  A wheel
+is just a zip archive with a dist-info directory; this backend creates
+one with the standard library only.  ``pip install -e .`` produces a
+PEP 660 editable install (a ``.pth`` file pointing at ``src/``), and
+``pip install .`` / ``pip wheel .`` produce a regular wheel.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+DIST = f"{NAME}-{VERSION}"
+TAG = "py3-none-any"
+ROOT = os.path.dirname(os.path.abspath(__file__))
+
+METADATA = f"""\
+Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: Simulated Blue Gene/P performance-counter workload characterization (reproduction of Ganesan et al., ICPP 2008)
+Requires-Python: >=3.9
+Requires-Dist: numpy>=1.21
+"""
+
+WHEEL_META = f"""\
+Wheel-Version: 1.0
+Generator: {NAME}-local-backend
+Root-Is-Purelib: true
+Tag: {TAG}
+"""
+
+
+def _record_line(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(
+        hashlib.sha256(data).digest()).decode().rstrip("=")
+    return f"{name},sha256={digest},{len(data)}"
+
+
+def _write_wheel(path: str, files: dict) -> None:
+    """Write a wheel zip: ``files`` maps archive names to bytes."""
+    record_name = f"{DIST}.dist-info/RECORD"
+    records = [_record_line(n, d) for n, d in files.items()]
+    records.append(f"{record_name},,")
+    files = dict(files)
+    files[record_name] = ("\n".join(records) + "\n").encode()
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, data in files.items():
+            zf.writestr(name, data)
+
+
+def _dist_info(files: dict) -> None:
+    files[f"{DIST}.dist-info/METADATA"] = METADATA.encode()
+    files[f"{DIST}.dist-info/WHEEL"] = WHEEL_META.encode()
+
+
+# ---------------------------------------------------------------------------
+# PEP 517 mandatory hooks
+# ---------------------------------------------------------------------------
+def build_wheel(wheel_directory, config_settings=None,
+                metadata_directory=None):
+    files = {}
+    pkg_root = os.path.join(ROOT, "src")
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(pkg_root,
+                                                              NAME)):
+        for fn in sorted(filenames):
+            if fn.endswith((".pyc", ".pyo")):
+                continue
+            full = os.path.join(dirpath, fn)
+            rel = os.path.relpath(full, pkg_root)
+            with open(full, "rb") as fh:
+                files[rel.replace(os.sep, "/")] = fh.read()
+    _dist_info(files)
+    wheel_name = f"{DIST}-{TAG}.whl"
+    _write_wheel(os.path.join(wheel_directory, wheel_name), files)
+    return wheel_name
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    import tarfile
+
+    sdist_name = f"{DIST}.tar.gz"
+    path = os.path.join(sdist_directory, sdist_name)
+    with tarfile.open(path, "w:gz") as tf:
+        for entry in ("pyproject.toml", "setup.py", "README.md",
+                      "DESIGN.md", "_local_build.py", "src"):
+            full = os.path.join(ROOT, entry)
+            if os.path.exists(full):
+                tf.add(full, arcname=f"{DIST}/{entry}")
+    return sdist_name
+
+
+# ---------------------------------------------------------------------------
+# PEP 660 editable hooks
+# ---------------------------------------------------------------------------
+def build_editable(wheel_directory, config_settings=None,
+                   metadata_directory=None):
+    files = {
+        f"__editable__.{DIST}.pth":
+            (os.path.join(ROOT, "src") + "\n").encode(),
+    }
+    _dist_info(files)
+    wheel_name = f"{DIST}-{TAG}.whl"
+    _write_wheel(os.path.join(wheel_directory, wheel_name), files)
+    return wheel_name
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []

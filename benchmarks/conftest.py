@@ -1,0 +1,13 @@
+"""Shared fixtures for the figure-regeneration benchmarks."""
+
+import pytest
+
+from repro.harness import clear_caches
+
+
+@pytest.fixture
+def fresh_caches():
+    """Run each figure from scratch: benchmarks time the real work."""
+    clear_caches()
+    yield
+    clear_caches()

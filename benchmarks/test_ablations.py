@@ -1,0 +1,53 @@
+"""Bench: the ablation / future-work experiments (paper Section IX +
+DESIGN.md's design-choice index)."""
+
+from repro.harness import (
+    ablation_balanced_alltoall,
+    ablation_capacity_sharing,
+    ablation_interference,
+    ablation_prefetch_depth,
+    ablation_write_stall,
+    ext_hybrid_modes,
+)
+
+
+def test_ablation_prefetch_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(ablation_prefetch_depth, rounds=1,
+                                iterations=1)
+    print("\n" + result.render())
+    assert result.summary["no_prefetch_penalty_MG"] > 0
+
+
+def test_ext_hybrid_modes_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(ext_hybrid_modes, rounds=1, iterations=1)
+    print("\n" + result.render(float_format="{:.4g}"))
+    assert all(v > 1 for k, v in result.summary.items())
+
+
+def test_ablation_interference_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(ablation_interference, rounds=1,
+                                iterations=1)
+    print("\n" + result.render())
+    assert result.summary["delta_IS"] > 0
+
+
+def test_ablation_write_stall_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(ablation_write_stall, rounds=1,
+                                iterations=1)
+    print("\n" + result.render(float_format="{:.4g}"))
+    assert result.summary["slowdown_FT"] > 1
+
+
+def test_ablation_sharing_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(ablation_capacity_sharing, rounds=1,
+                                iterations=1)
+    print("\n" + result.render())
+    assert result.summary["at2mb_greedy"] <= result.summary[
+        "at2mb_proportional"]
+
+
+def test_ablation_alltoall_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(ablation_balanced_alltoall, rounds=1,
+                                iterations=1)
+    print("\n" + result.render(float_format="{:.4g}"))
+    assert result.summary["speedup"] >= 1

@@ -1,0 +1,15 @@
+"""Bench: the extension experiments (scaling, microbench, hybrid)."""
+
+from repro.harness import ext_microbench, ext_scaling
+
+
+def test_ext_scaling_bench(benchmark):
+    result = benchmark.pedantic(ext_scaling, rounds=1, iterations=1)
+    print("\n" + result.render(float_format="{:.4g}"))
+    assert result.summary["overhead_constant"] == 1.0
+
+
+def test_ext_microbench_bench(benchmark):
+    result = benchmark.pedantic(ext_microbench, rounds=1, iterations=1)
+    print("\n" + result.render(float_format="{:.4g}"))
+    assert result.summary["peak_fraction"] > 0.95

@@ -1,0 +1,9 @@
+"""Bench: regenerate the Figure 3 operating-modes table."""
+
+from repro.harness import fig03_modes
+
+
+def test_fig03_modes_bench(benchmark):
+    result = benchmark(fig03_modes)
+    print("\n" + result.render())
+    assert len(result.rows) == 4

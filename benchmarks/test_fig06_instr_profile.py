@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 6 (dynamic FP instruction profile).
+
+Paper config: class C NAS suite, 128 processes on 32 nodes VNM (121 on
+31 nodes for SP/BT), instrumented through the counter library.
+"""
+
+from repro.harness import fig06_instruction_profile
+
+
+def test_fig06_instruction_profile_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(fig06_instruction_profile, rounds=1,
+                                iterations=1)
+    print("\n" + result.render())
+    # the headline claim: MG and FT exploit the Double Hummer heavily
+    assert result.summary["simd_share_MG"] > 0.6
+    assert result.summary["simd_share_FT"] > 0.6

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 7 (FT SIMD instructions vs compiler flags)."""
+
+from repro.harness import fig07_ft_simd
+
+
+def test_fig07_ft_simd_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(fig07_ft_simd, rounds=1, iterations=1)
+    print("\n" + result.render(float_format="{:.3g}"))
+    assert result.summary["baseline_simd"] == 0
+    assert result.summary["best_simd"] > 0

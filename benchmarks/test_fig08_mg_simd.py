@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 8 (MG SIMD instructions vs compiler flags)."""
+
+from repro.harness import fig08_mg_simd
+
+
+def test_fig08_mg_simd_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(fig08_mg_simd, rounds=1, iterations=1)
+    print("\n" + result.render(float_format="{:.3g}"))
+    assert result.summary["baseline_simd"] == 0
+    assert result.summary["best_simd"] > 0

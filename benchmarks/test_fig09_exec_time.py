@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 9 (execution time vs flags: FT/EP/CG/MG)."""
+
+from repro.harness import fig09_exec_time
+
+
+def test_fig09_exec_time_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(fig09_exec_time, rounds=1, iterations=1)
+    print("\n" + result.render())
+    # the paper's headline: the biggest gainers cut time dramatically
+    assert result.summary["reduction_EP"] > 0.4
+    assert result.summary["reduction_MG"] > 0.3

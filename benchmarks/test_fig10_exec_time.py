@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 10 (execution time vs flags: IS/LU/SP/BT)."""
+
+from repro.harness import fig10_exec_time
+
+
+def test_fig10_exec_time_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(fig10_exec_time, rounds=1, iterations=1)
+    print("\n" + result.render())
+    # IS is integer code: the compiler sweep barely moves it
+    assert result.summary["reduction_IS"] < 0.1

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 11 (L3-DDR traffic vs L3 size 0..8 MB)."""
+
+from repro.harness import fig11_l3_sweep
+
+
+def test_fig11_l3_sweep_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(fig11_l3_sweep, rounds=1, iterations=1)
+    print("\n" + result.render())
+    # traffic collapses by 4 MB for the suite as a whole
+    at4 = [row[3] for row in result.rows]
+    assert sum(at4) / len(at4) < 0.45

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 12 (DDR traffic ratio, VNM vs SMP/1)."""
+
+from repro.harness import fig12_ddr_ratio
+
+
+def test_fig12_ddr_ratio_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(fig12_ddr_ratio, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.summary["ft_ratio"] > 4.0
+    assert result.summary["is_ratio"] > 4.0

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 13 (execution-time increase, VNM vs SMP/1)."""
+
+from repro.harness import fig13_time_increase
+
+
+def test_fig13_time_increase_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(fig13_time_increase, rounds=1,
+                                iterations=1)
+    print("\n" + result.render())
+    # sharing costs tens of percent — far below the 4x throughput win
+    assert 0.0 <= result.summary["mean_increase"] < 0.5

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 14 (MFLOPS per chip, VNM vs SMP/1)."""
+
+from repro.harness import fig14_mflops_ratio
+
+
+def test_fig14_mflops_chip_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(fig14_mflops_ratio, rounds=1,
+                                iterations=1)
+    print("\n" + result.render())
+    assert 2.5 <= result.summary["mean_ratio"] <= 4.0

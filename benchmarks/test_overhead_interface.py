@@ -1,0 +1,25 @@
+"""Bench: the Section IV overhead sanity check (196 cycles) — and the
+real-time cost of the interface calls themselves."""
+
+from repro.core import BGPCounterInterface, UPCUnit
+from repro.harness import overhead_check
+
+
+def test_overhead_check_bench(benchmark):
+    result = benchmark(overhead_check)
+    print("\n" + result.render(float_format="{:.0f}"))
+    assert result.summary["measured"] == 196
+
+
+def test_start_stop_call_cost(benchmark):
+    """How fast the simulated BGP_Start/BGP_Stop pair itself runs."""
+    upc = UPCUnit(node_id=0)
+    iface = BGPCounterInterface(upc, node_id=0)
+    iface.initialize(mode=0)
+
+    def start_stop():
+        iface.start(1)
+        iface.stop(1)
+
+    benchmark(start_stop)
+    assert iface.overhead_cycles > 0

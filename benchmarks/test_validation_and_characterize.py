@@ -1,0 +1,17 @@
+"""Bench: the model-audit table and the workload character sheet."""
+
+from repro.harness import characterization_table, model_validation
+
+
+def test_model_validation_bench(benchmark):
+    result = benchmark.pedantic(model_validation, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert all(v == 1.0 for k, v in result.summary.items()
+               if k.startswith("agrees_"))
+
+
+def test_characterization_bench(benchmark, fresh_caches):
+    result = benchmark.pedantic(characterization_table, rounds=1,
+                                iterations=1)
+    print("\n" + result.render(float_format="{:.3g}"))
+    assert 0 < result.summary["mean_peak_fraction"] < 1

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""L3 capacity planning: how much on-chip cache does a workload need?
+
+The paper's Section VII experiment as a planning tool: sweep the L3
+size from 0 to 8 MB, read the L3/DDR counters, and locate the knee —
+the point past which more cache stops paying.  Works for the NAS suite
+or for a custom workload you describe with stream descriptors.
+
+Run:  python examples/l3_capacity_planning.py
+"""
+
+from repro.compiler import O5, compile_program
+from repro.harness import format_table, horizontal_bar, vnm_nodes
+from repro.mem import NodeMemoryConfig
+from repro.node import OperatingMode
+from repro.npb import build_benchmark, paper_ranks
+from repro.runtime import Job, Machine
+
+MB = 1024 * 1024
+SIZES_MB = (0, 2, 4, 6, 8)
+
+
+def sweep(code: str):
+    """DDR lines/node for each L3 size, plus the knee location."""
+    ranks = paper_ranks(code)
+    program = compile_program(build_benchmark(code), O5())
+    traffic = []
+    for size_mb in SIZES_MB:
+        machine = Machine(
+            vnm_nodes(ranks), mode=OperatingMode.VNM,
+            mem_config=NodeMemoryConfig().with_l3_size(size_mb * MB))
+        result = Job(machine, program, ranks).run()
+        traffic.append(result.ddr_traffic_lines_per_node())
+    # the knee: the first size capturing >= 90% of the total reduction
+    total_drop = traffic[0] - traffic[-1]
+    knee = SIZES_MB[-1]
+    if total_drop > 0:
+        for size_mb, t in zip(SIZES_MB, traffic):
+            if traffic[0] - t >= 0.9 * total_drop:
+                knee = size_mb
+                break
+    return traffic, knee
+
+
+def main() -> None:
+    rows = []
+    knees = []
+    for code in ("MG", "FT", "CG", "LU", "SP", "BT"):
+        traffic, knee = sweep(code)
+        normalized = [t / traffic[0] for t in traffic]
+        bar = horizontal_bar(normalized[2], scale=1.0, max_width=20)
+        rows.append([code] + normalized + [f"{knee} MB", bar])
+        knees.append(knee)
+
+    print(format_table(
+        ["benchmark"] + [f"{mb}MB" for mb in SIZES_MB]
+        + ["knee", "traffic @4MB"],
+        rows, title="L3 size sweep: DDR traffic (normalised to 0MB)"))
+    print(f"\nmost common knee: {max(set(knees), key=knees.count)} MB "
+          "(paper: 'an L3 size of 4MB is optimal for the NAS "
+          "benchmarks')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Operating-mode selection: SMP/1 vs SMP/4 vs Dual vs VNM.
+
+The paper compares VNM against SMP/1 (Section VIII) and lists hybrid
+OpenMP+MPI (the SMP/4 and Dual modes) as future work; this example
+runs *all four* modes for one application and reports per-chip
+throughput, per-process slowdown, and DDR pressure, so a user can pick
+the mode for their job.
+
+The same 16 ranks of work are scheduled as:
+  VNM    16 ranks on  4 nodes (4 processes/chip)
+  Dual   16 ranks on  8 nodes (2 processes/chip, 2 threads each)
+  SMP/4  16 ranks on 16 nodes (1 process/chip, 4 threads)
+  SMP/1  16 ranks on 16 nodes (1 process/chip, 3 cores idle)
+
+Run:  python examples/mode_selection.py [benchmark]
+"""
+
+import sys
+
+from repro.compiler import O5, compile_program
+from repro.harness import format_table
+from repro.node import OperatingMode
+from repro.npb import build_benchmark
+from repro.runtime import Job, Machine
+
+RANKS = 16
+
+
+def main(code: str = "MG") -> None:
+    program = compile_program(
+        build_benchmark(code, num_ranks=RANKS), O5())
+    rows = []
+    results = {}
+    for mode in (OperatingMode.VNM, OperatingMode.DUAL,
+                 OperatingMode.SMP4, OperatingMode.SMP1):
+        nodes = -(-RANKS // mode.processes_per_node)
+        machine = Machine(nodes, mode=mode)
+        result = Job(machine, program, RANKS).run()
+        results[mode] = result
+        rows.append([
+            mode.value,
+            nodes,
+            result.elapsed_cycles / 1e6,
+            result.mflops_per_node(),
+            result.mflops_total(),
+            result.ddr_traffic_lines_per_node() / 1e3,
+        ])
+
+    print(format_table(
+        ["mode", "nodes", "time (Mcycles)", "MFLOPS/chip",
+         "MFLOPS total", "DDR klines/node"],
+        rows, title=f"{code}: the four node modes, {RANKS} ranks",
+        float_format="{:.4g}"))
+
+    vnm = results[OperatingMode.VNM]
+    smp = results[OperatingMode.SMP1]
+    print(f"\nVNM uses {16 // 4}x fewer nodes and delivers "
+          f"{vnm.mflops_per_node() / smp.mflops_per_node():.1f}x the "
+          f"MFLOPS per chip, at a "
+          f"{(vnm.elapsed_cycles / smp.elapsed_cycles - 1) * 100:.0f}% "
+          "per-process slowdown — the paper's Section VIII trade-off.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1].upper() if len(sys.argv) > 1 else "MG")

@@ -1,0 +1,17 @@
+"""Legacy setup shim so `pip install -e .` works without the `wheel`
+package (offline environments lack PEP-517 editable support)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Simulated Blue Gene/P performance-counter workload "
+        "characterization (reproduction of Ganesan et al., ICPP 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

@@ -1,0 +1,42 @@
+"""repro — a simulated Blue Gene/P performance-counter characterization stack.
+
+Reproduction of Ganesan, John, Salapura, Sexton, *A Performance Counter
+Based Workload Characterization on Blue Gene/P* (ICPP 2008), with every
+hardware dependency replaced by a calibrated software model (see
+DESIGN.md for the substitution table).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the UPC unit, the ``BGP_*`` interface
+    library, dump/aggregation/metric post-processing.
+``repro.isa`` / ``repro.cpu`` / ``repro.mem`` / ``repro.node``
+    The compute-node substrate: op classes, pipeline timing, memory
+    hierarchy, and the quad-core SoC with its operating modes.
+``repro.net`` / ``repro.runtime``
+    The five-network interconnect model and the MPI-like job runtime.
+``repro.compiler``
+    The XL-compiler optimization model (-O .. -O5, -qarch=440d, ...).
+``repro.npb``
+    NAS Parallel Benchmark workload models + functional mini-kernels.
+``repro.harness``
+    Experiment runners regenerating every figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from . import compiler, core, cpu, harness, isa, mem, net, node, npb, runtime
+
+__all__ = [
+    "core",
+    "isa",
+    "cpu",
+    "mem",
+    "node",
+    "net",
+    "runtime",
+    "compiler",
+    "npb",
+    "harness",
+    "__version__",
+]

@@ -1,0 +1,93 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro                 # run every experiment
+    python -m repro fig11 fig12     # run selected experiments
+    python -m repro --list          # list experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import (
+    ABLATION_EXPERIMENTS,
+    ALL_EXPERIMENTS,
+    characterization_table,
+    ext_microbench,
+    ext_scaling,
+    model_validation,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the tables/figures of Ganesan et al., "
+                    "ICPP 2008, on the simulated Blue Gene/P.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all paper figures)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--ablations", action="store_true",
+                        help="also run the ablation / future-work "
+                             "experiments")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each experiment's rows to "
+                             "DIR/<experiment>.csv (the paper's "
+                             "spreadsheet workflow)")
+    args = parser.parse_args(argv)
+
+    catalog = dict(ALL_EXPERIMENTS)
+    catalog.update(ABLATION_EXPERIMENTS)
+    catalog["characterize"] = characterization_table
+    catalog["validate"] = model_validation
+    catalog["ext-scaling"] = ext_scaling
+    catalog["ext-microbench"] = ext_microbench
+
+    if args.list:
+        for name, fn in catalog.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:16s} {doc}")
+        return 0
+
+    selected = list(args.experiments)
+    if not selected:
+        selected = list(ALL_EXPERIMENTS)
+        if args.ablations:
+            selected += list(ABLATION_EXPERIMENTS)
+    unknown = [e for e in selected if e not in catalog]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; "
+                     f"choose from {list(catalog)}")
+
+    for name in selected:
+        start = time.time()
+        result = catalog[name]()
+        print(result.render())
+        print(f"  ({time.time() - start:.1f}s)\n")
+        if args.csv:
+            path = _write_csv(result, args.csv)
+            print(f"  csv: {path}\n")
+    return 0
+
+
+def _write_csv(result, directory: str) -> str:
+    """One experiment's table as a spreadsheet-ready CSV file."""
+    import csv
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.experiment_id}.csv")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+    return path
+
+
+if __name__ == "__main__":
+    sys.exit(main())

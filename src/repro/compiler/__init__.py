@@ -1,0 +1,53 @@
+"""The XL-compiler optimization model (-O .. -O5, -qarch=440d, ...)."""
+
+from .flags import FlagSet, O3, O4, O5, O_base, compiler_sweep
+from .ir import CommKind, CommOp, Loop, Phase, Program
+from .passes import (
+    branch_straightening,
+    code_motion,
+    common_subexpression_elimination,
+    fp_reassociation,
+    instruction_scheduling,
+    interprocedural,
+    loop_unroll,
+    simdize,
+    strength_reduction,
+)
+from .report import (
+    LoopReport,
+    OptimizationReport,
+    quad_ops_introduced,
+    report_loop,
+    report_program,
+)
+from .xlc import compile_loop, compile_program
+
+__all__ = [
+    "FlagSet",
+    "O_base",
+    "O3",
+    "O4",
+    "O5",
+    "compiler_sweep",
+    "Loop",
+    "CommOp",
+    "CommKind",
+    "Phase",
+    "Program",
+    "compile_loop",
+    "compile_program",
+    "simdize",
+    "common_subexpression_elimination",
+    "code_motion",
+    "strength_reduction",
+    "branch_straightening",
+    "instruction_scheduling",
+    "fp_reassociation",
+    "loop_unroll",
+    "interprocedural",
+    "LoopReport",
+    "OptimizationReport",
+    "report_loop",
+    "report_program",
+    "quad_ops_introduced",
+]

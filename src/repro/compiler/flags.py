@@ -1,0 +1,85 @@
+"""IBM XL compiler flag sets, as the paper sweeps them (Section VI).
+
+The paper's description of each level:
+
+* ``-O`` (with ``-qstrict``) — the default: common subexpression
+  elimination, code motion, dead code elimination, instruction
+  reordering, branch straightening; ``-qstrict`` forbids
+  semantics-changing FP transformations.
+* ``-O3`` — everything at O2 plus strength reduction, more aggressive
+  code motion and scheduling (and, without -qstrict, FP reassociation).
+* ``-O4`` — O3 plus ``-qarch``, ``-qtune``, ``-qcache``, ``-qhot``
+  (expensive loop optimizations).
+* ``-O5`` — O4 plus interprocedural analysis.
+* ``-qarch=440d`` — emit Double Hummer SIMD instructions: "identify and
+  extract the portions of code with data parallelism, which can be
+  executed on the SIMD floating point unit operating on two sets of
+  data in parallel", plus quadword loads/stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class FlagSet:
+    """One compiler invocation's optimization-relevant flags."""
+
+    opt_level: int = 0       #: 0 (plain -O), 3, 4 or 5
+    qstrict: bool = False
+    qarch440d: bool = False
+    qhot: bool = False
+    qtune: bool = False
+    ipa: bool = False
+
+    def __post_init__(self):
+        if self.opt_level not in (0, 3, 4, 5):
+            raise ValueError(
+                f"opt_level must be 0 (-O), 3, 4 or 5; got {self.opt_level}")
+
+    @property
+    def label(self) -> str:
+        """Human-readable flag string (figure axis labels)."""
+        parts = ["-O" if self.opt_level == 0 else f"-O{self.opt_level}"]
+        if self.qstrict:
+            parts.append("-qstrict")
+        if self.qarch440d:
+            parts.append("-qarch=440d")
+        return " ".join(parts)
+
+    @property
+    def simdize(self) -> bool:
+        """Whether the SIMDizer runs (needs the 440d target)."""
+        return self.qarch440d
+
+    @property
+    def reassociate_fp(self) -> bool:
+        """FP reassociation (breaks recurrences) unless -qstrict."""
+        return self.opt_level >= 3 and not self.qstrict
+
+
+def O_base(qstrict: bool = True) -> FlagSet:
+    """The paper's baseline: ``-O -qstrict``."""
+    return FlagSet(opt_level=0, qstrict=qstrict)
+
+
+def O3(qarch440d: bool = False) -> FlagSet:
+    return FlagSet(opt_level=3, qarch440d=qarch440d)
+
+
+def O4() -> FlagSet:
+    """-O4 implies -qarch, -qtune, -qcache and -qhot."""
+    return FlagSet(opt_level=4, qarch440d=True, qhot=True, qtune=True)
+
+
+def O5() -> FlagSet:
+    """-O5 adds interprocedural analysis on top of -O4."""
+    return FlagSet(opt_level=5, qarch440d=True, qhot=True, qtune=True,
+                   ipa=True)
+
+
+def compiler_sweep() -> List[FlagSet]:
+    """The flag sets swept in Figures 7-10, in presentation order."""
+    return [O_base(), O3(), O3(qarch440d=True), O4(), O5()]

@@ -1,0 +1,184 @@
+"""The loop-level intermediate representation of workload programs.
+
+The paper's compiler experiments (Figures 7-10) are entirely about how
+optimization flags change the *dynamic instruction mix* and cycle count
+of the NAS benchmarks' loop nests.  Programs are therefore represented
+at exactly that granularity:
+
+* a :class:`Loop` is a loop nest with a per-iteration instruction
+  template, trip counts, memory stream descriptors, and the structural
+  properties optimization passes act on (data-parallel fraction,
+  dependence structure, removable overhead);
+* a :class:`CommOp` is a communication phase (halo exchange, all-to-all
+  transpose, allreduce, ...);
+* a :class:`Program` is an alternating sequence of compute and
+  communication phases, executed BSP-style by the runtime.
+
+Benchmark models (:mod:`repro.npb`) build Programs describing their
+code *as the ``-O -qstrict`` baseline compiles it*; the optimization
+pipeline (:mod:`repro.compiler.passes`) rewrites them for stronger flag
+sets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence, Tuple
+
+from ..isa import InstructionMix
+from ..mem import StreamAccess
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop nest, as seen by the optimizer.
+
+    Parameters
+    ----------
+    body:
+        Per-iteration instruction template.
+    trip_count:
+        Iterations per execution of the loop nest.
+    executions:
+        How many times the whole nest runs in this phase (time steps,
+        outer solver iterations).
+    streams:
+        Memory behaviour of *one* execution of the nest.
+    data_parallel_fraction:
+        Fraction of the FP work the SIMDizer can legally pair
+        (``-qarch=440d``'s target).
+    serial_fraction:
+        Exposed-dependence fraction for the pipeline model (lowered by
+        scheduling passes).
+    serial_floor:
+        The irreducible part of ``serial_fraction``: a true recurrence
+        (e.g. LU's SSOR sweep) that no amount of scheduling or
+        reassociation can break.
+    overhead_fraction:
+        Share of integer/other instructions that are address-arithmetic
+        and bookkeeping overhead removable by CSE/strength-reduction.
+    hoistable_fraction:
+        Share of the body that is loop-invariant (removable by code
+        motion).
+    """
+
+    name: str
+    body: InstructionMix
+    trip_count: int
+    executions: int = 1
+    streams: Tuple[StreamAccess, ...] = ()
+    data_parallel_fraction: float = 0.0
+    serial_fraction: float = 0.10
+    serial_floor: float = 0.0
+    overhead_fraction: float = 0.15
+    hoistable_fraction: float = 0.05
+
+    def __post_init__(self):
+        if self.trip_count < 0 or self.executions < 0:
+            raise ValueError(f"{self.name}: negative counts")
+        if self.serial_floor > self.serial_fraction:
+            raise ValueError(
+                f"{self.name}: serial_floor exceeds serial_fraction")
+        for frac_name in ("data_parallel_fraction", "serial_fraction",
+                          "serial_floor", "overhead_fraction",
+                          "hoistable_fraction"):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{self.name}: {frac_name} must be in [0,1], "
+                    f"got {value}")
+
+    def total_mix(self) -> InstructionMix:
+        """Dynamic instructions of all iterations and executions."""
+        return self.body * (self.trip_count * self.executions)
+
+    def with_body(self, body: InstructionMix, **changes) -> "Loop":
+        """A copy with a rewritten body (and optional field updates)."""
+        return replace(self, body=body, **changes)
+
+
+class CommKind(enum.Enum):
+    """Communication patterns the runtime knows how to cost."""
+
+    HALO = "halo"            #: nearest-neighbour exchange on the torus
+    ALLTOALL = "alltoall"    #: personalised all-to-all (FT transpose)
+    ALLREDUCE = "allreduce"  #: tree-network reduction to all
+    BROADCAST = "broadcast"  #: tree-network broadcast
+    PAIRWISE = "pairwise"    #: point-to-point with a fixed partner (IS)
+    BARRIER = "barrier"      #: pure synchronisation
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """One communication phase, sized per participating rank.
+
+    ``bytes_per_rank`` is what each rank sends in the phase (split
+    evenly over partners for multi-partner patterns); ``neighbors`` is
+    the partner count for HALO.  ``repeats`` folds identical phases of
+    an iterative solver into one record.  ``partner_stride`` selects
+    the PAIRWISE partner: ``rank XOR stride`` (1 = adjacent exchange;
+    ``num_ranks // 2`` = across the processor grid, CG-style).
+    """
+
+    kind: CommKind
+    bytes_per_rank: int = 0
+    neighbors: int = 6
+    repeats: int = 1
+    partner_stride: int = 1
+
+    def __post_init__(self):
+        if self.bytes_per_rank < 0 or self.repeats < 0:
+            raise ValueError("negative communication size")
+        if self.neighbors <= 0:
+            raise ValueError("need at least one neighbour")
+        if self.partner_stride <= 0:
+            raise ValueError("partner_stride must be positive")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One BSP superstep: compute then (optionally) communicate."""
+
+    loops: Tuple[Loop, ...] = ()
+    comm: CommOp | None = None
+    name: str = ""
+
+
+@dataclass
+class Program:
+    """A benchmark's whole per-rank execution."""
+
+    name: str
+    phases: List[Phase] = field(default_factory=list)
+    flags_label: str = "-O -qstrict"  #: how this Program was compiled
+
+    def loops(self) -> List[Loop]:
+        """All loops across phases, in order."""
+        return [loop for phase in self.phases for loop in phase.loops]
+
+    def comms(self) -> List[CommOp]:
+        """All communication ops across phases, in order."""
+        return [p.comm for p in self.phases if p.comm is not None]
+
+    def total_mix(self) -> InstructionMix:
+        """The program's full dynamic instruction mix."""
+        total = InstructionMix()
+        for loop in self.loops():
+            total += loop.total_mix()
+        return total
+
+    def memory_loops(self) -> List[Tuple[Sequence[StreamAccess], int]]:
+        """``(streams, traversals)`` pairs for the hierarchy model."""
+        return [(loop.streams, loop.executions) for loop in self.loops()
+                if loop.streams]
+
+    def map_loops(self, fn) -> "Program":
+        """A copy with ``fn`` applied to every loop."""
+        new_phases = [
+            Phase(loops=tuple(fn(l) for l in phase.loops),
+                  comm=phase.comm, name=phase.name)
+            for phase in self.phases
+        ]
+        return Program(name=self.name, phases=new_phases,
+                       flags_label=self.flags_label)

@@ -1,0 +1,180 @@
+"""Optimization passes over the loop IR.
+
+Each pass is a pure function ``Loop -> Loop`` modelling the *effect* of
+one XL-compiler transformation on the dynamic instruction mix and the
+loop's structural properties.  Benchmark models describe their loops as
+compiled at the ``-O -qstrict`` baseline, so the baseline pipeline is
+the identity and stronger levels apply deltas.
+
+The pass that matters most for the paper is :func:`simdize` — the
+``-qarch=440d`` SIMDizer: it pairs the data-parallel fraction of the
+scalar FP work into Double Hummer two-wide instructions (half the
+instructions, same flops) and fuses the corresponding load/store pairs
+into quadword accesses, "further reducing the number of required double
+and single store operations" (Section VI).
+"""
+
+from __future__ import annotations
+
+from ..isa import (
+    InstructionMix,
+    OpClass,
+    QUAD_EQUIVALENT,
+    SIMD_EQUIVALENT,
+)
+from .ir import Loop
+
+
+def _clamp01(x: float) -> float:
+    return max(0.0, min(1.0, x))
+
+
+# ---------------------------------------------------------------------------
+# scalar passes
+# ---------------------------------------------------------------------------
+def common_subexpression_elimination(loop: Loop,
+                                     strength: float = 0.5) -> Loop:
+    """Remove recomputed address arithmetic and bookkeeping.
+
+    Deletes ``strength`` of the loop's *overhead* share of integer-ALU
+    and OTHER instructions (the share is a property of the loop; CSE
+    cannot delete the real work).
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError(f"strength must be in [0,1], got {strength}")
+    removable = loop.overhead_fraction * strength
+    body = loop.body.copy()
+    for op in (OpClass.INT_ALU, OpClass.OTHER):
+        body[op] = body[op] * (1.0 - removable)
+    return loop.with_body(
+        body, overhead_fraction=loop.overhead_fraction * (1.0 - strength))
+
+
+def code_motion(loop: Loop, strength: float = 0.6) -> Loop:
+    """Hoist loop-invariant work out of the body.
+
+    Removes ``strength`` of the hoistable fraction of the *support*
+    instructions — address arithmetic, invariant loads, bookkeeping.
+    The FP work is the loop's real computation and is never invariant
+    in these kernels, so flops are preserved (which also keeps the
+    MFLOPS metric comparable across optimization levels, as on the real
+    machine).
+    """
+    factor = 1.0 - loop.hoistable_fraction * strength
+    body = loop.body.copy()
+    for op in (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.LOAD,
+               OpClass.STORE, OpClass.OTHER):
+        body[op] = body[op] * factor
+    return loop.with_body(
+        body,
+        hoistable_fraction=loop.hoistable_fraction * (1.0 - strength))
+
+
+def strength_reduction(loop: Loop) -> Loop:
+    """Turn induction-variable multiplies into adds."""
+    body = loop.body.copy()
+    muls = body[OpClass.INT_MUL]
+    body[OpClass.INT_MUL] = 0.0
+    body.add(OpClass.INT_ALU, muls)
+    return loop.with_body(body)
+
+
+def branch_straightening(loop: Loop, strength: float = 0.3) -> Loop:
+    """Remove redundant branches, keeping the loop's own backedge."""
+    body = loop.body.copy()
+    branches = body[OpClass.BRANCH]
+    # at least one branch per iteration survives (the backedge)
+    removable = max(0.0, branches - 1.0)
+    body[OpClass.BRANCH] = branches - removable * strength
+    return loop.with_body(body)
+
+
+def instruction_scheduling(loop: Loop, serial_scale: float = 0.7) -> Loop:
+    """Reorder instructions to hide latency (lowers the serial fraction).
+
+    Only the reducible part shrinks: the loop's ``serial_floor`` — a
+    true recurrence — survives any scheduling.
+    """
+    if serial_scale < 0:
+        raise ValueError("serial_scale must be >= 0")
+    return loop.with_body(
+        loop.body.copy(),
+        serial_fraction=max(loop.serial_floor,
+                            _clamp01(loop.serial_fraction * serial_scale)))
+
+
+def fp_reassociation(loop: Loop, serial_scale: float = 0.5) -> Loop:
+    """Break FP recurrences by reassociating reductions.
+
+    Changes FP semantics, so it is exactly what ``-qstrict`` forbids.
+    """
+    return instruction_scheduling(loop, serial_scale)
+
+
+def loop_unroll(loop: Loop, factor: int = 4) -> Loop:
+    """Unroll: amortize branches and induction updates over the factor.
+
+    The per-iteration template keeps the same real work; the backedge
+    branch and part of the integer overhead shrink by the factor.
+    """
+    if factor < 1:
+        raise ValueError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return loop
+    body = loop.body.copy()
+    body[OpClass.BRANCH] = body[OpClass.BRANCH] / factor
+    overhead = body[OpClass.INT_ALU] * loop.overhead_fraction
+    body[OpClass.INT_ALU] = (body[OpClass.INT_ALU] - overhead
+                             + overhead / factor)
+    return loop.with_body(body)
+
+
+# ---------------------------------------------------------------------------
+# the SIMDizer (-qarch=440d)
+# ---------------------------------------------------------------------------
+def simdize(loop: Loop, coverage_boost: float = 1.0) -> Loop:
+    """Pair data-parallel FP work onto the Double Hummer.
+
+    A fraction ``f = data_parallel_fraction * coverage_boost`` of each
+    scalar FP class is converted: two scalar instructions become one
+    SIMD instruction.  The same fraction of loads/stores feeding that
+    work fuses pairwise into quadword accesses.  Flops are exactly
+    preserved (asserted), which is the whole point of the transform.
+    """
+    if coverage_boost < 0:
+        raise ValueError("coverage_boost must be >= 0")
+    f = _clamp01(loop.data_parallel_fraction * coverage_boost)
+    if f == 0.0:
+        return loop
+    body = loop.body.copy()
+    before_flops = body.flops()
+    for scalar, simd in SIMD_EQUIVALENT.items():
+        converted = body[scalar] * f
+        body[scalar] = body[scalar] - converted
+        body.add(simd, converted / 2.0)
+    for scalar, quad in QUAD_EQUIVALENT.items():
+        converted = body[scalar] * f
+        body[scalar] = body[scalar] - converted
+        body.add(quad, converted / 2.0)
+    assert abs(body.flops() - before_flops) < 1e-6 * max(before_flops, 1.0)
+    return loop.with_body(body, data_parallel_fraction=(
+        loop.data_parallel_fraction * (1.0 - f)))
+
+
+# ---------------------------------------------------------------------------
+# interprocedural analysis (-O5)
+# ---------------------------------------------------------------------------
+def interprocedural(loop: Loop, overhead_scale: float = 0.6,
+                    extra_simd_coverage: float = 0.15) -> Loop:
+    """-O5's IPA: inline call glue away and widen SIMDizable coverage.
+
+    Whole-program aliasing and alignment proofs let the SIMDizer accept
+    loops it had to reject before, so IPA *raises*
+    ``data_parallel_fraction`` where data parallelism remains.
+    """
+    body = loop.body.copy()
+    body[OpClass.OTHER] = body[OpClass.OTHER] * overhead_scale
+    remaining = loop.data_parallel_fraction
+    boosted = _clamp01(remaining + extra_simd_coverage * (
+        1.0 if remaining > 0 else 0.0))
+    return loop.with_body(body, data_parallel_fraction=boosted)

@@ -1,0 +1,99 @@
+"""Configuration-register bit encodings of the UPC unit.
+
+Each of the 256 counters is configured by **4 bits** in the UPC
+configuration registers:
+
+* bits ``[1:0]`` — the *counter event* bits, selecting how the signal on
+  the counter's input is interpreted (paper, Section III-A):
+
+  ========  =================================  ==========================
+  encoding  mnemonic                           meaning
+  ========  =================================  ==========================
+  ``00``    ``BGP_UPC_CFG_LEVEL_HIGH``         count cycles signal is high
+  ``01``    ``BGP_UPC_CFG_EDGE_RISE``          count low->high transitions
+  ``10``    ``BGP_UPC_CFG_EDGE_FALL``          count high->low transitions
+  ``11``    ``BGP_UPC_CFG_LEVEL_LOW``          count cycles signal is low
+  ========  =================================  ==========================
+
+* bit ``2`` — interrupt enable: raise an interrupt when the counter
+  reaches its threshold value ("thresholding").
+* bit ``3`` — counter enable.
+
+The whole unit additionally has a 2-bit *counter mode* selecting which
+of the 4 event sets (mode 0..3) all counters observe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SignalMode(enum.IntEnum):
+    """The 2-bit counter-event encoding."""
+
+    LEVEL_HIGH = 0b00  #: high-level sensitive
+    EDGE_RISE = 0b01   #: low->high edge sensitive
+    EDGE_FALL = 0b10   #: high->low edge sensitive
+    LEVEL_LOW = 0b11   #: low-level sensitive
+
+    @property
+    def is_edge(self) -> bool:
+        """True for the edge-sensitive encodings."""
+        return self in (SignalMode.EDGE_RISE, SignalMode.EDGE_FALL)
+
+    @property
+    def is_level(self) -> bool:
+        """True for the level-sensitive encodings."""
+        return not self.is_edge
+
+
+# Paper-style aliases.
+BGP_UPC_CFG_LEVEL_HIGH = SignalMode.LEVEL_HIGH
+BGP_UPC_CFG_EDGE_RISE = SignalMode.EDGE_RISE
+BGP_UPC_CFG_EDGE_FALL = SignalMode.EDGE_FALL
+BGP_UPC_CFG_LEVEL_LOW = SignalMode.LEVEL_LOW
+
+#: Bit positions within a counter's 4-bit config nibble.
+SIGNAL_MODE_SHIFT = 0
+SIGNAL_MODE_MASK = 0b0011
+INTERRUPT_ENABLE_BIT = 0b0100
+COUNTER_ENABLE_BIT = 0b1000
+
+
+@dataclass(frozen=True)
+class CounterConfig:
+    """Decoded configuration of one counter."""
+
+    signal_mode: SignalMode = SignalMode.EDGE_RISE
+    interrupt_enable: bool = False
+    enabled: bool = True
+
+    def encode(self) -> int:
+        """Pack into the 4-bit nibble stored in the config registers."""
+        nibble = int(self.signal_mode) << SIGNAL_MODE_SHIFT
+        if self.interrupt_enable:
+            nibble |= INTERRUPT_ENABLE_BIT
+        if self.enabled:
+            nibble |= COUNTER_ENABLE_BIT
+        return nibble
+
+    @classmethod
+    def decode(cls, nibble: int) -> "CounterConfig":
+        """Unpack a 4-bit config nibble."""
+        if not 0 <= nibble <= 0xF:
+            raise ValueError(f"config nibble out of range: {nibble:#x}")
+        return cls(
+            signal_mode=SignalMode((nibble >> SIGNAL_MODE_SHIFT)
+                                   & SIGNAL_MODE_MASK),
+            interrupt_enable=bool(nibble & INTERRUPT_ENABLE_BIT),
+            enabled=bool(nibble & COUNTER_ENABLE_BIT),
+        )
+
+
+#: Default configuration: enabled, rising-edge counting, no interrupt.
+DEFAULT_CONFIG = CounterConfig()
+
+#: Counters are 64 bits wide and wrap modulo 2**64.
+COUNTER_WIDTH_BITS = 64
+COUNTER_MASK = (1 << COUNTER_WIDTH_BITS) - 1

@@ -1,0 +1,240 @@
+"""The Universal Performance Counter event catalog.
+
+The BG/P UPC unit exposes **1024 possible events**, organised as **4
+counter modes x 256 counters**: in a given mode, counter *i* counts the
+*i*-th event of that mode's event set.  This module builds the full
+catalog.  Events the simulator actually signals get meaningful names and
+are wired to event *sources* (cores, caches, memory controllers,
+networks); the remaining slots are populated as reserved events, exactly
+as a real chip's event list contains holes.
+
+Naming follows the paper's ``BGP_...`` convention, e.g.
+``BGP_PU0_FPU_SIMD_FMA`` (core 0's SIMD fused multiply-adds) or
+``BGP_L3_MISS`` (shared L3 misses).
+
+Layout
+------
+mode 0  processor + FPU + L1 events, 64 counters per core (cores 0..3)
+mode 1  L2 / snoop-filter events, 64 counters per core
+mode 2  L3 / DDR events (shared, not per core)
+mode 3  network (torus / collective / barrier) + miscellaneous events
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Counters per UPC unit (per mode).
+COUNTERS_PER_MODE = 256
+#: Number of counter modes.
+NUM_MODES = 4
+#: Total selectable events.
+TOTAL_EVENTS = COUNTERS_PER_MODE * NUM_MODES
+#: Cores per node.
+CORES_PER_NODE = 4
+#: Counters dedicated to each core in the per-core modes (0 and 1).
+COUNTERS_PER_CORE_BLOCK = 64
+
+
+@dataclass(frozen=True)
+class Event:
+    """One selectable UPC event.
+
+    Attributes
+    ----------
+    event_id:
+        Global id in ``0..1023`` (``mode * 256 + counter``).
+    mode:
+        The counter mode in which this event is countable.
+    counter:
+        The counter index (0..255) that counts it in that mode.
+    name:
+        ``BGP_``-style mnemonic, unique across the catalog.
+    group:
+        Coarse grouping used by the post-processing tools
+        (``fpu``, ``l1``, ``pipe``, ``l2``, ``snoop``, ``l3``, ``ddr``,
+        ``torus``, ``collective``, ``barrier``, ``misc``, ``reserved``).
+    description:
+        Human-readable description.
+    core:
+        Owning core for per-core events, else ``None``.
+    """
+
+    event_id: int
+    mode: int
+    counter: int
+    name: str
+    group: str
+    description: str
+    core: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# per-core event templates (mode 0): pipe / FPU / L1
+# ---------------------------------------------------------------------------
+# (suffix, group, description) -- offset within the core's 64-counter block
+_MODE0_CORE_EVENTS: List[Tuple[str, str, str]] = [
+    ("CYCLES", "pipe", "processor cycles while counting enabled"),
+    ("INST_COMPLETED", "pipe", "instructions completed (all classes)"),
+    ("INT_ALU", "pipe", "integer ALU instructions completed"),
+    ("INT_MUL", "pipe", "integer multiply instructions completed"),
+    ("INT_DIV", "pipe", "integer divide instructions completed"),
+    ("BRANCH", "pipe", "branch instructions completed"),
+    ("LOAD", "pipe", "scalar load instructions completed"),
+    ("STORE", "pipe", "scalar store instructions completed"),
+    ("QUADLOAD", "pipe", "16-byte quadword loads completed"),
+    ("QUADSTORE", "pipe", "16-byte quadword stores completed"),
+    ("OTHER_INST", "pipe", "other (system/cache-control) instructions"),
+    ("STALL_MEM", "pipe", "cycles stalled waiting on the memory hierarchy"),
+    ("STALL_FPU", "pipe", "cycles stalled on FPU structural hazards"),
+    ("FPU_ADDSUB", "fpu", "single FP add/subtract instructions"),
+    ("FPU_MUL", "fpu", "single FP multiply instructions"),
+    ("FPU_DIV", "fpu", "single FP divide instructions"),
+    ("FPU_FMA", "fpu", "single FP fused multiply-add instructions"),
+    ("FPU_SIMD_ADDSUB", "fpu", "SIMD (two-wide) FP add/subtract instructions"),
+    ("FPU_SIMD_MUL", "fpu", "SIMD FP multiply instructions"),
+    ("FPU_SIMD_DIV", "fpu", "SIMD FP divide instructions"),
+    ("FPU_SIMD_FMA", "fpu", "SIMD FP fused multiply-add instructions"),
+    ("L1D_READ_HIT", "l1", "L1 data cache read hits"),
+    ("L1D_READ_MISS", "l1", "L1 data cache read misses"),
+    ("L1D_WRITE_HIT", "l1", "L1 data cache write hits"),
+    ("L1D_WRITE_MISS", "l1", "L1 data cache write misses"),
+    ("L1I_FETCH", "l1", "L1 instruction cache fetches"),
+    ("L1I_MISS", "l1", "L1 instruction cache misses"),
+]
+
+# ---------------------------------------------------------------------------
+# per-core event templates (mode 1): L2 / snoop filter
+# ---------------------------------------------------------------------------
+_MODE1_CORE_EVENTS: List[Tuple[str, str, str]] = [
+    ("L2_READ", "l2", "read requests arriving at the private L2"),
+    ("L2_HIT", "l2", "L2 hits (demand)"),
+    ("L2_MISS", "l2", "L2 misses forwarded to the L3"),
+    ("L2_PREFETCH_ISSUED", "l2", "prefetch lines requested by the stream prefetcher"),
+    ("L2_PREFETCH_HIT", "l2", "demand reads satisfied by a prefetched line"),
+    ("L2_WRITETHROUGH", "l2", "write-throughs sent toward the L3"),
+    ("SNOOP_RECEIVED", "snoop", "coherence snoops arriving at this core"),
+    ("SNOOP_FILTERED", "snoop", "snoops rejected by the snoop filter"),
+    ("SNOOP_HIT", "snoop", "snoops that hit (required L1 action)"),
+]
+
+# ---------------------------------------------------------------------------
+# shared event templates (mode 2): L3 / DDR
+# ---------------------------------------------------------------------------
+_MODE2_EVENTS: List[Tuple[str, str, str]] = [
+    ("L3_READ", "l3", "read requests arriving at the shared L3"),
+    ("L3_HIT", "l3", "shared L3 hits"),
+    ("L3_MISS", "l3", "shared L3 misses (lines fetched from DDR)"),
+    ("L3_WRITEBACK", "l3", "dirty lines written back from L3 to DDR"),
+    ("L3_BANK0_ACCESS", "l3", "accesses routed to L3 bank 0"),
+    ("L3_BANK1_ACCESS", "l3", "accesses routed to L3 bank 1"),
+    ("DDR0_READ", "ddr", "read bursts issued by DDR controller 0"),
+    ("DDR0_WRITE", "ddr", "write bursts issued by DDR controller 0"),
+    ("DDR1_READ", "ddr", "read bursts issued by DDR controller 1"),
+    ("DDR1_WRITE", "ddr", "write bursts issued by DDR controller 1"),
+    ("DDR_PORT_CONFLICT", "ddr", "cycles a request waited on a busy DDR port"),
+]
+
+# ---------------------------------------------------------------------------
+# shared event templates (mode 3): networks + misc
+# ---------------------------------------------------------------------------
+_MODE3_EVENTS: List[Tuple[str, str, str]] = [
+    ("TORUS_XP_PACKETS", "torus", "torus packets sent on the X+ link"),
+    ("TORUS_XM_PACKETS", "torus", "torus packets sent on the X- link"),
+    ("TORUS_YP_PACKETS", "torus", "torus packets sent on the Y+ link"),
+    ("TORUS_YM_PACKETS", "torus", "torus packets sent on the Y- link"),
+    ("TORUS_ZP_PACKETS", "torus", "torus packets sent on the Z+ link"),
+    ("TORUS_ZM_PACKETS", "torus", "torus packets sent on the Z- link"),
+    ("TORUS_RECV_PACKETS", "torus", "torus packets received (all links)"),
+    ("TORUS_HOP_CYCLES", "torus", "cumulative packet-hop transit cycles"),
+    ("COLLECTIVE_UP_PACKETS", "collective", "collective-network packets sent uptree"),
+    ("COLLECTIVE_DOWN_PACKETS", "collective", "collective-network packets sent downtree"),
+    ("COLLECTIVE_ALU_OPS", "collective", "reduction ALU operations in the tree"),
+    ("BARRIER_ENTERED", "barrier", "global barrier entries"),
+    ("BARRIER_WAIT_CYCLES", "barrier", "cycles spent waiting in barriers"),
+    ("TIMEBASE", "misc", "time base register ticks"),
+    ("UPC_OVERHEAD_CYCLES", "misc", "cycles charged to the counter interface itself"),
+]
+
+
+def _build_catalog() -> Tuple[Dict[int, Event], Dict[str, Event]]:
+    by_id: Dict[int, Event] = {}
+    by_name: Dict[str, Event] = {}
+
+    def add(mode: int, counter: int, name: str, group: str,
+            desc: str, core: int | None = None) -> None:
+        event_id = mode * COUNTERS_PER_MODE + counter
+        ev = Event(event_id, mode, counter, name, group, desc, core)
+        if name in by_name:
+            raise ValueError(f"duplicate event name {name}")
+        by_id[event_id] = ev
+        by_name[name] = ev
+
+    # modes 0 and 1: 64-counter block per core
+    for mode, template in ((0, _MODE0_CORE_EVENTS), (1, _MODE1_CORE_EVENTS)):
+        for core in range(CORES_PER_NODE):
+            base = core * COUNTERS_PER_CORE_BLOCK
+            for off, (suffix, group, desc) in enumerate(template):
+                add(mode, base + off, f"BGP_PU{core}_{suffix}", group,
+                    f"core {core}: {desc}", core)
+            for off in range(len(template), COUNTERS_PER_CORE_BLOCK):
+                add(mode, base + off,
+                    f"BGP_RESERVED_M{mode}_C{base + off}", "reserved",
+                    "reserved event slot")
+
+    # mode 2: shared L3/DDR events then reserved
+    for off, (suffix, group, desc) in enumerate(_MODE2_EVENTS):
+        add(2, off, f"BGP_{suffix}", group, desc)
+    for off in range(len(_MODE2_EVENTS), COUNTERS_PER_MODE):
+        add(2, off, f"BGP_RESERVED_M2_C{off}", "reserved",
+            "reserved event slot")
+
+    # mode 3: network events then reserved
+    for off, (suffix, group, desc) in enumerate(_MODE3_EVENTS):
+        add(3, off, f"BGP_{suffix}", group, desc)
+    for off in range(len(_MODE3_EVENTS), COUNTERS_PER_MODE):
+        add(3, off, f"BGP_RESERVED_M3_C{off}", "reserved",
+            "reserved event slot")
+
+    return by_id, by_name
+
+
+#: Catalog indexed by global event id (0..1023).
+EVENTS_BY_ID, EVENTS_BY_NAME = _build_catalog()
+
+
+def event_by_name(name: str) -> Event:
+    """Look up an event by its ``BGP_`` mnemonic.
+
+    Raises ``KeyError`` with the close-miss candidates listed, since a
+    typo in an event name is the most common user error with counter
+    libraries.
+    """
+    try:
+        return EVENTS_BY_NAME[name]
+    except KeyError:
+        candidates = [n for n in EVENTS_BY_NAME if name.split("_")[-1] in n]
+        raise KeyError(
+            f"unknown event {name!r}; close candidates: {candidates[:8]}"
+        ) from None
+
+
+def events_in_mode(mode: int) -> List[Event]:
+    """All 256 events countable in ``mode``, ordered by counter index."""
+    if not 0 <= mode < NUM_MODES:
+        raise ValueError(f"mode must be 0..{NUM_MODES - 1}, got {mode}")
+    return [EVENTS_BY_ID[mode * COUNTERS_PER_MODE + c]
+            for c in range(COUNTERS_PER_MODE)]
+
+
+def core_event(core: int, suffix: str) -> Event:
+    """Convenience lookup for per-core events: ``core_event(2, "FPU_FMA")``."""
+    return event_by_name(f"BGP_PU{core}_{suffix}")
+
+
+#: FPU event suffixes in the order used by the MFLOPS metric.
+FPU_EVENT_SUFFIXES = (
+    "FPU_ADDSUB", "FPU_MUL", "FPU_DIV", "FPU_FMA",
+    "FPU_SIMD_ADDSUB", "FPU_SIMD_MUL", "FPU_SIMD_DIV", "FPU_SIMD_FMA",
+)

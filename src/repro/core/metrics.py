@@ -1,0 +1,171 @@
+"""Derived metrics computed from counter values.
+
+The paper computes application performance "in terms of MFLOPS based on
+the data of all the floating point counters like the counter for
+FPAdd-Sub, FPMult, FPDiv, FPFMA, FPSIMDAdd-Sub, and FPSIMDFMA" and "a
+metric for the traffic between the L3 and the DDR (DDR Bandwidth) ...
+based on the different counters associated with L3 and DDR" (Section
+IV).  This module implements those metrics plus the dynamic-instruction
+-mix profile of Figure 6, all as pure functions over name->count
+mappings so they compose with :class:`~repro.core.postprocess.Aggregation`
+totals, per-node named deltas, or hand-built dictionaries in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..isa.latency import CORE_CLOCK_HZ
+from .events import CORES_PER_NODE
+
+#: L3 line size on BG/P in bytes; each DDR burst moves one line.
+L3_LINE_BYTES = 128
+
+#: Flops completed per instruction, by FPU event suffix.
+FLOP_WEIGHTS: Dict[str, int] = {
+    "FPU_ADDSUB": 1,
+    "FPU_MUL": 1,
+    "FPU_DIV": 1,
+    "FPU_FMA": 2,
+    "FPU_SIMD_ADDSUB": 2,
+    "FPU_SIMD_MUL": 2,
+    "FPU_SIMD_DIV": 2,
+    "FPU_SIMD_FMA": 4,
+}
+
+#: Figure 6 legend labels keyed by FPU event suffix.
+PROFILE_LABELS: Dict[str, str] = {
+    "FPU_ADDSUB": "single add-sub",
+    "FPU_MUL": "single mult",
+    "FPU_FMA": "single FMA",
+    "FPU_DIV": "single div",
+    "FPU_SIMD_ADDSUB": "SIMD add-sub",
+    "FPU_SIMD_FMA": "SIMD FMA",
+    "FPU_SIMD_MUL": "SIMD mult",
+    "FPU_SIMD_DIV": "SIMD div",
+}
+
+
+def _core_sum(named: Mapping[str, int], suffix: str) -> int:
+    """Sum a per-core counter across all four cores (missing -> 0)."""
+    return sum(int(named.get(f"BGP_PU{c}_{suffix}", 0))
+               for c in range(CORES_PER_NODE))
+
+
+def fp_instruction_counts(named: Mapping[str, int]) -> Dict[str, int]:
+    """FP instruction counts per class, summed over cores.
+
+    Keys are the FPU event suffixes of :data:`FLOP_WEIGHTS`.
+    """
+    return {suffix: _core_sum(named, suffix) for suffix in FLOP_WEIGHTS}
+
+
+def total_flops(named: Mapping[str, int]) -> float:
+    """Floating point operations completed (FMA = 2 ops, SIMD two-wide)."""
+    counts = fp_instruction_counts(named)
+    return float(sum(counts[s] * w for s, w in FLOP_WEIGHTS.items()))
+
+
+def elapsed_cycles(named: Mapping[str, int]) -> int:
+    """Wall-clock cycles of the monitored region: max over core cycles.
+
+    Cores run concurrently, so the slowest core's cycle counter is the
+    region's duration (matching the paper's CYCLE_COUNT usage).
+    """
+    cycles = [int(named.get(f"BGP_PU{c}_CYCLES", 0))
+              for c in range(CORES_PER_NODE)]
+    return max(cycles)
+
+
+def mflops(named: Mapping[str, int],
+           clock_hz: float = CORE_CLOCK_HZ) -> float:
+    """MFLOPS of the monitored region from FPU + cycle counters."""
+    cycles = elapsed_cycles(named)
+    if cycles == 0:
+        return 0.0
+    seconds = cycles / clock_hz
+    return total_flops(named) / seconds / 1e6
+
+
+def fp_profile(named: Mapping[str, int]) -> Dict[str, float]:
+    """Dynamic FP instruction mix (Figure 6): fraction per FP class.
+
+    Fractions are of FP *instructions* (not flops) and sum to 1 when any
+    FP instruction was counted.  Keys are Figure 6 legend labels.
+    """
+    counts = fp_instruction_counts(named)
+    fp_total = sum(counts.values())
+    if fp_total == 0:
+        return {label: 0.0 for label in PROFILE_LABELS.values()}
+    return {PROFILE_LABELS[s]: counts[s] / fp_total for s in PROFILE_LABELS}
+
+
+def simd_instructions(named: Mapping[str, int]) -> int:
+    """Total two-wide SIMD FP instructions (Figures 7/8 series)."""
+    counts = fp_instruction_counts(named)
+    return sum(v for s, v in counts.items() if "SIMD" in s)
+
+
+def ddr_traffic_bytes(named: Mapping[str, int]) -> int:
+    """L3<->DDR traffic in bytes, from the four DDR burst counters.
+
+    This is the paper's "L3-DDR Traffic" metric: every read or write
+    burst on either memory controller moves one 128-byte L3 line.
+    """
+    bursts = (int(named.get("BGP_DDR0_READ", 0))
+              + int(named.get("BGP_DDR0_WRITE", 0))
+              + int(named.get("BGP_DDR1_READ", 0))
+              + int(named.get("BGP_DDR1_WRITE", 0)))
+    return bursts * L3_LINE_BYTES
+
+
+def ddr_bandwidth_bytes_per_sec(named: Mapping[str, int],
+                                clock_hz: float = CORE_CLOCK_HZ) -> float:
+    """Average DDR bandwidth over the monitored region."""
+    cycles = elapsed_cycles(named)
+    if cycles == 0:
+        return 0.0
+    return ddr_traffic_bytes(named) / (cycles / clock_hz)
+
+
+def l1_hit_rate(named: Mapping[str, int]) -> float:
+    """Node-wide L1 data hit rate (reads + writes)."""
+    hits = _core_sum(named, "L1D_READ_HIT") + _core_sum(named,
+                                                        "L1D_WRITE_HIT")
+    misses = (_core_sum(named, "L1D_READ_MISS")
+              + _core_sum(named, "L1D_WRITE_MISS"))
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def l2_prefetch_coverage(named: Mapping[str, int]) -> float:
+    """Fraction of L2 demand reads satisfied by a prefetched line."""
+    reads = _core_sum(named, "L2_READ")
+    pf_hits = _core_sum(named, "L2_PREFETCH_HIT")
+    return pf_hits / reads if reads else 0.0
+
+
+def l3_miss_rate(named: Mapping[str, int]) -> float:
+    """Shared-L3 miss rate (misses / reads arriving at the L3)."""
+    reads = int(named.get("BGP_L3_READ", 0))
+    misses = int(named.get("BGP_L3_MISS", 0))
+    return misses / reads if reads else 0.0
+
+
+def instruction_total(named: Mapping[str, int]) -> int:
+    """Completed instructions summed over all cores."""
+    return _core_sum(named, "INST_COMPLETED")
+
+
+def merge_named(*mappings: Mapping[str, int]) -> Dict[str, int]:
+    """Merge named counter dictionaries by summation.
+
+    Used to combine per-node named deltas across the machine before
+    computing whole-run metrics, and to stitch the even/odd node-card
+    halves of a 512-event run into one view.
+    """
+    out: Dict[str, int] = {}
+    for mapping in mappings:
+        for name, value in mapping.items():
+            out[name] = out.get(name, 0) + int(value)
+    return out

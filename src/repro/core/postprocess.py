@@ -1,0 +1,224 @@
+"""Post-processing tools: data mining the per-node counter dumps.
+
+Implements the paper's Section IV pipeline: read all files dumped by
+each node, validate them (record counts, record lengths, value ranges),
+compute the minimum / maximum / arithmetic mean of each of the **512**
+logical counters (stitching the even-node-card event set and the
+odd-node-card event set back together), evaluate user-defined metrics,
+and print records into ``.csv`` files usable from any spreadsheet.
+"""
+
+from __future__ import annotations
+
+import csv
+import glob
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .dump import DumpFormatError, NodeDump, read_dump
+from .events import COUNTERS_PER_MODE, EVENTS_BY_ID, Event
+
+
+@dataclass(frozen=True)
+class CounterStats:
+    """Cross-node statistics of one logical counter."""
+
+    event: Event
+    minimum: int
+    maximum: int
+    mean: float
+    total: int
+    node_count: int
+
+
+class ValidationError(ValueError):
+    """Raised when the set of dumps is internally inconsistent."""
+
+
+def load_dumps(source: str | Iterable[str]) -> List[NodeDump]:
+    """Load dumps from a directory or an iterable of file paths.
+
+    Files that fail format validation abort the load — a truncated dump
+    silently dropped would bias every statistic computed afterwards.
+    """
+    if isinstance(source, str):
+        paths = sorted(glob.glob(os.path.join(source, "bgp_counters_*.bin")))
+        if not paths:
+            raise FileNotFoundError(f"no counter dumps under {source!r}")
+    else:
+        paths = list(source)
+    return [read_dump(p) for p in paths]
+
+
+def validate_dumps(dumps: Sequence[NodeDump]) -> None:
+    """Cross-file sanity checks (paper: counts, lengths, value ranges).
+
+    * every node must report the same set ids,
+    * node ids must be unique,
+    * counter values suspiciously close to 2**64 (within 2**10 of wrap)
+      are rejected as likely wrap artefacts.
+    """
+    if not dumps:
+        raise ValidationError("no dumps to validate")
+    ids = [d.node_id for d in dumps]
+    if len(set(ids)) != len(ids):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        raise ValidationError(f"duplicate node ids in dumps: {dupes}")
+    reference = dumps[0].set_ids()
+    for d in dumps:
+        if d.set_ids() != reference:
+            raise ValidationError(
+                f"node {d.node_id} has sets {d.set_ids()}, "
+                f"expected {reference}")
+    ceiling = np.uint64((1 << 64) - (1 << 10))
+    for d in dumps:
+        for set_id, arr in d.sets.items():
+            if (arr > ceiling).any():
+                bad = int(np.argmax(arr > ceiling))
+                raise ValidationError(
+                    f"node {d.node_id} set {set_id} counter {bad}: value "
+                    f"{int(arr[bad])} is within 2**10 of wrap — likely a "
+                    f"counter wrap artefact")
+
+
+class Aggregation:
+    """Cross-node aggregation of one monitoring set.
+
+    Stitches per-mode dumps into the 512-logical-event view: nodes that
+    ran in different counter modes (the even/odd node-card policy)
+    contribute statistics for *different* events, and the aggregation
+    exposes them side by side, keyed by event name.
+    """
+
+    def __init__(self, dumps: Sequence[NodeDump], set_id: int = 0,
+                 validate: bool = True):
+        if validate:
+            validate_dumps(dumps)
+        self.set_id = set_id
+        self.nodes_by_mode: Dict[int, List[int]] = {}
+        per_event_values: Dict[int, List[int]] = {}
+        for d in dumps:
+            self.nodes_by_mode.setdefault(d.mode, []).append(d.node_id)
+            arr = d.deltas(set_id)
+            base = d.mode * COUNTERS_PER_MODE
+            for counter in range(COUNTERS_PER_MODE):
+                per_event_values.setdefault(base + counter, []).append(
+                    int(arr[counter]))
+        self.stats: Dict[str, CounterStats] = {}
+        for event_id, values in per_event_values.items():
+            ev = EVENTS_BY_ID[event_id]
+            self.stats[ev.name] = CounterStats(
+                event=ev,
+                minimum=min(values),
+                maximum=max(values),
+                mean=float(np.mean(values)),
+                total=int(sum(values)),
+                node_count=len(values),
+            )
+
+    # ------------------------------------------------------------------
+    def __contains__(self, event_name: str) -> bool:
+        return event_name in self.stats
+
+    def __getitem__(self, event_name: str) -> CounterStats:
+        try:
+            return self.stats[event_name]
+        except KeyError:
+            raise KeyError(
+                f"event {event_name!r} was not monitored in this run "
+                f"(modes present: {sorted(self.nodes_by_mode)})") from None
+
+    def totals(self, group: Optional[str] = None) -> Dict[str, int]:
+        """Whole-machine totals keyed by event name.
+
+        ``group`` filters to one event group (e.g. ``"fpu"``).
+        """
+        return {name: s.total for name, s in self.stats.items()
+                if group is None or s.event.group == group}
+
+    def means(self) -> Dict[str, float]:
+        """Per-node means keyed by event name."""
+        return {name: s.mean for name, s in self.stats.items()}
+
+    def metric(self, fn: Callable[[Mapping[str, int]], float]) -> float:
+        """Evaluate a user-defined metric over the whole-machine totals."""
+        return fn(self.totals())
+
+
+def aggregate(dumps: Sequence[NodeDump], set_id: int = 0) -> Aggregation:
+    """Convenience constructor for :class:`Aggregation`."""
+    return Aggregation(dumps, set_id=set_id)
+
+
+# ---------------------------------------------------------------------------
+# CSV emission
+# ---------------------------------------------------------------------------
+def write_stats_csv(agg: Aggregation, path: str,
+                    include_reserved: bool = False) -> int:
+    """Write per-event statistics as CSV; returns the row count.
+
+    One row per monitored event: name, group, mode, counter, min, max,
+    mean, total, nodes — the "statistics of all the 512 counters" output
+    the paper's tools produce for spreadsheet work.
+    """
+    rows = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["event", "group", "mode", "counter",
+                         "min", "max", "mean", "total", "nodes"])
+        for name in sorted(agg.stats):
+            s = agg.stats[name]
+            if not include_reserved and s.event.group == "reserved":
+                continue
+            writer.writerow([name, s.event.group, s.event.mode,
+                             s.event.counter, s.minimum, s.maximum,
+                             f"{s.mean:.3f}", s.total, s.node_count])
+            rows += 1
+    return rows
+
+
+def write_metrics_csv(records: Sequence[Mapping[str, object]],
+                      path: str) -> int:
+    """Write one metrics record per application run, as the paper does.
+
+    ``records`` is a list of dicts sharing the same keys ("The relevant
+    metrics selected by the user are printed as a record for each
+    application into .csv files").
+    """
+    if not records:
+        raise ValueError("no records to write")
+    keys = list(records[0].keys())
+    for rec in records[1:]:
+        if list(rec.keys()) != keys:
+            raise ValueError(
+                f"inconsistent record keys: {list(rec.keys())} vs {keys}")
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=keys)
+        writer.writeheader()
+        writer.writerows(records)
+    return len(records)
+
+
+def write_raw_csv(dumps: Sequence[NodeDump], path: str,
+                  set_id: int = 0) -> int:
+    """Dump every counter value read in every node into one massive CSV.
+
+    This mirrors the paper's "print every counter value read in every
+    node into one massive .csv file" option; returns the row count.
+    """
+    rows = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["node", "mode", "event", "counter", "value"])
+        for d in sorted(dumps, key=lambda d: d.node_id):
+            arr = d.deltas(set_id)
+            base = d.mode * COUNTERS_PER_MODE
+            for counter in range(COUNTERS_PER_MODE):
+                ev = EVENTS_BY_ID[base + counter]
+                writer.writerow([d.node_id, d.mode, ev.name, counter,
+                                 int(arr[counter])])
+                rows += 1
+    return rows

@@ -1,0 +1,12 @@
+"""PPC450 core timing model."""
+
+from .core import CoreExecution, PPC450Core
+from .pipeline import CycleBreakdown, PipelineConfig, PipelineModel
+
+__all__ = [
+    "PPC450Core",
+    "CoreExecution",
+    "PipelineModel",
+    "PipelineConfig",
+    "CycleBreakdown",
+]

@@ -1,0 +1,130 @@
+"""One PPC450 core: executes workload loops and emits UPC events.
+
+The core combines the pipeline timing model with the memory hierarchy's
+stall estimate and translates everything a loop did — instruction
+counts by class, cycles, cache behaviour — into the per-core UPC event
+pulses of counter mode 0 (pipe/FPU/L1) and mode 1 (L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..isa import InstructionMix, OpClass
+from ..mem.analytical import LoopMemoryResult
+from .pipeline import PipelineConfig, PipelineModel
+
+#: map from op class to the per-core UPC event suffix counting it
+_OP_EVENT_SUFFIX = {
+    OpClass.INT_ALU: "INT_ALU",
+    OpClass.INT_MUL: "INT_MUL",
+    OpClass.INT_DIV: "INT_DIV",
+    OpClass.BRANCH: "BRANCH",
+    OpClass.LOAD: "LOAD",
+    OpClass.STORE: "STORE",
+    OpClass.QUADLOAD: "QUADLOAD",
+    OpClass.QUADSTORE: "QUADSTORE",
+    OpClass.FP_ADDSUB: "FPU_ADDSUB",
+    OpClass.FP_MUL: "FPU_MUL",
+    OpClass.FP_DIV: "FPU_DIV",
+    OpClass.FP_FMA: "FPU_FMA",
+    OpClass.FP_SIMD_ADDSUB: "FPU_SIMD_ADDSUB",
+    OpClass.FP_SIMD_MUL: "FPU_SIMD_MUL",
+    OpClass.FP_SIMD_DIV: "FPU_SIMD_DIV",
+    OpClass.FP_SIMD_FMA: "FPU_SIMD_FMA",
+    OpClass.OTHER: "OTHER_INST",
+}
+
+
+@dataclass
+class CoreExecution:
+    """Outcome of running some work on one core."""
+
+    core_id: int
+    compute_cycles: float = 0.0
+    memory_stall_cycles: float = 0.0
+    extra_stall_cycles: float = 0.0  #: DDR contention, added post-hoc
+    mix: InstructionMix = field(default_factory=InstructionMix)
+    memory: LoopMemoryResult = field(default_factory=LoopMemoryResult)
+
+    @property
+    def cycles(self) -> float:
+        """Total core-visible cycles of the work."""
+        return (self.compute_cycles + self.memory_stall_cycles
+                + self.extra_stall_cycles)
+
+    def add(self, other: "CoreExecution") -> None:
+        """Accumulate another execution on the same core."""
+        if other.core_id != self.core_id:
+            raise ValueError(
+                f"cannot merge executions of cores {self.core_id} "
+                f"and {other.core_id}")
+        self.compute_cycles += other.compute_cycles
+        self.memory_stall_cycles += other.memory_stall_cycles
+        self.extra_stall_cycles += other.extra_stall_cycles
+        self.mix += other.mix
+        self.memory.add(other.memory)
+
+    # ------------------------------------------------------------------
+    def events(self) -> Dict[str, int]:
+        """All per-core UPC event pulses for this execution.
+
+        Covers counter mode 0 (cycles, instruction classes, L1, stalls)
+        and mode 1 (L2 + prefetcher).  Shared L3/DDR events are owned by
+        the node, not the core.
+        """
+        c = self.core_id
+        ev: Dict[str, int] = {}
+        for op, suffix in _OP_EVENT_SUFFIX.items():
+            count = int(round(self.mix[op]))
+            if count:
+                ev[f"BGP_PU{c}_{suffix}"] = count
+        ev[f"BGP_PU{c}_CYCLES"] = int(round(self.cycles))
+        ev[f"BGP_PU{c}_INST_COMPLETED"] = int(round(self.mix.total()))
+        ev[f"BGP_PU{c}_STALL_MEM"] = int(round(self.memory_stall_cycles
+                                               + self.extra_stall_cycles))
+        mem = self.memory
+        ev[f"BGP_PU{c}_L1D_READ_HIT"] = int(round(mem.l1.hits))
+        ev[f"BGP_PU{c}_L1D_READ_MISS"] = int(round(mem.l1.misses))
+        ev[f"BGP_PU{c}_L2_READ"] = int(round(mem.l2.accesses))
+        ev[f"BGP_PU{c}_L2_HIT"] = int(round(mem.l2.hits))
+        ev[f"BGP_PU{c}_L2_MISS"] = int(round(mem.l2.misses))
+        ev[f"BGP_PU{c}_L2_PREFETCH_HIT"] = int(round(mem.l2.prefetch_hits))
+        ev[f"BGP_PU{c}_L2_PREFETCH_ISSUED"] = int(round(
+            mem.l2.prefetch_issued))
+        ev[f"BGP_PU{c}_L2_WRITETHROUGH"] = int(round(mem.l1.writethroughs))
+        return ev
+
+
+class PPC450Core:
+    """Execution engine of one core."""
+
+    def __init__(self, core_id: int,
+                 pipeline: Optional[PipelineModel] = None):
+        if not 0 <= core_id <= 3:
+            raise ValueError(f"core_id must be 0..3, got {core_id}")
+        self.core_id = core_id
+        self.pipeline = pipeline or PipelineModel(PipelineConfig())
+
+    def execute(self, mix: InstructionMix,
+                memory: Optional[LoopMemoryResult] = None,
+                serial_fraction: float = 0.05) -> CoreExecution:
+        """Run an instruction mix with its memory behaviour attached.
+
+        ``memory`` carries the hierarchy model's counts and stall
+        estimate for the same work (None for compute-only regions).
+        """
+        memory = memory or LoopMemoryResult()
+        breakdown = self.pipeline.compute_cycles(mix, serial_fraction)
+        return CoreExecution(
+            core_id=self.core_id,
+            compute_cycles=breakdown.total,
+            memory_stall_cycles=memory.stall_cycles,
+            mix=mix.copy(),
+            memory=memory,
+        )
+
+    def idle_execution(self) -> CoreExecution:
+        """An empty execution (an unused core in SMP/1 mode)."""
+        return CoreExecution(core_id=self.core_id)

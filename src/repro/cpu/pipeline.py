@@ -1,0 +1,99 @@
+"""Throughput-oriented timing model of the PPC450 + Double Hummer.
+
+For the long regular loops of HPC kernels, execution time is bounded by
+whichever of these is largest:
+
+* front-end issue bandwidth (2 instructions/cycle),
+* occupancy of each functional unit (integer pipe, the single
+  load/store pipe, the FPU — with divides blocking for ~30 cycles),
+* the loop's critical dependence chain, expressed as a *serial
+  fraction*: the share of instructions whose full result latency is
+  exposed rather than hidden by independent work.
+
+Memory stall cycles are computed by the hierarchy model and added on
+top by the core (:mod:`repro.cpu.core`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..isa import ISSUE_WIDTH, TIMING, InstructionMix, OpClass, Unit
+
+
+@dataclass
+class CycleBreakdown:
+    """Where a loop's compute cycles come from."""
+
+    issue_cycles: float = 0.0
+    unit_cycles: Dict[Unit, float] = field(default_factory=dict)
+    dependence_cycles: float = 0.0
+
+    @property
+    def bound(self) -> str:
+        """Name of the binding resource ("issue", a unit, "dependence")."""
+        candidates = {"issue": self.issue_cycles,
+                      "dependence": self.dependence_cycles}
+        for unit, cycles in self.unit_cycles.items():
+            candidates[unit.value] = cycles
+        return max(candidates, key=candidates.get)
+
+    @property
+    def total(self) -> float:
+        """Compute cycles: the max over all binding resources."""
+        return max(self.issue_cycles, self.dependence_cycles,
+                   *(self.unit_cycles.values() or [0.0]))
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunables of the timing model."""
+
+    issue_width: int = ISSUE_WIDTH
+    #: cycles lost per branch (mispredict + fetch bubble, amortized)
+    branch_penalty: float = 1.0
+    #: fraction of branches paying the penalty
+    mispredict_rate: float = 0.03
+
+
+class PipelineModel:
+    """Turns an :class:`InstructionMix` into compute cycles."""
+
+    def __init__(self, config: PipelineConfig = PipelineConfig()):
+        self.config = config
+
+    def compute_cycles(self, mix: InstructionMix,
+                       serial_fraction: float = 0.05) -> CycleBreakdown:
+        """Cycle breakdown of executing ``mix`` once.
+
+        ``serial_fraction`` encodes the loop's dependence structure:
+        0 for perfectly software-pipelined streams, approaching 1 for a
+        pure recurrence (each op waits its predecessor's full latency).
+        """
+        if not 0.0 <= serial_fraction <= 1.0:
+            raise ValueError(
+                f"serial_fraction must be in [0, 1], got {serial_fraction}")
+        breakdown = CycleBreakdown()
+        breakdown.issue_cycles = mix.total() / self.config.issue_width
+
+        unit_busy: Dict[Unit, float] = {u: 0.0 for u in Unit}
+        dependence = 0.0
+        for op, count in mix:
+            if count == 0:
+                continue
+            timing = TIMING[op]
+            unit_busy[timing.unit] += timing.issue_cycles * count
+            dependence += timing.latency * count * serial_fraction
+            if op is OpClass.BRANCH:
+                unit_busy[timing.unit] += (count
+                                           * self.config.mispredict_rate
+                                           * self.config.branch_penalty)
+        breakdown.unit_cycles = unit_busy
+        breakdown.dependence_cycles = dependence
+        return breakdown
+
+    def cycles(self, mix: InstructionMix,
+               serial_fraction: float = 0.05) -> float:
+        """Shortcut for ``compute_cycles(...).total``."""
+        return self.compute_cycles(mix, serial_fraction).total

@@ -1,0 +1,93 @@
+"""Experiment harness: one runner per paper table/figure."""
+
+from .ablations import (
+    ABLATION_EXPERIMENTS,
+    ablation_balanced_alltoall,
+    ablation_capacity_sharing,
+    ablation_interference,
+    ablation_multiplexing,
+    ablation_prefetch_depth,
+    ablation_write_stall,
+    ext_hybrid_modes,
+)
+from .characterize import (
+    WorkloadCharacter,
+    characterization_table,
+    characterize,
+    render_character,
+)
+from .experiments import (
+    ALL_EXPERIMENTS,
+    fig03_modes,
+    fig06_instruction_profile,
+    fig07_ft_simd,
+    fig08_mg_simd,
+    fig09_exec_time,
+    fig10_exec_time,
+    fig11_l3_sweep,
+    fig12_ddr_ratio,
+    fig13_time_increase,
+    fig14_mflops_ratio,
+    overhead_check,
+    run_all,
+)
+from .report import (
+    ExperimentResult,
+    format_table,
+    horizontal_bar,
+    normalize_rows,
+)
+from .microbench import ext_microbench
+from .scaling import ext_scaling
+from .validate import model_validation
+from .sweep import (
+    PAPER_L3_SIZES_MB,
+    clear_caches,
+    compiled_benchmark,
+    run_smp1,
+    run_vnm,
+    vnm_nodes,
+    vnm_smp_pair,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ABLATION_EXPERIMENTS",
+    "ablation_prefetch_depth",
+    "ablation_interference",
+    "ablation_write_stall",
+    "ablation_capacity_sharing",
+    "ablation_balanced_alltoall",
+    "ablation_multiplexing",
+    "ext_hybrid_modes",
+    "WorkloadCharacter",
+    "characterize",
+    "characterization_table",
+    "render_character",
+    "model_validation",
+    "ext_scaling",
+    "ext_microbench",
+    "run_all",
+    "fig03_modes",
+    "fig06_instruction_profile",
+    "fig07_ft_simd",
+    "fig08_mg_simd",
+    "fig09_exec_time",
+    "fig10_exec_time",
+    "fig11_l3_sweep",
+    "fig12_ddr_ratio",
+    "fig13_time_increase",
+    "fig14_mflops_ratio",
+    "overhead_check",
+    "ExperimentResult",
+    "format_table",
+    "normalize_rows",
+    "horizontal_bar",
+    "run_vnm",
+    "run_smp1",
+    "vnm_smp_pair",
+    "vnm_nodes",
+    "compiled_benchmark",
+    "clear_caches",
+    "PAPER_L3_SIZES_MB",
+]

@@ -1,0 +1,158 @@
+"""Workload characterization reports — the paper's namesake output.
+
+Rolls every counter-derived metric into one per-benchmark "character
+sheet": the dynamic instruction mix, FP profile, achieved MFLOPS and
+peak fraction, CPI, cache behaviour at every level, DDR bandwidth, and
+the communication/computation split.  This is the deliverable the
+paper's instrumentation exists to produce ("get a profound insight into
+its execution"), packaged as a reusable API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..compiler import O5
+from ..isa.latency import CORE_CLOCK_HZ, PEAK_NODE_GFLOPS
+from ..npb import BENCHMARK_ORDER
+from .report import ExperimentResult, format_table
+from .sweep import run_vnm
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """One benchmark's measured character (all from counters)."""
+
+    benchmark: str
+    mflops_per_node: float
+    peak_fraction: float          #: of the 13.6 GFLOPS node peak
+    cpi: float                    #: cycles per (completed) instruction
+    fp_share: float               #: FP instructions / all instructions
+    simd_share: float             #: SIMD / FP instructions
+    memory_share: float           #: loads+stores / all instructions
+    l1_miss_rate: float
+    l2_prefetch_coverage: float
+    l3_miss_ratio: float
+    ddr_gb_per_sec: float         #: per node
+    comm_fraction: float          #: comm cycles / elapsed cycles
+    boundedness: str              #: "compute" | "memory" | "communication"
+
+
+def characterize(code: str, problem_class: str = "C"
+                 ) -> WorkloadCharacter:
+    """Measure one benchmark's character in the paper configuration."""
+    job = run_vnm(code, O5(), problem_class=problem_class)
+    totals = job.scaled_totals()
+    # second campaign: the L2/snoop event set (counter modes 1 and 3)
+    l2_job = run_vnm(code, O5(), problem_class=problem_class,
+                     counter_modes=(1, 3))
+    totals.update({k: v for k, v in l2_job.scaled_totals().items()
+                   if "_L2_" in k or "SNOOP" in k})
+
+    def core_sum(suffix: str) -> int:
+        return sum(totals.get(f"BGP_PU{c}_{suffix}", 0) for c in range(4))
+
+    instructions = core_sum("INST_COMPLETED")
+    cycles = sum(totals.get(f"BGP_PU{c}_CYCLES", 0) for c in range(4))
+    fp = sum(core_sum(s) for s in (
+        "FPU_ADDSUB", "FPU_MUL", "FPU_DIV", "FPU_FMA",
+        "FPU_SIMD_ADDSUB", "FPU_SIMD_MUL", "FPU_SIMD_DIV",
+        "FPU_SIMD_FMA"))
+    simd = sum(core_sum(s) for s in (
+        "FPU_SIMD_ADDSUB", "FPU_SIMD_MUL", "FPU_SIMD_DIV",
+        "FPU_SIMD_FMA"))
+    memory_ops = sum(core_sum(s) for s in ("LOAD", "STORE", "QUADLOAD",
+                                           "QUADSTORE"))
+    l1_hits = core_sum("L1D_READ_HIT")
+    l1_misses = core_sum("L1D_READ_MISS")
+    l2_reads = core_sum("L2_READ")
+    l2_pf = core_sum("L2_PREFETCH_HIT")
+    l3_reads = totals.get("BGP_L3_READ", 0)
+    l3_misses = totals.get("BGP_L3_MISS", 0)
+
+    mflops = job.mflops_per_node()
+    stall = core_sum("STALL_MEM")
+    comm_fraction = (job.comm_cycles_per_rank / job.elapsed_cycles
+                     if job.elapsed_cycles else 0.0)
+    mem_fraction = stall / cycles if cycles else 0.0
+    if comm_fraction > max(mem_fraction, 0.35):
+        boundedness = "communication"
+    elif mem_fraction > 0.4:
+        boundedness = "memory"
+    else:
+        boundedness = "compute"
+
+    elapsed_seconds = job.elapsed_seconds
+    ddr_bytes = job.ddr_traffic_bytes() / job.placement.num_nodes
+
+    return WorkloadCharacter(
+        benchmark=code,
+        mflops_per_node=mflops,
+        peak_fraction=mflops / (PEAK_NODE_GFLOPS * 1e3),
+        cpi=(cycles / instructions) if instructions else 0.0,
+        fp_share=fp / instructions if instructions else 0.0,
+        simd_share=simd / fp if fp else 0.0,
+        memory_share=memory_ops / instructions if instructions else 0.0,
+        l1_miss_rate=(l1_misses / (l1_hits + l1_misses)
+                      if (l1_hits + l1_misses) else 0.0),
+        l2_prefetch_coverage=l2_pf / l2_reads if l2_reads else 0.0,
+        l3_miss_ratio=l3_misses / l3_reads if l3_reads else 0.0,
+        ddr_gb_per_sec=(ddr_bytes / elapsed_seconds / 1e9
+                        if elapsed_seconds else 0.0),
+        comm_fraction=comm_fraction,
+        boundedness=boundedness,
+    )
+
+
+def characterization_table(
+        benchmarks: Sequence[str] = tuple(BENCHMARK_ORDER),
+        problem_class: str = "C") -> ExperimentResult:
+    """The suite-wide character sheet as an experiment result."""
+    result = ExperimentResult(
+        experiment_id="characterize",
+        title="NAS suite workload characterization (class "
+              f"{problem_class}, VNM, -O5 -qarch=440d)",
+        headers=["benchmark", "MFLOPS/node", "peak %", "CPI",
+                 "FP share", "SIMD share", "mem share", "L1 miss",
+                 "L3 miss", "DDR GB/s", "comm %", "bound by"],
+    )
+    characters: List[WorkloadCharacter] = []
+    for code in benchmarks:
+        c = characterize(code, problem_class)
+        characters.append(c)
+        result.rows.append([
+            c.benchmark, c.mflops_per_node, c.peak_fraction * 100,
+            c.cpi, c.fp_share, c.simd_share, c.memory_share,
+            c.l1_miss_rate, c.l3_miss_ratio, c.ddr_gb_per_sec,
+            c.comm_fraction * 100, c.boundedness,
+        ])
+    result.summary = {
+        "mean_peak_fraction": sum(c.peak_fraction
+                                  for c in characters) / len(characters),
+        "compute_bound_count": float(sum(
+            1 for c in characters if c.boundedness == "compute")),
+    }
+    result.notes.append(
+        "every column derives from UPC counters alone — the point of "
+        "the paper's instrumentation")
+    return result
+
+
+def render_character(c: WorkloadCharacter) -> str:
+    """A one-benchmark character sheet for terminals."""
+    rows = [
+        ["MFLOPS per node", f"{c.mflops_per_node:,.0f} "
+         f"({c.peak_fraction:.1%} of peak)"],
+        ["CPI", f"{c.cpi:.2f}"],
+        ["instruction mix", f"{c.fp_share:.0%} FP "
+         f"({c.simd_share:.0%} SIMD), {c.memory_share:.0%} memory"],
+        ["L1 miss rate", f"{c.l1_miss_rate:.1%}"],
+        ["L2 prefetch coverage", f"{c.l2_prefetch_coverage:.1%}"],
+        ["L3 miss ratio", f"{c.l3_miss_ratio:.1%}"],
+        ["DDR bandwidth", f"{c.ddr_gb_per_sec:.2f} GB/s per node"],
+        ["communication", f"{c.comm_fraction:.1%} of time"],
+        ["bound by", c.boundedness],
+    ]
+    return format_table(["metric", "value"], rows,
+                        title=f"workload character: {c.benchmark}")

@@ -1,0 +1,324 @@
+"""One runner per paper table/figure.
+
+Every function regenerates the corresponding figure's rows/series on
+the simulated machine and returns an
+:class:`~repro.harness.report.ExperimentResult`; ``render()`` prints
+the same information the paper plots.  The benchmark harness under
+``benchmarks/`` wraps these runners one-to-one, and EXPERIMENTS.md
+records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler import O5, compiler_sweep
+from ..core.interface import (
+    BGPCounterInterface,
+    OVERHEAD_TOTAL_CYCLES,
+)
+from ..core.counters import UPCUnit
+from ..core.metrics import PROFILE_LABELS
+from ..node import mode_table
+from ..npb import BENCHMARK_ORDER
+from .report import ExperimentResult
+from .sweep import (
+    PAPER_L3_SIZES_MB,
+    run_vnm,
+    vnm_smp_pair,
+)
+
+#: Figure 9 plots these benchmarks, Figure 10 the rest.
+FIG9_BENCHMARKS = ("FT", "EP", "CG", "MG")
+FIG10_BENCHMARKS = ("IS", "LU", "SP", "BT")
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — modes of operation table
+# ---------------------------------------------------------------------------
+def fig03_modes() -> ExperimentResult:
+    """The operating-modes table (processes / threads per node)."""
+    result = ExperimentResult(
+        experiment_id="fig03",
+        title="Modes of operation of a Blue Gene/P node",
+        headers=["mode", "processes/node", "threads/process",
+                 "cores used"],
+    )
+    for row in mode_table():
+        result.rows.append([row.mode, row.processes_per_node,
+                            row.threads_per_process, row.cores_used])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — dynamic FP instruction profile
+# ---------------------------------------------------------------------------
+def fig06_instruction_profile(problem_class: str = "C"
+                              ) -> ExperimentResult:
+    """FP instruction mix of the NAS suite (fractions per FP class).
+
+    Paper configuration: class C, 128 processes on 32 nodes VNM (121
+    for SP/BT), best optimization.  Expected shape: MG and FT dominated
+    by SIMD add-sub + SIMD FMA; the others by single FMA.
+    """
+    labels = list(PROFILE_LABELS.values())
+    result = ExperimentResult(
+        experiment_id="fig06",
+        title="Dynamic FP instruction profile of the NAS benchmarks",
+        headers=["benchmark"] + labels,
+    )
+    simd_heavy: Dict[str, float] = {}
+    for code in BENCHMARK_ORDER:
+        job = run_vnm(code, O5(), problem_class=problem_class)
+        profile = job.fp_profile()
+        result.rows.append([code] + [profile[label] for label in labels])
+        simd_heavy[code] = sum(v for k, v in profile.items()
+                               if k.startswith("SIMD"))
+    result.summary = {f"simd_share_{c}": v for c, v in simd_heavy.items()}
+    result.notes.append(
+        "MG/FT should be SIMD-dominated; EP/CG/IS/LU/SP/BT single-FMA")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 7 & 8 — SIMD instructions vs compiler optimization
+# ---------------------------------------------------------------------------
+def _simd_vs_flags(code: str, figure_id: str) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id=figure_id,
+        title=f"{code} - SIMD instructions for compiler optimizations",
+        headers=["flags", "SIMD instructions (machine total)",
+                 "SIMD share of FP"],
+    )
+    counts: List[float] = []
+    for flags in compiler_sweep():
+        job = run_vnm(code, flags)
+        simd = job.simd_instructions()
+        profile = job.fp_profile()
+        share = sum(v for k, v in profile.items() if k.startswith("SIMD"))
+        result.rows.append([flags.label, simd, share])
+        counts.append(simd)
+    result.summary = {
+        "baseline_simd": counts[0],
+        "best_simd": counts[-1],
+    }
+    result.notes.append(
+        "-qarch=440d switches the SIMDizer on: the jump appears at "
+        "'-O3 -qarch=440d' and grows at -O5 (IPA widens coverage)")
+    return result
+
+
+def fig07_ft_simd() -> ExperimentResult:
+    """FT's SIMD instruction count across the compiler sweep."""
+    return _simd_vs_flags("FT", "fig07")
+
+
+def fig08_mg_simd() -> ExperimentResult:
+    """MG's SIMD instruction count across the compiler sweep."""
+    return _simd_vs_flags("MG", "fig08")
+
+
+# ---------------------------------------------------------------------------
+# Figures 9 & 10 — execution time vs compiler optimization
+# ---------------------------------------------------------------------------
+def _exec_time_vs_flags(benchmarks: Sequence[str],
+                        figure_id: str) -> ExperimentResult:
+    sweep = compiler_sweep()
+    result = ExperimentResult(
+        experiment_id=figure_id,
+        title="Execution time vs compiler optimizations "
+              f"({', '.join(benchmarks)})",
+        headers=["benchmark"] + [f.label for f in sweep]
+                + ["best/baseline"],
+    )
+    for code in benchmarks:
+        cycles = [run_vnm(code, flags).elapsed_cycles for flags in sweep]
+        normalized = [c / cycles[0] for c in cycles]
+        result.rows.append([code] + normalized + [normalized[-1]])
+        result.summary[f"reduction_{code}"] = 1.0 - normalized[-1]
+    result.notes.append(
+        "series normalised to the -O -qstrict baseline; the paper "
+        "reports up to ~60% reduction for FT and EP")
+    return result
+
+
+def fig09_exec_time() -> ExperimentResult:
+    """Execution time vs flags for FT, EP, CG, MG."""
+    return _exec_time_vs_flags(FIG9_BENCHMARKS, "fig09")
+
+
+def fig10_exec_time() -> ExperimentResult:
+    """Execution time vs flags for IS, LU, SP, BT."""
+    return _exec_time_vs_flags(FIG10_BENCHMARKS, "fig10")
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — L3 size sweep
+# ---------------------------------------------------------------------------
+def fig11_l3_sweep(benchmarks: Optional[Sequence[str]] = None
+                   ) -> ExperimentResult:
+    """DDR traffic per node vs L3 size (0..8 MB in 2 MB steps)."""
+    benchmarks = list(benchmarks or BENCHMARK_ORDER)
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="L3-DDR traffic vs L3 size (lines/node, normalised to 0MB)",
+        headers=["benchmark"] + [f"{mb}MB" for mb in PAPER_L3_SIZES_MB]
+                + ["L3 miss ratio @4MB"],
+    )
+    ratios_4mb: List[float] = []
+    for code in benchmarks:
+        traffic = [run_vnm(code, O5(), l3_mb=mb).ddr_traffic_lines_per_node()
+                   for mb in PAPER_L3_SIZES_MB]
+        normalized = [t / traffic[0] for t in traffic]
+        miss_ratio = run_vnm(code, O5(), l3_mb=4).l3_miss_ratio()
+        ratios_4mb.append(miss_ratio)
+        result.rows.append([code] + normalized + [miss_ratio])
+    result.summary = {
+        "mean_miss_ratio_4mb": sum(ratios_4mb) / len(ratios_4mb),
+    }
+    result.notes.append(
+        "expected: a steep drop 0->2->4 MB, little benefit past 4 MB; "
+        "the paper reports ~10% of L3 accesses missing at 4 MB")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 12-14 — Virtual Node Mode vs SMP/1
+# ---------------------------------------------------------------------------
+def fig12_ddr_ratio() -> ExperimentResult:
+    """DDR traffic per chip: VNM (4 procs/chip) over SMP/1 (1 proc)."""
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title="DDR traffic ratio: VNM (32 nodes) / SMP-1 (128 nodes, "
+              "2MB L3)",
+        headers=["benchmark", "traffic ratio"],
+    )
+    ratios = []
+    for code in BENCHMARK_ORDER:
+        vnm, smp = vnm_smp_pair(code, O5())
+        ratio = (vnm.ddr_traffic_lines_per_node()
+                 / smp.ddr_traffic_lines_per_node())
+        ratios.append(ratio)
+        result.rows.append([code, ratio])
+    result.summary = {
+        "mean_ratio": sum(ratios) / len(ratios),
+        "ft_ratio": ratios[BENCHMARK_ORDER.index("FT")],
+        "is_ratio": ratios[BENCHMARK_ORDER.index("IS")],
+    }
+    result.notes.append(
+        "paper: ~3x on average, with only FT and IS above 4x (memory "
+        "port contention + cache interference)")
+    return result
+
+
+def fig13_time_increase() -> ExperimentResult:
+    """Per-process execution-time increase in VNM vs SMP/1."""
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="Execution time increase per node: VNM vs SMP-1",
+        headers=["benchmark", "time ratio", "increase %"],
+    )
+    increases = []
+    for code in BENCHMARK_ORDER:
+        vnm, smp = vnm_smp_pair(code, O5())
+        ratio = vnm.elapsed_cycles / smp.elapsed_cycles
+        increases.append(ratio - 1.0)
+        result.rows.append([code, ratio, (ratio - 1.0) * 100.0])
+    result.summary = {
+        "mean_increase": sum(increases) / len(increases),
+        "max_increase": max(increases),
+    }
+    result.notes.append(
+        "paper: ~30% on average — far below the 4x throughput gained; "
+        "the memory-aggressive codes pay the most, EP (no memory, no "
+        "comm) pays nothing")
+    return result
+
+
+def fig14_mflops_ratio() -> ExperimentResult:
+    """Delivered MFLOPS per chip: VNM over SMP/1."""
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="MFLOPS per chip increase: VNM vs SMP-1",
+        headers=["benchmark", "VNM MFLOPS/chip", "SMP MFLOPS/chip",
+                 "ratio"],
+    )
+    ratios = []
+    for code in BENCHMARK_ORDER:
+        vnm, smp = vnm_smp_pair(code, O5())
+        ratio = vnm.mflops_per_node() / smp.mflops_per_node()
+        ratios.append(ratio)
+        result.rows.append([code, vnm.mflops_per_node(),
+                            smp.mflops_per_node(), ratio])
+    result.summary = {"mean_ratio": sum(ratios) / len(ratios)}
+    result.notes.append(
+        "paper: about 2.5x higher MFLOPS per chip using all four cores")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section IV — interface overhead sanity check
+# ---------------------------------------------------------------------------
+def overhead_check() -> ExperimentResult:
+    """Measure the interface's own cost, as the paper's sanity check.
+
+    Initialize + start + stop around an empty region must cost exactly
+    196 machine cycles, with the dump time excluded from the measured
+    region.
+    """
+    upc = UPCUnit(node_id=0)
+    cycles_seen: List[int] = []
+    iface = BGPCounterInterface(upc, node_id=0,
+                                cycle_sink=cycles_seen.append)
+    iface.initialize(mode=0)
+    iface.start(0)
+    deltas = iface.stop(0)
+    measured = sum(cycles_seen)
+    result = ExperimentResult(
+        experiment_id="overhead",
+        title="Interface overhead sanity check (Section IV)",
+        headers=["quantity", "cycles"],
+        rows=[
+            ["BGP_Initialize", 150],
+            ["BGP_Start", 23],
+            ["BGP_Stop", 23],
+            ["total (measured)", measured],
+            ["paper", 196],
+        ],
+        summary={"measured": float(measured),
+                 "matches_paper": float(measured
+                                        == OVERHEAD_TOTAL_CYCLES == 196)},
+    )
+    result.notes.append(
+        f"empty region counted {int(deltas.sum())} events; the stop "
+        "overhead lands outside the measured region by construction")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# everything
+# ---------------------------------------------------------------------------
+ALL_EXPERIMENTS = {
+    "fig03": fig03_modes,
+    "fig06": fig06_instruction_profile,
+    "fig07": fig07_ft_simd,
+    "fig08": fig08_mg_simd,
+    "fig09": fig09_exec_time,
+    "fig10": fig10_exec_time,
+    "fig11": fig11_l3_sweep,
+    "fig12": fig12_ddr_ratio,
+    "fig13": fig13_time_increase,
+    "fig14": fig14_mflops_ratio,
+    "overhead": overhead_check,
+}
+
+
+def run_all(verbose: bool = False) -> Dict[str, ExperimentResult]:
+    """Run every experiment; optionally print each as it finishes."""
+    results: Dict[str, ExperimentResult] = {}
+    for name, runner in ALL_EXPERIMENTS.items():
+        results[name] = runner()
+        if verbose:
+            print(results[name].render())
+            print()
+    return results

@@ -1,0 +1,92 @@
+"""The machine-characterization experiment: microbenchmarks + counters.
+
+Runs the calibration microkernels on one node and reports the machine
+axes the NAS characterizations decompose into: peak flops, sustainable
+memory bandwidth, the latency curve, and the memory mountain over
+footprints.  Expected values have closed forms (documented on each
+kernel), so this doubles as a self-test of the whole node model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..compiler import O5, O_base, compile_program
+from ..core.metrics import L3_LINE_BYTES
+from ..isa.latency import CORE_CLOCK_HZ, PEAK_NODE_GFLOPS
+from ..node import OperatingMode
+from ..micro import cache_probe, peak_flops, pointer_chase, stream_triad
+from ..runtime import Job, Machine
+from .report import ExperimentResult
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _run_single(program, mode=OperatingMode.SMP1,
+                counter_modes=(0, 2)):
+    """One rank on one node.
+
+    A single node only monitors ``counter_modes[0]`` (nothing to split
+    across node cards), so memory-side kernels pass ``(2, 0)`` to put
+    the L3/DDR event set on the node.
+    """
+    machine = Machine(1, mode=mode)
+    return Job(machine, program, 1).run(counter_modes=counter_modes)
+
+
+def ext_microbench() -> ExperimentResult:
+    """One-node machine characterization from the microkernels."""
+    result = ExperimentResult(
+        experiment_id="ext-microbench",
+        title="Machine characterization via calibration microkernels",
+        headers=["kernel", "metric", "measured", "expected"],
+    )
+
+    # ---- peak flops (with and without the SIMDizer) -------------------
+    peak = _run_single(compile_program(peak_flops(), O5()))
+    gflops = peak.mflops_total() / 1e3
+    result.rows.append(["peak_flops -O5", "GFLOPS/core", gflops,
+                        PEAK_NODE_GFLOPS / 4])
+    result.summary["peak_fraction"] = gflops / (PEAK_NODE_GFLOPS / 4)
+    scalar = _run_single(compile_program(peak_flops(), O_base()))
+    result.rows.append(["peak_flops -O", "GFLOPS/core",
+                        scalar.mflops_total() / 1e3,
+                        PEAK_NODE_GFLOPS / 8])
+    result.summary["simd_speedup"] = (gflops * 1e3
+                                      / scalar.mflops_total())
+
+    # ---- stream bandwidth ---------------------------------------------
+    triad = _run_single(compile_program(stream_triad(), O5()),
+                        counter_modes=(2, 0))
+    gb_per_s = (triad.ddr_traffic_bytes()
+                / triad.elapsed_seconds / 1e9)
+    result.rows.append(["stream_triad", "DDR GB/s", gb_per_s,
+                        "~3-13 (latency-bound stream model)"])
+    result.summary["stream_gbs"] = gb_per_s
+
+    # ---- pointer-chase latency ----------------------------------------
+    chase = _run_single(compile_program(pointer_chase(), O_base()))
+    cycles_per_access = (chase.elapsed_cycles
+                         / pointer_chase().loops()[0].trip_count)
+    result.rows.append(["pointer_chase 16MB", "cycles/access",
+                        cycles_per_access,
+                        "~(1-overlap) x DDR latency (>=70)"])
+    result.summary["chase_latency"] = cycles_per_access
+
+    # ---- the memory mountain ------------------------------------------
+    for footprint in (16 * KB, 256 * KB, 4 * MB, 32 * MB):
+        probe = _run_single(compile_program(cache_probe(footprint),
+                                            O5()))
+        loads = cache_probe(footprint).loops()[0].trip_count * 50
+        bytes_per_cycle = loads * 8 / probe.elapsed_cycles
+        label = (f"{footprint // KB}KB" if footprint < MB
+                 else f"{footprint // MB}MB")
+        result.rows.append([f"cache_probe {label}", "bytes/cycle",
+                            bytes_per_cycle, "falls with footprint"])
+        result.summary[f"probe_{label}"] = bytes_per_cycle
+    result.notes.append(
+        "expected values are closed-form (see repro.micro docstrings); "
+        f"clock = {CORE_CLOCK_HZ / 1e6:.0f} MHz, line = "
+        f"{L3_LINE_BYTES} B")
+    return result

@@ -1,0 +1,98 @@
+"""ASCII table / series rendering for experiment results.
+
+The paper presents its results as bar charts; a terminal reproduction
+prints the same rows and series as aligned text tables, with optional
+normalisation (most of the paper's figures are ratios or baselines-
+normalised series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render an aligned text table.
+
+    Floats go through ``float_format``; everything else through
+    ``str``.  Column widths adapt to content.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) if i else c.ljust(w)
+                         for i, (c, w) in enumerate(zip(cells, widths)))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def normalize_rows(rows: Sequence[Sequence[float]],
+                   baseline_index: int = 0) -> List[List[float]]:
+    """Normalise each row's numeric cells to one cell of that row.
+
+    The paper's compiler figures plot execution time relative to the
+    ``-O -qstrict`` baseline; this helper produces those series.
+    """
+    out = []
+    for row in rows:
+        base = row[baseline_index]
+        if base == 0:
+            raise ValueError("cannot normalise to a zero baseline")
+        out.append([v / base for v in row])
+    return out
+
+
+def horizontal_bar(value: float, scale: float = 1.0,
+                   max_width: int = 40) -> str:
+    """A crude text bar for eyeballing series in the terminal."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    width = int(round(min(max(value / scale, 0.0), 1.0) * max_width))
+    return "#" * width
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: free-form scalars worth asserting on (means, ratios, cycles)
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    def render(self, float_format: str = "{:.3f}") -> str:
+        text = format_table(self.headers, self.rows,
+                            title=f"[{self.experiment_id}] {self.title}",
+                            float_format=float_format)
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        if self.summary:
+            pairs = ", ".join(f"{k}={v:.4g}"
+                              for k, v in self.summary.items())
+            text += f"\n  summary: {pairs}"
+        return text

@@ -1,0 +1,52 @@
+"""The model-audit experiment: analytical engine vs exact simulator.
+
+Wraps :mod:`repro.mem.validation` as an experiment so the CLI and the
+benchmark harness can regenerate the audit table that backs every
+whole-machine number in the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..mem.validation import validate_benchmark_loops
+from ..npb import BENCHMARK_ORDER
+from .report import ExperimentResult
+
+
+def model_validation(benchmarks: Sequence[str] = tuple(BENCHMARK_ORDER),
+                     tolerance: float = 0.35) -> ExperimentResult:
+    """Cross-engine agreement for every benchmark's loops.
+
+    Each loop is miniaturised, replayed exactly through the LRU
+    simulator, and compared against the analytical model at L1, L2 and
+    the L3/DDR interface (the level every paper figure depends on).
+    """
+    result = ExperimentResult(
+        experiment_id="validate",
+        title="Analytical model vs exact LRU simulator "
+              "(max relative error per level)",
+        headers=["benchmark", "loops", "L1 err", "L2 err", "L3/DDR err",
+                 "agrees"],
+    )
+    worst_overall = 0.0
+    for code in benchmarks:
+        cases = validate_benchmark_loops(code)
+        per_level = {"L1": 0.0, "L2": 0.0, "L3/DDR": 0.0}
+        agrees = True
+        for case in cases:
+            for lc in case.levels:
+                if max(lc.exact_misses, lc.model_misses) >= 64:
+                    per_level[lc.level] = max(per_level[lc.level],
+                                              lc.relative_error)
+                agrees = agrees and lc.agrees(tolerance)
+        result.rows.append([code, len(cases), per_level["L1"],
+                            per_level["L2"], per_level["L3/DDR"],
+                            "yes" if agrees else "NO"])
+        result.summary[f"agrees_{code}"] = float(agrees)
+        worst_overall = max(worst_overall, *per_level.values())
+    result.summary["worst_error"] = worst_overall
+    result.notes.append(
+        f"agreement tolerance {tolerance:.0%}; loops are miniaturised "
+        "so the exact replay stays fast (regimes are preserved)")
+    return result

@@ -1,0 +1,47 @@
+"""PowerPC 450 / Double Hummer instruction-set abstractions.
+
+Exports the op-class enumeration, instruction-mix vectors, and the
+timing tables used by the pipeline model.
+"""
+
+from .instmix import InstructionMix
+from .latency import (
+    CORE_CLOCK_HZ,
+    ISSUE_WIDTH,
+    PEAK_NODE_GFLOPS,
+    TIMING,
+    OpTiming,
+    Unit,
+    unit_cycles,
+)
+from .opcodes import (
+    BYTES_PER_MEM_OP,
+    FLOPS_PER_OP,
+    FP_CLASSES,
+    NUM_OP_CLASSES,
+    QUAD_EQUIVALENT,
+    SCALAR_FP_CLASSES,
+    SIMD_EQUIVALENT,
+    SIMD_FP_CLASSES,
+    OpClass,
+)
+
+__all__ = [
+    "InstructionMix",
+    "OpClass",
+    "OpTiming",
+    "Unit",
+    "TIMING",
+    "ISSUE_WIDTH",
+    "CORE_CLOCK_HZ",
+    "PEAK_NODE_GFLOPS",
+    "NUM_OP_CLASSES",
+    "FLOPS_PER_OP",
+    "BYTES_PER_MEM_OP",
+    "FP_CLASSES",
+    "SCALAR_FP_CLASSES",
+    "SIMD_FP_CLASSES",
+    "SIMD_EQUIVALENT",
+    "QUAD_EQUIVALENT",
+    "unit_cycles",
+]

@@ -1,0 +1,194 @@
+"""Dense instruction-mix vectors.
+
+An :class:`InstructionMix` is the unit of account throughout the
+simulator: compiler passes rewrite mixes, the pipeline model turns a mix
+into cycles, and the UPC unit counts the mix's components as events.
+
+The representation is a dense ``float64`` vector indexed by
+:class:`~repro.isa.opcodes.OpClass`.  Floats (not ints) are used because
+compiler passes scale mixes by fractional factors (e.g. "SIMDize 70% of
+the FP add-subs"); counts are rounded only when they are finally
+presented as counter values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+import numpy as np
+
+from .opcodes import (
+    BYTES_PER_MEM_OP,
+    FLOPS_PER_OP,
+    FP_CLASSES,
+    NUM_OP_CLASSES,
+    OpClass,
+)
+
+
+class InstructionMix:
+    """A vector of per-op-class instruction counts.
+
+    Supports vector arithmetic (``+``, ``-``, scalar ``*``), dict-like
+    access by :class:`OpClass`, and the derived quantities the paper's
+    metrics need (total flops, memory bytes, FP fractions).
+
+    Instances are mutable via :meth:`__setitem__` and :meth:`add`; use
+    :meth:`copy` when a pass must not alias its input.
+    """
+
+    __slots__ = ("_v",)
+
+    def __init__(self, counts: Mapping[OpClass, float] | None = None):
+        self._v = np.zeros(NUM_OP_CLASSES, dtype=np.float64)
+        if counts:
+            for op, n in counts.items():
+                self._v[int(op)] = float(n)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_vector(cls, vector: np.ndarray) -> "InstructionMix":
+        """Wrap a dense vector (copied) of length ``NUM_OP_CLASSES``."""
+        if vector.shape != (NUM_OP_CLASSES,):
+            raise ValueError(
+                f"expected shape ({NUM_OP_CLASSES},), got {vector.shape}"
+            )
+        mix = cls()
+        mix._v = np.array(vector, dtype=np.float64)
+        return mix
+
+    def copy(self) -> "InstructionMix":
+        """An independent copy of this mix."""
+        return InstructionMix.from_vector(self._v)
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def __getitem__(self, op: OpClass) -> float:
+        return float(self._v[int(op)])
+
+    def __setitem__(self, op: OpClass, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative count for {op.name}: {value}")
+        self._v[int(op)] = float(value)
+
+    def add(self, op: OpClass, value: float) -> None:
+        """Increment class ``op`` by ``value`` (may be fractional)."""
+        self._v[int(op)] += float(value)
+        if self._v[int(op)] < -1e-9:
+            raise ValueError(f"count for {op.name} went negative")
+        self._v[int(op)] = max(self._v[int(op)], 0.0)
+
+    def as_vector(self) -> np.ndarray:
+        """The underlying vector (copy)."""
+        return self._v.copy()
+
+    def as_dict(self, nonzero_only: bool = True) -> Dict[OpClass, float]:
+        """Mapping view of the mix."""
+        return {
+            op: float(self._v[int(op)])
+            for op in OpClass
+            if (not nonzero_only) or self._v[int(op)] != 0.0
+        }
+
+    def __iter__(self) -> Iterator[Tuple[OpClass, float]]:
+        for op in OpClass:
+            yield op, float(self._v[int(op)])
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        return InstructionMix.from_vector(self._v + other._v)
+
+    def __iadd__(self, other: "InstructionMix") -> "InstructionMix":
+        self._v += other._v
+        return self
+
+    def __sub__(self, other: "InstructionMix") -> "InstructionMix":
+        out = self._v - other._v
+        if (out < -1e-6).any():
+            raise ValueError("subtraction would produce negative counts")
+        return InstructionMix.from_vector(np.maximum(out, 0.0))
+
+    def __mul__(self, scalar: float) -> "InstructionMix":
+        if scalar < 0:
+            raise ValueError("cannot scale a mix by a negative factor")
+        return InstructionMix.from_vector(self._v * float(scalar))
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InstructionMix):
+            return NotImplemented
+        return bool(np.array_equal(self._v, other._v))
+
+    def __hash__(self):  # mixes are mutable
+        raise TypeError("InstructionMix is unhashable (mutable)")
+
+    def allclose(self, other: "InstructionMix", rtol: float = 1e-9) -> bool:
+        """Approximate equality for test assertions."""
+        return bool(np.allclose(self._v, other._v, rtol=rtol, atol=1e-9))
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def total(self) -> float:
+        """Total dynamic instruction count."""
+        return float(self._v.sum())
+
+    def total_class(self, ops: Iterable[OpClass]) -> float:
+        """Sum of the counts of the given classes."""
+        return float(sum(self._v[int(op)] for op in ops))
+
+    def flops(self) -> float:
+        """Floating point *operations* completed (FMA = 2, SIMD doubles)."""
+        return float(
+            sum(self._v[int(op)] * w for op, w in FLOPS_PER_OP.items())
+        )
+
+    def fp_instructions(self) -> float:
+        """Floating point *instructions* (each SIMD/FMA counts once)."""
+        return self.total_class(FP_CLASSES)
+
+    def simd_instructions(self) -> float:
+        """Count of two-wide Double Hummer instructions."""
+        return float(sum(self._v[int(op)] for op in OpClass if op.is_simd))
+
+    def simd_fraction(self) -> float:
+        """SIMD share of FP instructions (0 when there is no FP at all)."""
+        fp = self.fp_instructions()
+        return self.simd_instructions() / fp if fp > 0 else 0.0
+
+    def memory_instructions(self) -> float:
+        """Loads + stores of all widths."""
+        return float(sum(self._v[int(op)] for op in OpClass if op.is_memory))
+
+    def memory_bytes(self) -> float:
+        """Bytes moved between registers and the L1 data cache."""
+        return float(
+            sum(self._v[int(op)] * b for op, b in BYTES_PER_MEM_OP.items())
+        )
+
+    def fp_profile(self) -> Dict[OpClass, float]:
+        """Normalized FP instruction profile, as plotted in Figure 6.
+
+        Returns the fraction of FP instructions in each FP class; empty
+        dict when the mix has no FP instructions.
+        """
+        fp = self.fp_instructions()
+        if fp == 0:
+            return {}
+        return {op: float(self._v[int(op)]) / fp for op in FP_CLASSES}
+
+    def rounded(self) -> Dict[OpClass, int]:
+        """Integer counter values (what the UPC unit would report)."""
+        return {op: int(round(self._v[int(op)])) for op in OpClass}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{op.name}={v:.6g}" for op, v in self.as_dict().items()
+        )
+        return f"InstructionMix({parts})"

@@ -1,0 +1,121 @@
+"""Instruction op-classes for the PowerPC 450 core and its Double Hummer FPU.
+
+The Blue Gene/P compute chip pairs each PowerPC 450 core with a
+dual-pipeline SIMD floating point unit ("Double Hummer").  The paper's
+counters distinguish *single* (scalar, one double-precision result) from
+*SIMD* (two-wide, primary+secondary register file) floating point
+operations, and additionally counts the quadword loads/stores that the
+SIMDizing compiler emits to feed the two pipes.
+
+We do not model individual PowerPC opcodes; the UPC unit itself only
+counts *classes* of operations (e.g. "FP SIMD add-sub"), so an op-class
+enumeration is the right granularity for a counter-faithful model.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Operation classes countable by the UPC unit.
+
+    Values are contiguous so instruction mixes can be stored as dense
+    vectors indexed by ``OpClass``.
+    """
+
+    # Integer / control pipe
+    INT_ALU = 0        #: integer add/sub/logical/shift/compare
+    INT_MUL = 1        #: integer multiply
+    INT_DIV = 2        #: integer divide (microcoded, long latency)
+    BRANCH = 3         #: conditional + unconditional branches
+    # Load/store pipe
+    LOAD = 4           #: scalar (byte..doubleword) load
+    STORE = 5          #: scalar store
+    QUADLOAD = 6       #: 16-byte load feeding both FPU register files
+    QUADSTORE = 7      #: 16-byte store draining both FPU register files
+    # Scalar ("single") FPU pipe operations
+    FP_ADDSUB = 8      #: fadd/fsub
+    FP_MUL = 9         #: fmul
+    FP_DIV = 10        #: fdiv (iterative, blocking)
+    FP_FMA = 11        #: fused multiply-add (fmadd/fmsub/fnmadd/fnmsub)
+    # SIMD (two-wide) FPU operations
+    FP_SIMD_ADDSUB = 12  #: parallel add-sub on both pipes
+    FP_SIMD_MUL = 13     #: parallel multiply
+    FP_SIMD_DIV = 14     #: parallel divide
+    FP_SIMD_FMA = 15     #: parallel fused multiply-add
+    # Everything else (mfspr, sync, cache ops, nops, ...)
+    OTHER = 16
+
+    @property
+    def is_fp(self) -> bool:
+        """True for any floating point arithmetic class."""
+        return OpClass.FP_ADDSUB <= self <= OpClass.FP_SIMD_FMA
+
+    @property
+    def is_simd(self) -> bool:
+        """True for the two-wide Double Hummer classes."""
+        return OpClass.FP_SIMD_ADDSUB <= self <= OpClass.FP_SIMD_FMA
+
+    @property
+    def is_memory(self) -> bool:
+        """True for classes that generate L1 data cache traffic."""
+        return OpClass.LOAD <= self <= OpClass.QUADSTORE
+
+
+#: Number of op classes (size of a dense mix vector).
+NUM_OP_CLASSES = len(OpClass)
+
+#: Floating point operations *completed* per instruction of each class.
+#: An FMA performs two flops; SIMD doubles the per-instruction flop count.
+FLOPS_PER_OP = {
+    OpClass.FP_ADDSUB: 1,
+    OpClass.FP_MUL: 1,
+    OpClass.FP_DIV: 1,
+    OpClass.FP_FMA: 2,
+    OpClass.FP_SIMD_ADDSUB: 2,
+    OpClass.FP_SIMD_MUL: 2,
+    OpClass.FP_SIMD_DIV: 2,
+    OpClass.FP_SIMD_FMA: 4,
+}
+
+#: Bytes moved to/from the L1 data cache per instruction of each class.
+BYTES_PER_MEM_OP = {
+    OpClass.LOAD: 8,
+    OpClass.STORE: 8,
+    OpClass.QUADLOAD: 16,
+    OpClass.QUADSTORE: 16,
+}
+
+#: The scalar FP classes, in the order the paper's Figure 6 legend lists them.
+SCALAR_FP_CLASSES = (
+    OpClass.FP_ADDSUB,
+    OpClass.FP_MUL,
+    OpClass.FP_FMA,
+    OpClass.FP_DIV,
+)
+
+#: The SIMD FP classes, in Figure 6 legend order.
+SIMD_FP_CLASSES = (
+    OpClass.FP_SIMD_ADDSUB,
+    OpClass.FP_SIMD_FMA,
+    OpClass.FP_SIMD_MUL,
+    OpClass.FP_SIMD_DIV,
+)
+
+#: All FP classes.
+FP_CLASSES = SCALAR_FP_CLASSES + SIMD_FP_CLASSES
+
+#: Map from a scalar FP class to the SIMD class the SIMDizer pairs it into.
+SIMD_EQUIVALENT = {
+    OpClass.FP_ADDSUB: OpClass.FP_SIMD_ADDSUB,
+    OpClass.FP_MUL: OpClass.FP_SIMD_MUL,
+    OpClass.FP_DIV: OpClass.FP_SIMD_DIV,
+    OpClass.FP_FMA: OpClass.FP_SIMD_FMA,
+}
+
+#: Memory op fused by quad load/store generation (two scalar -> one quad).
+QUAD_EQUIVALENT = {
+    OpClass.LOAD: OpClass.QUADLOAD,
+    OpClass.STORE: OpClass.QUADSTORE,
+}

@@ -1,0 +1,84 @@
+"""The Blue Gene/P node memory hierarchy models.
+
+Two complementary engines:
+
+* an exact set-associative LRU simulator (:class:`CacheSim`,
+  :class:`ExactHierarchy`) driven by concrete address traces — the
+  validation-grade ground truth;
+* an analytical stream-descriptor model (:func:`analyze_loop`,
+  :class:`NodeMemoryModel`) fast enough for whole-machine workload
+  runs, validated against the exact engine in the test suite.
+"""
+
+from .address import (
+    AccessKind,
+    AccessPattern,
+    StreamAccess,
+    layout_streams,
+)
+from .analytical import (
+    HierarchyConfig,
+    LevelCounts,
+    LoopMemoryResult,
+    analyze_loop,
+    analyze_loops,
+    counts_to_events,
+)
+from .cache import (
+    AccessResult,
+    CacheConfig,
+    CacheSim,
+    ExactHierarchy,
+    HierarchyResult,
+)
+from .ddr import ContentionResult, DDRConfig, DDRModel
+from .hierarchy import (
+    NodeMemoryConfig,
+    NodeMemoryModel,
+    NodeMemoryResult,
+)
+from .l3 import (
+    MAX_L3_BYTES,
+    ProcessMemoryProfile,
+    SharedL3Config,
+    SharedL3Model,
+)
+from .prefetch import (
+    PrefetcherConfig,
+    StreamPrefetcher,
+    analytical_coverage,
+)
+from .snoop import SnoopConfig, SnoopFilterModel
+
+__all__ = [
+    "AccessKind",
+    "AccessPattern",
+    "StreamAccess",
+    "layout_streams",
+    "CacheConfig",
+    "CacheSim",
+    "AccessResult",
+    "ExactHierarchy",
+    "HierarchyResult",
+    "PrefetcherConfig",
+    "StreamPrefetcher",
+    "analytical_coverage",
+    "HierarchyConfig",
+    "LevelCounts",
+    "LoopMemoryResult",
+    "analyze_loop",
+    "analyze_loops",
+    "counts_to_events",
+    "SharedL3Config",
+    "SharedL3Model",
+    "ProcessMemoryProfile",
+    "MAX_L3_BYTES",
+    "DDRConfig",
+    "DDRModel",
+    "ContentionResult",
+    "SnoopConfig",
+    "SnoopFilterModel",
+    "NodeMemoryConfig",
+    "NodeMemoryModel",
+    "NodeMemoryResult",
+]

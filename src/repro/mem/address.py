@@ -1,0 +1,188 @@
+"""Memory access-stream descriptors and synthetic trace generation.
+
+The workload models describe each loop's memory behaviour as a set of
+:class:`StreamAccess` descriptors — "this loop sweeps a 2 MB array with
+stride 8", "this loop gathers randomly from a 40 MB table".  Descriptors
+are consumed two ways:
+
+* the **analytical** hierarchy model (:mod:`repro.mem.analytical`)
+  computes expected per-level hit/miss counts directly from the
+  descriptor parameters — this is the fast path used for whole-machine
+  runs;
+* :meth:`StreamAccess.generate_trace` expands a descriptor into a
+  concrete address trace for the **exact** simulator
+  (:mod:`repro.mem.cache`), which is how tests validate the analytical
+  model against ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+
+class AccessKind(enum.Enum):
+    """Direction of a stream's accesses."""
+
+    READ = "read"
+    WRITE = "write"
+    READWRITE = "readwrite"  #: e.g. ``a[i] += x``: read-modify-write
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessKind.READ, AccessKind.READWRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessKind.WRITE, AccessKind.READWRITE)
+
+
+class AccessPattern(enum.Enum):
+    """Spatial pattern of a stream."""
+
+    SEQUENTIAL = "sequential"  #: unit-ish stride, prefetcher-friendly
+    STRIDED = "strided"        #: constant stride larger than a line
+    RANDOM = "random"          #: uniform over the footprint (gather/scatter)
+
+
+@dataclass(frozen=True)
+class StreamAccess:
+    """One array-access pattern inside a loop body.
+
+    Parameters
+    ----------
+    array:
+        Name of the array (used in reports and for base-address layout).
+    footprint_bytes:
+        Size of the region this stream touches in one traversal.
+    stride_bytes:
+        Distance between consecutive accesses (ignored for RANDOM).
+    kind / pattern:
+        Direction and spatial shape of the accesses.
+    accesses:
+        Accesses per traversal; defaults to ``footprint/stride`` for
+        strided patterns (one sweep) and must be given for RANDOM.
+    element_bytes:
+        Bytes read/written per access (8 for a double).
+    """
+
+    array: str
+    footprint_bytes: int
+    stride_bytes: int = 8
+    kind: AccessKind = AccessKind.READ
+    pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    accesses: Optional[int] = None
+    element_bytes: int = 8
+
+    def __post_init__(self):
+        if self.footprint_bytes <= 0:
+            raise ValueError(f"{self.array}: footprint must be positive")
+        if self.stride_bytes <= 0:
+            raise ValueError(f"{self.array}: stride must be positive")
+        if self.element_bytes <= 0:
+            raise ValueError(f"{self.array}: element size must be positive")
+        if self.pattern is AccessPattern.RANDOM and self.accesses is None:
+            raise ValueError(
+                f"{self.array}: RANDOM streams must specify `accesses`")
+        if self.accesses is not None and self.accesses < 0:
+            raise ValueError(f"{self.array}: negative access count")
+
+    @property
+    def accesses_per_traversal(self) -> int:
+        """Accesses in one traversal of the stream."""
+        if self.accesses is not None:
+            return self.accesses
+        return max(1, self.footprint_bytes // self.stride_bytes)
+
+    @property
+    def wraps(self) -> bool:
+        """True for strided streams that wrap around their footprint.
+
+        A wrapping large-stride sweep (a transpose-order or cross-line
+        grid walk) touches every element of its region, but with reuse
+        distance ~ the whole footprint — cache-wise it behaves like a
+        RANDOM stream over the region, not like a short strided probe.
+        """
+        if self.pattern is not AccessPattern.STRIDED:
+            return False
+        return (self.accesses_per_traversal * self.stride_bytes
+                > self.footprint_bytes)
+
+    def distinct_lines(self, line_bytes: int) -> int:
+        """Distinct cache lines touched in one traversal."""
+        if self.pattern is AccessPattern.RANDOM:
+            # uniform accesses over the footprint: expected distinct lines
+            lines = max(1, self.footprint_bytes // line_bytes)
+            a = self.accesses_per_traversal
+            # coupon-collector expectation: L * (1 - (1-1/L)^A)
+            return int(round(lines * (1.0 - (1.0 - 1.0 / lines) ** a)))
+        if self.wraps:
+            # full-coverage large-stride sweep: every line is touched
+            return max(1, min(self.accesses_per_traversal,
+                              -(-self.footprint_bytes // line_bytes)))
+        span = min(self.footprint_bytes,
+                   self.accesses_per_traversal * self.stride_bytes)
+        # stride beyond a line means every access lands on its own line
+        divisor = max(line_bytes, self.stride_bytes)
+        return max(1, int(np.ceil(span / divisor)))
+
+    def bytes_moved(self) -> int:
+        """Register<->L1 bytes for one traversal."""
+        factor = 2 if self.kind is AccessKind.READWRITE else 1
+        return self.accesses_per_traversal * self.element_bytes * factor
+
+    def scaled(self, factor: float) -> "StreamAccess":
+        """A copy with the access count scaled (compiler unrolling etc.)."""
+        return replace(self, accesses=max(
+            1, int(round(self.accesses_per_traversal * factor))))
+
+    # ------------------------------------------------------------------
+    # trace expansion (exact-simulator path)
+    # ------------------------------------------------------------------
+    def generate_trace(self, base_address: int = 0,
+                       rng: Optional[np.random.Generator] = None
+                       ) -> np.ndarray:
+        """Expand one traversal into concrete byte addresses.
+
+        Returns a ``uint64`` array of length ``accesses_per_traversal``.
+        RANDOM streams need an ``rng``; a fixed-seed default keeps tests
+        deterministic.
+        """
+        n = self.accesses_per_traversal
+        if self.pattern is AccessPattern.RANDOM:
+            if rng is None:
+                rng = np.random.default_rng(0xB1DE)
+            offsets = rng.integers(0, max(
+                1, self.footprint_bytes // self.element_bytes), size=n)
+            return (base_address
+                    + offsets.astype(np.uint64) * self.element_bytes)
+        idx = np.arange(n, dtype=np.uint64)
+        raw = idx * np.uint64(self.stride_bytes)
+        footprint = np.uint64(max(self.footprint_bytes, 1))
+        if self.wraps:
+            # transpose-order coverage: each wrap of the region shifts
+            # by one element so successive passes touch fresh addresses
+            shift = (raw // footprint) * np.uint64(self.element_bytes)
+            return base_address + (raw + shift) % footprint
+        return base_address + raw % footprint
+
+
+def layout_streams(streams, alignment: int = 1 << 20):
+    """Assign non-overlapping base addresses to a list of streams.
+
+    Each stream's region starts at the next ``alignment`` boundary after
+    the previous one, so traces from different arrays never alias.
+    Returns ``{array_name: base_address}``.
+    """
+    bases = {}
+    cursor = alignment  # keep address 0 free: it reads like a null pointer
+    for stream in streams:
+        if stream.array not in bases:
+            bases[stream.array] = cursor
+            span = ((stream.footprint_bytes + alignment - 1)
+                    // alignment) * alignment
+            cursor += span + alignment
+    return bases

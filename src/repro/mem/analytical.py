@@ -1,0 +1,442 @@
+"""Analytical (trace-less) memory hierarchy model.
+
+Whole-machine runs simulate 128 processes over millions of loop
+iterations; replaying concrete address traces through the exact
+simulator would take hours.  This module computes the *expected*
+per-level hit/miss/writeback counts for a loop's
+:class:`~repro.mem.address.StreamAccess` descriptors directly, using
+standard working-set arguments:
+
+* a stream that fits in a level's capacity share misses only on first
+  touch (compulsory misses) and hits on every later traversal;
+* a stream larger than its share under cyclic (LRU) reuse re-misses its
+  whole footprint every traversal — the classic LRU thrashing cliff;
+* RANDOM streams hit with probability equal to the fraction of their
+  footprint resident in steady state.
+
+Capacity is shared between a loop's streams proportionally to footprint
+(the LRU steady state for uniformly-interleaved streams), and an
+``effective_fraction`` discounts conflict misses from finite
+associativity.  The exact simulator in :mod:`repro.mem.cache` is the
+ground truth these formulas are validated against (see
+``tests/test_mem_model_agreement.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .address import AccessKind, AccessPattern, StreamAccess
+from .cache import CacheConfig
+from .prefetch import PrefetcherConfig, analytical_coverage
+
+#: Fraction of nominal capacity usable before conflict misses bite.
+EFFECTIVE_FRACTION = 0.9
+#: Fraction of prefetches that are useless overfetch past stream ends.
+PREFETCH_WASTE = 0.10
+#: Stall weight of pure-WRITE streams: store misses drain through the
+#: store buffers and only stall the core on buffer backpressure.
+WRITE_STALL_FACTOR = 0.2
+
+
+@dataclass
+class LevelCounts:
+    """Expected access counts at one cache level (whole loop, all trips)."""
+
+    accesses: float = 0.0
+    hits: float = 0.0
+    misses: float = 0.0
+    writebacks: float = 0.0
+    writethroughs: float = 0.0
+    prefetch_hits: float = 0.0
+    prefetch_issued: float = 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def add(self, other: "LevelCounts") -> None:
+        """Accumulate another stream's counts into this one."""
+        self.accesses += other.accesses
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writebacks += other.writebacks
+        self.writethroughs += other.writethroughs
+        self.prefetch_hits += other.prefetch_hits
+        self.prefetch_issued += other.prefetch_issued
+
+
+@dataclass
+class LoopMemoryResult:
+    """Full-hierarchy expected behaviour of one loop execution."""
+
+    l1: LevelCounts = field(default_factory=LevelCounts)
+    l2: LevelCounts = field(default_factory=LevelCounts)
+    l3: LevelCounts = field(default_factory=LevelCounts)
+    ddr_reads: float = 0.0
+    ddr_writes: float = 0.0
+    stall_cycles: float = 0.0
+    #: L3 misses from non-sequential (random/strided) streams — the
+    #: accesses that genuinely thrash a shared cache.  Sequential
+    #: streams' lines have one-touch lifetimes and age out without
+    #: displacing co-runners' hot data for long.
+    l3_nonseq_misses: float = 0.0
+
+    def add(self, other: "LoopMemoryResult") -> None:
+        """Accumulate another loop's counts."""
+        self.l1.add(other.l1)
+        self.l2.add(other.l2)
+        self.l3.add(other.l3)
+        self.ddr_reads += other.ddr_reads
+        self.ddr_writes += other.ddr_writes
+        self.stall_cycles += other.stall_cycles
+        self.l3_nonseq_misses += other.l3_nonseq_misses
+
+    @property
+    def ddr_line_transfers(self) -> float:
+        """Total L3<->DDR line movements (the paper's traffic metric)."""
+        return self.ddr_reads + self.ddr_writes
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry + latency of the per-core view of the hierarchy.
+
+    ``l3_capacity_bytes`` is this *process's effective share* of the
+    shared L3 — the node model computes it from the real L3 size, the
+    number of active cores, and inter-process interference.
+    """
+
+    l1: CacheConfig = CacheConfig(size_bytes=32 * 1024, line_bytes=32,
+                                  associativity=16, hit_latency=4)
+    l2: CacheConfig = CacheConfig(size_bytes=2 * 1024, line_bytes=128,
+                                  associativity=16, hit_latency=12)
+    l3_capacity_bytes: int = 8 * 1024 * 1024
+    l3_line_bytes: int = 128
+    l3_hit_latency: int = 50
+    ddr_latency: int = 104
+    prefetcher: PrefetcherConfig = PrefetcherConfig()
+    #: fraction of miss latency hidden by overlap (in-order core: low)
+    overlap: float = 0.3
+    #: stall weight of pure-WRITE streams (1.0 = stores stall like loads)
+    write_stall_factor: float = WRITE_STALL_FACTOR
+    #: capacity sharing between a loop's streams: "greedy" (LRU keeps
+    #: the densest-reuse streams resident) or "proportional" (naive
+    #: footprint-proportional split) — an ablation knob
+    capacity_sharing: str = "greedy"
+
+    def __post_init__(self):
+        if self.capacity_sharing not in ("greedy", "proportional"):
+            raise ValueError(
+                f"unknown capacity_sharing {self.capacity_sharing!r}")
+        if not 0.0 <= self.write_stall_factor <= 1.0:
+            raise ValueError("write_stall_factor must be in [0, 1]")
+
+
+# ---------------------------------------------------------------------------
+# single-level expectation
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _LevelStream:
+    """A stream as seen by one cache level.
+
+    ``traversals`` is per stream: a stream retained by the level above
+    generates traffic here only while the upper level is cold, so its
+    *effective* traversal count at this level shrinks (down to 1).
+    """
+
+    accesses_per_traversal: float
+    distinct_lines: float
+    footprint_lines: float  # total region in this level's lines
+    pattern: AccessPattern
+    stride_bytes: int
+    traversals: float = 1.0
+
+
+def _level_behaviour(s: _LevelStream, capacity_share: float,
+                     line_bytes: int,
+                     cache_exists: bool = True) -> tuple:
+    """Expected (hits, misses) of one stream at one level, all traversals.
+
+    ``cache_exists=False`` models a configured-out level (the paper's
+    0 MB L3 point): every access misses.  A zero *share* in an existing
+    cache is different — the stream still enjoys current-line (MRU)
+    residency, so spatial locality within a line survives.
+    """
+    a = s.accesses_per_traversal
+    u = s.distinct_lines
+    traversals = s.traversals
+    total_accesses = a * traversals
+    if not cache_exists:
+        return 0.0, total_accesses
+    if s.pattern is AccessPattern.RANDOM:
+        f = max(s.footprint_lines, 1.0)
+        resident = min(1.0, max(capacity_share, 0.0) / (f * line_bytes))
+        # steady-state: a uniformly random access hits iff its line is
+        # among the resident fraction of the region
+        steady_misses = total_accesses * (1.0 - resident)
+        # cold-start floor: first touches always miss; expected distinct
+        # lines touched is the coupon-collector expectation
+        distinct_total = -f * math.expm1(
+            total_accesses * math.log1p(-1.0 / f)) if f > 1 else 1.0
+        misses = min(max(steady_misses, distinct_total), total_accesses)
+        return total_accesses - misses, misses
+    fits = u * line_bytes <= capacity_share
+    if fits:
+        misses = u  # compulsory only; all later traversals hit
+    else:
+        # cyclic LRU reuse retains nothing across traversals, but
+        # spatial locality within the current line survives at any
+        # capacity (the line being filled serves the next accesses)
+        misses = u * traversals
+    misses = min(misses, total_accesses)
+    return total_accesses - misses, misses
+
+
+def _capacity_shares(streams: Sequence[_LevelStream], capacity: float,
+                     line_bytes: int,
+                     policy: str = "greedy") -> List[float]:
+    """Split a level's capacity between concurrently-live streams.
+
+    Greedy by reuse density (accesses per byte, densest first; smaller
+    footprint breaks ties): under LRU, the lines with the shortest
+    reuse distances stay resident, so a small frequently-swept array
+    survives next to a large streaming array — the mechanism behind the
+    staircase in the paper's L3-size sweep (Figure 11).  Each stream
+    gets ``min(footprint, remaining usable capacity)``; a partial share
+    still helps RANDOM streams (partial residency) but not cyclic
+    sweeps (LRU retains nothing below full residency).
+    """
+    usable = capacity * EFFECTIVE_FRACTION
+    footprints = [s.distinct_lines * line_bytes for s in streams]
+    if sum(footprints) <= usable:
+        return footprints
+    if policy == "proportional":
+        total = sum(footprints) or 1.0
+        return [usable * fp / total for fp in footprints]
+    density = [
+        (s.accesses_per_traversal / fp if fp > 0 else 0.0)
+        for s, fp in zip(streams, footprints)
+    ]
+    order = sorted(range(len(streams)),
+                   key=lambda i: (-density[i], footprints[i], i))
+    shares = [0.0] * len(streams)
+    remaining = usable
+    # pass 1: streams that can be *fully* resident claim their
+    # footprint, densest first — a partial share is worthless to a
+    # cyclic sweep, so an oversized stream must not starve a fitting one
+    deferred: List[int] = []
+    for i in order:
+        if footprints[i] <= remaining:
+            shares[i] = footprints[i]
+            remaining -= footprints[i]
+        else:
+            deferred.append(i)
+    # pass 2: leftovers go to the rest (partial residency still helps
+    # RANDOM streams)
+    for i in deferred:
+        shares[i] = min(footprints[i], remaining)
+        remaining -= shares[i]
+    return shares
+
+
+def _effective_traversals(total_accesses: float, lines_per_traversal: float,
+                          max_traversals: float) -> float:
+    """How many times a filtered stream effectively re-arrives here.
+
+    The level above forwards ``total_accesses`` in bursts of roughly
+    ``lines_per_traversal``; the count of bursts is capped by the
+    loop's real traversal count and floored at one.
+    """
+    if lines_per_traversal <= 0:
+        return 1.0
+    return min(max(total_accesses / lines_per_traversal, 1.0),
+               max(max_traversals, 1.0))
+
+
+# ---------------------------------------------------------------------------
+# the full-loop analysis
+# ---------------------------------------------------------------------------
+def analyze_loop(streams: Sequence[StreamAccess], traversals: int,
+                 config: HierarchyConfig) -> LoopMemoryResult:
+    """Expected hierarchy behaviour of ``traversals`` executions of a loop.
+
+    Every stream is walked down L1 -> L2(+prefetcher) -> L3 -> DDR; the
+    miss stream of each level becomes the access stream of the next
+    (re-expressed in the lower level's line size).
+    """
+    if traversals < 0:
+        raise ValueError("traversals must be >= 0")
+    result = LoopMemoryResult()
+    if traversals == 0 or not streams:
+        return result
+
+    # ---- L1 ----------------------------------------------------------
+    # wrapping large-stride sweeps (transpose-order walks) have reuse
+    # distance ~ their whole footprint: model them as RANDOM coverage
+    patterns = [AccessPattern.RANDOM if s.wraps else s.pattern
+                for s in streams]
+    l1_streams = [
+        _LevelStream(
+            accesses_per_traversal=s.accesses_per_traversal,
+            distinct_lines=s.distinct_lines(config.l1.line_bytes),
+            footprint_lines=max(1.0, s.footprint_bytes
+                                / config.l1.line_bytes),
+            pattern=pattern,
+            stride_bytes=s.stride_bytes,
+            traversals=float(traversals),
+        )
+        for s, pattern in zip(streams, patterns)
+    ]
+    l1_shares = _capacity_shares(l1_streams, config.l1.size_bytes,
+                                 config.l1.line_bytes,
+                                 config.capacity_sharing)
+    per_stream_l1_misses: List[float] = []
+    for s, ls, share in zip(streams, l1_streams, l1_shares):
+        hits, misses = _level_behaviour(ls, share, config.l1.line_bytes)
+        result.l1.accesses += ls.accesses_per_traversal * traversals
+        result.l1.hits += hits
+        result.l1.misses += misses
+        if s.kind.writes:
+            # write-through L1: every store is forwarded toward L2/L3
+            result.l1.writethroughs += (s.accesses_per_traversal
+                                        * traversals)
+        per_stream_l1_misses.append(misses)
+
+    # ---- L2 (+ stream prefetcher) -------------------------------------
+    l2_streams = []
+    for s, ls, l1_misses in zip(streams, l1_streams, per_stream_l1_misses):
+        ratio = config.l2.line_bytes / config.l1.line_bytes
+        # a stream the L1 retained reaches the L2 only while the L1 was
+        # cold: its effective traversal count here shrinks accordingly
+        eff = _effective_traversals(l1_misses, ls.distinct_lines,
+                                    traversals)
+        l2_streams.append(_LevelStream(
+            accesses_per_traversal=l1_misses / eff,
+            distinct_lines=max(1.0, ls.distinct_lines / ratio)
+            if ls.pattern is not AccessPattern.RANDOM
+            else min(ls.distinct_lines,
+                     max(1.0, ls.footprint_lines / ratio)),
+            footprint_lines=max(1.0, ls.footprint_lines / ratio),
+            pattern=ls.pattern,
+            stride_bytes=max(s.stride_bytes, config.l1.line_bytes),
+            traversals=eff,
+        ))
+    l2_shares = _capacity_shares(l2_streams, config.l2.size_bytes,
+                                 config.l2.line_bytes,
+                                 config.capacity_sharing)
+    per_stream_l3_accesses: List[float] = []
+    per_stream_demand_misses: List[float] = []
+    for s, ls, share in zip(streams, l2_streams, l2_shares):
+        hits, misses = _level_behaviour(ls, share, config.l2.line_bytes)
+        coverage = analytical_coverage(ls.pattern, ls.stride_bytes,
+                                       config.prefetcher)
+        pf_hits = misses * coverage
+        demand = misses - pf_hits
+        issued = pf_hits * (1.0 + PREFETCH_WASTE)
+        result.l2.accesses += ls.accesses_per_traversal * ls.traversals
+        result.l2.hits += hits + pf_hits
+        result.l2.misses += demand
+        result.l2.prefetch_hits += pf_hits
+        result.l2.prefetch_issued += issued
+        # the L3 sees demand misses plus everything prefetched
+        per_stream_l3_accesses.append(demand + issued)
+        per_stream_demand_misses.append(demand)
+
+    # ---- L3 (this process's effective share) ---------------------------
+    l3_streams = []
+    for s, ls, l3_acc in zip(streams, l2_streams, per_stream_l3_accesses):
+        ratio = config.l3_line_bytes / config.l2.line_bytes
+        eff = _effective_traversals(l3_acc, ls.distinct_lines / ratio,
+                                    ls.traversals)
+        l3_streams.append(_LevelStream(
+            accesses_per_traversal=l3_acc / eff,
+            distinct_lines=max(1.0, ls.distinct_lines / ratio),
+            footprint_lines=max(1.0, ls.footprint_lines / ratio),
+            pattern=ls.pattern,
+            stride_bytes=max(s.stride_bytes, config.l2.line_bytes),
+            traversals=eff,
+        ))
+    l3_shares = _capacity_shares(l3_streams, config.l3_capacity_bytes,
+                                 config.l3_line_bytes,
+                                 config.capacity_sharing)
+    per_stream_l3_misses: List[float] = []
+    l3_exists = config.l3_capacity_bytes > 0
+    for s, ls, share in zip(streams, l3_streams, l3_shares):
+        hits, misses = _level_behaviour(ls, share, config.l3_line_bytes,
+                                        cache_exists=l3_exists)
+        result.l3.accesses += ls.accesses_per_traversal * ls.traversals
+        result.l3.hits += hits
+        result.l3.misses += misses
+        if ls.pattern is not AccessPattern.SEQUENTIAL:
+            result.l3_nonseq_misses += misses
+        per_stream_l3_misses.append(misses)
+
+    # ---- DDR -----------------------------------------------------------
+    result.ddr_reads = sum(per_stream_l3_misses)
+    for s, ls, share in zip(streams, l3_streams, l3_shares):
+        if not s.kind.writes:
+            continue
+        u = ls.distinct_lines
+        thrash = u * config.l3_line_bytes > share
+        # dirty lines leave the L3 once per traversal while thrashing,
+        # or once in total when the working set is retained
+        result.ddr_writes += u * (traversals if thrash else 1)
+        result.l3.writebacks += u * (traversals if thrash else 1)
+
+    # ---- stall cycles ---------------------------------------------------
+    # per-stream: read misses expose their latency; store misses drain
+    # through the store buffers and only cost WRITE_STALL_FACTOR; lines
+    # the prefetcher brought in arrive ahead of the demand access, so
+    # only the *demand* share of L3 misses exposes the DDR latency
+    raw = 0.0
+    for s, l1_m, demand, l3_acc, l3_m in zip(
+            streams, per_stream_l1_misses, per_stream_demand_misses,
+            per_stream_l3_accesses, per_stream_l3_misses):
+        weight = 1.0 if s.kind.reads else config.write_stall_factor
+        demand_share = demand / l3_acc if l3_acc > 0 else 1.0
+        raw += weight * (l1_m * config.l2.hit_latency
+                         + demand * config.l3_hit_latency
+                         + l3_m * demand_share * config.ddr_latency)
+    result.stall_cycles = raw * (1.0 - config.overlap)
+    return result
+
+
+def analyze_loops(loops: Sequence[tuple], config: HierarchyConfig
+                  ) -> LoopMemoryResult:
+    """Aggregate :func:`analyze_loop` over ``(streams, traversals)`` pairs."""
+    total = LoopMemoryResult()
+    for streams, traversals in loops:
+        total.add(analyze_loop(streams, traversals, config))
+    return total
+
+
+def counts_to_events(result: LoopMemoryResult, core: int
+                     ) -> Dict[str, int]:
+    """Translate a loop's memory counts into UPC event pulses.
+
+    Per-core events (L1/L2) are attributed to ``core``; shared events
+    (L3/DDR) are returned unprefixed — the node model splits them across
+    the two DDR controllers and L3 banks.
+    """
+    def r(x: float) -> int:
+        return int(round(x))
+
+    return {
+        f"BGP_PU{core}_L1D_READ_HIT": r(result.l1.hits),
+        f"BGP_PU{core}_L1D_READ_MISS": r(result.l1.misses),
+        f"BGP_PU{core}_L2_READ": r(result.l2.accesses),
+        f"BGP_PU{core}_L2_HIT": r(result.l2.hits),
+        f"BGP_PU{core}_L2_MISS": r(result.l2.misses),
+        f"BGP_PU{core}_L2_PREFETCH_HIT": r(result.l2.prefetch_hits),
+        f"BGP_PU{core}_L2_PREFETCH_ISSUED": r(result.l2.prefetch_issued),
+        f"BGP_PU{core}_L2_WRITETHROUGH": r(result.l1.writethroughs),
+        "L3_READ": r(result.l3.accesses),
+        "L3_HIT": r(result.l3.hits),
+        "L3_MISS": r(result.l3.misses),
+        "L3_WRITEBACK": r(result.l3.writebacks),
+        "DDR_READ": r(result.ddr_reads),
+        "DDR_WRITE": r(result.ddr_writes),
+    }

@@ -1,0 +1,230 @@
+"""Exact set-associative LRU cache simulator.
+
+This is the *validation-grade* model: it processes concrete address
+traces one access at a time, maintaining true LRU state per set.  It is
+deliberately simple and obviously-correct; the analytical model used for
+whole-machine runs is tested against it (see
+``tests/test_mem_model_agreement.py``).
+
+The simulator also emits the **miss trace** (line addresses fetched), so
+hierarchies can be composed exactly: L2 is fed L1's miss trace, L3 is
+fed L2's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 32
+    associativity: int = 8
+    hit_latency: int = 3
+    write_allocate: bool = True
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError("cache size must be >= 0")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a positive power of two")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                f"size {self.size_bytes} not divisible by "
+                f"line*assoc = {self.line_bytes * self.associativity}")
+
+    @property
+    def num_sets(self) -> int:
+        if self.size_bytes == 0:
+            return 0
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes if self.size_bytes else 0
+
+
+@dataclass
+class AccessResult:
+    """Counts from a batch of accesses against one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    miss_lines: Optional[np.ndarray] = None  #: line addrs fetched, in order
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "AccessResult") -> "AccessResult":
+        """Combine counts of two batches (miss traces concatenated)."""
+        traces = [t for t in (self.miss_lines, other.miss_lines)
+                  if t is not None]
+        return AccessResult(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            writebacks=self.writebacks + other.writebacks,
+            miss_lines=np.concatenate(traces) if traces else None,
+        )
+
+
+class CacheSim:
+    """True-LRU set-associative cache over concrete address traces.
+
+    A ``size_bytes == 0`` configuration models the paper's "0 MB L3"
+    experiment point: every access misses straight through.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        sets = max(config.num_sets, 1)
+        # tags[set][way]; -1 means invalid. lru[set][way]: higher = newer.
+        self._tags = np.full((sets, config.associativity), -1,
+                             dtype=np.int64)
+        self._dirty = np.zeros((sets, config.associativity), dtype=bool)
+        self._lru = np.zeros((sets, config.associativity), dtype=np.int64)
+        self._clock = 0
+
+    def reset(self) -> None:
+        """Invalidate all lines."""
+        self._tags.fill(-1)
+        self._dirty.fill(False)
+        self._lru.fill(0)
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    def access(self, addresses: np.ndarray,
+               is_write: bool | np.ndarray = False,
+               collect_miss_trace: bool = True) -> AccessResult:
+        """Run a trace of byte addresses through the cache.
+
+        ``is_write`` is a scalar or a per-access boolean vector.
+        Returns the batch's :class:`AccessResult`; cache state persists
+        across calls so traversals can be replayed for temporal-reuse
+        behaviour.
+        """
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        n = len(addresses)
+        writes = np.broadcast_to(np.asarray(is_write, dtype=bool),
+                                 (n,))
+        result = AccessResult(accesses=n)
+
+        if self.config.size_bytes == 0:
+            # no cache at all: every access is a miss straight through
+            result.misses = n
+            result.writebacks = int(writes.sum())
+            if collect_miss_trace:
+                result.miss_lines = (addresses
+                                     // self.config.line_bytes
+                                     * self.config.line_bytes)
+            return result
+
+        line_shift = int(np.log2(self.config.line_bytes))
+        num_sets = self.config.num_sets
+        lines = (addresses >> np.uint64(line_shift)).astype(np.int64)
+        sets = lines % num_sets
+        miss_lines: List[int] = []
+
+        tags, dirty, lru = self._tags, self._dirty, self._lru
+        clock = self._clock
+        for i in range(n):
+            s = sets[i]
+            tag = lines[i]
+            clock += 1
+            row = tags[s]
+            way = np.where(row == tag)[0]
+            if way.size:  # hit
+                w = way[0]
+                result.hits += 1
+                lru[s, w] = clock
+                if writes[i]:
+                    dirty[s, w] = True
+                continue
+            result.misses += 1
+            if collect_miss_trace:
+                miss_lines.append(tag << line_shift)
+            if writes[i] and not self.config.write_allocate:
+                continue  # write-no-allocate: miss bypasses the cache
+            # victim: invalid way if any, else true LRU
+            invalid = np.where(row == -1)[0]
+            w = invalid[0] if invalid.size else int(np.argmin(lru[s]))
+            if row[w] != -1:
+                result.evictions += 1
+                if dirty[s, w]:
+                    result.writebacks += 1
+            tags[s, w] = tag
+            dirty[s, w] = bool(writes[i])
+            lru[s, w] = clock
+        self._clock = clock
+        if collect_miss_trace:
+            result.miss_lines = np.array(miss_lines, dtype=np.uint64)
+        return result
+
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> int:
+        """Number of valid lines currently cached."""
+        if self.config.size_bytes == 0:
+            return 0
+        return int((self._tags != -1).sum())
+
+    def contains(self, address: int) -> bool:
+        """True if the line holding ``address`` is resident."""
+        if self.config.size_bytes == 0:
+            return False
+        line = address // self.config.line_bytes
+        s = line % self.config.num_sets
+        return bool((self._tags[s] == line).any())
+
+
+@dataclass
+class HierarchyResult:
+    """Per-level results of an exact multi-level simulation."""
+
+    levels: List[AccessResult] = field(default_factory=list)
+
+    def level(self, i: int) -> AccessResult:
+        return self.levels[i]
+
+
+class ExactHierarchy:
+    """Compose exact caches: each level consumes the previous miss trace.
+
+    Used in tests to validate the analytical model end to end; too slow
+    for whole-machine workloads.
+    """
+
+    def __init__(self, configs: List[CacheConfig]):
+        if not configs:
+            raise ValueError("need at least one level")
+        self.sims = [CacheSim(c) for c in configs]
+
+    def access(self, addresses: np.ndarray,
+               is_write: bool = False) -> HierarchyResult:
+        result = HierarchyResult()
+        trace = np.asarray(addresses, dtype=np.uint64)
+        write_flags: bool | np.ndarray = is_write
+        for idx, sim in enumerate(self.sims):
+            if len(trace) == 0:
+                result.levels.append(AccessResult(
+                    accesses=0, miss_lines=np.array([], dtype=np.uint64)))
+                continue
+            r = sim.access(trace, write_flags, collect_miss_trace=True)
+            result.levels.append(r)
+            trace = r.miss_lines
+            # line fills at lower levels are reads; dirty evictions are
+            # tracked per level as writebacks
+            write_flags = False
+        return result

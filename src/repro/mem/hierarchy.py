@@ -1,0 +1,216 @@
+"""Node-level memory system: four private hierarchies on one L3 + DDR.
+
+Ties the per-process analytical model (:mod:`repro.mem.analytical`)
+to the shared resources (:mod:`repro.mem.l3`, :mod:`repro.mem.ddr`,
+:mod:`repro.mem.snoop`).  The flow for one node is:
+
+1. analyse every process against its *fair* L3 share to learn each
+   process's access intensity and thrash pressure;
+2. reallocate L3 capacity by intensity and re-analyse;
+3. inflate misses by the co-runner interference factor;
+4. split DDR traffic across the two controllers and compute port
+   contention once the execution window is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .address import AccessPattern, StreamAccess
+from .analytical import (
+    HierarchyConfig,
+    LoopMemoryResult,
+    analyze_loops,
+)
+from .cache import CacheConfig
+from .ddr import ContentionResult, DDRConfig, DDRModel
+from .l3 import ProcessMemoryProfile, SharedL3Config, SharedL3Model
+from .prefetch import PrefetcherConfig
+from .snoop import SnoopConfig, SnoopFilterModel
+
+#: ``(streams, traversals)`` pairs describing one process's loops.
+ProcessLoops = Sequence[Tuple[Sequence[StreamAccess], int]]
+
+
+@dataclass(frozen=True)
+class NodeMemoryConfig:
+    """Full memory-system configuration of one compute node."""
+
+    l1: CacheConfig = CacheConfig(size_bytes=32 * 1024, line_bytes=32,
+                                  associativity=16, hit_latency=4)
+    l2: CacheConfig = CacheConfig(size_bytes=2 * 1024, line_bytes=128,
+                                  associativity=16, hit_latency=12)
+    l3: SharedL3Config = SharedL3Config()
+    ddr: DDRConfig = DDRConfig()
+    prefetcher: PrefetcherConfig = PrefetcherConfig()
+    snoop: SnoopConfig = SnoopConfig()
+    overlap: float = 0.3
+    write_stall_factor: float = 0.2
+    capacity_sharing: str = "greedy"
+
+    def with_l3_size(self, size_bytes: int) -> "NodeMemoryConfig":
+        """A copy with a different L3 size (the Figure 11 sweep knob)."""
+        return replace(self, l3=replace(self.l3, size_bytes=size_bytes))
+
+    def with_prefetch_depth(self, depth: int) -> "NodeMemoryConfig":
+        """A copy with a different L2 prefetch depth (the paper's
+        future-work knob: 'vary the prefetching amount at L2 level')."""
+        return replace(self, prefetcher=replace(self.prefetcher,
+                                                depth=depth))
+
+
+@dataclass
+class NodeMemoryResult:
+    """Per-process results plus node-level shared-resource accounting."""
+
+    per_process: List[LoopMemoryResult] = field(default_factory=list)
+    shares: List[float] = field(default_factory=list)
+    inflations: List[float] = field(default_factory=list)
+    contention: Optional[ContentionResult] = None
+
+    @property
+    def total_ddr_reads(self) -> float:
+        return sum(r.ddr_reads for r in self.per_process)
+
+    @property
+    def total_ddr_writes(self) -> float:
+        return sum(r.ddr_writes for r in self.per_process)
+
+    @property
+    def total_ddr_transfers(self) -> float:
+        """Node-wide L3<->DDR line movements (Figure 11/12 metric)."""
+        return self.total_ddr_reads + self.total_ddr_writes
+
+
+class NodeMemoryModel:
+    """The shared-memory-system model of one node."""
+
+    def __init__(self, config: NodeMemoryConfig = NodeMemoryConfig()):
+        self.config = config
+        self.l3_model = SharedL3Model(config.l3)
+        self.ddr_model = DDRModel(config.ddr)
+        self.snoop_model = SnoopFilterModel(config.snoop)
+
+    # ------------------------------------------------------------------
+    def _hierarchy_config(self, l3_share: float) -> HierarchyConfig:
+        return HierarchyConfig(
+            l1=self.config.l1,
+            l2=self.config.l2,
+            l3_capacity_bytes=int(l3_share),
+            l3_line_bytes=self.config.l3.line_bytes,
+            l3_hit_latency=self.config.l3.hit_latency,
+            ddr_latency=self.config.ddr.latency,
+            prefetcher=self.config.prefetcher,
+            overlap=self.config.overlap,
+            write_stall_factor=self.config.write_stall_factor,
+            capacity_sharing=self.config.capacity_sharing,
+        )
+
+    def derive_profile(self, loops: ProcessLoops,
+                       fair_share: float) -> ProcessMemoryProfile:
+        """Intensity + thrash pressure of one process at a fair share."""
+        result = analyze_loops(loops, self._hierarchy_config(fair_share))
+        intensity = result.l3.accesses
+        if intensity == 0:
+            return ProcessMemoryProfile(intensity=0.0, thrash_fraction=0.0)
+        # thrash pressure = *non-sequential capacity misses* only: the
+        # misses a fair share causes beyond the compulsory floor, and
+        # only from random/strided streams.  Compulsory misses don't
+        # repeatedly evict neighbours' lines, and sequential streams'
+        # one-touch lines age out quickly; random/strided re-reference
+        # patterns are what genuinely pollute a shared cache.
+        unbounded = analyze_loops(loops, self._hierarchy_config(1 << 40))
+        capacity_misses = max(0.0, result.l3_nonseq_misses
+                              - unbounded.l3_nonseq_misses)
+        thrash = min(1.0, capacity_misses / intensity)
+        return ProcessMemoryProfile(intensity=intensity,
+                                    thrash_fraction=thrash)
+
+    def analyze(self, processes: Sequence[ProcessLoops]
+                ) -> NodeMemoryResult:
+        """Full node analysis of the co-resident processes' loop sets."""
+        if not processes:
+            raise ValueError("no processes on the node")
+        n = len(processes)
+        fair = (self.config.l3.size_bytes / n) if n else 0.0
+        profiles = [self.derive_profile(p, fair) for p in processes]
+        shares = self.l3_model.capacity_shares(profiles)
+        out = NodeMemoryResult(shares=shares)
+        for i, (loops, share) in enumerate(zip(processes, shares)):
+            cfg = self._hierarchy_config(share)
+            result = analyze_loops(loops, cfg)
+            inflation = self.l3_model.miss_inflation(i, profiles)
+            self._apply_inflation(result, inflation, cfg)
+            out.per_process.append(result)
+            out.inflations.append(inflation)
+        return out
+
+    @staticmethod
+    def _apply_inflation(result: LoopMemoryResult, factor: float,
+                         cfg: HierarchyConfig) -> None:
+        """Inflate L3 misses (conflict misses caused by co-runners)."""
+        if factor <= 1.0 or result.l3.misses == 0:
+            return
+        extra = result.l3.misses * (factor - 1.0)
+        extra = min(extra, result.l3.hits)  # can't miss more than accesses
+        result.l3.misses += extra
+        result.l3.hits -= extra
+        result.ddr_reads += extra
+        result.stall_cycles += extra * cfg.ddr_latency * (1.0 - cfg.overlap)
+
+    # ------------------------------------------------------------------
+    def contention(self, result: NodeMemoryResult,
+                   window_cycles: float) -> ContentionResult:
+        """DDR port contention over the node's execution window."""
+        c = self.ddr_model.contention(result.total_ddr_transfers,
+                                      window_cycles)
+        result.contention = c
+        return c
+
+    def contention_stall_per_process(self, result: NodeMemoryResult,
+                                     window_cycles: float) -> List[float]:
+        """Extra stall cycles per process from DDR queueing."""
+        c = self.contention(result, window_cycles)
+        return [r.ddr_reads * c.queue_delay * (1.0 - self.config.overlap)
+                for r in result.per_process]
+
+    # ------------------------------------------------------------------
+    def node_events(self, result: NodeMemoryResult,
+                    stores_per_core: Optional[Sequence[int]] = None
+                    ) -> Dict[str, int]:
+        """Shared-resource UPC events (modes 1 and 2) for the node."""
+        reads = int(round(self.total(result, "ddr_reads")))
+        writes = int(round(self.total(result, "ddr_writes")))
+        split = self.ddr_model.split(reads, writes)
+        l3_reads = int(round(sum(r.l3.accesses for r in result.per_process)))
+        l3_hits = int(round(sum(r.l3.hits for r in result.per_process)))
+        l3_misses = int(round(sum(r.l3.misses for r in result.per_process)))
+        l3_wb = int(round(sum(r.l3.writebacks for r in result.per_process)))
+        banks = self.l3_model.bank_split(l3_reads)
+        events = {
+            "BGP_L3_READ": l3_reads,
+            "BGP_L3_HIT": l3_hits,
+            "BGP_L3_MISS": l3_misses,
+            "BGP_L3_WRITEBACK": l3_wb,
+            "BGP_L3_BANK0_ACCESS": banks[0],
+            "BGP_L3_BANK1_ACCESS": banks[1] if len(banks) > 1 else 0,
+            "BGP_DDR0_READ": split[0][0],
+            "BGP_DDR0_WRITE": split[0][1],
+            "BGP_DDR1_READ": split[1][0] if len(split) > 1 else 0,
+            "BGP_DDR1_WRITE": split[1][1] if len(split) > 1 else 0,
+        }
+        if result.contention is not None:
+            events["BGP_DDR_PORT_CONFLICT"] = result.contention.conflict_cycles
+        if stores_per_core is not None:
+            for core, snoop in enumerate(
+                    self.snoop_model.analyze(stores_per_core)):
+                events[f"BGP_PU{core}_SNOOP_RECEIVED"] = snoop["received"]
+                events[f"BGP_PU{core}_SNOOP_FILTERED"] = snoop["filtered"]
+                events[f"BGP_PU{core}_SNOOP_HIT"] = snoop["hit"]
+        return events
+
+    @staticmethod
+    def total(result: NodeMemoryResult, attr: str) -> float:
+        """Sum a LoopMemoryResult attribute over the node's processes."""
+        return sum(getattr(r, attr) for r in result.per_process)

@@ -1,0 +1,122 @@
+"""The shared on-chip L3 cache: capacity sharing and interference.
+
+The BG/P chip has one large shared L3 (banked, 128-byte lines) behind
+the four cores' private L2s.  Two effects matter for the paper's
+experiments:
+
+* **capacity sharing** — in Virtual Node Mode four processes divide the
+  L3; the paper's fair SMP/1 baseline shrinks the L3 to 2 MB per node
+  ("we reduced the L3 cache size to 2 MB per node using the svchost
+  options while booting a node", Section VIII).  The model allocates
+  each process a share proportional to its access intensity.
+* **destructive interference** — co-runners with thrash-prone access
+  patterns (streaming far beyond their share, or random gather/scatter)
+  evict each other's lines, inflating misses beyond what a private
+  cache of the same share would see.  The paper observes exactly this
+  for FT and IS (traffic grows *more* than 4x, "due to memory port
+  contention and cache interference", Section VIII).
+
+Both effects are mechanistic inputs to Figures 11 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+#: Largest configurable L3 on a BG/P node.
+MAX_L3_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SharedL3Config:
+    """Geometry of the shared L3."""
+
+    size_bytes: int = MAX_L3_BYTES
+    line_bytes: int = 128
+    banks: int = 2
+    hit_latency: int = 50
+    #: miss inflation per unit of co-runner thrash pressure
+    interference_gamma: float = 0.30
+
+    def __post_init__(self):
+        if not 0 <= self.size_bytes <= MAX_L3_BYTES:
+            raise ValueError(
+                f"L3 size must be 0..{MAX_L3_BYTES} bytes, "
+                f"got {self.size_bytes}")
+        if self.banks <= 0:
+            raise ValueError("need at least one L3 bank")
+
+
+@dataclass(frozen=True)
+class ProcessMemoryProfile:
+    """What the L3 needs to know about one co-resident process.
+
+    ``intensity`` is the process's L3 access rate (accesses per cycle or
+    any consistent unit); ``thrash_fraction`` is the fraction of its L3
+    accesses that cannot reuse the cache (random, or streaming a
+    footprint beyond any plausible share) — those are the accesses that
+    evict neighbours.
+    """
+
+    intensity: float = 1.0
+    thrash_fraction: float = 0.0
+
+    def __post_init__(self):
+        if self.intensity < 0:
+            raise ValueError("intensity must be >= 0")
+        if not 0.0 <= self.thrash_fraction <= 1.0:
+            raise ValueError("thrash_fraction must be in [0, 1]")
+
+
+class SharedL3Model:
+    """Capacity shares and interference for processes sharing one L3."""
+
+    def __init__(self, config: SharedL3Config):
+        self.config = config
+
+    def capacity_shares(self, profiles: Sequence[ProcessMemoryProfile]
+                        ) -> List[float]:
+        """Per-process effective capacity, proportional to intensity.
+
+        Equal-intensity processes split the cache evenly (4 procs on an
+        8 MB L3 get 2 MB each — the paper's fairness argument); an idle
+        co-runner cedes its share to the busy ones.
+        """
+        if not profiles:
+            raise ValueError("no processes sharing the L3")
+        total = sum(p.intensity for p in profiles)
+        n = len(profiles)
+        if total == 0:
+            return [self.config.size_bytes / n] * n
+        return [self.config.size_bytes * p.intensity / total
+                for p in profiles]
+
+    def miss_inflation(self, index: int,
+                       profiles: Sequence[ProcessMemoryProfile]) -> float:
+        """Multiplier on process ``index``'s L3 misses from interference.
+
+        Scales with the *other* processes' thrash pressure: a process
+        surrounded by streaming/random co-runners keeps losing lines it
+        would otherwise have retained.  A process running alone gets
+        exactly 1.0.
+        """
+        if not 0 <= index < len(profiles):
+            raise IndexError(f"no process {index} among {len(profiles)}")
+        others = [p for i, p in enumerate(profiles) if i != index]
+        if not others:
+            return 1.0
+        pressure = sum(p.thrash_fraction * p.intensity for p in others)
+        norm = sum(p.intensity for p in others)
+        if norm == 0:
+            return 1.0
+        return 1.0 + self.config.interference_gamma * (pressure / norm) * len(
+            others)
+
+    def bank_split(self, accesses: int) -> List[int]:
+        """Distribute accesses across banks by address interleaving."""
+        base = accesses // self.config.banks
+        split = [base] * self.config.banks
+        for i in range(accesses - base * self.config.banks):
+            split[i] += 1
+        return split

@@ -1,0 +1,124 @@
+"""The L2 stream prefetcher.
+
+Each PPC450 core's private L2 on BG/P is a small *prefetching* cache: it
+watches the L1 miss stream, detects sequential line runs, and fetches
+ahead.  Prefetching converts demand misses into prefetch hits — it hides
+latency, but the prefetched lines still travel from the L3, so it does
+**not** reduce L3/DDR traffic (an important distinction for the paper's
+traffic metrics).
+
+Two models are provided:
+
+* :class:`StreamPrefetcher` — an exact model driven by a concrete miss
+  trace, used to validate the analytical coverage numbers;
+* :func:`analytical_coverage` — the closed-form coverage by access
+  pattern, used by the fast hierarchy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .address import AccessPattern
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    """Stream-prefetcher parameters.
+
+    ``depth`` is how many lines ahead of a detected stream are fetched;
+    ``max_streams`` is how many concurrent streams the detector tracks
+    (BG/P tracks several per core).
+    """
+
+    depth: int = 2
+    max_streams: int = 8
+    line_bytes: int = 128
+
+    def __post_init__(self):
+        if self.depth < 0 or self.max_streams <= 0:
+            raise ValueError("invalid prefetcher configuration")
+
+
+class StreamPrefetcher:
+    """Exact sequential-stream prefetcher over a line-address trace.
+
+    Maintains up to ``max_streams`` active streams (LRU replacement).  A
+    demand line that matches a stream's next expected line is a
+    *prefetch hit*; the stream then runs further ahead.  Lines that
+    match no stream are demand misses and (with their successor) seed a
+    new stream candidate.
+    """
+
+    def __init__(self, config: PrefetcherConfig):
+        self.config = config
+        self._streams: dict[int, int] = {}  # next expected line -> age
+        self._age = 0
+
+    def reset(self) -> None:
+        self._streams.clear()
+        self._age = 0
+
+    def run(self, line_addresses: np.ndarray) -> Tuple[int, int, int]:
+        """Process a demand-miss line trace.
+
+        Returns ``(demand_misses, prefetch_hits, prefetch_issued)``
+        where ``demand_misses + prefetch_hits == len(trace)``.
+        """
+        lines = (np.asarray(line_addresses, dtype=np.uint64)
+                 // self.config.line_bytes).astype(np.int64)
+        demand = 0
+        pf_hits = 0
+        pf_issued = 0
+        for line in lines:
+            self._age += 1
+            line = int(line)
+            if line in self._streams:
+                pf_hits += 1
+                del self._streams[line]
+                # stream advances: prefetch the next line ahead
+                self._streams[line + 1] = self._age
+                pf_issued += 1
+            else:
+                demand += 1
+                # seed a new stream: prefetch the next `depth` lines,
+                # tracked by their first expected hit
+                if self.config.depth > 0:
+                    self._streams[line + 1] = self._age
+                    pf_issued += self.config.depth
+            # stream table capacity: evict the oldest entries
+            while len(self._streams) > self.config.max_streams:
+                oldest = min(self._streams, key=self._streams.get)
+                del self._streams[oldest]
+        return demand, pf_hits, pf_issued
+
+
+def analytical_coverage(pattern: AccessPattern, stride_bytes: int,
+                        config: PrefetcherConfig) -> float:
+    """Steady-state fraction of misses covered by the prefetcher.
+
+    * SEQUENTIAL runs are fully predictable; only the stream-startup
+      misses escape, giving high coverage.
+    * STRIDED streams are covered only while the stride stays within the
+      prefetch line reach (next-line prefetchers miss large strides).
+    * RANDOM accesses are never covered.
+
+    The default numbers are validated against :class:`StreamPrefetcher`
+    on synthetic traces in the test suite.
+    """
+    if config.depth == 0:
+        return 0.0
+    if pattern is AccessPattern.RANDOM:
+        return 0.0
+    if pattern is AccessPattern.SEQUENTIAL:
+        return 0.85
+    # strided: next-line prefetching only helps if consecutive accesses
+    # stay within one prefetched line of each other
+    if stride_bytes <= config.line_bytes:
+        return 0.85
+    if stride_bytes <= config.line_bytes * (config.depth + 1):
+        return 0.5
+    return 0.0

@@ -1,0 +1,196 @@
+"""Trace-driven validation: the analytical model vs ground truth.
+
+The whole-machine figures run on the analytical hierarchy model; this
+module is the audit trail.  For any set of stream descriptors it
+expands concrete address traces, replays them through the exact
+set-associative simulator, runs the same descriptors through the
+analytical model, and reports the per-level agreement.  The test suite
+uses it on miniaturised versions of every NAS benchmark's loops, and
+``validation_report`` renders the comparison for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .address import StreamAccess, layout_streams
+from .analytical import HierarchyConfig, analyze_loop
+from .cache import CacheConfig, CacheSim
+
+
+@dataclass(frozen=True)
+class LevelComparison:
+    """Exact vs analytical at one cache level."""
+
+    level: str
+    exact_misses: float
+    model_misses: float
+
+    @property
+    def relative_error(self) -> float:
+        """|model - exact| / exact (0 when both are zero)."""
+        if self.exact_misses == 0:
+            return 0.0 if self.model_misses == 0 else float("inf")
+        return abs(self.model_misses - self.exact_misses) \
+            / self.exact_misses
+
+    def agrees(self, tolerance: float = 0.35) -> bool:
+        """Within tolerance, or both negligible."""
+        if max(self.exact_misses, self.model_misses) < 64:
+            return True  # noise-level counts
+        return self.relative_error <= tolerance
+
+
+@dataclass
+class ValidationCase:
+    """One loop's cross-engine comparison."""
+
+    name: str
+    traversals: int
+    levels: List[LevelComparison]
+
+    def agrees(self, tolerance: float = 0.35) -> bool:
+        return all(lc.agrees(tolerance) for lc in self.levels)
+
+
+def _scaled_stream(stream: StreamAccess, factor: float,
+                   min_bytes: int = 4096) -> StreamAccess:
+    """Shrink a stream's footprint (and accesses) for exact replay."""
+    from dataclasses import replace
+
+    footprint = max(min_bytes, int(stream.footprint_bytes * factor))
+    accesses = stream.accesses
+    if accesses is not None:
+        accesses = max(1, int(accesses * factor))
+    return replace(stream, footprint_bytes=footprint, accesses=accesses)
+
+
+def validate_streams(streams: Sequence[StreamAccess], traversals: int,
+                     config: Optional[HierarchyConfig] = None,
+                     name: str = "case",
+                     seed: int = 99) -> ValidationCase:
+    """Compare both engines on one loop's (possibly scaled) streams.
+
+    The exact path replays the L1 trace, then feeds each level's miss
+    lines to the next, mirroring the analytical cascade.  Prefetching
+    is disabled in both engines for the comparison (the exact cache
+    has no prefetcher), so the comparison is about the cache models.
+    """
+    from .prefetch import PrefetcherConfig
+
+    config = config or HierarchyConfig()
+    config_nopf = HierarchyConfig(
+        l1=config.l1, l2=config.l2,
+        l3_capacity_bytes=config.l3_capacity_bytes,
+        l3_line_bytes=config.l3_line_bytes,
+        prefetcher=PrefetcherConfig(depth=0),
+        overlap=config.overlap,
+    )
+    model = analyze_loop(streams, traversals, config_nopf)
+
+    l1 = CacheSim(config.l1)
+    l2 = CacheSim(config.l2)
+    l3 = CacheSim(CacheConfig(
+        size_bytes=_pow2_floor(config.l3_capacity_bytes),
+        line_bytes=config.l3_line_bytes,
+        associativity=8))
+    bases = layout_streams(list(streams))
+    rng = np.random.default_rng(seed)
+    exact_l1 = exact_l2 = exact_l3 = 0
+    for _ in range(traversals):
+        # interleave the streams' accesses the way the loop body issues
+        # them (the analytical model's capacity sharing assumes this)
+        traces = [s.generate_trace(bases[s.array], rng=rng)
+                  for s in streams]
+        flags = [np.full(len(t), s.kind.writes and not s.kind.reads)
+                 for s, t in zip(streams, traces)]
+        trace, writes = _interleave(traces, flags)
+        r1 = l1.access(trace, is_write=writes)
+        exact_l1 += r1.misses
+        r2 = l2.access(r1.miss_lines, is_write=False)
+        exact_l2 += r2.misses
+        r3 = l3.access(r2.miss_lines, is_write=False)
+        exact_l3 += r3.misses
+    return ValidationCase(
+        name=name,
+        traversals=traversals,
+        levels=[
+            LevelComparison("L1", exact_l1, model.l1.misses),
+            LevelComparison("L2", exact_l2,
+                            model.l2.misses + model.l2.prefetch_hits),
+            LevelComparison("L3/DDR", exact_l3, model.ddr_reads),
+        ],
+    )
+
+
+def validate_benchmark_loops(code: str, scale: float = 0.02,
+                             max_traversals: int = 3) -> List[ValidationCase]:
+    """Validate a NAS benchmark's loops at miniature scale.
+
+    Footprints are scaled by ``scale`` (the regimes — fits vs thrashes
+    — are preserved by scaling the cache the same way) and traversal
+    counts are clamped so the exact replay stays fast.
+    """
+    from ..npb import build_benchmark
+
+    program = build_benchmark(code)
+    cases = []
+    config = HierarchyConfig(
+        l1=CacheConfig(size_bytes=2 * 1024, line_bytes=32,
+                       associativity=8, hit_latency=4),
+        l2=CacheConfig(size_bytes=1024, line_bytes=128,
+                       associativity=8, hit_latency=12),
+        l3_capacity_bytes=int(2 * 1024 * 1024 * scale * 4),
+    )
+    for loop in program.loops():
+        if not loop.streams:
+            continue
+        streams = [_scaled_stream(s, scale) for s in loop.streams]
+        # keep exact replay tractable
+        total = sum(s.accesses_per_traversal for s in streams)
+        if total > 300_000:
+            continue
+        cases.append(validate_streams(
+            streams, min(loop.executions, max_traversals) or 1,
+            config, name=loop.name))
+    return cases
+
+
+def validation_report(cases: Sequence[ValidationCase],
+                      tolerance: float = 0.35) -> str:
+    """Human-readable agreement table."""
+    lines = [f"{'loop':28s} {'level':7s} {'exact':>12s} {'model':>12s} "
+             f"{'err':>7s}  ok"]
+    for case in cases:
+        for lc in case.levels:
+            err = (f"{lc.relative_error:.1%}"
+                   if lc.relative_error != float("inf") else "inf")
+            lines.append(
+                f"{case.name:28s} {lc.level:7s} {lc.exact_misses:>12.0f} "
+                f"{lc.model_misses:>12.0f} {err:>7s}  "
+                f"{'yes' if lc.agrees(tolerance) else 'NO'}")
+    return "\n".join(lines)
+
+
+def _interleave(traces, flags):
+    """Merge traces in loop-body order: proportional round-robin."""
+    keys = np.concatenate([
+        (np.arange(len(t), dtype=np.float64) + 0.5) / max(len(t), 1)
+        for t in traces])
+    order = np.argsort(keys, kind="stable")
+    merged = np.concatenate(traces)[order]
+    merged_flags = np.concatenate(flags)[order]
+    return merged, merged_flags
+
+
+def _pow2_floor(n: int) -> int:
+    """Largest power-of-two cache size <= n (CacheConfig divisibility)."""
+    if n < 1024:
+        return 1024
+    p = 1024
+    while p * 2 <= n:
+        p *= 2
+    return p

@@ -1,0 +1,17 @@
+"""Calibration microbenchmarks with closed-form expected counters."""
+
+from .kernels import (
+    MICROBENCHMARKS,
+    cache_probe,
+    peak_flops,
+    pointer_chase,
+    stream_triad,
+)
+
+__all__ = [
+    "MICROBENCHMARKS",
+    "peak_flops",
+    "stream_triad",
+    "pointer_chase",
+    "cache_probe",
+]

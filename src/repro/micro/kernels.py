@@ -1,0 +1,129 @@
+"""Calibration microbenchmarks: the machine, measured one axis at a time.
+
+Before trusting counters on a new machine, one runs microkernels with
+*known* answers: peak-flop loops, STREAM-style bandwidth sweeps, and
+pointer chases whose counter readings have closed-form expectations.
+These are the axes the NAS models are combinations of, so they double
+as an interpretability layer: any benchmark's character sheet can be
+read as "between triad and pointer-chase".
+
+Each builder returns a one-rank :class:`~repro.compiler.ir.Program`
+whose expected counter values are documented in its docstring.
+"""
+
+from __future__ import annotations
+
+from ..compiler.ir import Loop, Phase, Program
+from ..isa import InstructionMix, OpClass
+from ..mem import AccessKind, AccessPattern, StreamAccess
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _program(name: str, loop: Loop) -> Program:
+    return Program(name=name, phases=[Phase(loops=(loop,), name=name)])
+
+
+def peak_flops(iterations: int = 2_000_000) -> Program:
+    """Back-to-back independent FMAs: the 13.6 GFLOPS/node ceiling.
+
+    Expected: the FPU issue port saturates; with full SIMDization one
+    SIMD FMA retires per core-cycle = 4 flops/cycle/core.
+    """
+    loop = Loop(
+        name="micro.peak_flops",
+        body=InstructionMix({OpClass.FP_FMA: 8, OpClass.INT_ALU: 0.5,
+                             OpClass.BRANCH: 0.125}),
+        trip_count=iterations,
+        streams=(),  # registers only
+        data_parallel_fraction=1.0,
+        serial_fraction=0.0,
+        overhead_fraction=0.1,
+    )
+    return _program("peak_flops", loop)
+
+
+def stream_triad(footprint_bytes: int = 48 * MB,
+                 traversals: int = 10) -> Program:
+    """STREAM triad ``a[i] = b[i] + s*c[i]``: pure memory bandwidth.
+
+    Expected: time = bytes moved / sustainable DDR bandwidth once the
+    footprint exceeds every cache level; the DDR read counters equal
+    2 lines in + 1 line out per 128 bytes of ``a``.
+    """
+    per_array = footprint_bytes // 3
+    loop = Loop(
+        name="micro.stream_triad",
+        body=InstructionMix({OpClass.FP_FMA: 1, OpClass.LOAD: 2,
+                             OpClass.STORE: 1, OpClass.INT_ALU: 1,
+                             OpClass.BRANCH: 0.125}),
+        trip_count=max(1, per_array // 8),
+        executions=traversals,
+        streams=(
+            StreamAccess("triad.a", footprint_bytes=per_array,
+                         kind=AccessKind.WRITE),
+            StreamAccess("triad.b", footprint_bytes=per_array),
+            StreamAccess("triad.c", footprint_bytes=per_array),
+        ),
+        data_parallel_fraction=0.95,
+        serial_fraction=0.05,
+        overhead_fraction=0.2,
+    )
+    return _program("stream_triad", loop)
+
+
+def pointer_chase(footprint_bytes: int = 16 * MB,
+                  accesses: int = 1_000_000) -> Program:
+    """A dependent random walk: every load waits for the previous one.
+
+    Expected: cycles/access approaches the effective memory latency of
+    whichever level the footprint lands in — the classic latency curve.
+    """
+    loop = Loop(
+        name="micro.pointer_chase",
+        body=InstructionMix({OpClass.LOAD: 1, OpClass.INT_ALU: 1}),
+        trip_count=accesses,
+        streams=(
+            StreamAccess("chase.ring", footprint_bytes=footprint_bytes,
+                         accesses=accesses,
+                         pattern=AccessPattern.RANDOM),
+        ),
+        data_parallel_fraction=0.0,
+        serial_fraction=1.0,   # fully dependent
+        serial_floor=1.0,
+        overhead_fraction=0.0,
+    )
+    return _program("pointer_chase", loop)
+
+
+def cache_probe(footprint_bytes: int, traversals: int = 50) -> Program:
+    """Repeated sweeps of one array: which level does it live in?
+
+    Sweep ``footprint_bytes`` across the cache sizes and the counter
+    readings draw the memory-mountain: L1-resident, L3-resident, and
+    DDR-streaming regimes.
+    """
+    loop = Loop(
+        name=f"micro.cache_probe_{footprint_bytes // KB}k",
+        body=InstructionMix({OpClass.FP_ADDSUB: 1, OpClass.LOAD: 1,
+                             OpClass.INT_ALU: 0.5,
+                             OpClass.BRANCH: 0.125}),
+        trip_count=max(1, footprint_bytes // 8),
+        executions=traversals,
+        streams=(
+            StreamAccess("probe.array", footprint_bytes=footprint_bytes),
+        ),
+        data_parallel_fraction=0.9,
+        serial_fraction=0.05,
+        overhead_fraction=0.2,
+    )
+    return _program("cache_probe", loop)
+
+
+#: The calibration suite, in presentation order.
+MICROBENCHMARKS = {
+    "peak_flops": peak_flops,
+    "stream_triad": stream_triad,
+    "pointer_chase": pointer_chase,
+}

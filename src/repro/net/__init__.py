@@ -1,0 +1,38 @@
+"""The five Blue Gene/P networks.
+
+Application data: the 3D torus, the collective tree, and the global
+barrier network.  Control plane: 10Gb Ethernet (the I/O path that
+carries ``BGP_Finalize``'s counter dumps off the machine) and JTAG
+(boot-time personalities — how the paper reconfigures the L3 size).
+"""
+
+from .barrier import BarrierConfig, BarrierNetwork, BarrierResult
+from .collective import (
+    CollectiveConfig,
+    CollectiveNetwork,
+    CollectiveResult,
+)
+from .ethernet import EthernetIOModel, IOConfig, IOResult
+from .jtag import JTAGController, Personality
+from .topology import TorusTopology, partition_shape
+from .torus import Message, PhaseResult, TorusConfig, TorusNetwork
+
+__all__ = [
+    "TorusTopology",
+    "partition_shape",
+    "TorusNetwork",
+    "TorusConfig",
+    "Message",
+    "PhaseResult",
+    "CollectiveNetwork",
+    "CollectiveConfig",
+    "CollectiveResult",
+    "BarrierNetwork",
+    "BarrierConfig",
+    "BarrierResult",
+    "EthernetIOModel",
+    "IOConfig",
+    "IOResult",
+    "JTAGController",
+    "Personality",
+]

@@ -1,0 +1,81 @@
+"""The global barrier (interrupt) network.
+
+BG/P's third network is a dedicated low-latency AND-tree used for
+global barriers.  Its cost model has two parts:
+
+* the hardware propagation time, a few tree depths of wire latency —
+  microseconds even at full machine scale;
+* the *skew*: every process waits for the slowest arrival, which the
+  runtime measures as ``BARRIER_WAIT_CYCLES`` per node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class BarrierConfig:
+    """Barrier network parameters (core-clock cycles)."""
+
+    hop_latency_cycles: float = 30.0
+    fanout: int = 4
+    software_overhead_cycles: float = 250.0
+
+
+@dataclass
+class BarrierResult:
+    """Outcome of one global barrier."""
+
+    release_cycle: float           #: absolute time everyone leaves
+    hardware_cycles: float         #: propagation cost after last arrival
+    wait_cycles: List[float]       #: per-participant wait time
+
+
+class BarrierNetwork:
+    """Cost model of the global AND-tree barrier."""
+
+    def __init__(self, num_nodes: int,
+                 config: BarrierConfig = BarrierConfig()):
+        if num_nodes <= 0:
+            raise ValueError("barrier network needs >= 1 node")
+        self.num_nodes = num_nodes
+        self.config = config
+
+    @property
+    def hardware_latency(self) -> float:
+        """Up-and-down tree propagation cost in cycles."""
+        depth = (0 if self.num_nodes == 1
+                 else math.ceil(math.log(self.num_nodes,
+                                         self.config.fanout)))
+        return (self.config.software_overhead_cycles
+                + 2 * depth * self.config.hop_latency_cycles)
+
+    def synchronize(self, arrival_cycles: Sequence[float]) -> BarrierResult:
+        """Barrier over participants arriving at the given times.
+
+        Everyone is released ``hardware_latency`` after the last
+        arrival; each participant's wait is release minus its arrival.
+        """
+        if not arrival_cycles:
+            raise ValueError("barrier needs at least one participant")
+        if any(t < 0 for t in arrival_cycles):
+            raise ValueError("negative arrival time")
+        last = max(arrival_cycles)
+        release = last + self.hardware_latency
+        return BarrierResult(
+            release_cycle=release,
+            hardware_cycles=self.hardware_latency,
+            wait_cycles=[release - t for t in arrival_cycles],
+        )
+
+    def events(self, result: BarrierResult,
+               participant: int) -> Dict[str, int]:
+        """Mode-3 UPC pulses for one participant."""
+        return {
+            "BGP_BARRIER_ENTERED": 1,
+            "BGP_BARRIER_WAIT_CYCLES": int(round(
+                result.wait_cycles[participant])),
+        }

@@ -1,0 +1,107 @@
+"""The collective network: a dedicated reduction/broadcast tree.
+
+BG/P's second network is a tree spanning all nodes with an ALU at every
+tree node, so broadcasts and reductions complete in one tree traversal
+at wire speed — no torus traffic and no per-node software combining.
+The cost model: a pipelined traversal pays the tree depth in hop
+latency once, then streams the payload at link bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CollectiveConfig:
+    """Tree-network parameters (core-clock cycles / bytes)."""
+
+    bytes_per_cycle: float = 0.8
+    hop_latency_cycles: float = 40.0
+    fanout: int = 2
+    packet_bytes: int = 256
+    software_overhead_cycles: float = 600.0
+
+    def __post_init__(self):
+        if self.fanout < 2:
+            raise ValueError("tree fanout must be >= 2")
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("invalid collective bandwidth")
+
+
+@dataclass
+class CollectiveResult:
+    """Cost + events of one collective operation."""
+
+    cycles: float
+    up_packets: int     #: packets sent uptree per participating node
+    down_packets: int   #: packets sent downtree per participating node
+    alu_ops: int        #: reduction ALU operations per tree node
+
+
+class CollectiveNetwork:
+    """Cost model for broadcast / reduce / allreduce."""
+
+    def __init__(self, num_nodes: int,
+                 config: CollectiveConfig = CollectiveConfig()):
+        if num_nodes <= 0:
+            raise ValueError("collective network needs >= 1 node")
+        self.num_nodes = num_nodes
+        self.config = config
+
+    @property
+    def depth(self) -> int:
+        """Tree depth over the participating nodes."""
+        if self.num_nodes == 1:
+            return 0
+        return int(math.ceil(math.log(self.num_nodes, self.config.fanout)))
+
+    def _traversal_cycles(self, size_bytes: int, traversals: int) -> float:
+        wire = size_bytes / self.config.bytes_per_cycle
+        return (self.config.software_overhead_cycles
+                + traversals * self.depth * self.config.hop_latency_cycles
+                + traversals * wire)
+
+    def _packets(self, size_bytes: int) -> int:
+        if size_bytes == 0:
+            return 0
+        return -(-size_bytes // self.config.packet_bytes)
+
+    def broadcast(self, size_bytes: int) -> CollectiveResult:
+        """Root-to-all broadcast: one downtree traversal."""
+        return CollectiveResult(
+            cycles=self._traversal_cycles(size_bytes, 1),
+            up_packets=0,
+            down_packets=self._packets(size_bytes),
+            alu_ops=0,
+        )
+
+    def reduce(self, size_bytes: int,
+               element_bytes: int = 8) -> CollectiveResult:
+        """All-to-root reduction: one uptree traversal, combining inline."""
+        return CollectiveResult(
+            cycles=self._traversal_cycles(size_bytes, 1),
+            up_packets=self._packets(size_bytes),
+            down_packets=0,
+            alu_ops=max(1, size_bytes // element_bytes),
+        )
+
+    def allreduce(self, size_bytes: int,
+                  element_bytes: int = 8) -> CollectiveResult:
+        """Reduce + broadcast, pipelined through the tree."""
+        return CollectiveResult(
+            cycles=self._traversal_cycles(size_bytes, 2),
+            up_packets=self._packets(size_bytes),
+            down_packets=self._packets(size_bytes),
+            alu_ops=max(1, size_bytes // element_bytes),
+        )
+
+    def events(self, result: CollectiveResult) -> Dict[str, int]:
+        """Mode-3 UPC pulses for one participating node."""
+        return {
+            "BGP_COLLECTIVE_UP_PACKETS": result.up_packets,
+            "BGP_COLLECTIVE_DOWN_PACKETS": result.down_packets,
+            "BGP_COLLECTIVE_ALU_OPS": result.alu_ops,
+        }

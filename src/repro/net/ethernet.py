@@ -1,0 +1,81 @@
+"""The 10Gb Ethernet I/O path (the fourth network).
+
+BG/P compute nodes have no direct disk access: file I/O — including the
+counter dumps that ``BGP_Finalize`` writes — funnels through I/O nodes
+over the collective network and leaves the machine on 10Gb Ethernet.
+The application-visible behaviour is a per-node cost for shipping bytes
+off the machine, with the I/O nodes' uplinks as the shared bottleneck
+(one I/O node serves a fixed group of compute nodes, the *pset*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+@dataclass(frozen=True)
+class IOConfig:
+    """I/O path parameters, in core cycles / bytes."""
+
+    #: compute nodes per I/O node (pset size; 32 or 128 on real racks)
+    pset_size: int = 32
+    #: 10GbE payload rate expressed in bytes per core cycle (~1.25GB/s
+    #: at 850MHz core clock => ~1.47 B/cycle)
+    uplink_bytes_per_cycle: float = 1.47
+    #: fixed software cost per file operation
+    syscall_overhead_cycles: float = 20_000.0
+
+    def __post_init__(self):
+        if self.pset_size <= 0:
+            raise ValueError("pset must contain at least one node")
+        if self.uplink_bytes_per_cycle <= 0:
+            raise ValueError("uplink bandwidth must be positive")
+
+
+@dataclass
+class IOResult:
+    """Cost of one collective file-write phase."""
+
+    cycles: float                     #: completion time of the phase
+    bytes_total: int
+    busiest_io_node: int              #: index of the bottleneck I/O node
+    per_io_node_bytes: Dict[int, int] = None  # type: ignore[assignment]
+
+
+class EthernetIOModel:
+    """Cost model for per-node file writes (e.g. counter dumps)."""
+
+    def __init__(self, config: IOConfig = IOConfig()):
+        self.config = config
+
+    def io_node_of(self, compute_node: int) -> int:
+        """The I/O node serving a compute node (its pset)."""
+        if compute_node < 0:
+            raise ValueError("negative node id")
+        return compute_node // self.config.pset_size
+
+    def write_phase(self, bytes_per_node: Sequence[int]) -> IOResult:
+        """All nodes write their files concurrently; psets serialise.
+
+        ``bytes_per_node[i]`` is what compute node ``i`` writes.  The
+        phase finishes when the busiest I/O node's uplink drains.
+        """
+        if any(b < 0 for b in bytes_per_node):
+            raise ValueError("negative write size")
+        per_io: Dict[int, int] = {}
+        for node, size in enumerate(bytes_per_node):
+            per_io[self.io_node_of(node)] = (
+                per_io.get(self.io_node_of(node), 0) + size)
+        if not per_io:
+            return IOResult(cycles=0.0, bytes_total=0, busiest_io_node=0,
+                            per_io_node_bytes={})
+        busiest = max(per_io, key=per_io.get)
+        drain = per_io[busiest] / self.config.uplink_bytes_per_cycle
+        writers = sum(1 for b in bytes_per_node if b > 0)
+        cycles = drain + (self.config.syscall_overhead_cycles
+                          if writers else 0.0)
+        return IOResult(cycles=cycles,
+                        bytes_total=sum(bytes_per_node),
+                        busiest_io_node=busiest,
+                        per_io_node_bytes=per_io)

@@ -1,0 +1,84 @@
+"""The IEEE 1149.1 (JTAG) control network (the fifth network).
+
+JTAG carries no application data on BG/P: the service node uses it to
+boot nodes, load "personalities" (per-node boot-time configuration),
+and poll health.  Its role in the paper's experiments is exactly one
+thing: the **boot-time options** that reconfigure the node, e.g. "we
+reduced the L3 cache size to 2 MB per node using the svchost options
+while booting a node" (Section VIII).  This model captures that
+control-plane function: personalities are written per node, validated,
+and applied when a node is (re)booted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..mem.l3 import MAX_L3_BYTES
+
+
+@dataclass(frozen=True)
+class Personality:
+    """Boot-time configuration the service node pushes over JTAG."""
+
+    l3_size_bytes: int = MAX_L3_BYTES
+    l2_prefetch_depth: int = 2
+    mode_name: str = "SMP1"
+
+    def __post_init__(self):
+        if not 0 <= self.l3_size_bytes <= MAX_L3_BYTES:
+            raise ValueError(
+                f"personality L3 size out of range: {self.l3_size_bytes}")
+        if self.l2_prefetch_depth < 0:
+            raise ValueError("negative prefetch depth")
+
+
+@dataclass
+class JTAGController:
+    """Service-node side of the control network.
+
+    Tracks which personality each node will boot with, and a boot log
+    (the real system's equivalent of the mcServer console).
+    """
+
+    personalities: Dict[int, Personality] = field(default_factory=dict)
+    boot_log: List[str] = field(default_factory=list)
+    #: serial-chain scan cost per node per boot, cycles (JTAG is slow)
+    scan_cycles_per_node: int = 2_000_000
+
+    def load_personality(self, node_id: int,
+                         personality: Personality) -> None:
+        """Stage a personality for a node's next boot."""
+        if node_id < 0:
+            raise ValueError("negative node id")
+        self.personalities[node_id] = personality
+
+    def personality_of(self, node_id: int) -> Personality:
+        """The personality a node boots with (default when unset)."""
+        return self.personalities.get(node_id, Personality())
+
+    def boot(self, node_ids: List[int]) -> int:
+        """Boot a set of nodes; returns the control-plane cycle cost.
+
+        Boots are serialised down the JTAG chain, which is why real
+        partition boots take minutes — and why nobody reconfigures the
+        L3 between time steps.
+        """
+        if not node_ids:
+            raise ValueError("no nodes to boot")
+        for node_id in node_ids:
+            p = self.personality_of(node_id)
+            self.boot_log.append(
+                f"node {node_id}: booted {p.mode_name} "
+                f"l3={p.l3_size_bytes // (1 << 20)}MB "
+                f"pf={p.l2_prefetch_depth}")
+        return self.scan_cycles_per_node * len(node_ids)
+
+    def last_boot(self, node_id: int) -> Optional[str]:
+        """The most recent boot-log line for a node, if any."""
+        prefix = f"node {node_id}:"
+        for line in reversed(self.boot_log):
+            if line.startswith(prefix):
+                return line
+        return None

@@ -1,0 +1,155 @@
+"""The 3D torus data network: latency, bandwidth, link contention.
+
+The torus is BG/P's main data network: 6 bidirectional links per node,
+dimension-ordered routing, highest throughput to nearest neighbours.
+The cost model for a communication *phase* (a set of messages injected
+together, which is how BSP applications drive the network):
+
+* every message pays per-hop latency along its route;
+* every directed link serialises the bytes of all messages routed over
+  it; the phase completes when the most-loaded link drains;
+* per-node packet counts per direction feed the mode-3 UPC events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .topology import TorusTopology
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point transfer in a communication phase."""
+
+    src: int
+    dst: int
+    size_bytes: int
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError("message size must be >= 0")
+
+
+@dataclass(frozen=True)
+class TorusConfig:
+    """Torus link parameters, in core-clock cycles and bytes.
+
+    BG/P torus links run at 425 MB/s per direction; at 850 MHz that is
+    0.5 bytes per core cycle.  Hop latency is ~64 ns hardware + routing,
+    ~55 core cycles.
+    """
+
+    bytes_per_cycle: float = 0.5
+    hop_latency_cycles: float = 55.0
+    packet_bytes: int = 256
+    #: software (MPI) overhead per message, cycles
+    software_overhead_cycles: float = 900.0
+
+    def __post_init__(self):
+        if self.bytes_per_cycle <= 0 or self.packet_bytes <= 0:
+            raise ValueError("invalid torus configuration")
+
+
+@dataclass
+class PhaseResult:
+    """Outcome of one communication phase on the torus."""
+
+    cycles: float = 0.0
+    max_link_bytes: int = 0
+    total_packets: int = 0
+    #: per-node, per-direction packet counts: node -> {"XP": n, ...}
+    sent: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    #: packets received per node
+    received: Dict[int, int] = field(default_factory=dict)
+    #: cumulative packet-hops (feeds BGP_TORUS_HOP_CYCLES)
+    hop_cycles: float = 0.0
+
+
+class TorusNetwork:
+    """Cost + event model of the torus for phase-structured traffic."""
+
+    def __init__(self, topology: TorusTopology,
+                 config: TorusConfig = TorusConfig()):
+        self.topology = topology
+        self.config = config
+
+    def packets(self, size_bytes: int) -> int:
+        """Packets needed for a message (minimum one for the header)."""
+        if size_bytes == 0:
+            return 0
+        return -(-size_bytes // self.config.packet_bytes)
+
+    def message_cost(self, msg: Message) -> float:
+        """Cycles for one message on an otherwise idle network."""
+        if msg.src == msg.dst:
+            return 0.0  # intra-node: handled by shared memory, not torus
+        hops = self.topology.hop_distance(msg.src, msg.dst)
+        wire = msg.size_bytes / self.config.bytes_per_cycle
+        return (self.config.software_overhead_cycles
+                + hops * self.config.hop_latency_cycles + wire)
+
+    def run_phase(self, messages: Sequence[Message],
+                  balanced: bool = False) -> PhaseResult:
+        """Cost and events of a set of messages injected together.
+
+        ``balanced=True`` models BG/P's optimised dense collectives
+        (e.g. MPI_Alltoall), which spread traffic over all six links of
+        every node instead of following deterministic dimension-order
+        routes: the phase then drains at node-aggregate bandwidth, with
+        per-link hotspots averaged away.
+        """
+        result = PhaseResult()
+        link_bytes: Dict[Tuple[int, int], int] = {}
+        worst_message = 0.0
+        for msg in messages:
+            if msg.src == msg.dst or msg.size_bytes == 0:
+                continue
+            route = self.topology.route(msg.src, msg.dst)
+            pkts = self.packets(msg.size_bytes)
+            result.total_packets += pkts
+            result.received[msg.dst] = result.received.get(msg.dst, 0) + pkts
+            result.hop_cycles += (len(route) * pkts
+                                  * self.config.hop_latency_cycles)
+            worst_message = max(worst_message, self.message_cost(msg))
+            for link in route:
+                link_bytes[link] = link_bytes.get(link, 0) + msg.size_bytes
+            # the injecting node's directional counter
+            first = route[0]
+            direction = self.topology.link_direction(*first)
+            node_sent = result.sent.setdefault(msg.src, {})
+            node_sent[direction] = node_sent.get(direction, 0) + pkts
+        if link_bytes:
+            result.max_link_bytes = max(link_bytes.values())
+        if balanced and link_bytes:
+            # node-aggregate drain: total link traffic spread over every
+            # directed link actually available
+            total_link_bytes = sum(link_bytes.values())
+            links = 6 * self.topology.num_nodes
+            serialization = (total_link_bytes / links
+                             / self.config.bytes_per_cycle)
+            # hotspots never average out perfectly
+            serialization = max(serialization,
+                                0.25 * result.max_link_bytes
+                                / self.config.bytes_per_cycle)
+        else:
+            serialization = (result.max_link_bytes
+                             / self.config.bytes_per_cycle)
+        result.cycles = max(worst_message, serialization)
+        return result
+
+    # ------------------------------------------------------------------
+    def phase_events(self, result: PhaseResult) -> Dict[int, Dict[str, int]]:
+        """Mode-3 UPC event pulses per node for a finished phase."""
+        events: Dict[int, Dict[str, int]] = {}
+        for node, directions in result.sent.items():
+            node_ev = events.setdefault(node, {})
+            for direction, pkts in directions.items():
+                node_ev[f"BGP_TORUS_{direction}_PACKETS"] = (
+                    node_ev.get(f"BGP_TORUS_{direction}_PACKETS", 0) + pkts)
+        for node, pkts in result.received.items():
+            node_ev = events.setdefault(node, {})
+            node_ev["BGP_TORUS_RECV_PACKETS"] = (
+                node_ev.get("BGP_TORUS_RECV_PACKETS", 0) + pkts)
+        return events

@@ -1,0 +1,21 @@
+"""The quad-core compute node (SoC) and its operating modes."""
+
+from .modes import ModeTableRow, OperatingMode, mode_table
+from .soc import (
+    ComputeNode,
+    LoopWork,
+    NodeRunResult,
+    ProcessWork,
+    THREAD_EFFICIENCY,
+)
+
+__all__ = [
+    "OperatingMode",
+    "ModeTableRow",
+    "mode_table",
+    "ComputeNode",
+    "ProcessWork",
+    "LoopWork",
+    "NodeRunResult",
+    "THREAD_EFFICIENCY",
+]

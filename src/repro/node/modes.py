@@ -1,0 +1,95 @@
+"""Operating modes of a Blue Gene/P node (paper Figure 3).
+
+A node's four cores can be presented to the job scheduler in four ways:
+
+==========  =========  ==================  ============================
+mode        processes  threads / process   cores used
+==========  =========  ==================  ============================
+SMP/1       1          1                   1 (three cores idle)
+SMP/4       1          4                   4 (one address space)
+Dual        2          2                   4 (two address spaces)
+VNM         4          1                   4 (four address spaces)
+==========  =========  ==================  ============================
+
+The mode determines process placement, how the shared L3 is divided,
+and how much L1 data is genuinely shared (which drives the snoop-filter
+hit rate: threads of one process share arrays, separate MPI processes
+do not).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+
+class OperatingMode(enum.Enum):
+    """The four scheduling modes of a BG/P node."""
+
+    SMP1 = "SMP/1 thread"
+    SMP4 = "SMP/4 threads"
+    DUAL = "Dual"
+    VNM = "Virtual Node Mode"
+
+    @property
+    def processes_per_node(self) -> int:
+        return _MODE_SHAPE[self][0]
+
+    @property
+    def threads_per_process(self) -> int:
+        return _MODE_SHAPE[self][1]
+
+    @property
+    def cores_used(self) -> int:
+        return self.processes_per_node * self.threads_per_process
+
+    @property
+    def shares_address_space(self) -> bool:
+        """True when multiple cores run threads of one process."""
+        return self.threads_per_process > 1
+
+    @property
+    def snoop_sharing_fraction(self) -> float:
+        """Probability a remote store's line sits in a core's L1.
+
+        Separate MPI processes (VNM, SMP/1) share essentially nothing;
+        threads of one process (SMP/4, Dual) share the process's arrays.
+        """
+        return 0.10 if self.shares_address_space else 0.01
+
+    def core_assignment(self) -> List[List[int]]:
+        """Cores assigned to each process slot, in order.
+
+        e.g. DUAL -> ``[[0, 1], [2, 3]]``; SMP/1 -> ``[[0]]``.
+        """
+        cores_per_proc = self.threads_per_process
+        return [list(range(p * cores_per_proc, (p + 1) * cores_per_proc))
+                for p in range(self.processes_per_node)]
+
+
+_MODE_SHAPE = {
+    OperatingMode.SMP1: (1, 1),
+    OperatingMode.SMP4: (1, 4),
+    OperatingMode.DUAL: (2, 2),
+    OperatingMode.VNM: (4, 1),
+}
+
+
+@dataclass(frozen=True)
+class ModeTableRow:
+    """One row of the paper's Figure 3 table."""
+
+    mode: str
+    processes_per_node: int
+    threads_per_process: int
+    cores_used: int
+
+
+def mode_table() -> List[ModeTableRow]:
+    """The Figure 3 table: processes and threads per node by mode."""
+    return [
+        ModeTableRow(m.value, m.processes_per_node,
+                     m.threads_per_process, m.cores_used)
+        for m in OperatingMode
+    ]

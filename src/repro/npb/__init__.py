@@ -1,0 +1,32 @@
+"""NAS Parallel Benchmark workload models + functional mini-kernels."""
+
+from .base import (
+    BenchmarkInfo,
+    DEFAULT_RANKS,
+    NPBBuilder,
+    PROBLEM_CLASSES,
+    SQUARE_RANKS,
+)
+from .functional import FUNCTIONAL_KERNELS, KernelResult
+from .suite import (
+    BENCHMARK_ORDER,
+    all_benchmarks,
+    build_benchmark,
+    builder,
+    paper_ranks,
+)
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "build_benchmark",
+    "builder",
+    "paper_ranks",
+    "all_benchmarks",
+    "NPBBuilder",
+    "BenchmarkInfo",
+    "PROBLEM_CLASSES",
+    "DEFAULT_RANKS",
+    "SQUARE_RANKS",
+    "FUNCTIONAL_KERNELS",
+    "KernelResult",
+]

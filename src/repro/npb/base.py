@@ -1,0 +1,100 @@
+"""Common scaffolding for the NAS Parallel Benchmark workload models.
+
+Each benchmark module builds a :class:`~repro.compiler.ir.Program`
+describing its per-rank execution — loop templates with instruction
+mixes, memory stream descriptors, and communication phases — at the
+``-O -qstrict`` compilation baseline.
+
+Scaling note (documented in DESIGN.md): per-rank memory footprints are
+scaled so that footprint-to-cache ratios reproduce the paper's observed
+regimes (the class-C hot set fits a 4 MB node L3; see Figure 11), not
+so that absolute byte counts match a real class-C run.  The simulator's
+deliverable is the *shape* of each figure; instruction-mix ratios and
+capacity cliffs are preserved, magnitudes are model-scale.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict
+
+from ..compiler.ir import Program
+from ..isa import InstructionMix, OpClass
+
+#: Problem classes: linear scale factors on work and footprints relative
+#: to class C (the paper's experiments all use class C).
+PROBLEM_CLASSES: Dict[str, float] = {
+    "S": 1.0 / 256.0,
+    "W": 1.0 / 64.0,
+    "A": 1.0 / 16.0,
+    "B": 1.0 / 4.0,
+    "C": 1.0,
+}
+
+#: The rank count the paper uses for most benchmarks...
+DEFAULT_RANKS = 128
+#: ...and for SP/BT, which need a square process count (Section V).
+SQUARE_RANKS = 121
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Identity of one NAS benchmark."""
+
+    code: str
+    full_name: str
+    description: str
+    square_ranks: bool = False
+
+    def default_ranks(self) -> int:
+        return SQUARE_RANKS if self.square_ranks else DEFAULT_RANKS
+
+
+def mix(**counts: float) -> InstructionMix:
+    """Shorthand: ``mix(FP_FMA=8, LOAD=6)`` -> InstructionMix."""
+    return InstructionMix({OpClass[name]: value
+                           for name, value in counts.items()})
+
+
+class NPBBuilder(abc.ABC):
+    """Base class for the per-benchmark Program builders."""
+
+    info: BenchmarkInfo
+
+    def class_scale(self, problem_class: str) -> float:
+        try:
+            return PROBLEM_CLASSES[problem_class]
+        except KeyError:
+            raise ValueError(
+                f"unknown problem class {problem_class!r}; "
+                f"choose from {sorted(PROBLEM_CLASSES)}") from None
+
+    def validate_ranks(self, num_ranks: int) -> None:
+        if num_ranks <= 0:
+            raise ValueError("need at least one rank")
+        if self.info.square_ranks:
+            root = int(round(num_ranks ** 0.5))
+            if root * root != num_ranks:
+                raise ValueError(
+                    f"{self.info.code} requires a square process count "
+                    f"(got {num_ranks}); the paper uses {SQUARE_RANKS}")
+
+    @abc.abstractmethod
+    def build(self, num_ranks: int, problem_class: str = "C") -> Program:
+        """The per-rank Program at the -O -qstrict baseline."""
+
+    # ------------------------------------------------------------------
+    # shared scaling helpers
+    # ------------------------------------------------------------------
+    def per_rank(self, total_at_class_c: float, num_ranks: int,
+                 problem_class: str) -> float:
+        """Split a class-scaled whole-job quantity across ranks."""
+        self.validate_ranks(num_ranks)
+        return (total_at_class_c * self.class_scale(problem_class)
+                / num_ranks)
+
+    @staticmethod
+    def footprint(scaled_bytes: float, minimum: int = 4096) -> int:
+        """A (pre-scaled) footprint, floored so descriptors stay valid."""
+        return max(minimum, int(scaled_bytes))

@@ -1,0 +1,95 @@
+"""BT — Block Tri-diagonal: ADI with dense 5x5 blocks per point.
+
+Workload character (NAS BT, class C: 162^3 grid, 200 steps, square
+process count — the paper runs it on 121 ranks):
+
+* **compute** — the same ADI shape as SP, but every grid point carries
+  a dense 5x5 block system: block matrix-matrix and matrix-vector
+  kernels give BT the *highest FMA density* of the suite (Figure 6
+  shows BT essentially all single FMA).  The little 5x5 kernels are
+  awkward for the two-wide SIMDizer (odd dimensions, register
+  pressure): ``data_parallel_fraction = 0.15``.
+* **memory** — the big block arrays stream; the line-solve workspace
+  is resident.
+* **communication** — face exchanges like SP, but with block payloads
+  (bigger messages, fewer of them).
+"""
+
+from __future__ import annotations
+
+from ..compiler.ir import CommKind, CommOp, Loop, Phase, Program
+from ..mem import AccessKind, StreamAccess
+from .base import BenchmarkInfo, NPBBuilder, mix
+
+MB = 1024 * 1024
+
+
+class BTBuilder(NPBBuilder):
+    """Program builder for BT."""
+
+    info = BenchmarkInfo(
+        code="BT",
+        full_name="Block Tri-diagonal Solver",
+        description="ADI with dense 5x5 blocks, square process grid",
+        square_ranks=True,
+    )
+
+    TIME_STEPS = 60  # model-scale (class C runs 200; same shape)
+
+    def build(self, num_ranks: int, problem_class: str = "C") -> Program:
+        self.validate_ranks(num_ranks)
+        scale = (self.class_scale(problem_class)
+                 * self.info.default_ranks() / num_ranks)
+        solution = self.footprint(0.55 * MB * scale)
+        blocks = self.footprint(2.6 * MB * scale)    # 5x5 block arrays
+        workspace = self.footprint(0.28 * MB * scale)
+        points = max(1, solution // 8)
+
+        block_solve = Loop(
+            name="bt.block_solve",
+            # per point per direction: 5x5 block LU + back-substitution
+            body=mix(FP_FMA=14, FP_MUL=4, FP_ADDSUB=4, FP_DIV=0.5,
+                     LOAD=16, STORE=4, INT_ALU=5, BRANCH=0.5, OTHER=0.3),
+            trip_count=points,
+            executions=self.TIME_STEPS * 3,  # three ADI directions
+            streams=(
+                StreamAccess("bt.solution", footprint_bytes=solution,
+                             kind=AccessKind.READWRITE),
+                StreamAccess("bt.workspace", footprint_bytes=workspace,
+                             kind=AccessKind.READWRITE),
+            ),
+            data_parallel_fraction=0.15,
+            serial_fraction=0.35,
+            serial_floor=0.20,
+            overhead_fraction=0.30,
+            hoistable_fraction=0.10,
+        )
+        block_assembly = Loop(
+            name="bt.block_assembly",
+            body=mix(FP_FMA=8, FP_MUL=3, FP_ADDSUB=3,
+                     LOAD=10, STORE=5, INT_ALU=4, BRANCH=0.3, OTHER=0.2),
+            trip_count=max(1, blocks // 24),
+            executions=self.TIME_STEPS // 4,
+            streams=(StreamAccess("bt.blocks", footprint_bytes=blocks,
+                                  kind=AccessKind.READWRITE),),
+            data_parallel_fraction=0.30,
+            serial_fraction=0.25,
+            serial_floor=0.05,
+            overhead_fraction=0.30,
+            hoistable_fraction=0.10,
+        )
+        faces = CommOp(
+            CommKind.HALO,
+            bytes_per_rank=self.footprint(140 * 1024 * scale,
+                                          minimum=1024),
+            neighbors=4, repeats=self.TIME_STEPS * 3)
+        return Program(name="BT", phases=[
+            Phase(loops=(block_solve,), comm=faces,
+                  name="block line solves + face exchange"),
+            Phase(loops=(block_assembly,), name="block assembly"),
+        ])
+
+
+def build(num_ranks: int, problem_class: str = "C") -> Program:
+    """Build BT's per-rank Program."""
+    return BTBuilder().build(num_ranks, problem_class)

@@ -1,0 +1,107 @@
+"""CG — Conjugate Gradient: sparse eigenvalue estimation.
+
+Workload character (NAS CG, class C: n=150,000, 75 outer iterations):
+
+* **compute** — the sparse matrix-vector product dominates: one FMA
+  per nonzero behind an *indirect gather* (``p[colidx[k]]``).  The
+  gather's data dependence defeats the SIMDizer
+  (``data_parallel_fraction = 0.05``), so Figure 6 shows CG as single
+  FMA, and its compiler gains (Figure 9) are modest scalar cleanups.
+* **memory** — matrix values/indices stream sequentially (the medium
+  tier); the gathered vector is RANDOM over its footprint; the small
+  CG vectors (p, q, r, z) are the cache-resident tier.
+* **communication** — two scalar allreduces per iteration (the dot
+  products) on the tree network, plus partner exchanges of vector
+  segments for the distributed matvec.
+"""
+
+from __future__ import annotations
+
+from ..compiler.ir import CommKind, CommOp, Loop, Phase, Program
+from ..mem import AccessKind, AccessPattern, StreamAccess
+from .base import BenchmarkInfo, NPBBuilder, mix
+
+MB = 1024 * 1024
+
+
+class CGBuilder(NPBBuilder):
+    """Program builder for CG."""
+
+    info = BenchmarkInfo(
+        code="CG",
+        full_name="Conjugate Gradient",
+        description="sparse SPD matvec + dot products, indirect gathers",
+    )
+
+    OUTER_ITERATIONS = 75
+    INNER_CG = 25  # CG steps per outer eigenvalue iteration (folded)
+
+    def build(self, num_ranks: int, problem_class: str = "C") -> Program:
+        self.validate_ranks(num_ranks)
+        scale = (self.class_scale(problem_class)
+                 * self.info.default_ranks() / num_ranks)
+        matrix = self.footprint(1.8 * MB * scale)   # values + col indices
+        vector = self.footprint(0.60 * MB * scale)  # the gathered vector
+        small_vecs = self.footprint(0.30 * MB * scale)  # p, q, r, z
+        nnz = max(1, matrix // 12)  # 8B value + 4B index per nonzero
+        vec_len = max(1, small_vecs // 8)
+        iters = self.OUTER_ITERATIONS
+
+        matvec = Loop(
+            name="cg.sparse_matvec",
+            # per nonzero: load value + index, gather, one FMA
+            body=mix(FP_FMA=1, LOAD=2.5, INT_ALU=1.5, BRANCH=0.1,
+                     OTHER=0.05),
+            trip_count=nnz,
+            executions=iters,
+            streams=(
+                StreamAccess("cg.matrix", footprint_bytes=matrix),
+                StreamAccess("cg.vector", footprint_bytes=vector,
+                             accesses=nnz,
+                             pattern=AccessPattern.RANDOM),
+            ),
+            data_parallel_fraction=0.05,
+            serial_fraction=0.30,
+            serial_floor=0.12,
+            overhead_fraction=0.40,
+            hoistable_fraction=0.08,
+        )
+        vector_ops = Loop(
+            name="cg.vector_ops",
+            # dots + three AXPYs per CG step over the resident vectors
+            body=mix(FP_FMA=4, FP_ADDSUB=1, FP_MUL=1, FP_DIV=0.01,
+                     LOAD=6, STORE=3, INT_ALU=2, BRANCH=0.2, OTHER=0.1),
+            trip_count=vec_len,
+            executions=iters * 3,
+            streams=(
+                StreamAccess("cg.small_vecs", footprint_bytes=small_vecs,
+                             kind=AccessKind.READWRITE),
+            ),
+            data_parallel_fraction=0.10,
+            serial_fraction=0.35,
+            serial_floor=0.15,  # the dot-product reduction chain
+            overhead_fraction=0.35,
+            hoistable_fraction=0.08,
+        )
+        dots = CommOp(CommKind.ALLREDUCE, bytes_per_rank=8,
+                      repeats=iters * self.INNER_CG * 2)
+        # CG's vector-segment exchange crosses the processor grid (the
+        # partner is half the grid away), so it stays inter-node even
+        # in Virtual Node Mode.
+        segments = CommOp(
+            CommKind.PAIRWISE,
+            bytes_per_rank=self.footprint(0.15 * MB * scale,
+                                          minimum=1024),
+            repeats=iters,
+            partner_stride=max(1, num_ranks // 2))
+        return Program(name="CG", phases=[
+            Phase(loops=(matvec,), comm=segments,
+                  name="matvec + segment exchange"),
+            Phase(loops=(vector_ops,), comm=dots,
+                  name="vector ops + dot reductions"),
+        ])
+
+
+def build(num_ranks: int, problem_class: str = "C") -> Program:
+    """Build CG's per-rank Program."""
+    return CGBuilder().build(num_ranks, problem_class)

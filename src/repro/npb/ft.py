@@ -1,0 +1,133 @@
+"""FT — 3D FFT PDE: spectral solver with all-to-all transposes.
+
+Workload character (NAS FT, class C: 512^3 complex grid, 20 steps):
+
+* **compute** — radix FFT butterflies (balanced add/sub + multiply +
+  FMA on complex pairs) and a point-wise spectral-evolution pass.
+  Butterflies over independent lines are prime SIMD material
+  (Figure 6 shows FT heavy in SIMD add-sub/FMA; Figure 7 shows the
+  SIMD count jumping once ``-qarch=440d`` is on):
+  ``data_parallel_fraction = 0.75``.
+* **memory** — the local slab is re-traversed every FFT pass; one pass
+  works at a large stride (the cross-line dimension), which defeats
+  the L2 prefetcher, and the transpose staging buffer streams.
+  The hot slab is sized *above* a 2 MB-node share, which is why FT's
+  co-runners interfere in VNM (Figure 12's > 4x point).
+* **communication** — the distributed transpose: a personalised
+  all-to-all of the whole local slab, every time step.  This is the
+  dominant comm load of the suite and is inter-node even in VNM.
+"""
+
+from __future__ import annotations
+
+from ..compiler.ir import CommKind, CommOp, Loop, Phase, Program
+from ..mem import AccessKind, AccessPattern, StreamAccess
+from .base import BenchmarkInfo, NPBBuilder, mix
+
+MB = 1024 * 1024
+
+
+class FTBuilder(NPBBuilder):
+    """Program builder for FT."""
+
+    info = BenchmarkInfo(
+        code="FT",
+        full_name="3-D FFT PDE",
+        description="spectral PDE solver: 3D FFTs + all-to-all transpose",
+    )
+
+    STEPS = 20
+
+    def build(self, num_ranks: int, problem_class: str = "C") -> Program:
+        self.validate_ranks(num_ranks)
+        scale = (self.class_scale(problem_class)
+                 * self.info.default_ranks() / num_ranks)
+        slab = self.footprint(0.65 * MB * scale)       # complex local slab
+        twiddle = self.footprint(0.20 * MB * scale)    # roots of unity
+        stage = self.footprint(2.40 * MB * scale)      # transpose buffer
+        points = max(1, slab // 16)                    # complex elements
+
+        fft_local = Loop(
+            name="ft.fft_local",
+            # cache-blocked FFT: several butterfly stages execute per
+            # memory pass, so each point carries multiple butterflies
+            body=mix(FP_ADDSUB=16, FP_MUL=8, FP_FMA=10,
+                     LOAD=9, STORE=4, INT_ALU=5, BRANCH=0.4, OTHER=0.3),
+            trip_count=points,
+            executions=self.STEPS * 2,  # two local dimensions per step
+            streams=(
+                StreamAccess("ft.slab", footprint_bytes=slab,
+                             kind=AccessKind.READWRITE,
+                             element_bytes=16, stride_bytes=16),
+                StreamAccess("ft.twiddle", footprint_bytes=twiddle),
+            ),
+            data_parallel_fraction=0.75,
+            serial_fraction=0.25,
+            serial_floor=0.05,
+            overhead_fraction=0.35,
+            hoistable_fraction=0.10,
+        )
+        fft_strided = Loop(
+            name="ft.fft_cross",
+            # the cross-line dimension: same flops, stride-defeated L2
+            body=mix(FP_ADDSUB=16, FP_MUL=8, FP_FMA=10,
+                     LOAD=9, STORE=4, INT_ALU=5, BRANCH=0.4, OTHER=0.3),
+            trip_count=points,
+            executions=self.STEPS,
+            streams=(
+                StreamAccess("ft.slab", footprint_bytes=slab,
+                             kind=AccessKind.READWRITE,
+                             element_bytes=16, stride_bytes=2048,
+                             accesses=points,
+                             pattern=AccessPattern.STRIDED),
+                # transpose staging, cache-blocked: the pack writes land
+                # column-major (reuse distance ~ the whole buffer, i.e.
+                # RANDOM-equivalent at 32B-block granularity)...
+                StreamAccess("ft.stage_pack", footprint_bytes=stage,
+                             kind=AccessKind.WRITE, element_bytes=16,
+                             accesses=max(1, stage // 32),
+                             pattern=AccessPattern.RANDOM),
+                # ...and the unpack reads stream back sequentially
+                StreamAccess("ft.stage_unpack", footprint_bytes=stage,
+                             element_bytes=16, stride_bytes=16),
+            ),
+            data_parallel_fraction=0.75,
+            serial_fraction=0.25,
+            serial_floor=0.05,
+            overhead_fraction=0.35,
+            hoistable_fraction=0.10,
+        )
+        evolve = Loop(
+            name="ft.evolve",
+            # point-wise multiply by the spectral evolution factors
+            body=mix(FP_MUL=4, FP_FMA=2, FP_ADDSUB=1,
+                     LOAD=5, STORE=2, INT_ALU=2, BRANCH=0.2, OTHER=0.2),
+            trip_count=points,
+            executions=self.STEPS,
+            streams=(
+                StreamAccess("ft.slab", footprint_bytes=slab,
+                             kind=AccessKind.READWRITE, element_bytes=16,
+                             stride_bytes=16),
+            ),
+            data_parallel_fraction=0.80,
+            serial_fraction=0.15,
+            serial_floor=0.03,
+            overhead_fraction=0.30,
+            hoistable_fraction=0.12,
+        )
+        transpose = CommOp(CommKind.ALLTOALL,
+                           bytes_per_rank=slab,  # the slab changes hands
+                           repeats=self.STEPS)
+        checksum = CommOp(CommKind.ALLREDUCE, bytes_per_rank=16,
+                          repeats=self.STEPS)
+        return Program(name="FT", phases=[
+            Phase(loops=(fft_local,), comm=transpose,
+                  name="local FFTs + transpose"),
+            Phase(loops=(fft_strided, evolve), comm=checksum,
+                  name="cross FFT + evolve + checksum"),
+        ])
+
+
+def build(num_ranks: int, problem_class: str = "C") -> Program:
+    """Build FT's per-rank Program."""
+    return FTBuilder().build(num_ranks, problem_class)

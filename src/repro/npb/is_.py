@@ -1,0 +1,100 @@
+"""IS — Integer Sort: bucketed key ranking.
+
+Workload character (NAS IS, class C: 2^27 keys, 10 repetitions):
+
+* **compute** — integer work: key generation, histogramming, prefix
+  sums.  The tiny FP content (the verification/timing arithmetic)
+  shows up as single FMA in Figure 6; there is nothing for the
+  SIMDizer, so IS sits at the bottom of Figures 9/10's gains.
+* **memory** — the key array streams; the bucket/histogram array is
+  hammered with *RANDOM* read-modify-writes.  That scatter makes IS a
+  cache-thrashing co-runner — with FT, the paper's example of VNM DDR
+  traffic growing *more* than 4x (Figure 12), "due to memory port
+  contention and cache interference".
+* **communication** — every repetition redistributes keys with an
+  all-to-all plus an allreduce of bucket sizes.
+"""
+
+from __future__ import annotations
+
+from ..compiler.ir import CommKind, CommOp, Loop, Phase, Program
+from ..mem import AccessKind, AccessPattern, StreamAccess
+from .base import BenchmarkInfo, NPBBuilder, mix
+
+MB = 1024 * 1024
+
+
+class ISBuilder(NPBBuilder):
+    """Program builder for IS."""
+
+    info = BenchmarkInfo(
+        code="IS",
+        full_name="Integer Sort",
+        description="integer key ranking: histogram + all-to-all",
+    )
+
+    REPETITIONS = 10
+
+    def build(self, num_ranks: int, problem_class: str = "C") -> Program:
+        self.validate_ranks(num_ranks)
+        scale = (self.class_scale(problem_class)
+                 * self.info.default_ranks() / num_ranks)
+        keys = self.footprint(2.2 * MB * scale)      # key array (streams)
+        buckets = self.footprint(2.0 * MB * scale)   # histogram (random)
+        n_keys = max(1, keys // 4)
+
+        rank_keys = Loop(
+            name="is.rank",
+            # per key: load, bucket index arithmetic, histogram r-m-w
+            body=mix(INT_ALU=6, INT_MUL=0.5, LOAD=2, STORE=1,
+                     BRANCH=1.0, OTHER=0.3),
+            trip_count=n_keys,
+            executions=self.REPETITIONS,
+            streams=(
+                StreamAccess("is.keys", footprint_bytes=keys,
+                             stride_bytes=4, element_bytes=4),
+                StreamAccess("is.buckets", footprint_bytes=buckets,
+                             accesses=n_keys, element_bytes=4,
+                             kind=AccessKind.READWRITE,
+                             pattern=AccessPattern.RANDOM),
+            ),
+            data_parallel_fraction=0.0,
+            serial_fraction=0.35,
+            serial_floor=0.15,
+            overhead_fraction=0.30,
+            hoistable_fraction=0.05,
+        )
+        verify = Loop(
+            name="is.verify",
+            # the benchmark's small FP bookkeeping (timing, checksums)
+            body=mix(FP_FMA=3, FP_ADDSUB=1, LOAD=2, STORE=0.5,
+                     INT_ALU=2, BRANCH=0.3),
+            trip_count=20_000,
+            executions=self.REPETITIONS,
+            streams=(),
+            data_parallel_fraction=0.0,
+            serial_fraction=0.3,
+            serial_floor=0.1,
+            overhead_fraction=0.3,
+            hoistable_fraction=0.05,
+        )
+        redistribute = CommOp(
+            CommKind.ALLTOALL,
+            bytes_per_rank=self.footprint(1.1 * MB * scale,
+                                          minimum=4096),
+            repeats=self.REPETITIONS)
+        sizes = CommOp(CommKind.ALLREDUCE,
+                       bytes_per_rank=self.footprint(8 * 1024 * scale,
+                                                     minimum=256),
+                       repeats=self.REPETITIONS)
+        return Program(name="IS", phases=[
+            Phase(loops=(rank_keys,), comm=redistribute,
+                  name="rank + redistribute"),
+            Phase(loops=(verify,), comm=sizes,
+                  name="verify + bucket sizes"),
+        ])
+
+
+def build(num_ranks: int, problem_class: str = "C") -> Program:
+    """Build IS's per-rank Program."""
+    return ISBuilder().build(num_ranks, problem_class)

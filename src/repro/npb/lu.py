@@ -1,0 +1,100 @@
+"""LU — the SSOR-iterated implicit Navier-Stokes solver.
+
+Workload character (NAS LU, class C: 162^3 grid, 250 time steps):
+
+* **compute** — SSOR sweeps with a genuine *wavefront recurrence*:
+  point (i,j,k) needs freshly-updated (i-1,j,k), (i,j-1,k), (i,j,k-1).
+  That dependence is why LU resists SIMDization
+  (``data_parallel_fraction = 0.05``, high ``serial_floor``) and shows
+  up as single FMA in Figure 6 with modest compiler gains in Figure 10.
+* **memory** — the five solution variables are the medium tier, the
+  Jacobian blocks stream (rebuilt each step), the per-pencil buffers
+  are small and resident.
+* **communication** — the wavefront pipelines across ranks with *many
+  small* nearest-neighbour messages, LU's signature network load.
+"""
+
+from __future__ import annotations
+
+from ..compiler.ir import CommKind, CommOp, Loop, Phase, Program
+from ..mem import AccessKind, StreamAccess
+from .base import BenchmarkInfo, NPBBuilder, mix
+
+MB = 1024 * 1024
+
+
+class LUBuilder(NPBBuilder):
+    """Program builder for LU."""
+
+    info = BenchmarkInfo(
+        code="LU",
+        full_name="LU Solver",
+        description="SSOR wavefront sweeps of an implicit CFD solver",
+    )
+
+    TIME_STEPS = 75  # model-scale (class C runs 250; same per-step shape)
+
+    def build(self, num_ranks: int, problem_class: str = "C") -> Program:
+        self.validate_ranks(num_ranks)
+        scale = (self.class_scale(problem_class)
+                 * self.info.default_ranks() / num_ranks)
+        solution = self.footprint(0.60 * MB * scale)  # 5 solution vars
+        jacobian = self.footprint(2.4 * MB * scale)   # streamed blocks
+        pencils = self.footprint(0.20 * MB * scale)   # sweep buffers
+        points = max(1, solution // 8)
+        sweeps = self.TIME_STEPS * 2  # lower + upper triangular sweeps
+
+        ssor = Loop(
+            name="lu.ssor_sweep",
+            # per point per sweep: 5-variable stencil update
+            body=mix(FP_FMA=8, FP_ADDSUB=3, FP_MUL=2, FP_DIV=0.3,
+                     LOAD=12, STORE=2.5, INT_ALU=4, BRANCH=0.5,
+                     OTHER=0.3),
+            trip_count=points,
+            executions=sweeps,
+            streams=(
+                StreamAccess("lu.solution", footprint_bytes=solution,
+                             kind=AccessKind.READWRITE),
+                StreamAccess("lu.pencils", footprint_bytes=pencils,
+                             kind=AccessKind.READWRITE),
+            ),
+            data_parallel_fraction=0.05,
+            serial_fraction=0.50,
+            serial_floor=0.35,  # the wavefront recurrence
+            overhead_fraction=0.30,
+            hoistable_fraction=0.08,
+        )
+        jacobians = Loop(
+            name="lu.jacobians",
+            # rebuild the block Jacobians each step: streaming FMA
+            body=mix(FP_FMA=6, FP_MUL=3, FP_ADDSUB=2,
+                     LOAD=8, STORE=4, INT_ALU=3, BRANCH=0.3, OTHER=0.2),
+            trip_count=max(1, jacobian // 16),
+            executions=self.TIME_STEPS // 8,  # rebuilt periodically
+            streams=(StreamAccess("lu.jacobian",
+                                  footprint_bytes=jacobian,
+                                  kind=AccessKind.READWRITE),),
+            data_parallel_fraction=0.20,
+            serial_fraction=0.25,
+            serial_floor=0.05,
+            overhead_fraction=0.30,
+            hoistable_fraction=0.10,
+        )
+        wavefront = CommOp(
+            CommKind.HALO,
+            bytes_per_rank=self.footprint(20 * 1024 * scale,
+                                          minimum=256),
+            neighbors=4, repeats=sweeps * 2)
+        norm = CommOp(CommKind.ALLREDUCE, bytes_per_rank=40,
+                      repeats=self.TIME_STEPS // 5)
+        return Program(name="LU", phases=[
+            Phase(loops=(ssor,), comm=wavefront,
+                  name="SSOR sweeps + wavefront exchange"),
+            Phase(loops=(jacobians,), comm=norm,
+                  name="jacobians + residual norm"),
+        ])
+
+
+def build(num_ranks: int, problem_class: str = "C") -> Program:
+    """Build LU's per-rank Program."""
+    return LUBuilder().build(num_ranks, problem_class)

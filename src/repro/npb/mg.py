@@ -1,0 +1,115 @@
+"""MG — MultiGrid: V-cycles of a 3D Poisson solver.
+
+Workload character (NAS MG, class C: 512^3 grid, 20 V-cycles):
+
+* **compute** — 27/7-point stencil smoothing, residual, restriction and
+  prolongation: streaming FP add/sub + FMA over regular grids.  The
+  stencils are textbook data-parallel code, which is why the paper's
+  Figure 6 shows MG dominated by *SIMD add-sub and SIMD FMA* once
+  ``-qarch=440d`` is on (``data_parallel_fraction = 0.75``).
+* **memory** — three tiers per rank: the coarse-grid hierarchy (small,
+  swept every cycle — cache-resident from 2 MB up), the fine grid
+  (medium, the 4 MB step of Figure 11), and a full-resolution work
+  array touched once per cycle (streaming, never resident).
+* **communication** — face halo exchanges with the six grid neighbours
+  every smoothing sweep, plus one tree-network allreduce per cycle for
+  the residual norm.
+"""
+
+from __future__ import annotations
+
+from ..compiler.ir import CommKind, CommOp, Phase, Program
+from ..mem import AccessKind, StreamAccess
+from .base import BenchmarkInfo, NPBBuilder, mix
+
+MB = 1024 * 1024
+
+
+class MGBuilder(NPBBuilder):
+    """Program builder for MG."""
+
+    info = BenchmarkInfo(
+        code="MG",
+        full_name="MultiGrid",
+        description="V-cycle multigrid on a 3D Poisson problem",
+    )
+
+    V_CYCLES = 20
+    SWEEPS_PER_CYCLE = 3  # pre-smooth + post-smooth + residual
+
+    def build(self, num_ranks: int, problem_class: str = "C") -> Program:
+        self.validate_ranks(num_ranks)
+        scale = (self.class_scale(problem_class)
+                 * self.info.default_ranks() / num_ranks)
+        fine_u = self.footprint(0.55 * MB * scale)
+        fine_f = self.footprint(0.28 * MB * scale)
+        coarse = self.footprint(0.28 * MB * scale)
+        work = self.footprint(2.0 * MB * scale)
+        fine_points = max(1, fine_u // 8)
+        sweeps = self.V_CYCLES * self.SWEEPS_PER_CYCLE
+
+        from ..compiler.ir import Loop
+
+        smooth = Loop(
+            name="mg.smooth_fine",
+            # 7-point stencil: 6 adds + weighted update (2 FMA)
+            body=mix(FP_ADDSUB=5, FP_FMA=2, FP_MUL=0.5,
+                     LOAD=8, STORE=1, INT_ALU=3, BRANCH=0.3, OTHER=0.2),
+            trip_count=fine_points,
+            executions=sweeps,
+            streams=(
+                StreamAccess("mg.u", footprint_bytes=fine_u,
+                             kind=AccessKind.READWRITE),
+                StreamAccess("mg.f", footprint_bytes=fine_f),
+            ),
+            data_parallel_fraction=0.75,
+            serial_fraction=0.25,
+            serial_floor=0.05,
+            overhead_fraction=0.35,
+            hoistable_fraction=0.10,
+        )
+        coarse_loop = Loop(
+            name="mg.coarse_hierarchy",
+            body=mix(FP_ADDSUB=5, FP_FMA=2, FP_MUL=0.5,
+                     LOAD=8, STORE=1, INT_ALU=3, BRANCH=0.3, OTHER=0.2),
+            trip_count=max(1, coarse // 8),
+            executions=self.V_CYCLES * 4,  # all levels, both directions
+            streams=(StreamAccess("mg.coarse", footprint_bytes=coarse,
+                                  kind=AccessKind.READWRITE),),
+            data_parallel_fraction=0.70,
+            serial_fraction=0.25,
+            serial_floor=0.05,
+            overhead_fraction=0.35,
+            hoistable_fraction=0.10,
+        )
+        interp = Loop(
+            name="mg.residual_transfer",
+            # restriction/prolongation over the full-resolution work array
+            body=mix(FP_ADDSUB=3, FP_FMA=1, LOAD=5, STORE=2,
+                     INT_ALU=3, BRANCH=0.3, OTHER=0.2),
+            trip_count=max(1, work // 8),
+            executions=8,
+            streams=(StreamAccess("mg.work", footprint_bytes=work,
+                                  kind=AccessKind.READWRITE),),
+            data_parallel_fraction=0.70,
+            serial_fraction=0.2,
+            serial_floor=0.05,
+            overhead_fraction=0.35,
+            hoistable_fraction=0.08,
+        )
+        halo = CommOp(CommKind.HALO,
+                      bytes_per_rank=self.footprint(60 * 1024 * scale,
+                                                    minimum=512),
+                      neighbors=6, repeats=sweeps)
+        norm = CommOp(CommKind.ALLREDUCE, bytes_per_rank=8,
+                      repeats=self.V_CYCLES)
+        return Program(name="MG", phases=[
+            Phase(loops=(smooth, coarse_loop), comm=halo,
+                  name="v-cycle smoothing"),
+            Phase(loops=(interp,), comm=norm, name="transfer + norm"),
+        ])
+
+
+def build(num_ranks: int, problem_class: str = "C") -> Program:
+    """Build MG's per-rank Program."""
+    return MGBuilder().build(num_ranks, problem_class)

@@ -1,0 +1,114 @@
+"""SP — Scalar Pentadiagonal: ADI with per-line scalar solves.
+
+Workload character (NAS SP, class C: 162^3 grid, 400 steps, and a
+*square* process count — the paper runs it on 121 ranks):
+
+* **compute** — three ADI factorisation directions per step, each a
+  batch of scalar pentadiagonal line solves.  Forward elimination
+  carries a divide per point (SP's visible FP-div share) and a true
+  recurrence along each line (``serial_floor = 0.28``); lines are
+  independent of each other, so some SIMD is extractable across lines
+  (``data_parallel_fraction = 0.12``).
+* **memory** — x-direction sweeps are unit-stride; y/z sweeps walk the
+  grid at a large stride, defeating the L2 prefetcher (the STRIDED
+  stream below).
+* **communication** — face exchanges with the four neighbours of the
+  2D (square!) rank decomposition after each direction.
+"""
+
+from __future__ import annotations
+
+from ..compiler.ir import CommKind, CommOp, Loop, Phase, Program
+from ..mem import AccessKind, AccessPattern, StreamAccess
+from .base import BenchmarkInfo, NPBBuilder, mix
+
+MB = 1024 * 1024
+
+
+class SPBuilder(NPBBuilder):
+    """Program builder for SP."""
+
+    info = BenchmarkInfo(
+        code="SP",
+        full_name="Scalar Penta-diagonal Solver",
+        description="ADI line solves, square process grid",
+        square_ranks=True,
+    )
+
+    TIME_STEPS = 100  # model-scale (class C runs 400; same shape)
+
+    def build(self, num_ranks: int, problem_class: str = "C") -> Program:
+        self.validate_ranks(num_ranks)
+        scale = (self.class_scale(problem_class)
+                 * self.info.default_ranks() / num_ranks)
+        solution = self.footprint(0.60 * MB * scale)
+        rhs = self.footprint(2.2 * MB * scale)      # rebuilt, streams
+        coeffs = self.footprint(0.28 * MB * scale)  # line coefficients
+        points = max(1, solution // 8)
+
+        x_solve = Loop(
+            name="sp.x_solve",
+            body=mix(FP_FMA=6, FP_MUL=3, FP_ADDSUB=4, FP_DIV=0.8,
+                     LOAD=10, STORE=3, INT_ALU=4, BRANCH=0.4, OTHER=0.3),
+            trip_count=points,
+            executions=self.TIME_STEPS,
+            streams=(
+                StreamAccess("sp.solution", footprint_bytes=solution,
+                             kind=AccessKind.READWRITE),
+                StreamAccess("sp.coeffs", footprint_bytes=coeffs),
+            ),
+            data_parallel_fraction=0.12,
+            serial_fraction=0.45,
+            serial_floor=0.28,
+            overhead_fraction=0.35,
+            hoistable_fraction=0.10,
+        )
+        yz_solve = Loop(
+            name="sp.yz_solve",
+            body=mix(FP_FMA=6, FP_MUL=3, FP_ADDSUB=4, FP_DIV=0.8,
+                     LOAD=10, STORE=3, INT_ALU=5, BRANCH=0.4, OTHER=0.3),
+            trip_count=points,
+            executions=self.TIME_STEPS * 2,  # y then z direction
+            streams=(
+                StreamAccess("sp.solution", footprint_bytes=solution,
+                             kind=AccessKind.READWRITE,
+                             stride_bytes=1296,  # the cross-line stride
+                             accesses=points,
+                             pattern=AccessPattern.STRIDED),
+                StreamAccess("sp.coeffs", footprint_bytes=coeffs),
+            ),
+            data_parallel_fraction=0.12,
+            serial_fraction=0.45,
+            serial_floor=0.28,
+            overhead_fraction=0.35,
+            hoistable_fraction=0.10,
+        )
+        rhs_build = Loop(
+            name="sp.rhs",
+            body=mix(FP_FMA=5, FP_ADDSUB=3, FP_MUL=2,
+                     LOAD=9, STORE=3, INT_ALU=3, BRANCH=0.3, OTHER=0.2),
+            trip_count=max(1, rhs // 16),
+            executions=self.TIME_STEPS // 4,
+            streams=(StreamAccess("sp.rhs", footprint_bytes=rhs,
+                                  kind=AccessKind.READWRITE),),
+            data_parallel_fraction=0.35,
+            serial_fraction=0.25,
+            serial_floor=0.05,
+            overhead_fraction=0.35,
+            hoistable_fraction=0.10,
+        )
+        faces = CommOp(
+            CommKind.HALO,
+            bytes_per_rank=self.footprint(90 * 1024 * scale,
+                                          minimum=1024),
+            neighbors=4, repeats=self.TIME_STEPS * 3)
+        return Program(name="SP", phases=[
+            Phase(loops=(x_solve, yz_solve), comm=faces,
+                  name="ADI direction solves + face exchange"),
+            Phase(loops=(rhs_build,), name="RHS rebuild"),
+        ])
+
+
+def build(num_ranks: int, problem_class: str = "C") -> Program:
+    """Build SP's per-rank Program."""
+    return SPBuilder().build(num_ranks, problem_class)

@@ -1,0 +1,70 @@
+"""The NAS Parallel Benchmark suite registry.
+
+One place to enumerate the eight benchmarks, their builders, and the
+rank counts the paper runs them with (128 everywhere, 121 for the
+square-grid SP and BT — Section V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compiler.ir import Program
+from .base import NPBBuilder
+from .bt import BTBuilder
+from .cg import CGBuilder
+from .ep import EPBuilder
+from .ft import FTBuilder
+from .is_ import ISBuilder
+from .lu import LUBuilder
+from .mg import MGBuilder
+from .sp import SPBuilder
+
+#: Paper presentation order (Section V / Figure 6).
+BENCHMARK_ORDER: List[str] = ["MG", "FT", "EP", "CG", "IS", "LU", "SP",
+                              "BT"]
+
+_BUILDERS: Dict[str, NPBBuilder] = {
+    "MG": MGBuilder(),
+    "FT": FTBuilder(),
+    "EP": EPBuilder(),
+    "CG": CGBuilder(),
+    "IS": ISBuilder(),
+    "LU": LUBuilder(),
+    "SP": SPBuilder(),
+    "BT": BTBuilder(),
+}
+
+
+def builder(code: str) -> NPBBuilder:
+    """The builder for one benchmark code (case-insensitive)."""
+    try:
+        return _BUILDERS[code.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown NAS benchmark {code!r}; "
+            f"choose from {BENCHMARK_ORDER}") from None
+
+
+def build_benchmark(code: str, num_ranks: int | None = None,
+                    problem_class: str = "C") -> Program:
+    """Build one benchmark's per-rank Program.
+
+    ``num_ranks`` defaults to the paper's count (128, or 121 for the
+    square-grid SP/BT).
+    """
+    b = builder(code)
+    if num_ranks is None:
+        num_ranks = b.info.default_ranks()
+    return b.build(num_ranks, problem_class)
+
+
+def paper_ranks(code: str) -> int:
+    """The rank count the paper uses for this benchmark."""
+    return builder(code).info.default_ranks()
+
+
+def all_benchmarks(problem_class: str = "C") -> Dict[str, Program]:
+    """All eight Programs at their paper rank counts."""
+    return {code: build_benchmark(code, problem_class=problem_class)
+            for code in BENCHMARK_ORDER}

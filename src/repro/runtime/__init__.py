@@ -1,0 +1,17 @@
+"""The MPI-like job runtime over the simulated machine."""
+
+from .machine import Job, JobResult, Machine, run_job
+from .mpi import CommResult, SimMPI
+from .process import JobPlacement, RankPlacement, place_ranks
+
+__all__ = [
+    "Machine",
+    "Job",
+    "JobResult",
+    "run_job",
+    "SimMPI",
+    "CommResult",
+    "place_ranks",
+    "JobPlacement",
+    "RankPlacement",
+]

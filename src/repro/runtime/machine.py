@@ -1,0 +1,282 @@
+"""Whole-machine simulation: partitions, jobs, and the BSP engine.
+
+A :class:`Machine` is a partition of compute nodes in a chosen
+operating mode; a :class:`Job` runs an SPMD :class:`Program` on it with
+the counter library linked in (MPI_Init/Finalize hooks), producing a
+:class:`JobResult` with the elapsed time, per-rank times, and the full
+cross-node counter aggregation from which every paper metric derives.
+
+Execution model: the NAS benchmarks are bulk-synchronous and symmetric
+across ranks, so the engine (1) charges every rank its compute work
+through the node model (which handles L3 sharing, interference and DDR
+port contention among co-resident ranks), then (2) charges every
+communication phase at its network cost, then (3) takes the slowest
+rank as the job's elapsed time.  Phase-by-phase interleaving is not
+simulated — for symmetric SPMD programs the aggregate is identical.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.ir import Program
+from ..core.metrics import (
+    L3_LINE_BYTES,
+    fp_profile,
+    total_flops,
+)
+from ..core.mpi_hooks import CounterSession
+from ..core.postprocess import Aggregation
+from ..isa.latency import CORE_CLOCK_HZ
+from ..mem import NodeMemoryConfig
+from ..net import (
+    BarrierNetwork,
+    CollectiveNetwork,
+    EthernetIOModel,
+    JTAGController,
+    Personality,
+    TorusNetwork,
+    TorusTopology,
+)
+from ..node import ComputeNode, LoopWork, OperatingMode, ProcessWork
+from .mpi import SimMPI
+from .process import JobPlacement, place_ranks
+
+
+class Machine:
+    """A BG/P partition: nodes + networks in one operating mode."""
+
+    def __init__(self, num_nodes: int,
+                 mode: OperatingMode = OperatingMode.SMP1,
+                 mem_config: Optional[NodeMemoryConfig] = None):
+        if num_nodes <= 0:
+            raise ValueError(f"partition needs >= 1 node, got {num_nodes}")
+        self.mode = mode
+        self.mem_config = mem_config or NodeMemoryConfig()
+        self.topology = TorusTopology.for_nodes(num_nodes)
+        self.nodes = [ComputeNode(node_id=i, mode=mode,
+                                  mem_config=self.mem_config)
+                      for i in range(num_nodes)]
+        self.torus = TorusNetwork(self.topology)
+        self.collective = CollectiveNetwork(num_nodes)
+        self.barrier = BarrierNetwork(num_nodes)
+        self.io = EthernetIOModel()
+        # the control plane boots every node with the personality that
+        # matches this partition's configuration (the paper's "svchost
+        # options while booting a node", Section VIII)
+        self.jtag = JTAGController()
+        personality = Personality(
+            l3_size_bytes=self.mem_config.l3.size_bytes,
+            l2_prefetch_depth=self.mem_config.prefetcher.depth,
+            mode_name=mode.name,
+        )
+        for node_id in range(num_nodes):
+            self.jtag.load_personality(node_id, personality)
+        self.boot_cycles = self.jtag.boot(list(range(num_nodes)))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def max_ranks(self) -> int:
+        return self.num_nodes * self.mode.processes_per_node
+
+
+def _program_to_work(program: Program) -> ProcessWork:
+    """Lower a compiled Program to the node model's work description."""
+    loops = [
+        LoopWork(mix=loop.total_mix(), streams=loop.streams,
+                 traversals=loop.executions,
+                 serial_fraction=loop.serial_fraction)
+        for loop in program.loops()
+    ]
+    return ProcessWork(loops=loops)
+
+
+@dataclass
+class JobResult:
+    """Everything one job run produced."""
+
+    program_name: str
+    flags_label: str
+    mode: OperatingMode
+    placement: JobPlacement
+    elapsed_cycles: float
+    compute_cycles_per_rank: List[float]
+    comm_cycles_per_rank: float
+    aggregation: Aggregation
+    dump_paths: List[str] = field(default_factory=list)
+    #: cost of shipping the counter dumps over the I/O path; it happens
+    #: after monitoring stopped, so it lengthens the job but never
+    #: perturbs the counts (paper, Section IV)
+    dump_io_cycles: float = 0.0
+
+    # ------------------------------------------------------------------
+    # whole-machine metric helpers
+    # ------------------------------------------------------------------
+    def scaled_totals(self) -> Dict[str, int]:
+        """Estimated whole-machine event totals.
+
+        The 512-event node-card split means each event was monitored on
+        a *subset* of nodes; symmetric SPMD workloads let us scale the
+        per-node mean back up to the full partition.
+        """
+        n = self.placement.num_nodes
+        return {name: int(round(stats.mean * n))
+                for name, stats in self.aggregation.stats.items()}
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.elapsed_cycles / CORE_CLOCK_HZ
+
+    def total_flops(self) -> float:
+        """Machine-wide floating point operations."""
+        return total_flops(self.scaled_totals())
+
+    def mflops_total(self) -> float:
+        """Machine-wide MFLOPS over the elapsed time."""
+        if self.elapsed_cycles == 0:
+            return 0.0
+        return self.total_flops() / self.elapsed_seconds / 1e6
+
+    def mflops_per_node(self) -> float:
+        """Delivered MFLOPS per chip (the Figure 14 metric)."""
+        return self.mflops_total() / self.placement.num_nodes
+
+    def ddr_traffic_lines(self) -> float:
+        """Machine-wide L3<->DDR line transfers (Figures 11/12)."""
+        totals = self.scaled_totals()
+        return (totals.get("BGP_DDR0_READ", 0)
+                + totals.get("BGP_DDR0_WRITE", 0)
+                + totals.get("BGP_DDR1_READ", 0)
+                + totals.get("BGP_DDR1_WRITE", 0))
+
+    def ddr_traffic_bytes(self) -> float:
+        return self.ddr_traffic_lines() * L3_LINE_BYTES
+
+    def ddr_traffic_lines_per_node(self) -> float:
+        return self.ddr_traffic_lines() / self.placement.num_nodes
+
+    def fp_profile(self) -> Dict[str, float]:
+        """Machine-wide dynamic FP instruction mix (Figure 6)."""
+        return fp_profile(self.scaled_totals())
+
+    def simd_instructions(self) -> int:
+        totals = self.scaled_totals()
+        return sum(v for k, v in totals.items() if "FPU_SIMD" in k)
+
+    def l3_miss_ratio(self) -> float:
+        totals = self.scaled_totals()
+        reads = totals.get("BGP_L3_READ", 0)
+        return totals.get("BGP_L3_MISS", 0) / reads if reads else 0.0
+
+
+class Job:
+    """One SPMD application run on a machine partition."""
+
+    def __init__(self, machine: Machine, program: Program, num_ranks: int):
+        if num_ranks > machine.max_ranks:
+            raise ValueError(
+                f"{num_ranks} ranks exceed the partition's "
+                f"{machine.max_ranks} slots ({machine.num_nodes} nodes, "
+                f"{machine.mode.value})")
+        self.machine = machine
+        self.program = program
+        self.num_ranks = num_ranks
+
+    def run(self, counter_modes: Tuple[int, int] = (0, 2),
+            dump_dir: Optional[str] = None) -> JobResult:
+        """Execute the job with the counter library linked in.
+
+        ``counter_modes`` are the two 256-event sets split across the
+        node cards (default: processor/FPU/L1 events + L3/DDR events,
+        which the paper's figures need).
+        """
+        machine = self.machine
+        placement = place_ranks(self.num_ranks, machine.mode,
+                                machine.num_nodes)
+        used_nodes = sorted(placement.slots_by_node())
+        nodes = [machine.nodes[i] for i in used_nodes]
+
+        session = CounterSession(nodes, primary_mode=counter_modes[0],
+                                 secondary_mode=counter_modes[1],
+                                 dump_dir=dump_dir)
+        session.mpi_init()
+
+        # ---- compute: every node runs its resident ranks' loops -------
+        work = _program_to_work(self.program)
+        compute_cycles: List[float] = [0.0] * self.num_ranks
+        for node in nodes:
+            residents = placement.ranks_on_node(node.node_id)
+            result = node.run([work] * len(residents))
+            for slot, rank in enumerate(residents):
+                compute_cycles[rank] = result.process_cycles[slot]
+
+        # ---- communication: phase by phase on the networks ------------
+        mpi = SimMPI(placement, machine.topology, machine.torus,
+                     machine.collective, machine.barrier)
+        comm_cycles = 0.0
+        comm_ddr: Dict[int, int] = {}
+        for op in self.program.comms():
+            comm = mpi.run(op)
+            comm_cycles += comm.cycles_per_rank
+            for node_id, events in comm.torus_events.items():
+                if node_id in set(used_nodes):
+                    machine.nodes[node_id].pulse_events(events)
+            if comm.collective_events:
+                for node in nodes:
+                    node.pulse_events(comm.collective_events)
+            for node_id, lines in comm.ddr_lines_per_node.items():
+                comm_ddr[node_id] = comm_ddr.get(node_id, 0) + lines
+
+        # message staging traffic: split lines across the controllers
+        for node_id, lines in comm_ddr.items():
+            machine.nodes[node_id].pulse_events({
+                "BGP_DDR0_WRITE": lines // 2,
+                "BGP_DDR1_READ": lines - lines // 2,
+            })
+
+        # comm wait time elapses on every core hosting a rank
+        assignment = machine.mode.core_assignment()
+        comm_int = int(round(comm_cycles))
+        if comm_int > 0:
+            for node in nodes:
+                residents = placement.ranks_on_node(node.node_id)
+                for slot in range(len(residents)):
+                    for core in assignment[slot]:
+                        node.pulse_events(
+                            {f"BGP_PU{core}_CYCLES": comm_int})
+
+        session.mpi_finalize()
+        dump_bytes = [0] * machine.num_nodes
+        for path in session.dump_paths:
+            node_id = int(path.rsplit("node", 1)[1].split(".")[0])
+            dump_bytes[node_id] = os.path.getsize(path)
+        dump_io = machine.io.write_phase(dump_bytes).cycles
+
+        elapsed = max(c + comm_cycles for c in compute_cycles)
+        return JobResult(
+            program_name=self.program.name,
+            flags_label=self.program.flags_label,
+            mode=machine.mode,
+            placement=placement,
+            elapsed_cycles=elapsed,
+            compute_cycles_per_rank=compute_cycles,
+            comm_cycles_per_rank=comm_cycles,
+            aggregation=session.aggregation(),
+            dump_paths=session.dump_paths,
+            dump_io_cycles=dump_io,
+        )
+
+
+def run_job(program: Program, num_ranks: int, num_nodes: int,
+            mode: OperatingMode,
+            mem_config: Optional[NodeMemoryConfig] = None,
+            counter_modes: Tuple[int, int] = (0, 2)) -> JobResult:
+    """Convenience one-shot: build a machine, run the program, return."""
+    machine = Machine(num_nodes, mode=mode, mem_config=mem_config)
+    return Job(machine, program, num_ranks).run(
+        counter_modes=counter_modes)

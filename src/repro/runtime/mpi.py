@@ -1,0 +1,193 @@
+"""Simulated MPI: communication phases costed on the machine's networks.
+
+The runtime executes communication the way the NAS benchmarks drive it:
+bulk-synchronous phases where every rank participates.  Each
+:class:`~repro.compiler.ir.CommOp` is lowered to concrete messages
+using the job's rank placement:
+
+* **HALO** — each rank exchanges with its neighbours in a 3D rank-grid
+  decomposition; co-resident partners (Virtual Node Mode!) communicate
+  through the shared L3 instead of the torus;
+* **ALLTOALL** — personalised all-to-all (FT's transpose): every rank
+  sends an equal slice to every other rank;
+* **PAIRWISE** — fixed-partner exchange (IS's ranking step);
+* **ALLREDUCE / BROADCAST** — the collective tree network;
+* **BARRIER** — the global barrier network.
+
+Inter-node transfers also cost *memory traffic*: the torus DMA engines
+stream message payloads through the L3, and a fraction spills to DDR.
+Intra-node transfers stay in the shared L3 — one of the reasons the
+paper measures a DDR-traffic ratio *below* 4x for neighbour-local
+benchmarks in VNM (Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..compiler.ir import CommKind, CommOp
+from ..net import (
+    BarrierNetwork,
+    CollectiveNetwork,
+    Message,
+    TorusNetwork,
+    TorusTopology,
+)
+from ..net.topology import partition_shape
+from .process import JobPlacement
+
+#: Cycles of software overhead for an intra-node (shared-memory) message.
+SHM_OVERHEAD_CYCLES = 300.0
+#: Shared-L3 copy bandwidth, bytes per cycle.
+SHM_BYTES_PER_CYCLE = 4.0
+#: Fraction of inter-node message bytes that cross the DDR interface
+#: (payloads staged through L3; the rest is consumed before eviction).
+COMM_DDR_FRACTION = 0.5
+#: L3 line size for converting comm bytes to DDR line transfers.
+_LINE = 128
+
+
+@dataclass
+class CommResult:
+    """Cost and events of one communication phase (all repeats)."""
+
+    cycles_per_rank: float = 0.0
+    torus_events: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    collective_events: Dict[str, int] = field(default_factory=dict)
+    #: extra DDR line transfers per node caused by message staging
+    ddr_lines_per_node: Dict[int, int] = field(default_factory=dict)
+    intra_node_bytes: int = 0
+    inter_node_bytes: int = 0
+
+
+class SimMPI:
+    """Lower CommOps to messages and cost them on the networks."""
+
+    def __init__(self, placement: JobPlacement, topology: TorusTopology,
+                 torus: TorusNetwork, collective: CollectiveNetwork,
+                 barrier: BarrierNetwork):
+        self.placement = placement
+        self.topology = topology
+        self.torus = torus
+        self.collective = collective
+        self.barrier = barrier
+        self._rank_grid = partition_shape(placement.num_ranks)
+
+    # ------------------------------------------------------------------
+    # rank-grid neighbours for halo exchanges
+    # ------------------------------------------------------------------
+    def _rank_coords(self, rank: int) -> Tuple[int, int, int]:
+        x_dim, y_dim, _ = self._rank_grid
+        return (rank % x_dim, (rank // x_dim) % y_dim,
+                rank // (x_dim * y_dim))
+
+    def _rank_at(self, coord: Tuple[int, int, int]) -> int:
+        x_dim, y_dim, _ = self._rank_grid
+        x, y, z = coord
+        return x + y * x_dim + z * x_dim * y_dim
+
+    def halo_partners(self, rank: int, wanted: int) -> List[int]:
+        """Up to ``wanted`` distinct neighbour ranks in the 3D rank grid."""
+        coords = self._rank_coords(rank)
+        partners: List[int] = []
+        for axis in range(3):
+            for step in (+1, -1):
+                if len(partners) >= wanted:
+                    return partners
+                size = self._rank_grid[axis]
+                if size == 1:
+                    continue
+                n = list(coords)
+                n[axis] = (n[axis] + step) % size
+                partner = self._rank_at(tuple(n))
+                if partner != rank and partner not in partners:
+                    partners.append(partner)
+        return partners
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+    def _messages_for(self, op: CommOp) -> List[Tuple[int, int, int]]:
+        """(src_rank, dst_rank, bytes) triples for one repeat of ``op``."""
+        p = self.placement
+        if op.kind is CommKind.HALO:
+            out = []
+            for rank in range(p.num_ranks):
+                partners = self.halo_partners(rank, op.neighbors)
+                if not partners:
+                    continue
+                per_partner = op.bytes_per_rank // len(partners)
+                out.extend((rank, q, per_partner) for q in partners)
+            return out
+        if op.kind is CommKind.ALLTOALL:
+            n = p.num_ranks
+            if n == 1:
+                return []
+            slice_bytes = op.bytes_per_rank // (n - 1)
+            return [(r, q, slice_bytes)
+                    for r in range(n) for q in range(n) if q != r]
+        if op.kind is CommKind.PAIRWISE:
+            out = []
+            for rank in range(p.num_ranks):
+                partner = rank ^ op.partner_stride
+                if partner < p.num_ranks and partner != rank:
+                    out.append((rank, partner, op.bytes_per_rank))
+            return out
+        raise ValueError(f"{op.kind} is not a point-to-point pattern")
+
+    def run(self, op: CommOp) -> CommResult:
+        """Cost one CommOp (including its ``repeats``)."""
+        result = CommResult()
+        if op.kind in (CommKind.ALLREDUCE, CommKind.BROADCAST):
+            coll = (self.collective.allreduce(op.bytes_per_rank)
+                    if op.kind is CommKind.ALLREDUCE
+                    else self.collective.broadcast(op.bytes_per_rank))
+            result.cycles_per_rank = coll.cycles * op.repeats
+            result.collective_events = {
+                name: count * op.repeats
+                for name, count in self.collective.events(coll).items()}
+            return result
+        if op.kind is CommKind.BARRIER:
+            # symmetric BSP ranks arrive together: pure hardware latency
+            result.cycles_per_rank = (self.barrier.hardware_latency
+                                      * op.repeats)
+            return result
+
+        triples = self._messages_for(op)
+        torus_messages: List[Message] = []
+        intra_cycles_per_rank: Dict[int, float] = {}
+        for src, dst, size in triples:
+            if size == 0:
+                continue
+            src_node = self.placement.node_of(src)
+            dst_node = self.placement.node_of(dst)
+            if src_node == dst_node:
+                # shared-memory path: L3 copy, no torus, no DDR
+                result.intra_node_bytes += size
+                intra_cycles_per_rank[src] = (
+                    intra_cycles_per_rank.get(src, 0.0)
+                    + SHM_OVERHEAD_CYCLES + size / SHM_BYTES_PER_CYCLE)
+            else:
+                result.inter_node_bytes += size
+                torus_messages.append(Message(src_node, dst_node, size))
+                lines = int(size * COMM_DDR_FRACTION) // _LINE
+                for node in (src_node, dst_node):
+                    result.ddr_lines_per_node[node] = (
+                        result.ddr_lines_per_node.get(node, 0) + lines)
+
+        phase = self.torus.run_phase(
+            torus_messages, balanced=(op.kind is CommKind.ALLTOALL))
+        intra_max = max(intra_cycles_per_rank.values(), default=0.0)
+        result.cycles_per_rank = (max(phase.cycles, intra_max)
+                                  * op.repeats)
+        result.torus_events = {
+            node: {name: count * op.repeats
+                   for name, count in events.items()}
+            for node, events in self.torus.phase_events(phase).items()}
+        result.ddr_lines_per_node = {
+            node: lines * op.repeats
+            for node, lines in result.ddr_lines_per_node.items()}
+        result.intra_node_bytes *= op.repeats
+        result.inter_node_bytes *= op.repeats
+        return result

@@ -1,0 +1,79 @@
+"""Rank placement: MPI ranks onto nodes and process slots.
+
+BG/P's default mapping places consecutive ranks on the same node first
+(filling the mode's process slots), then walks the torus — which is
+what gives Virtual Node Mode its communication locality: with 4 ranks
+per node, a rank's nearest neighbours in rank space are often
+co-resident and their messages never touch the torus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..node.modes import OperatingMode
+
+
+@dataclass(frozen=True)
+class RankPlacement:
+    """Where one MPI rank runs."""
+
+    rank: int
+    node: int
+    slot: int  #: process slot on the node (0 .. processes_per_node-1)
+
+
+@dataclass
+class JobPlacement:
+    """Placement of a whole job."""
+
+    mode: OperatingMode
+    num_ranks: int
+    num_nodes: int
+    ranks: List[RankPlacement]
+
+    def node_of(self, rank: int) -> int:
+        return self.ranks[rank].node
+
+    def slot_of(self, rank: int) -> int:
+        return self.ranks[rank].slot
+
+    def ranks_on_node(self, node: int) -> List[int]:
+        """Ranks resident on ``node``, in slot order."""
+        return [r.rank for r in self.ranks if r.node == node]
+
+    def is_intra_node(self, a: int, b: int) -> bool:
+        """True when two ranks share a node (their messages skip the torus)."""
+        return self.node_of(a) == self.node_of(b)
+
+    def slots_by_node(self) -> Dict[int, List[int]]:
+        """node -> resident ranks, for every populated node."""
+        out: Dict[int, List[int]] = {}
+        for placement in self.ranks:
+            out.setdefault(placement.node, []).append(placement.rank)
+        return out
+
+
+def place_ranks(num_ranks: int, mode: OperatingMode,
+                num_nodes: int | None = None) -> JobPlacement:
+    """Block placement of ``num_ranks`` ranks under ``mode``.
+
+    ``num_nodes`` defaults to the minimum partition that holds the
+    ranks; passing more nodes models a partly-filled partition.
+    """
+    if num_ranks <= 0:
+        raise ValueError(f"need at least one rank, got {num_ranks}")
+    ppn = mode.processes_per_node
+    needed = math.ceil(num_ranks / ppn)
+    if num_nodes is None:
+        num_nodes = needed
+    elif num_nodes < needed:
+        raise ValueError(
+            f"{num_ranks} ranks in {mode.value} need >= {needed} nodes, "
+            f"got {num_nodes}")
+    ranks = [RankPlacement(rank=r, node=r // ppn, slot=r % ppn)
+             for r in range(num_ranks)]
+    return JobPlacement(mode=mode, num_ranks=num_ranks,
+                        num_nodes=num_nodes, ranks=ranks)

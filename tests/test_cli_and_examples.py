@@ -1,0 +1,69 @@
+"""Smoke tests: the CLI entry point and the runnable examples."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.harness import model_validation
+
+
+def run_cli(*args):
+    """Invoke the CLI in-process, capturing stdout."""
+    import contextlib
+    import io
+
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = cli_main(list(args))
+    return code, buf.getvalue()
+
+
+def test_cli_list():
+    code, out = run_cli("--list")
+    assert code == 0
+    for name in ("fig06", "fig11", "overhead", "abl-prefetch",
+                 "characterize", "validate"):
+        assert name in out
+
+
+def test_cli_single_experiment():
+    code, out = run_cli("fig03")
+    assert code == 0
+    assert "Virtual Node Mode" in out
+
+
+def test_cli_overhead_experiment():
+    code, out = run_cli("overhead")
+    assert code == 0
+    assert "196" in out
+
+
+def test_cli_rejects_unknown():
+    with pytest.raises(SystemExit):
+        run_cli("fig99")
+
+
+def test_validate_harness_wrapper():
+    result = model_validation(benchmarks=("EP", "MG"))
+    assert result.summary["agrees_EP"] == 1.0
+    assert result.summary["agrees_MG"] == 1.0
+    assert result.summary["worst_error"] < 0.35
+
+
+# ---------------------------------------------------------------------------
+# fast examples run end to end as subprocesses
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("script,needle", [
+    ("quickstart.py", "interface overhead"),
+    ("custom_counters.py", "events monitored in one run: 512"),
+    ("online_monitoring.py", "threshold interrupts fired"),
+])
+def test_example_runs(script, needle):
+    proc = subprocess.run(
+        [sys.executable, f"examples/{script}"],
+        capture_output=True, text=True, timeout=300,
+        cwd=__file__.rsplit("/tests/", 1)[0])
+    assert proc.returncode == 0, proc.stderr
+    assert needle in proc.stdout

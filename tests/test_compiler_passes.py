@@ -1,0 +1,192 @@
+"""Unit tests for individual optimization passes."""
+
+import pytest
+
+from repro.compiler import (
+    Loop,
+    branch_straightening,
+    code_motion,
+    common_subexpression_elimination,
+    fp_reassociation,
+    instruction_scheduling,
+    interprocedural,
+    loop_unroll,
+    simdize,
+    strength_reduction,
+)
+from repro.isa import InstructionMix, OpClass
+
+
+def make_loop(data_parallel=0.8, **counts):
+    defaults = dict(FP_FMA=10, FP_ADDSUB=4, LOAD=8, STORE=4,
+                    INT_ALU=6, BRANCH=2, OTHER=2)
+    defaults.update(counts)
+    return Loop(
+        name="test",
+        body=InstructionMix({OpClass[k]: v for k, v in defaults.items()}),
+        trip_count=100,
+        data_parallel_fraction=data_parallel,
+        overhead_fraction=0.5,
+        hoistable_fraction=0.2,
+        serial_fraction=0.4,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SIMDizer
+# ---------------------------------------------------------------------------
+def test_simdize_preserves_flops():
+    loop = make_loop()
+    out = simdize(loop)
+    assert out.body.flops() == pytest.approx(loop.body.flops())
+
+
+def test_simdize_full_coverage_halves_fp_instructions():
+    loop = make_loop(data_parallel=1.0)
+    out = simdize(loop)
+    assert out.body[OpClass.FP_FMA] == 0
+    assert out.body[OpClass.FP_SIMD_FMA] == 5
+    assert out.body[OpClass.FP_ADDSUB] == 0
+    assert out.body[OpClass.FP_SIMD_ADDSUB] == 2
+
+
+def test_simdize_generates_quad_loads_and_stores():
+    loop = make_loop(data_parallel=1.0)
+    out = simdize(loop)
+    assert out.body[OpClass.LOAD] == 0
+    assert out.body[OpClass.QUADLOAD] == 4
+    assert out.body[OpClass.STORE] == 0
+    assert out.body[OpClass.QUADSTORE] == 2
+    # bytes moved is unchanged: quads are twice as wide
+    assert out.body.memory_bytes() == loop.body.memory_bytes()
+
+
+def test_simdize_partial_coverage():
+    loop = make_loop(data_parallel=0.5)
+    out = simdize(loop)
+    assert out.body[OpClass.FP_FMA] == pytest.approx(5)
+    assert out.body[OpClass.FP_SIMD_FMA] == pytest.approx(2.5)
+    assert out.body.simd_fraction() > 0
+
+
+def test_simdize_zero_parallelism_is_identity():
+    loop = make_loop(data_parallel=0.0)
+    out = simdize(loop)
+    assert out.body.allclose(loop.body)
+
+
+def test_simdize_consumes_the_parallel_fraction():
+    out = simdize(make_loop(data_parallel=0.8))
+    assert out.data_parallel_fraction == pytest.approx(0.8 * 0.2)
+
+
+def test_simdize_reduces_instruction_count():
+    loop = make_loop(data_parallel=1.0)
+    out = simdize(loop)
+    assert out.body.total() < loop.body.total()
+
+
+# ---------------------------------------------------------------------------
+# scalar passes
+# ---------------------------------------------------------------------------
+def test_cse_removes_only_overhead():
+    loop = make_loop()
+    out = common_subexpression_elimination(loop, strength=1.0)
+    # all of the 50% overhead share of INT_ALU/OTHER goes
+    assert out.body[OpClass.INT_ALU] == pytest.approx(3)
+    assert out.body[OpClass.OTHER] == pytest.approx(1)
+    # FP work untouched
+    assert out.body[OpClass.FP_FMA] == 10
+    assert out.overhead_fraction == 0.0
+
+
+def test_cse_strength_validated():
+    with pytest.raises(ValueError):
+        common_subexpression_elimination(make_loop(), strength=1.5)
+
+
+def test_code_motion_shrinks_support_work_only():
+    loop = make_loop()
+    out = code_motion(loop, strength=1.0)
+    # support classes (LOAD/STORE/INT_ALU/OTHER) shrink by the
+    # hoistable fraction; the FP computation is untouched
+    assert out.body[OpClass.LOAD] == pytest.approx(8 * 0.8)
+    assert out.body[OpClass.INT_ALU] == pytest.approx(6 * 0.8)
+    assert out.body[OpClass.FP_FMA] == 10
+    assert out.body.flops() == pytest.approx(loop.body.flops())
+    assert out.hoistable_fraction == 0.0
+
+
+def test_strength_reduction_converts_muls():
+    loop = make_loop(INT_MUL=5)
+    out = strength_reduction(loop)
+    assert out.body[OpClass.INT_MUL] == 0
+    assert out.body[OpClass.INT_ALU] == 11
+
+
+def test_branch_straightening_keeps_backedge():
+    loop = make_loop(BRANCH=5)
+    out = branch_straightening(loop, strength=1.0)
+    assert out.body[OpClass.BRANCH] == pytest.approx(1.0)
+    single = make_loop(BRANCH=1)
+    assert branch_straightening(single,
+                                strength=1.0).body[OpClass.BRANCH] == 1.0
+
+
+def test_scheduling_lowers_serial_fraction():
+    loop = make_loop()
+    out = instruction_scheduling(loop, serial_scale=0.5)
+    assert out.serial_fraction == pytest.approx(0.2)
+    assert out.body.allclose(loop.body)
+
+
+def test_reassociation_is_scheduling_for_fp():
+    loop = make_loop()
+    assert fp_reassociation(loop, 0.5).serial_fraction == pytest.approx(0.2)
+
+
+def test_unroll_amortizes_branch_and_overhead():
+    loop = make_loop(BRANCH=4, INT_ALU=8)
+    out = loop_unroll(loop, factor=4)
+    assert out.body[OpClass.BRANCH] == 1.0
+    # 50% overhead share: 4 removable, 4/4=1 remains -> 4 + 1 = 5
+    assert out.body[OpClass.INT_ALU] == pytest.approx(5)
+    assert out.body[OpClass.FP_FMA] == loop.body[OpClass.FP_FMA]
+
+
+def test_unroll_factor_one_is_identity():
+    loop = make_loop()
+    assert loop_unroll(loop, 1) is loop
+
+
+def test_unroll_validates_factor():
+    with pytest.raises(ValueError):
+        loop_unroll(make_loop(), 0)
+
+
+def test_ipa_trims_other_and_boosts_simd_coverage():
+    loop = make_loop(data_parallel=0.5)
+    out = interprocedural(loop, overhead_scale=0.6,
+                          extra_simd_coverage=0.15)
+    assert out.body[OpClass.OTHER] == pytest.approx(1.2)
+    assert out.data_parallel_fraction == pytest.approx(0.65)
+
+
+def test_ipa_does_not_invent_parallelism():
+    loop = make_loop(data_parallel=0.0)
+    out = interprocedural(loop)
+    assert out.data_parallel_fraction == 0.0
+
+
+# ---------------------------------------------------------------------------
+# loop IR validation
+# ---------------------------------------------------------------------------
+def test_loop_fraction_validation():
+    with pytest.raises(ValueError):
+        make_loop().with_body(make_loop().body, serial_fraction=1.5)
+
+
+def test_loop_total_mix_scales():
+    loop = make_loop()
+    total = loop.total_mix()
+    assert total[OpClass.FP_FMA] == 10 * 100

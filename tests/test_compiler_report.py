@@ -1,0 +1,103 @@
+"""Unit tests for the -qreport-style optimization reports."""
+
+import pytest
+
+from repro.compiler import (
+    Loop,
+    O3,
+    O5,
+    O_base,
+    quad_ops_introduced,
+    report_loop,
+    report_program,
+)
+from repro.isa import InstructionMix, OpClass
+from repro.npb import build_benchmark
+
+
+def vector_loop(dp=0.8):
+    return Loop(
+        name="vec",
+        body=InstructionMix({OpClass.FP_FMA: 8, OpClass.FP_ADDSUB: 4,
+                             OpClass.LOAD: 8, OpClass.STORE: 2,
+                             OpClass.INT_ALU: 4, OpClass.BRANCH: 1}),
+        trip_count=1000,
+        data_parallel_fraction=dp,
+        overhead_fraction=0.3,
+        serial_fraction=0.3,
+    )
+
+
+def recurrence_loop():
+    return Loop(
+        name="rec",
+        body=InstructionMix({OpClass.FP_FMA: 8, OpClass.LOAD: 6}),
+        trip_count=1000,
+        data_parallel_fraction=0.02,
+        serial_fraction=0.5,
+        serial_floor=0.4,
+    )
+
+
+def test_simdized_loop_reported():
+    r = report_loop(vector_loop(), O5())
+    assert r.simdized
+    assert r.blocker == ""
+    assert r.simd_fraction_after > 0.5
+    assert r.instruction_reduction > 0.2
+
+
+def test_recurrence_blocker_message():
+    r = report_loop(recurrence_loop(), O5())
+    assert not r.simdized
+    assert "recurrence" in r.blocker
+
+
+def test_no_qarch_blocker_message():
+    r = report_loop(vector_loop(), O3())
+    assert not r.simdized
+    assert "-qarch=440d" in r.blocker
+
+
+def test_no_fp_blocker_message():
+    int_loop = Loop(name="int",
+                    body=InstructionMix({OpClass.INT_ALU: 10}),
+                    trip_count=100)
+    r = report_loop(int_loop, O5())
+    assert "no floating point" in r.blocker
+
+
+def test_partial_coverage_blocker_message():
+    r = report_loop(vector_loop(dp=0.12), O5())
+    # after IPA boost dp=0.27 -> fraction ~0.16 < 0.25 threshold
+    assert not r.simdized
+    assert "data-parallel" in r.blocker
+
+
+def test_baseline_report_is_noop():
+    r = report_loop(vector_loop(), O_base())
+    assert r.instruction_reduction == pytest.approx(0.0)
+    assert r.serial_before == r.serial_after
+
+
+def test_program_report_covers_all_loops():
+    prog = build_benchmark("MG")
+    report = report_program(prog, O5())
+    assert len(report.loops) == len(prog.loops())
+    assert report.program == "MG"
+    assert report.flags == "-O5 -qarch=440d"
+    assert report.simdized_loops(), "MG must SIMDize"
+
+
+def test_report_render_lists_every_loop():
+    report = report_program(build_benchmark("CG"), O5())
+    text = report.render()
+    for loop in report.loops:
+        assert loop.name in text
+    assert "not SIMDized" in text
+
+
+def test_quad_ops_introduced_by_simdizer():
+    loop = vector_loop()
+    assert quad_ops_introduced(loop, O_base()) == 0
+    assert quad_ops_introduced(loop, O5()) > 0

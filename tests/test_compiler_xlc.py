@@ -1,0 +1,193 @@
+"""Integration tests for flag sets and the compile driver."""
+
+import pytest
+
+from repro.compiler import (
+    CommKind,
+    CommOp,
+    FlagSet,
+    Loop,
+    O3,
+    O4,
+    O5,
+    O_base,
+    Phase,
+    Program,
+    compile_program,
+    compiler_sweep,
+)
+from repro.cpu import PipelineModel
+from repro.isa import InstructionMix, OpClass
+from repro.mem import StreamAccess
+
+
+def vec_loop():
+    """A data-parallel streaming loop (FT/MG-like)."""
+    return Loop(
+        name="stencil",
+        body=InstructionMix({OpClass.FP_FMA: 8, OpClass.FP_ADDSUB: 4,
+                             OpClass.LOAD: 8, OpClass.STORE: 2,
+                             OpClass.INT_ALU: 6, OpClass.BRANCH: 2,
+                             OpClass.OTHER: 1}),
+        trip_count=10_000,
+        streams=(StreamAccess("u", footprint_bytes=1 << 20),),
+        data_parallel_fraction=0.75,
+        overhead_fraction=0.4,
+        hoistable_fraction=0.1,
+        serial_fraction=0.3,
+    )
+
+
+def scalar_loop():
+    """A recurrence-bound loop with no data parallelism (LU-like)."""
+    return Loop(
+        name="ssor",
+        body=InstructionMix({OpClass.FP_FMA: 10, OpClass.LOAD: 6,
+                             OpClass.STORE: 2, OpClass.INT_ALU: 4,
+                             OpClass.BRANCH: 1}),
+        trip_count=10_000,
+        data_parallel_fraction=0.05,
+        serial_fraction=0.5,
+        serial_floor=0.45,  # the SSOR recurrence is irreducible
+    )
+
+
+def program(loop_fn=vec_loop):
+    return Program(name="bench", phases=[
+        Phase(loops=(loop_fn(),),
+              comm=CommOp(CommKind.HALO, bytes_per_rank=4096)),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# flag sets
+# ---------------------------------------------------------------------------
+def test_flag_labels():
+    assert O_base().label == "-O -qstrict"
+    assert O3().label == "-O3"
+    assert O3(qarch440d=True).label == "-O3 -qarch=440d"
+    assert O4().label == "-O4 -qarch=440d"
+    assert O5().label == "-O5 -qarch=440d"
+
+
+def test_o4_implies_arch_tune_hot():
+    f = O4()
+    assert f.qarch440d and f.qhot and f.qtune and not f.ipa
+
+
+def test_o5_adds_ipa():
+    assert O5().ipa
+
+
+def test_qstrict_blocks_reassociation():
+    assert not O_base().reassociate_fp
+    assert O3().reassociate_fp
+
+
+def test_invalid_opt_level():
+    with pytest.raises(ValueError):
+        FlagSet(opt_level=2)
+
+
+def test_sweep_order():
+    labels = [f.label for f in compiler_sweep()]
+    assert labels == ["-O -qstrict", "-O3", "-O3 -qarch=440d",
+                      "-O4 -qarch=440d", "-O5 -qarch=440d"]
+
+
+# ---------------------------------------------------------------------------
+# compile driver
+# ---------------------------------------------------------------------------
+def test_baseline_is_identity():
+    prog = program()
+    out = compile_program(prog, O_base())
+    assert out.total_mix().allclose(prog.total_mix())
+    assert out.flags_label == "-O -qstrict"
+
+
+def test_compile_does_not_mutate_input():
+    prog = program()
+    before = prog.total_mix()
+    compile_program(prog, O5())
+    assert prog.total_mix().allclose(before)
+    assert prog.flags_label == "-O -qstrict"
+
+
+def test_flops_invariant_across_all_levels():
+    """No optimization may change how many flops the program computes."""
+    prog = program()
+    base_flops = prog.total_mix().flops()
+    for flags in compiler_sweep():
+        out = compile_program(prog, flags)
+        assert out.total_mix().flops() == pytest.approx(base_flops)
+
+
+def test_simd_appears_only_with_qarch440d():
+    prog = program()
+    assert compile_program(prog, O3()).total_mix().simd_instructions() == 0
+    assert compile_program(
+        prog, O3(qarch440d=True)).total_mix().simd_instructions() > 0
+
+
+def test_simd_count_grows_o3_to_o5():
+    """Figures 7/8: IPA at O5 SIMDizes loops O3/O4 could not."""
+    prog = program()
+    counts = [compile_program(prog, f).total_mix().simd_instructions()
+              for f in (O3(qarch440d=True), O4(), O5())]
+    assert counts[0] > 0
+    assert counts[2] > counts[0]
+
+
+def test_instruction_count_monotone_nonincreasing():
+    prog = program()
+    totals = [compile_program(prog, f).total_mix().total()
+              for f in compiler_sweep()]
+    for a, b in zip(totals, totals[1:]):
+        assert b <= a * 1.0001
+
+
+def test_execution_time_improves_with_optimization():
+    """Figures 9/10's mechanism: cycles drop monotonically with level."""
+    model = PipelineModel()
+
+    def cycles(flags):
+        out = compile_program(program(), flags)
+        loop = out.loops()[0]
+        return model.cycles(loop.total_mix(), loop.serial_fraction)
+
+    times = [cycles(f) for f in compiler_sweep()]
+    for a, b in zip(times, times[1:]):
+        assert b <= a * 1.0001
+    # a data-parallel benchmark gains a lot end to end (paper: up to 60%)
+    assert times[-1] < 0.55 * times[0]
+
+
+def test_scalar_benchmark_benefits_less():
+    """LU-like code: no SIMD payoff, only scalar cleanups."""
+    model = PipelineModel()
+
+    def cycles(prog, flags):
+        out = compile_program(prog, flags)
+        loop = out.loops()[0]
+        return model.cycles(loop.total_mix(), loop.serial_fraction)
+
+    vec_gain = (cycles(program(vec_loop), O_base())
+                / cycles(program(vec_loop), O5()))
+    scalar_gain = (cycles(program(scalar_loop), O_base())
+                   / cycles(program(scalar_loop), O5()))
+    assert vec_gain > scalar_gain
+
+
+def test_comm_phases_survive_compilation():
+    out = compile_program(program(), O5())
+    assert len(out.comms()) == 1
+    assert out.comms()[0].kind is CommKind.HALO
+
+
+def test_program_memory_loops():
+    prog = program()
+    pairs = prog.memory_loops()
+    assert len(pairs) == 1
+    streams, traversals = pairs[0]
+    assert streams[0].array == "u"
+    assert traversals == 1

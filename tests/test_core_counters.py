@@ -1,0 +1,173 @@
+"""Unit tests for the UPC unit: gating, signal modes, thresholding."""
+
+import pytest
+
+from repro.core import SignalMode, UPCUnit, event_by_name
+
+
+@pytest.fixture
+def upc():
+    unit = UPCUnit(node_id=0)
+    unit.mode = 0
+    return unit
+
+
+# ---------------------------------------------------------------------------
+# pulse counting + gating
+# ---------------------------------------------------------------------------
+def test_pulse_counts_in_matching_mode(upc):
+    upc.pulse("BGP_PU0_FPU_FMA", 123)
+    assert upc.read("BGP_PU0_FPU_FMA") == 123
+
+
+def test_pulse_ignored_in_other_mode(upc):
+    """An event of mode 2 is invisible while the unit runs mode 0."""
+    upc.pulse("BGP_L3_MISS", 50)
+    ev = event_by_name("BGP_L3_MISS")
+    assert upc.read(ev.counter) == 0
+    upc.mode = 2
+    upc.pulse("BGP_L3_MISS", 50)
+    assert upc.read("BGP_L3_MISS") == 50
+
+
+def test_read_by_name_checks_mode(upc):
+    with pytest.raises(ValueError):
+        upc.read("BGP_L3_MISS")  # unit is in mode 0
+
+
+def test_global_disable_gates_everything(upc):
+    upc.enabled = False
+    upc.pulse("BGP_PU0_FPU_FMA", 10)
+    assert upc.read("BGP_PU0_FPU_FMA") == 0
+    upc.enabled = True
+    upc.pulse("BGP_PU0_FPU_FMA", 10)
+    assert upc.read("BGP_PU0_FPU_FMA") == 10
+
+
+def test_per_counter_disable(upc):
+    ev = event_by_name("BGP_PU0_FPU_FMA")
+    upc.configure(ev.counter, enabled=False)
+    upc.pulse(ev, 10)
+    assert upc.read(ev.counter) == 0
+
+
+def test_zero_pulse_is_noop(upc):
+    upc.pulse("BGP_PU0_FPU_FMA", 0)
+    assert upc.read("BGP_PU0_FPU_FMA") == 0
+
+
+def test_negative_pulse_rejected(upc):
+    with pytest.raises(ValueError):
+        upc.pulse("BGP_PU0_FPU_FMA", -1)
+
+
+def test_reset_clears_counts_and_log(upc):
+    upc.pulse("BGP_PU0_FPU_FMA", 5)
+    upc.reset(mode=0)
+    assert upc.read("BGP_PU0_FPU_FMA") == 0
+    assert upc.interrupt_log == []
+
+
+# ---------------------------------------------------------------------------
+# signal-mode semantics
+# ---------------------------------------------------------------------------
+def test_level_high_counts_high_cycles(upc):
+    ev = event_by_name("BGP_PU0_STALL_MEM")
+    upc.configure(ev.counter, signal_mode=SignalMode.LEVEL_HIGH)
+    upc.level(ev, high_cycles=300, total_cycles=1000)
+    assert upc.read(ev.counter) == 300
+
+
+def test_level_low_counts_low_cycles(upc):
+    ev = event_by_name("BGP_PU0_STALL_MEM")
+    upc.configure(ev.counter, signal_mode=SignalMode.LEVEL_LOW)
+    upc.level(ev, high_cycles=300, total_cycles=1000)
+    assert upc.read(ev.counter) == 700
+
+
+def test_edge_modes_count_bursts(upc):
+    ev = event_by_name("BGP_PU0_STALL_MEM")
+    for mode in (SignalMode.EDGE_RISE, SignalMode.EDGE_FALL):
+        upc.reset(mode=0)
+        upc.configure(ev.counter, signal_mode=mode)
+        upc.level(ev, high_cycles=300, total_cycles=1000, bursts=7)
+        assert upc.read(ev.counter) == 7
+
+
+def test_level_low_ignores_pulses(upc):
+    """A pulse is a 1-cycle high excursion: LEVEL_LOW must not count it."""
+    ev = event_by_name("BGP_PU0_FPU_FMA")
+    upc.configure(ev.counter, signal_mode=SignalMode.LEVEL_LOW)
+    upc.pulse(ev, 10)
+    assert upc.read(ev.counter) == 0
+
+
+def test_level_high_sees_pulses_as_single_cycles(upc):
+    ev = event_by_name("BGP_PU0_FPU_FMA")
+    upc.configure(ev.counter, signal_mode=SignalMode.LEVEL_HIGH)
+    upc.pulse(ev, 10)
+    assert upc.read(ev.counter) == 10
+
+
+def test_level_validates_arguments(upc):
+    with pytest.raises(ValueError):
+        upc.level("BGP_PU0_STALL_MEM", high_cycles=10, total_cycles=5)
+    with pytest.raises(ValueError):
+        upc.level("BGP_PU0_STALL_MEM", high_cycles=-1, total_cycles=5)
+
+
+# ---------------------------------------------------------------------------
+# thresholding
+# ---------------------------------------------------------------------------
+def test_threshold_interrupt_fires_on_crossing(upc):
+    ev = event_by_name("BGP_PU0_L1D_READ_MISS")
+    upc.configure(ev.counter, interrupt_enable=True, threshold=100)
+    fired = []
+    upc.on_interrupt(lambda irq: fired.append(irq))
+    upc.pulse(ev, 99)
+    assert not fired
+    upc.pulse(ev, 1)
+    assert len(fired) == 1
+    assert fired[0].event_name == ev.name
+    assert fired[0].value == 100
+    assert fired[0].threshold == 100
+    assert upc.interrupt_log == fired
+
+
+def test_threshold_fires_once_per_crossing(upc):
+    ev = event_by_name("BGP_PU0_L1D_READ_MISS")
+    upc.configure(ev.counter, interrupt_enable=True, threshold=10)
+    upc.pulse(ev, 50)   # crosses
+    upc.pulse(ev, 50)   # already above: no new crossing
+    assert len(upc.interrupt_log) == 1
+
+
+def test_threshold_needs_interrupt_enable(upc):
+    ev = event_by_name("BGP_PU0_L1D_READ_MISS")
+    upc.configure(ev.counter, interrupt_enable=False, threshold=10)
+    upc.pulse(ev, 50)
+    assert upc.interrupt_log == []
+
+
+def test_zero_threshold_never_fires(upc):
+    ev = event_by_name("BGP_PU0_L1D_READ_MISS")
+    upc.configure(ev.counter, interrupt_enable=True, threshold=0)
+    upc.pulse(ev, 50)
+    assert upc.interrupt_log == []
+
+
+# ---------------------------------------------------------------------------
+# snapshots
+# ---------------------------------------------------------------------------
+def test_named_snapshot_covers_current_mode(upc):
+    upc.pulse("BGP_PU1_FPU_MUL", 7)
+    snap = upc.named_snapshot()
+    assert snap["BGP_PU1_FPU_MUL"] == 7
+    assert "BGP_L3_MISS" not in snap  # mode 2 event
+    assert len(snap) == 256
+
+
+def test_snapshot_is_a_copy(upc):
+    snap = upc.snapshot()
+    upc.pulse("BGP_PU0_FPU_FMA", 5)
+    assert int(snap[event_by_name("BGP_PU0_FPU_FMA").counter]) == 0

@@ -1,0 +1,143 @@
+"""Unit + property tests for the binary dump format."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DumpFormatError, DumpWriter, read_dump
+from repro.core.dump import read_dump_bytes
+
+
+def make_writer(node_id=3, mode=1):
+    return DumpWriter(node_id=node_id, mode=mode)
+
+
+def test_roundtrip_single_set(tmp_path):
+    w = make_writer()
+    deltas = np.arange(256, dtype=np.uint64) * 1000
+    w.add_set(0, deltas)
+    path = str(tmp_path / "d.bin")
+    w.write(path)
+    dump = read_dump(path)
+    assert dump.node_id == 3
+    assert dump.mode == 1
+    assert np.array_equal(dump.deltas(0), deltas)
+
+
+def test_roundtrip_multiple_sets():
+    w = make_writer()
+    a = np.full(256, 7, dtype=np.uint64)
+    b = np.full(256, 9, dtype=np.uint64)
+    w.add_set(2, a)
+    w.add_set(5, b)
+    dump = read_dump_bytes(w.to_bytes())
+    assert dump.set_ids() == [2, 5]
+    assert np.array_equal(dump.deltas(2), a)
+    assert np.array_equal(dump.deltas(5), b)
+
+
+def test_empty_dump_is_valid():
+    dump = read_dump_bytes(make_writer().to_bytes())
+    assert dump.set_ids() == []
+
+
+def test_missing_set_raises():
+    dump = read_dump_bytes(make_writer().to_bytes())
+    with pytest.raises(DumpFormatError):
+        dump.deltas(0)
+
+
+def test_wrong_delta_count_rejected_at_write():
+    w = make_writer()
+    with pytest.raises(DumpFormatError):
+        w.add_set(0, np.zeros(255, dtype=np.uint64))
+
+
+def test_bad_magic_rejected():
+    data = bytearray(make_writer().to_bytes())
+    data[:4] = b"NOPE"
+    with pytest.raises(DumpFormatError, match="magic"):
+        read_dump_bytes(bytes(data))
+
+
+def test_truncated_dump_rejected():
+    w = make_writer()
+    w.add_set(0, np.zeros(256, dtype=np.uint64))
+    data = w.to_bytes()
+    with pytest.raises(DumpFormatError, match="length"):
+        read_dump_bytes(data[:-9])
+
+
+def test_appended_garbage_rejected():
+    data = make_writer().to_bytes() + b"\x00" * 8
+    with pytest.raises(DumpFormatError, match="length"):
+        read_dump_bytes(data)
+
+
+def test_corrupted_counter_fails_checksum():
+    w = make_writer()
+    w.add_set(0, np.full(256, 5, dtype=np.uint64))
+    data = bytearray(w.to_bytes())
+    # flip one byte inside the delta payload (after 32B header + 8B set hdr)
+    data[48] ^= 0xFF
+    with pytest.raises(DumpFormatError, match="checksum"):
+        read_dump_bytes(bytes(data))
+
+
+def test_duplicate_set_id_rejected():
+    w = make_writer()
+    w.add_set(1, np.zeros(256, dtype=np.uint64))
+    w.add_set(1, np.zeros(256, dtype=np.uint64))
+    with pytest.raises(DumpFormatError, match="duplicate"):
+        read_dump_bytes(w.to_bytes())
+
+
+def test_invalid_mode_rejected():
+    w = DumpWriter(node_id=0, mode=9)
+    with pytest.raises(DumpFormatError, match="mode"):
+        read_dump_bytes(w.to_bytes())
+
+
+def test_path_prefixed_in_error(tmp_path):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(b"garbage")
+    with pytest.raises(DumpFormatError, match="bad.bin"):
+        read_dump(str(path))
+
+
+def test_writer_copies_input():
+    w = make_writer()
+    deltas = np.zeros(256, dtype=np.uint64)
+    w.add_set(0, deltas)
+    deltas[:] = 99  # mutate after add
+    dump = read_dump_bytes(w.to_bytes())
+    assert int(dump.deltas(0)[0]) == 0
+
+
+# ---------------------------------------------------------------------------
+# property: arbitrary contents round-trip exactly
+# ---------------------------------------------------------------------------
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(0, 3),
+    st.lists(
+        st.tuples(
+            st.integers(0, 2**32 - 1),
+            st.lists(st.integers(0, 2**64 - 1), min_size=256, max_size=256),
+        ),
+        min_size=0, max_size=4,
+        unique_by=lambda t: t[0],
+    ),
+)
+def test_prop_dump_roundtrip(node_id, mode, sets):
+    w = DumpWriter(node_id=node_id, mode=mode)
+    for set_id, values in sets:
+        w.add_set(set_id, np.array(values, dtype=np.uint64))
+    dump = read_dump_bytes(w.to_bytes())
+    assert dump.node_id == node_id
+    assert dump.mode == mode
+    assert dump.set_ids() == sorted(s for s, _ in sets)
+    for set_id, values in sets:
+        assert np.array_equal(dump.deltas(set_id),
+                              np.array(values, dtype=np.uint64))

@@ -1,0 +1,93 @@
+"""Unit tests for the 1024-event catalog."""
+
+import pytest
+
+from repro.core import (
+    COUNTERS_PER_MODE,
+    EVENTS_BY_ID,
+    EVENTS_BY_NAME,
+    NUM_MODES,
+    TOTAL_EVENTS,
+    core_event,
+    event_by_name,
+    events_in_mode,
+)
+from repro.core.events import CORES_PER_NODE, FPU_EVENT_SUFFIXES
+
+
+def test_catalog_is_complete():
+    """Every one of the 1024 slots is populated exactly once."""
+    assert TOTAL_EVENTS == 1024
+    assert len(EVENTS_BY_ID) == TOTAL_EVENTS
+    assert set(EVENTS_BY_ID) == set(range(TOTAL_EVENTS))
+    assert len(EVENTS_BY_NAME) == TOTAL_EVENTS  # names unique
+
+
+def test_event_id_encodes_mode_and_counter():
+    for event_id, ev in EVENTS_BY_ID.items():
+        assert ev.event_id == event_id
+        assert ev.event_id == ev.mode * COUNTERS_PER_MODE + ev.counter
+        assert 0 <= ev.mode < NUM_MODES
+        assert 0 <= ev.counter < COUNTERS_PER_MODE
+
+
+def test_events_in_mode_returns_256_ordered():
+    for mode in range(NUM_MODES):
+        events = events_in_mode(mode)
+        assert len(events) == COUNTERS_PER_MODE
+        assert [e.counter for e in events] == list(range(COUNTERS_PER_MODE))
+        assert all(e.mode == mode for e in events)
+
+
+def test_events_in_mode_rejects_bad_mode():
+    with pytest.raises(ValueError):
+        events_in_mode(4)
+    with pytest.raises(ValueError):
+        events_in_mode(-1)
+
+
+def test_per_core_fpu_events_exist_for_all_cores():
+    for core in range(CORES_PER_NODE):
+        for suffix in FPU_EVENT_SUFFIXES:
+            ev = core_event(core, suffix)
+            assert ev.mode == 0
+            assert ev.core == core
+            assert ev.group == "fpu"
+
+
+def test_core_blocks_do_not_overlap():
+    """Each core owns a disjoint 64-counter block in modes 0 and 1."""
+    for mode in (0, 1):
+        seen = {}
+        for ev in events_in_mode(mode):
+            if ev.core is not None:
+                block = ev.counter // 64
+                seen.setdefault(ev.core, set()).add(block)
+        for core, blocks in seen.items():
+            assert blocks == {core}
+
+
+def test_shared_events_have_no_core():
+    assert event_by_name("BGP_L3_MISS").core is None
+    assert event_by_name("BGP_DDR0_READ").core is None
+    assert event_by_name("BGP_TORUS_RECV_PACKETS").core is None
+
+
+def test_mode_assignment_by_group():
+    assert event_by_name("BGP_PU2_L2_MISS").mode == 1
+    assert event_by_name("BGP_L3_READ").mode == 2
+    assert event_by_name("BGP_BARRIER_ENTERED").mode == 3
+
+
+def test_unknown_event_lists_candidates():
+    with pytest.raises(KeyError) as exc:
+        event_by_name("BGP_PU0_FPU_FMAA")
+    assert "candidates" in str(exc.value)
+
+
+def test_reserved_slots_fill_the_gaps():
+    reserved = [e for e in EVENTS_BY_ID.values() if e.group == "reserved"]
+    named = [e for e in EVENTS_BY_ID.values() if e.group != "reserved"]
+    assert len(reserved) + len(named) == TOTAL_EVENTS
+    assert named, "catalog must contain real events"
+    assert reserved, "catalog must mark unused slots as reserved"

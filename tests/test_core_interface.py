@@ -1,0 +1,216 @@
+"""Unit tests for the BGP_* interface library."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BGPCounterInterface,
+    InterfaceError,
+    OVERHEAD_INIT_CYCLES,
+    OVERHEAD_START_CYCLES,
+    OVERHEAD_STOP_CYCLES,
+    OVERHEAD_TOTAL_CYCLES,
+    UPCUnit,
+    event_by_name,
+    mode_for_node,
+    node_card,
+    read_dump,
+)
+from repro.core.interface import (
+    BGP_Finalize,
+    BGP_Initialize,
+    BGP_Start,
+    BGP_Stop,
+)
+
+
+@pytest.fixture
+def upc():
+    return UPCUnit(node_id=0)
+
+
+@pytest.fixture
+def iface(upc):
+    i = BGPCounterInterface(upc, node_id=0)
+    i.initialize(mode=0)
+    return i
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+def test_start_stop_measures_only_the_region(iface, upc):
+    upc.pulse("BGP_PU0_FPU_FMA", 111)      # before start: not in set
+    iface.start(0)
+    upc.pulse("BGP_PU0_FPU_FMA", 222)
+    iface.stop(0)
+    upc.pulse("BGP_PU0_FPU_FMA", 333)      # after stop: not in set
+    assert iface.named_deltas(0)["BGP_PU0_FPU_FMA"] == 222
+
+
+def test_multiple_start_stop_pairs_accumulate(iface, upc):
+    for _ in range(3):
+        iface.start(0)
+        upc.pulse("BGP_PU0_FPU_FMA", 10)
+        iface.stop(0)
+    assert iface.named_deltas(0)["BGP_PU0_FPU_FMA"] == 30
+
+
+def test_distinct_sets_are_independent(iface, upc):
+    iface.start(1)
+    upc.pulse("BGP_PU0_LOAD", 5)
+    iface.stop(1)
+    iface.start(2)
+    upc.pulse("BGP_PU0_LOAD", 7)
+    iface.stop(2)
+    assert iface.named_deltas(1)["BGP_PU0_LOAD"] == 5
+    assert iface.named_deltas(2)["BGP_PU0_LOAD"] == 7
+    assert iface.set_ids == [1, 2]
+
+
+def test_nested_sets_see_overlapping_counts(iface, upc):
+    """Two sets can bracket overlapping regions (set 0 outer, 1 inner)."""
+    iface.start(0)
+    upc.pulse("BGP_PU0_LOAD", 1)
+    iface.start(1)
+    upc.pulse("BGP_PU0_LOAD", 10)
+    iface.stop(1)
+    upc.pulse("BGP_PU0_LOAD", 100)
+    iface.stop(0)
+    assert iface.named_deltas(1)["BGP_PU0_LOAD"] == 10
+    assert iface.named_deltas(0)["BGP_PU0_LOAD"] == 111
+
+
+def test_protocol_errors(iface):
+    with pytest.raises(InterfaceError):
+        iface.stop(0)                       # stop without start
+    iface.start(0)
+    with pytest.raises(InterfaceError):
+        iface.start(0)                      # double start same set
+
+
+def test_must_initialize_first(upc):
+    i = BGPCounterInterface(upc)
+    with pytest.raises(InterfaceError):
+        i.start(0)
+
+
+def test_finalize_rejects_running_sets(iface, tmp_path):
+    iface.start(0)
+    with pytest.raises(InterfaceError):
+        iface.finalize(str(tmp_path))
+
+
+def test_no_use_after_finalize(iface, tmp_path):
+    iface.start(0)
+    iface.stop(0)
+    iface.finalize(str(tmp_path))
+    with pytest.raises(InterfaceError):
+        iface.start(0)
+
+
+def test_counter_wrap_inside_region_is_corrected(iface, upc):
+    ev = event_by_name("BGP_PU0_FPU_FMA")
+    upc.registers.set_counter(ev.counter, (1 << 64) - 5)
+    iface.start(0)
+    upc.pulse(ev, 10)  # wraps past 2**64
+    iface.stop(0)
+    assert iface.named_deltas(0)[ev.name] == 10
+
+
+# ---------------------------------------------------------------------------
+# overhead accounting (paper: 196 cycles for init+start+stop)
+# ---------------------------------------------------------------------------
+def test_overhead_is_196_cycles_for_init_start_stop(upc):
+    sink = []
+    i = BGPCounterInterface(upc, cycle_sink=sink.append)
+    i.initialize(mode=0)
+    i.start(0)
+    i.stop(0)
+    assert i.overhead_cycles == OVERHEAD_TOTAL_CYCLES == 196
+    assert sum(sink) == 196
+    assert (OVERHEAD_INIT_CYCLES + OVERHEAD_START_CYCLES
+            + OVERHEAD_STOP_CYCLES) == 196
+
+
+def test_stop_overhead_does_not_perturb_counts(upc):
+    """Overhead cycles charged by stop() land outside the measured region."""
+    cycles_ev = event_by_name("BGP_PU0_CYCLES")
+    i = BGPCounterInterface(
+        upc, cycle_sink=lambda c: upc.pulse(cycles_ev, c))
+    i.initialize(mode=0)
+    i.start(0)
+    i.stop(0)
+    # start's 23 cycles are visible inside the region; stop's must not be
+    assert i.named_deltas(0)["BGP_PU0_CYCLES"] == OVERHEAD_START_CYCLES
+
+
+def test_dump_cycles_charged_at_finalize(iface, upc, tmp_path):
+    iface.start(0)
+    iface.stop(0)
+    assert iface.dump_cycles == 0
+    iface.finalize(str(tmp_path))
+    assert iface.dump_cycles > 0
+
+
+# ---------------------------------------------------------------------------
+# dump round trip
+# ---------------------------------------------------------------------------
+def test_finalize_writes_readable_dump(iface, upc, tmp_path):
+    iface.start(3)
+    upc.pulse("BGP_PU0_FPU_SIMD_FMA", 42)
+    iface.stop(3)
+    path = iface.finalize(str(tmp_path))
+    dump = read_dump(path)
+    assert dump.node_id == 0
+    assert dump.mode == 0
+    ev = event_by_name("BGP_PU0_FPU_SIMD_FMA")
+    assert int(dump.deltas(3)[ev.counter]) == 42
+
+
+# ---------------------------------------------------------------------------
+# node-card mode policy
+# ---------------------------------------------------------------------------
+def test_node_card_grouping():
+    assert node_card(0) == 0
+    assert node_card(31) == 0
+    assert node_card(32) == 1
+    assert node_card(95) == 2
+
+
+def test_mode_for_node_even_odd_policy():
+    assert mode_for_node(0) == 0       # node card 0 (even)
+    assert mode_for_node(40) == 1      # node card 1 (odd)
+    assert mode_for_node(64) == 0      # node card 2 (even)
+    assert mode_for_node(5, primary_mode=2, secondary_mode=3) == 2
+
+
+def test_initialize_uses_node_card_policy(upc):
+    i = BGPCounterInterface(upc, node_id=40)  # odd node card
+    selected = i.initialize()
+    assert selected == 1
+    assert upc.mode == 1
+
+
+# ---------------------------------------------------------------------------
+# module-level paper-style API
+# ---------------------------------------------------------------------------
+def test_module_level_api_roundtrip(tmp_path):
+    upc = UPCUnit(node_id=7)
+    BGP_Initialize(upc, node_id=7, mode=0)
+    BGP_Start(0)
+    upc.pulse("BGP_PU0_FPU_MUL", 9)
+    delta = BGP_Stop(0)
+    assert isinstance(delta, np.ndarray)
+    path = BGP_Finalize(str(tmp_path))
+    dump = read_dump(path)
+    ev = event_by_name("BGP_PU0_FPU_MUL")
+    assert int(dump.deltas(0)[ev.counter]) == 9
+
+
+def test_module_level_api_requires_initialize():
+    from repro.core.interface import InterfaceError, _require_current
+    import repro.core.interface as mod
+    mod._current = None
+    with pytest.raises(InterfaceError):
+        _require_current()

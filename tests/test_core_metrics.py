@@ -1,0 +1,129 @@
+"""Unit tests for the derived counter metrics."""
+
+import pytest
+
+from repro.core import (
+    ddr_bandwidth_bytes_per_sec,
+    ddr_traffic_bytes,
+    elapsed_cycles,
+    fp_instruction_counts,
+    fp_profile,
+    l1_hit_rate,
+    l2_prefetch_coverage,
+    l3_miss_rate,
+    merge_named,
+    mflops,
+    simd_instructions,
+    total_flops,
+)
+from repro.core.metrics import L3_LINE_BYTES
+from repro.isa import CORE_CLOCK_HZ
+
+
+def test_total_flops_weights_fma_and_simd():
+    named = {
+        "BGP_PU0_FPU_ADDSUB": 100,   # 100 flops
+        "BGP_PU0_FPU_FMA": 100,      # 200 flops
+        "BGP_PU0_FPU_SIMD_ADDSUB": 100,  # 200 flops
+        "BGP_PU0_FPU_SIMD_FMA": 100,     # 400 flops
+    }
+    assert total_flops(named) == 900
+
+
+def test_flops_sum_across_cores():
+    named = {f"BGP_PU{c}_FPU_FMA": 10 for c in range(4)}
+    assert total_flops(named) == 80
+
+
+def test_fp_instruction_counts_missing_default_zero():
+    counts = fp_instruction_counts({})
+    assert all(v == 0 for v in counts.values())
+    assert set(counts) == {
+        "FPU_ADDSUB", "FPU_MUL", "FPU_DIV", "FPU_FMA",
+        "FPU_SIMD_ADDSUB", "FPU_SIMD_MUL", "FPU_SIMD_DIV", "FPU_SIMD_FMA"}
+
+
+def test_elapsed_cycles_is_max_over_cores():
+    named = {"BGP_PU0_CYCLES": 100, "BGP_PU1_CYCLES": 300,
+             "BGP_PU2_CYCLES": 200}
+    assert elapsed_cycles(named) == 300
+
+
+def test_mflops_peak_node_rate():
+    """4 cores of back-to-back SIMD FMA hit the 13.6 GFLOPS node peak."""
+    cycles = 1_000_000
+    named = {"BGP_PU%d_CYCLES" % c: cycles for c in range(4)}
+    for c in range(4):
+        named[f"BGP_PU{c}_FPU_SIMD_FMA"] = cycles  # 1/cycle, 4 flops each
+    rate = mflops(named)
+    assert rate == pytest.approx(13.6e3, rel=1e-6)  # 13.6 GFLOPS in MFLOPS
+
+
+def test_mflops_zero_without_cycles():
+    assert mflops({"BGP_PU0_FPU_FMA": 100}) == 0.0
+
+
+def test_fp_profile_labels_and_normalization():
+    named = {"BGP_PU0_FPU_FMA": 60, "BGP_PU0_FPU_SIMD_FMA": 20,
+             "BGP_PU1_FPU_SIMD_ADDSUB": 20}
+    profile = fp_profile(named)
+    assert profile["single FMA"] == pytest.approx(0.6)
+    assert profile["SIMD FMA"] == pytest.approx(0.2)
+    assert profile["SIMD add-sub"] == pytest.approx(0.2)
+    assert sum(profile.values()) == pytest.approx(1.0)
+
+
+def test_fp_profile_empty_is_all_zero():
+    profile = fp_profile({})
+    assert set(profile) == {"single add-sub", "single mult", "single FMA",
+                            "single div", "SIMD add-sub", "SIMD FMA",
+                            "SIMD mult", "SIMD div"}
+    assert all(v == 0.0 for v in profile.values())
+
+
+def test_simd_instructions_counts_only_simd():
+    named = {"BGP_PU0_FPU_FMA": 10, "BGP_PU0_FPU_SIMD_FMA": 3,
+             "BGP_PU2_FPU_SIMD_MUL": 4}
+    assert simd_instructions(named) == 7
+
+
+def test_ddr_traffic_counts_all_four_burst_counters():
+    named = {"BGP_DDR0_READ": 1, "BGP_DDR0_WRITE": 2,
+             "BGP_DDR1_READ": 3, "BGP_DDR1_WRITE": 4}
+    assert ddr_traffic_bytes(named) == 10 * L3_LINE_BYTES
+
+
+def test_ddr_bandwidth_uses_elapsed_time():
+    named = {"BGP_DDR0_READ": 1000, "BGP_PU0_CYCLES": CORE_CLOCK_HZ}
+    # 1000 lines in exactly 1 second
+    assert ddr_bandwidth_bytes_per_sec(named) == pytest.approx(
+        1000 * L3_LINE_BYTES)
+
+
+def test_l1_hit_rate():
+    named = {"BGP_PU0_L1D_READ_HIT": 90, "BGP_PU0_L1D_READ_MISS": 10}
+    assert l1_hit_rate(named) == pytest.approx(0.9)
+    assert l1_hit_rate({}) == 0.0
+
+
+def test_l2_prefetch_coverage():
+    named = {"BGP_PU0_L2_READ": 100, "BGP_PU0_L2_PREFETCH_HIT": 40}
+    assert l2_prefetch_coverage(named) == pytest.approx(0.4)
+    assert l2_prefetch_coverage({}) == 0.0
+
+
+def test_l3_miss_rate():
+    named = {"BGP_L3_READ": 200, "BGP_L3_MISS": 20}
+    assert l3_miss_rate(named) == pytest.approx(0.1)
+    assert l3_miss_rate({}) == 0.0
+
+
+def test_merge_named_sums_overlapping_keys():
+    merged = merge_named({"a": 1, "b": 2}, {"b": 3, "c": 4})
+    assert merged == {"a": 1, "b": 5, "c": 4}
+
+
+def test_merge_named_supports_many_nodes():
+    per_node = [{"BGP_PU0_FPU_FMA": i} for i in range(10)]
+    merged = merge_named(*per_node)
+    assert merged["BGP_PU0_FPU_FMA"] == sum(range(10))

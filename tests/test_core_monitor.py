@@ -1,0 +1,134 @@
+"""Unit tests for the counter monitoring thread."""
+
+import pytest
+
+from repro.core import CounterMonitor, UPCUnit
+
+
+@pytest.fixture
+def upc():
+    unit = UPCUnit(node_id=0)
+    unit.mode = 0
+    return unit
+
+
+def monitor(upc, events=("BGP_PU0_FPU_FMA",), period=1000):
+    return CounterMonitor(upc, events, period_cycles=period)
+
+
+def test_samples_taken_at_period_boundaries(upc):
+    m = monitor(upc)
+    upc.pulse("BGP_PU0_FPU_FMA", 100)
+    taken = m.advance(2500)
+    assert taken == 2
+    series = m.series["BGP_PU0_FPU_FMA"]
+    assert [s.cycle for s in series.samples] == [1000, 2000]
+    # the increment landed before the first boundary
+    assert series.deltas() == [100, 0]
+
+
+def test_deltas_attributed_per_interval(upc):
+    m = monitor(upc)
+    for _ in range(3):
+        upc.pulse("BGP_PU0_FPU_FMA", 10)
+        m.advance(1000)
+    assert m.series["BGP_PU0_FPU_FMA"].deltas() == [10, 10, 10]
+
+
+def test_advance_smaller_than_period_accumulates(upc):
+    m = monitor(upc)
+    upc.pulse("BGP_PU0_FPU_FMA", 5)
+    assert m.advance(400) == 0
+    upc.pulse("BGP_PU0_FPU_FMA", 5)
+    assert m.advance(700) == 1  # crosses 1000
+    assert m.series["BGP_PU0_FPU_FMA"].deltas() == [10]
+
+
+def test_rate_per_cycle(upc):
+    m = monitor(upc)
+    upc.pulse("BGP_PU0_FPU_FMA", 500)
+    m.advance(1000)
+    rates = m.series["BGP_PU0_FPU_FMA"].rate_per_cycle()
+    assert rates == [0.5]
+
+
+def test_flush_takes_final_partial_sample(upc):
+    m = monitor(upc)
+    m.advance(1500)
+    upc.pulse("BGP_PU0_FPU_FMA", 7)
+    m.flush()
+    series = m.series["BGP_PU0_FPU_FMA"]
+    assert series.samples[-1].cycle == 1500
+    assert series.samples[-1].delta == 7
+
+
+def test_peak_interval(upc):
+    m = monitor(upc)
+    upc.pulse("BGP_PU0_FPU_FMA", 1)
+    m.advance(1000)
+    upc.pulse("BGP_PU0_FPU_FMA", 99)
+    m.advance(1000)
+    peak = m.series["BGP_PU0_FPU_FMA"].peak_interval()
+    assert peak.cycle == 2000 and peak.delta == 99
+
+
+def test_hottest_event(upc):
+    m = CounterMonitor(upc, ["BGP_PU0_FPU_FMA", "BGP_PU0_LOAD"],
+                       period_cycles=100)
+    upc.pulse("BGP_PU0_FPU_FMA", 5)
+    upc.pulse("BGP_PU0_LOAD", 50)
+    m.advance(100)
+    assert m.hottest_event() == "BGP_PU0_LOAD"
+
+
+def test_hottest_event_none_when_quiet(upc):
+    m = monitor(upc)
+    m.advance(1000)
+    assert m.hottest_event() is None
+
+
+def test_phase_change_detection(upc):
+    m = monitor(upc, period=100)
+    # steady phase: 10/interval
+    for _ in range(3):
+        upc.pulse("BGP_PU0_FPU_FMA", 10)
+        m.advance(100)
+    # phase change: 100/interval
+    upc.pulse("BGP_PU0_FPU_FMA", 100)
+    m.advance(100)
+    changes = m.phase_changes(factor=4.0)
+    assert changes == [400]
+
+
+def test_phase_change_factor_validated(upc):
+    m = monitor(upc)
+    with pytest.raises(ValueError):
+        m.phase_changes(factor=1.0)
+
+
+def test_monitor_rejects_wrong_mode_event(upc):
+    with pytest.raises(ValueError, match="mode"):
+        CounterMonitor(upc, ["BGP_L3_MISS"])  # mode-2 event, unit mode 0
+
+
+def test_monitor_rejects_empty_and_bad_period(upc):
+    with pytest.raises(ValueError):
+        CounterMonitor(upc, [])
+    with pytest.raises(ValueError):
+        CounterMonitor(upc, ["BGP_PU0_FPU_FMA"], period_cycles=0)
+
+
+def test_monitor_rejects_negative_advance(upc):
+    with pytest.raises(ValueError):
+        monitor(upc).advance(-1)
+
+
+def test_counter_wrap_handled(upc):
+    from repro.core import event_by_name
+
+    ev = event_by_name("BGP_PU0_FPU_FMA")
+    upc.registers.set_counter(ev.counter, (1 << 64) - 3)
+    m = monitor(upc)
+    upc.pulse(ev, 10)  # wraps
+    m.advance(1000)
+    assert m.series[ev.name].deltas() == [10]

@@ -1,0 +1,121 @@
+"""Unit tests for the multiplexed (time-division) counter session."""
+
+import pytest
+
+from repro.core import MultiplexedSession, UPCUnit
+
+
+@pytest.fixture
+def upc():
+    return UPCUnit(node_id=0)
+
+
+def drive_uniform(session, upc, total_cycles, rate=0.01,
+                  chunk=10_000):
+    """A stationary workload: constant FMA + L3-miss rates."""
+    done = 0
+    while done < total_cycles:
+        step = min(chunk, total_cycles - done)
+        upc.pulse("BGP_PU0_FPU_FMA", int(step * rate))
+        upc.pulse("BGP_L3_MISS", int(step * rate / 10))
+        session.advance(step)
+        done += step
+    session.finish()
+
+
+# ---------------------------------------------------------------------------
+# mechanics
+# ---------------------------------------------------------------------------
+def test_rotation_schedule(upc):
+    s = MultiplexedSession(upc, modes=(0, 2), slice_cycles=1000)
+    assert s.current_mode == 0
+    s.advance(1000)
+    assert s.current_mode == 2
+    s.advance(1000)
+    assert s.current_mode == 0
+    assert s.rotations == 2
+
+
+def test_coverage_splits_evenly(upc):
+    s = MultiplexedSession(upc, modes=(0, 1, 2, 3), slice_cycles=1000)
+    s.advance(8000)
+    for mode in range(4):
+        assert s.coverage(mode) == pytest.approx(0.25)
+
+
+def test_partial_slice_folded_by_finish(upc):
+    s = MultiplexedSession(upc, modes=(0, 2), slice_cycles=1000)
+    s.advance(1500)
+    s.finish()
+    assert s.coverage(0) == pytest.approx(1000 / 1500)
+    assert s.coverage(2) == pytest.approx(500 / 1500)
+
+
+def test_validation(upc):
+    with pytest.raises(ValueError):
+        MultiplexedSession(upc, modes=())
+    with pytest.raises(ValueError):
+        MultiplexedSession(upc, slice_cycles=0)
+    with pytest.raises(ValueError):
+        MultiplexedSession(upc, modes=(0, 9))
+    s = MultiplexedSession(upc)
+    with pytest.raises(ValueError):
+        s.advance(-1)
+
+
+# ---------------------------------------------------------------------------
+# the multiplexing approximation
+# ---------------------------------------------------------------------------
+def test_stationary_workload_extrapolates_accurately(upc):
+    """Constant-rate events: observed/coverage recovers the truth."""
+    s = MultiplexedSession(upc, modes=(0, 2), slice_cycles=10_000)
+    drive_uniform(s, upc, total_cycles=1_000_000, rate=0.01,
+                  chunk=5_000)
+    estimates = s.estimates()
+    # ground truth: 1M cycles x 0.01 = 10_000 FMA pulses... but only
+    # half were countable; the estimate must scale back to ~10_000
+    assert estimates["BGP_PU0_FPU_FMA"] == pytest.approx(10_000,
+                                                         rel=0.05)
+    assert estimates["BGP_L3_MISS"] == pytest.approx(1_000, rel=0.05)
+
+
+def test_raw_counts_are_roughly_half(upc):
+    s = MultiplexedSession(upc, modes=(0, 2), slice_cycles=10_000)
+    drive_uniform(s, upc, total_cycles=1_000_000, rate=0.01,
+                  chunk=5_000)
+    raw = s.raw_counts()
+    assert raw["BGP_PU0_FPU_FMA"] == pytest.approx(5_000, rel=0.1)
+
+
+def test_phased_workload_biases_the_estimate(upc):
+    """The failure mode the node-card split avoids: if all the FP work
+    lands while the unit watches mode 2, multiplexing misses it."""
+    s = MultiplexedSession(upc, modes=(0, 2), slice_cycles=1000)
+    # phase 1: unit in mode 0, but only L3 traffic happens
+    upc.pulse("BGP_L3_MISS", 500)     # invisible (mode 0 active)
+    s.advance(1000)
+    # phase 2: unit in mode 2, but only FP work happens
+    upc.pulse("BGP_PU0_FPU_FMA", 500)  # invisible (mode 2 active)
+    s.advance(1000)
+    s.finish()
+    estimates = s.estimates()
+    # both estimates are catastrophically wrong (0 instead of 500)
+    assert estimates["BGP_PU0_FPU_FMA"] == 0.0
+    assert estimates["BGP_L3_MISS"] == 0.0
+
+
+def test_single_mode_is_exact(upc):
+    """Multiplexing one mode degenerates to plain counting."""
+    s = MultiplexedSession(upc, modes=(0,), slice_cycles=1000)
+    upc.pulse("BGP_PU0_FPU_FMA", 777)
+    s.advance(2500)
+    s.finish()
+    assert s.estimates()["BGP_PU0_FPU_FMA"] == pytest.approx(777)
+
+
+def test_mode_report_lines(upc):
+    s = MultiplexedSession(upc, modes=(0, 2), slice_cycles=1000)
+    s.advance(2000)
+    lines = s.mode_report()
+    assert len(lines) == 2
+    assert "mode 0" in lines[0]

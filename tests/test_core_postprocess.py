@@ -1,0 +1,190 @@
+"""Unit tests for dump aggregation, validation and CSV emission."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DumpWriter,
+    ValidationError,
+    aggregate,
+    event_by_name,
+    load_dumps,
+    validate_dumps,
+    write_metrics_csv,
+    write_raw_csv,
+    write_stats_csv,
+)
+from repro.core.dump import read_dump_bytes
+
+
+def make_dump(node_id, mode, values_by_event, set_id=0):
+    """Build a NodeDump with named events set to given values."""
+    deltas = np.zeros(256, dtype=np.uint64)
+    for name, value in values_by_event.items():
+        ev = event_by_name(name)
+        assert ev.mode == mode, f"{name} is not a mode-{mode} event"
+        deltas[ev.counter] = value
+    w = DumpWriter(node_id=node_id, mode=mode)
+    w.add_set(set_id, deltas)
+    return read_dump_bytes(w.to_bytes())
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+def test_stats_across_nodes():
+    dumps = [
+        make_dump(0, 0, {"BGP_PU0_FPU_FMA": 10}),
+        make_dump(1, 0, {"BGP_PU0_FPU_FMA": 20}),
+        make_dump(2, 0, {"BGP_PU0_FPU_FMA": 60}),
+    ]
+    agg = aggregate(dumps)
+    s = agg["BGP_PU0_FPU_FMA"]
+    assert s.minimum == 10
+    assert s.maximum == 60
+    assert s.mean == pytest.approx(30.0)
+    assert s.total == 90
+    assert s.node_count == 3
+
+
+def test_even_odd_node_cards_stitch_512_events():
+    """Nodes in different modes contribute different events (Section IV)."""
+    dumps = [
+        make_dump(0, 0, {"BGP_PU0_FPU_FMA": 5}),    # even card: mode 0
+        make_dump(32, 1, {"BGP_PU0_L2_MISS": 7}),   # odd card: mode 1
+    ]
+    agg = aggregate(dumps)
+    assert agg["BGP_PU0_FPU_FMA"].total == 5
+    assert agg["BGP_PU0_L2_MISS"].total == 7
+    assert agg.nodes_by_mode == {0: [0], 1: [32]}
+    # 512 logical events monitored
+    assert len(agg.stats) == 512
+
+
+def test_unmonitored_event_raises_helpfully():
+    agg = aggregate([make_dump(0, 0, {})])
+    with pytest.raises(KeyError, match="not monitored"):
+        agg["BGP_L3_MISS"]
+
+
+def test_totals_filter_by_group():
+    agg = aggregate([make_dump(0, 0, {"BGP_PU0_FPU_FMA": 5,
+                                      "BGP_PU0_LOAD": 3})])
+    fpu = agg.totals(group="fpu")
+    assert fpu["BGP_PU0_FPU_FMA"] == 5
+    assert "BGP_PU0_LOAD" not in fpu
+
+
+def test_metric_evaluates_over_totals():
+    agg = aggregate([make_dump(0, 0, {"BGP_PU0_FPU_FMA": 5}),
+                     make_dump(1, 0, {"BGP_PU0_FPU_FMA": 7})])
+    value = agg.metric(lambda t: t["BGP_PU0_FPU_FMA"] * 2)
+    assert value == 24
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+def test_validate_rejects_duplicate_nodes():
+    dumps = [make_dump(0, 0, {}), make_dump(0, 0, {})]
+    with pytest.raises(ValidationError, match="duplicate node ids"):
+        validate_dumps(dumps)
+
+
+def test_validate_rejects_mismatched_sets():
+    a = make_dump(0, 0, {}, set_id=0)
+    b = make_dump(1, 0, {}, set_id=1)
+    with pytest.raises(ValidationError, match="sets"):
+        validate_dumps([a, b])
+
+
+def test_validate_rejects_near_wrap_values():
+    d = make_dump(0, 0, {"BGP_PU0_FPU_FMA": (1 << 64) - 3})
+    with pytest.raises(ValidationError, match="wrap"):
+        validate_dumps([d])
+
+
+def test_validate_rejects_empty():
+    with pytest.raises(ValidationError):
+        validate_dumps([])
+
+
+# ---------------------------------------------------------------------------
+# file loading
+# ---------------------------------------------------------------------------
+def test_load_dumps_from_directory(tmp_path):
+    for node in range(3):
+        w = DumpWriter(node_id=node, mode=0)
+        w.add_set(0, np.zeros(256, dtype=np.uint64))
+        w.write(str(tmp_path / f"bgp_counters_node{node:05d}.bin"))
+    dumps = load_dumps(str(tmp_path))
+    assert [d.node_id for d in dumps] == [0, 1, 2]
+
+
+def test_load_dumps_empty_directory_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_dumps(str(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# CSV emission
+# ---------------------------------------------------------------------------
+def test_stats_csv_excludes_reserved_by_default(tmp_path):
+    agg = aggregate([make_dump(0, 0, {"BGP_PU0_FPU_FMA": 5})])
+    path = str(tmp_path / "stats.csv")
+    rows = write_stats_csv(agg, path)
+    with open(path) as fh:
+        lines = list(csv.DictReader(fh))
+    assert len(lines) == rows
+    names = {l["event"] for l in lines}
+    assert "BGP_PU0_FPU_FMA" in names
+    assert not any("RESERVED" in n for n in names)
+    row = next(l for l in lines if l["event"] == "BGP_PU0_FPU_FMA")
+    assert row["total"] == "5"
+    assert row["group"] == "fpu"
+
+
+def test_stats_csv_can_include_all_512(tmp_path):
+    dumps = [make_dump(0, 0, {}), make_dump(32, 1, {})]
+    agg = aggregate(dumps)
+    path = str(tmp_path / "all.csv")
+    rows = write_stats_csv(agg, path, include_reserved=True)
+    assert rows == 512
+
+
+def test_metrics_csv_records(tmp_path):
+    path = str(tmp_path / "metrics.csv")
+    n = write_metrics_csv(
+        [{"benchmark": "FT", "mflops": 1234.5},
+         {"benchmark": "MG", "mflops": 987.0}], path)
+    assert n == 2
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert rows[0]["benchmark"] == "FT"
+    assert float(rows[1]["mflops"]) == 987.0
+
+
+def test_metrics_csv_rejects_inconsistent_keys(tmp_path):
+    with pytest.raises(ValueError, match="keys"):
+        write_metrics_csv([{"a": 1}, {"b": 2}],
+                          str(tmp_path / "bad.csv"))
+
+
+def test_metrics_csv_rejects_empty(tmp_path):
+    with pytest.raises(ValueError):
+        write_metrics_csv([], str(tmp_path / "bad.csv"))
+
+
+def test_raw_csv_has_row_per_node_counter(tmp_path):
+    dumps = [make_dump(0, 0, {"BGP_PU0_FPU_FMA": 3}),
+             make_dump(1, 0, {})]
+    path = str(tmp_path / "raw.csv")
+    rows = write_raw_csv(dumps, path)
+    assert rows == 2 * 256
+    with open(path) as fh:
+        lines = list(csv.DictReader(fh))
+    hit = [l for l in lines
+           if l["event"] == "BGP_PU0_FPU_FMA" and l["node"] == "0"]
+    assert len(hit) == 1 and hit[0]["value"] == "3"

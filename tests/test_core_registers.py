@@ -1,0 +1,200 @@
+"""Unit + property tests for the memory-mapped UPC register file."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CounterConfig, SignalMode, UPCRegisterFile
+from repro.core.registers import (
+    CONFIG_BASE,
+    CONTROL_OFFSET,
+    COUNTER_BASE,
+    MAP_SIZE,
+    THRESHOLD_BASE,
+)
+
+U64 = (1 << 64) - 1
+
+
+@pytest.fixture
+def regs():
+    return UPCRegisterFile()
+
+
+# ---------------------------------------------------------------------------
+# raw word access
+# ---------------------------------------------------------------------------
+def test_word_roundtrip(regs):
+    regs.write_word(0x10, 0xDEADBEEF)
+    assert regs.read_word(0x10) == 0xDEADBEEF
+
+
+def test_word_truncates_to_32_bits(regs):
+    regs.write_word(0x10, 0x1_0000_0001)
+    assert regs.read_word(0x10) == 1
+
+
+def test_unaligned_access_rejected(regs):
+    with pytest.raises(ValueError):
+        regs.read_word(0x11)
+    with pytest.raises(ValueError):
+        regs.write_word(0x3, 0)
+
+
+def test_out_of_range_rejected(regs):
+    with pytest.raises(ValueError):
+        regs.read_word(MAP_SIZE)
+    with pytest.raises(ValueError):
+        regs.read_word(-4)
+
+
+# ---------------------------------------------------------------------------
+# counters through the memory map
+# ---------------------------------------------------------------------------
+def test_counter_is_two_words_high_first(regs):
+    """Counter i lives at COUNTER_BASE + 8i, high word at lower address."""
+    regs.set_counter(3, 0x11223344_55667788)
+    assert regs.read_word(COUNTER_BASE + 3 * 8) == 0x11223344
+    assert regs.read_word(COUNTER_BASE + 3 * 8 + 4) == 0x55667788
+
+
+def test_counter_written_by_words_reads_back_via_api(regs):
+    regs.write_word(COUNTER_BASE + 5 * 8, 0xAABBCCDD)
+    regs.write_word(COUNTER_BASE + 5 * 8 + 4, 0x00112233)
+    assert regs.counter(5) == 0xAABBCCDD_00112233
+
+
+def test_counter_wraps_modulo_2_64(regs):
+    regs.set_counter(0, U64)
+    assert regs.add_to_counter(0, 2) == 1
+
+
+def test_counter_index_bounds(regs):
+    with pytest.raises(IndexError):
+        regs.counter(256)
+    with pytest.raises(IndexError):
+        regs.set_counter(-1, 0)
+
+
+def test_reset_counters_preserves_config(regs):
+    cfg = CounterConfig(signal_mode=SignalMode.LEVEL_LOW,
+                        interrupt_enable=True)
+    regs.set_config(7, cfg)
+    regs.set_threshold(7, 99)
+    regs.set_counter(7, 123)
+    regs.reset_counters()
+    assert regs.counter(7) == 0
+    assert regs.config(7) == cfg
+    assert regs.threshold(7) == 99
+
+
+def test_snapshot_matches_individual_reads(regs):
+    for i in (0, 1, 100, 255):
+        regs.set_counter(i, i * 1000 + 7)
+    snap = regs.counters_snapshot()
+    assert snap.shape == (256,)
+    for i in (0, 1, 100, 255):
+        assert int(snap[i]) == i * 1000 + 7
+    assert int(snap[50]) == 0
+
+
+# ---------------------------------------------------------------------------
+# config nibbles
+# ---------------------------------------------------------------------------
+def test_config_nibbles_pack_eight_per_word(regs):
+    """Adjacent counters' configs land in the same 32-bit word."""
+    a = CounterConfig(signal_mode=SignalMode.EDGE_FALL)
+    b = CounterConfig(signal_mode=SignalMode.LEVEL_LOW,
+                      interrupt_enable=True, enabled=False)
+    regs.set_config(8, a)
+    regs.set_config(9, b)
+    word = regs.read_word(CONFIG_BASE + 4)
+    assert word & 0xF == a.encode()
+    assert (word >> 4) & 0xF == b.encode()
+    # and neither write clobbered the other
+    assert regs.config(8) == a
+    assert regs.config(9) == b
+
+
+def test_default_config_is_enabled_edge_rise(regs):
+    cfg = CounterConfig()
+    assert cfg.signal_mode is SignalMode.EDGE_RISE
+    assert cfg.enabled
+    assert not cfg.interrupt_enable
+
+
+def test_config_decode_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        CounterConfig.decode(0x10)
+
+
+# ---------------------------------------------------------------------------
+# control register
+# ---------------------------------------------------------------------------
+def test_mode_get_set(regs):
+    for mode in range(4):
+        regs.mode = mode
+        assert regs.mode == mode
+
+
+def test_mode_rejects_invalid(regs):
+    with pytest.raises(ValueError):
+        regs.mode = 4
+
+
+def test_global_enable_is_independent_of_mode(regs):
+    regs.mode = 2
+    regs.global_enable = True
+    assert regs.mode == 2 and regs.global_enable
+    regs.global_enable = False
+    assert regs.mode == 2 and not regs.global_enable
+    word = regs.read_word(CONTROL_OFFSET)
+    assert word == 2
+
+
+# ---------------------------------------------------------------------------
+# thresholds
+# ---------------------------------------------------------------------------
+def test_threshold_roundtrip_through_map(regs):
+    regs.set_threshold(10, 0x0102030405060708)
+    assert regs.read_word(THRESHOLD_BASE + 10 * 8) == 0x01020304
+    assert regs.read_word(THRESHOLD_BASE + 10 * 8 + 4) == 0x05060708
+    assert regs.threshold(10) == 0x0102030405060708
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+@given(st.integers(0, 255), st.integers(0, U64))
+def test_prop_counter_roundtrip(index, value):
+    regs = UPCRegisterFile()
+    regs.set_counter(index, value)
+    assert regs.counter(index) == value
+
+
+@given(st.integers(0, 255), st.integers(0, U64), st.integers(0, U64))
+def test_prop_add_is_modular(index, start, delta):
+    regs = UPCRegisterFile()
+    regs.set_counter(index, start)
+    assert regs.add_to_counter(index, delta) == (start + delta) % (1 << 64)
+
+
+@given(st.integers(0, 255), st.integers(0, 0xF))
+def test_prop_config_nibble_roundtrip(index, nibble):
+    regs = UPCRegisterFile()
+    cfg = CounterConfig.decode(nibble)
+    regs.set_config(index, cfg)
+    assert regs.config(index).encode() == nibble
+
+
+@given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 0xF)),
+                min_size=1, max_size=40))
+def test_prop_config_writes_do_not_interfere(writes):
+    """Last-write-wins per counter; other counters keep their nibble."""
+    regs = UPCRegisterFile()
+    expected = {}
+    for index, nibble in writes:
+        regs.set_config(index, CounterConfig.decode(nibble))
+        expected[index] = nibble
+    for index, nibble in expected.items():
+        assert regs.config(index).encode() == nibble

@@ -1,0 +1,95 @@
+"""Unit tests for the PPC450 core execution engine."""
+
+import pytest
+
+from repro.cpu import PPC450Core
+from repro.isa import InstructionMix, OpClass
+from repro.mem import HierarchyConfig, StreamAccess, analyze_loop
+
+
+def mix(**kwargs):
+    return InstructionMix({OpClass[k]: v for k, v in kwargs.items()})
+
+
+@pytest.fixture
+def core():
+    return PPC450Core(core_id=1)
+
+
+def test_core_id_validated():
+    with pytest.raises(ValueError):
+        PPC450Core(core_id=4)
+
+
+def test_compute_only_execution(core):
+    ex = core.execute(mix(FP_FMA=1000), serial_fraction=0.0)
+    assert ex.compute_cycles == pytest.approx(1000)
+    assert ex.memory_stall_cycles == 0
+    assert ex.cycles == pytest.approx(1000)
+
+
+def test_memory_stalls_add_to_cycles(core):
+    m = mix(LOAD=1000, FP_FMA=500)
+    mem = analyze_loop(
+        [StreamAccess("a", footprint_bytes=1 << 20)], 1,
+        HierarchyConfig(l3_capacity_bytes=0))
+    ex = core.execute(m, mem, serial_fraction=0.0)
+    assert ex.memory_stall_cycles == pytest.approx(mem.stall_cycles)
+    assert ex.cycles > ex.compute_cycles
+
+
+def test_events_cover_instruction_classes(core):
+    ex = core.execute(mix(FP_FMA=100, FP_SIMD_FMA=50, LOAD=30, BRANCH=10),
+                      serial_fraction=0.0)
+    ev = ex.events()
+    assert ev["BGP_PU1_FPU_FMA"] == 100
+    assert ev["BGP_PU1_FPU_SIMD_FMA"] == 50
+    assert ev["BGP_PU1_LOAD"] == 30
+    assert ev["BGP_PU1_BRANCH"] == 10
+    assert ev["BGP_PU1_INST_COMPLETED"] == 190
+    assert ev["BGP_PU1_CYCLES"] == int(round(ex.cycles))
+
+
+def test_events_belong_to_own_core():
+    ex = PPC450Core(3).execute(mix(FP_MUL=5), serial_fraction=0.0)
+    ev = ex.events()
+    assert all(k.startswith("BGP_PU3_") for k in ev)
+
+
+def test_zero_counts_omitted_from_op_events(core):
+    ev = core.execute(mix(FP_FMA=10), serial_fraction=0.0).events()
+    assert "BGP_PU1_FPU_DIV" not in ev
+
+
+def test_memory_events_forwarded(core):
+    mem = analyze_loop([StreamAccess("a", footprint_bytes=1 << 16)], 2,
+                       HierarchyConfig())
+    ex = core.execute(mix(LOAD=100), mem, serial_fraction=0.0)
+    ev = ex.events()
+    assert ev["BGP_PU1_L1D_READ_MISS"] == int(round(mem.l1.misses))
+    assert ev["BGP_PU1_L2_PREFETCH_HIT"] == int(round(
+        mem.l2.prefetch_hits))
+
+
+def test_add_accumulates_same_core(core):
+    a = core.execute(mix(FP_FMA=100), serial_fraction=0.0)
+    b = core.execute(mix(FP_FMA=50, LOAD=20), serial_fraction=0.0)
+    a.add(b)
+    assert a.mix[OpClass.FP_FMA] == 150
+    assert a.mix[OpClass.LOAD] == 20
+    assert a.cycles >= 150
+
+
+def test_add_rejects_cross_core():
+    a = PPC450Core(0).execute(mix(FP_FMA=1), serial_fraction=0.0)
+    b = PPC450Core(1).execute(mix(FP_FMA=1), serial_fraction=0.0)
+    with pytest.raises(ValueError):
+        a.add(b)
+
+
+def test_idle_execution_is_empty(core):
+    ex = core.idle_execution()
+    assert ex.cycles == 0
+    ev = ex.events()
+    assert ev["BGP_PU1_CYCLES"] == 0
+    assert ev["BGP_PU1_INST_COMPLETED"] == 0

@@ -1,0 +1,95 @@
+"""Unit tests for the pipeline timing model."""
+
+import pytest
+
+from repro.cpu import PipelineConfig, PipelineModel
+from repro.isa import InstructionMix, OpClass, Unit
+
+
+def mix(**kwargs):
+    return InstructionMix({OpClass[k]: v for k, v in kwargs.items()})
+
+
+@pytest.fixture
+def model():
+    return PipelineModel()
+
+
+def test_empty_mix_is_free(model):
+    assert model.cycles(InstructionMix()) == 0.0
+
+
+def test_issue_bound_balanced_mix(model):
+    """A mix spread over units is bound by 2-wide issue."""
+    m = mix(INT_ALU=100, LOAD=50, FP_FMA=100, BRANCH=20)
+    b = model.compute_cycles(m, serial_fraction=0.0)
+    assert b.issue_cycles == pytest.approx(270 / 2)
+    assert b.total >= b.issue_cycles
+    assert b.bound in ("issue", "integer")
+
+
+def test_fpu_bound_loop(model):
+    """Pure FP work is bound by the single FPU issue port."""
+    m = mix(FP_FMA=1000)
+    b = model.compute_cycles(m, serial_fraction=0.0)
+    assert b.unit_cycles[Unit.FPU] == pytest.approx(1000)
+    assert b.total == pytest.approx(1000)
+    assert b.bound == "fpu"
+
+
+def test_simd_same_issue_cost_double_work(model):
+    """The SIMDization payoff: half the instructions, half the cycles."""
+    scalar = mix(FP_FMA=1000)
+    simd = mix(FP_SIMD_FMA=500)
+    assert simd.flops() == scalar.flops()
+    assert model.cycles(simd, 0.0) == pytest.approx(
+        model.cycles(scalar, 0.0) / 2)
+
+
+def test_divides_block_the_fpu(model):
+    m = mix(FP_DIV=10)
+    b = model.compute_cycles(m, serial_fraction=0.0)
+    assert b.unit_cycles[Unit.FPU] == pytest.approx(300)  # 30 cycles each
+
+
+def test_lsu_bound_memory_loop(model):
+    m = mix(LOAD=1000, FP_FMA=100)
+    b = model.compute_cycles(m, serial_fraction=0.0)
+    assert b.bound == "load-store"
+    assert b.total == pytest.approx(1000)
+
+
+def test_quad_loads_halve_lsu_occupancy(model):
+    """Two scalar loads fused into one quadload free LSU slots."""
+    scalar = mix(LOAD=1000)
+    quad = mix(QUADLOAD=500)
+    assert model.cycles(quad, 0.0) == pytest.approx(
+        model.cycles(scalar, 0.0) / 2)
+
+
+def test_serial_fraction_exposes_latency(model):
+    m = mix(FP_FMA=100)
+    parallel = model.cycles(m, serial_fraction=0.0)
+    serial = model.cycles(m, serial_fraction=1.0)
+    assert serial == pytest.approx(100 * 5)  # full 5-cycle FMA latency
+    assert serial > parallel
+
+
+def test_serial_fraction_validated(model):
+    with pytest.raises(ValueError):
+        model.cycles(mix(FP_FMA=1), serial_fraction=1.5)
+
+
+def test_branch_penalty_applied():
+    model = PipelineModel(PipelineConfig(branch_penalty=10,
+                                         mispredict_rate=0.5))
+    m = mix(BRANCH=100)
+    b = model.compute_cycles(m, serial_fraction=0.0)
+    assert b.unit_cycles[Unit.IPIPE] == pytest.approx(100 + 100 * 0.5 * 10)
+
+
+def test_total_is_max_of_bounds(model):
+    m = mix(FP_FMA=1000, LOAD=400, INT_ALU=100)
+    b = model.compute_cycles(m, serial_fraction=0.0)
+    assert b.total == max(b.issue_cycles, b.dependence_cycles,
+                          *b.unit_cycles.values())

@@ -1,0 +1,77 @@
+"""Tests for the workload-characterization reports."""
+
+import pytest
+
+from repro.harness import (
+    WorkloadCharacter,
+    characterization_table,
+    characterize,
+    render_character,
+)
+
+
+@pytest.fixture(scope="module")
+def ft():
+    return characterize("FT")
+
+
+@pytest.fixture(scope="module")
+def ep():
+    return characterize("EP")
+
+
+@pytest.fixture(scope="module")
+def is_char():
+    return characterize("IS")
+
+
+def test_character_fields_in_valid_ranges(ft):
+    assert 0 < ft.mflops_per_node < 13_600
+    assert 0 < ft.peak_fraction < 1
+    assert ft.cpi > 0.5  # 2-wide issue: CPI >= 0.5
+    assert 0 <= ft.fp_share <= 1
+    assert 0 <= ft.simd_share <= 1
+    assert 0 <= ft.l1_miss_rate <= 1
+    assert 0 <= ft.l3_miss_ratio <= 1
+    assert 0 <= ft.comm_fraction <= 1
+
+
+def test_ep_is_compute_bound(ep):
+    assert ep.boundedness == "compute"
+    assert ep.comm_fraction < 0.01
+    assert ep.ddr_gb_per_sec < 0.1
+
+
+def test_is_is_integer_and_memory_heavy(is_char):
+    assert is_char.fp_share < 0.05
+    assert is_char.boundedness in ("memory", "communication")
+    assert is_char.mflops_per_node < 100
+
+
+def test_ft_simd_share_matches_figure6(ft):
+    assert ft.simd_share > 0.6
+
+
+def test_l2_prefetch_coverage_from_second_campaign(ft):
+    """The L2 events need the (1,3) counter-mode run; nonzero proves
+    the two-campaign plumbing works."""
+    assert ft.l2_prefetch_coverage > 0
+
+
+def test_characterization_table_covers_suite():
+    table = characterization_table(benchmarks=("EP", "IS"))
+    assert [row[0] for row in table.rows] == ["EP", "IS"]
+    assert 0 < table.summary["mean_peak_fraction"] < 1
+
+
+def test_render_character_is_readable(ft):
+    text = render_character(ft)
+    assert "workload character: FT" in text
+    assert "of peak" in text
+    assert "bound by" in text
+
+
+def test_character_is_frozen(ft):
+    with pytest.raises(AttributeError):
+        ft.cpi = 1.0
+    assert isinstance(ft, WorkloadCharacter)

@@ -1,0 +1,250 @@
+"""Reproduction assertions: every figure's *shape* must match the paper.
+
+These are the tests that tie the whole stack together: they run each
+experiment at the paper's configuration and assert the qualitative
+claims the paper makes about the corresponding figure (who wins, what
+jumps, where curves flatten).  Absolute magnitudes are model-scale and
+are recorded in EXPERIMENTS.md instead.
+"""
+
+import pytest
+
+from repro.harness import (
+    fig03_modes,
+    fig06_instruction_profile,
+    fig07_ft_simd,
+    fig08_mg_simd,
+    fig09_exec_time,
+    fig10_exec_time,
+    fig11_l3_sweep,
+    fig12_ddr_ratio,
+    fig13_time_increase,
+    fig14_mflops_ratio,
+    overhead_check,
+)
+from repro.npb import BENCHMARK_ORDER
+
+# results are cached by the sweep layer, so fixtures stay cheap
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+# ---------------------------------------------------------------------------
+# Figure 3
+# ---------------------------------------------------------------------------
+def test_fig03_matches_paper_table():
+    rows = {r[0]: r[1:] for r in fig03_modes().rows}
+    assert rows["SMP/1 thread"] == [1, 1, 1]
+    assert rows["SMP/4 threads"] == [1, 4, 4]
+    assert rows["Dual"] == [2, 2, 4]
+    assert rows["Virtual Node Mode"] == [4, 1, 4]
+
+
+# ---------------------------------------------------------------------------
+# Figure 6
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig06():
+    return fig06_instruction_profile()
+
+
+def test_fig06_mg_ft_simd_dominated(fig06):
+    """MG and FT 'exploit the SIMD add-sub and SIMD FMA extensively'."""
+    for code in ("MG", "FT"):
+        assert fig06.summary[f"simd_share_{code}"] > 0.6
+
+
+def test_fig06_others_fma_dominated(fig06):
+    """For the rest 'the single multiply-add has been used largely'."""
+    for code in ("EP", "CG", "IS", "LU", "SP", "BT"):
+        assert fig06.summary[f"simd_share_{code}"] < 0.45
+    labels = fig06.headers[1:]
+    fma_index = labels.index("single FMA") + 1
+    for row in fig06.rows:
+        if row[0] in ("CG", "IS", "LU", "BT"):
+            scalar_cells = [row[labels.index(l) + 1]
+                            for l in ("single add-sub", "single mult",
+                                      "single div")]
+            assert row[fma_index] >= max(scalar_cells), row[0]
+
+
+def test_fig06_profiles_normalised(fig06):
+    for row in fig06.rows:
+        assert sum(row[1:]) == pytest.approx(1.0, abs=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Figures 7 / 8
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("runner,code", [(fig07_ft_simd, "FT"),
+                                         (fig08_mg_simd, "MG")])
+def test_fig07_08_simd_jump_at_qarch440d(runner, code):
+    result = runner()
+    by_flags = {row[0]: row[1] for row in result.rows}
+    assert by_flags["-O -qstrict"] == 0
+    assert by_flags["-O3"] == 0
+    assert by_flags["-O3 -qarch=440d"] > 0
+    # IPA at -O5 widens SIMD coverage further
+    assert by_flags["-O5 -qarch=440d"] > by_flags["-O3 -qarch=440d"]
+
+
+# ---------------------------------------------------------------------------
+# Figures 9 / 10
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig09():
+    return fig09_exec_time()
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_exec_time()
+
+
+def test_fig09_10_time_monotone_nonincreasing(fig09, fig10):
+    for result in (fig09, fig10):
+        for row in result.rows:
+            series = row[1:6]
+            for a, b in zip(series, series[1:]):
+                assert b <= a * 1.0001, row[0]
+
+
+def test_fig09_ft_ep_biggest_gainers(fig09, fig10):
+    """Paper: FT and EP gain the most (up to ~60%); IS the least."""
+    reductions = {}
+    for result in (fig09, fig10):
+        for key, value in result.summary.items():
+            reductions[key.replace("reduction_", "")] = value
+    assert reductions["EP"] > 0.40
+    assert reductions["FT"] > 0.25
+    assert reductions["MG"] > 0.30
+    assert reductions["IS"] < 0.10  # integer code: nothing to SIMDize
+    assert reductions["IS"] == min(reductions.values())
+
+
+def test_fig09_baseline_normalised(fig09):
+    for row in fig09.rows:
+        assert row[1] == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig11():
+    return fig11_l3_sweep()
+
+
+def test_fig11_traffic_monotone_in_l3_size(fig11):
+    for row in fig11.rows:
+        series = row[1:6]
+        for a, b in zip(series, series[1:]):
+            assert b <= a * 1.0001, row[0]
+
+
+def test_fig11_4mb_is_the_knee(fig11):
+    """'An L3 size of 4MB is optimal for the NAS benchmarks': most of
+    the reduction is realised by 4MB; 6/8MB add little."""
+    for row in fig11.rows:
+        code, at0, at2, at4, at6, at8 = row[0], *row[1:6]
+        gain_to_4 = at0 - at4
+        gain_past_4 = at4 - at8
+        if code in ("FT", "IS"):  # the paper's interference outliers
+            continue
+        assert gain_to_4 >= gain_past_4, code
+
+
+def test_fig11_big_drop_by_4mb_suite_wide(fig11):
+    at4 = [row[3] for row in fig11.rows]
+    assert sum(at4) / len(at4) < 0.45
+
+
+# ---------------------------------------------------------------------------
+# Figure 12
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig12():
+    return fig12_ddr_ratio()
+
+
+def test_fig12_only_ft_and_is_exceed_4x(fig12):
+    """'only for FT and IS applications the number of requests
+    increased more than four times'."""
+    ratios = {row[0]: row[1] for row in fig12.rows}
+    assert ratios["FT"] > 4.0
+    assert ratios["IS"] > 4.0
+    for code in ("MG", "EP", "CG", "LU", "SP", "BT"):
+        assert ratios[code] <= 4.05, code
+
+
+def test_fig12_mean_in_paper_band(fig12):
+    """Paper reports ~3x mean; the model lands 3-4.5x (documented)."""
+    assert 3.0 <= fig12.summary["mean_ratio"] <= 4.5
+
+
+# ---------------------------------------------------------------------------
+# Figure 13
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig13():
+    return fig13_time_increase()
+
+
+def test_fig13_vnm_never_faster_much(fig13):
+    for row in fig13.rows:
+        assert row[1] >= 0.99, row[0]  # VNM can't beat a private node
+
+
+def test_fig13_increase_far_below_4x(fig13):
+    """The whole point of Figure 13: sharing costs ~tens of percent,
+    not the 4x that perfect scaling would forgive."""
+    assert fig13.summary["mean_increase"] < 0.5
+    assert fig13.summary["max_increase"] < 1.0
+
+
+def test_fig13_memory_aggressive_codes_suffer_most(fig13):
+    """The slowdown ranking follows memory aggression: the worst codes
+    are the cache/DDR-heavy ones, and EP (no memory, no comm) is free.
+    (The paper quantifies only the ~30% average, not a per-benchmark
+    ranking.)"""
+    increases = {row[0]: row[1] for row in fig13.rows}
+    worst_two = sorted(increases, key=increases.get)[-2:]
+    assert set(worst_two) <= {"FT", "IS", "MG", "BT"}
+    assert increases["EP"] == min(increases.values())
+
+
+# ---------------------------------------------------------------------------
+# Figure 14
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig14():
+    return fig14_mflops_ratio()
+
+
+def test_fig14_every_benchmark_gains(fig14):
+    for row in fig14.rows:
+        assert row[3] > 1.5, row[0]
+
+
+def test_fig14_mean_in_paper_band(fig14):
+    """Paper: ~2.5x; the model lands 2.5-4x (documented)."""
+    assert 2.5 <= fig14.summary["mean_ratio"] <= 4.0
+
+
+def test_fig14_nobody_exceeds_perfect_scaling(fig14):
+    # small tolerance: counter rounding can put a comm-free benchmark
+    # like EP a hair above exactly 4.0
+    for row in fig14.rows:
+        assert row[3] <= 4.0 * 1.001, row[0]
+
+
+def test_fig14_covers_all_benchmarks(fig14):
+    assert [row[0] for row in fig14.rows] == BENCHMARK_ORDER
+
+
+# ---------------------------------------------------------------------------
+# overhead sanity check
+# ---------------------------------------------------------------------------
+def test_overhead_is_exactly_196_cycles():
+    result = overhead_check()
+    assert result.summary["measured"] == 196
+    assert result.summary["matches_paper"] == 1.0

@@ -1,0 +1,76 @@
+"""Unit tests for the report formatting helpers."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentResult,
+    format_table,
+    horizontal_bar,
+    normalize_rows,
+)
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["name", "value"],
+                        [["alpha", 1.0], ["b", 22.5]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "alpha" in lines[2]
+    # all data lines equal width
+    assert len(lines[2]) == len(lines[3])
+
+
+def test_format_table_title():
+    text = format_table(["a"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+    assert text.splitlines()[1] == "=" * len("My Table")
+
+
+def test_format_table_float_format():
+    text = format_table(["x"], [[0.123456]], float_format="{:.1f}")
+    assert "0.1" in text
+    assert "0.12" not in text
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError, match="cells"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_normalize_rows():
+    out = normalize_rows([[2.0, 4.0, 1.0]])
+    assert out == [[1.0, 2.0, 0.5]]
+
+
+def test_normalize_rejects_zero_baseline():
+    with pytest.raises(ValueError):
+        normalize_rows([[0.0, 1.0]])
+
+
+def test_normalize_other_baseline_index():
+    out = normalize_rows([[2.0, 4.0]], baseline_index=1)
+    assert out == [[0.5, 1.0]]
+
+
+def test_horizontal_bar_scales_and_clamps():
+    assert horizontal_bar(0.5, scale=1.0, max_width=10) == "#####"
+    assert horizontal_bar(5.0, scale=1.0, max_width=10) == "#" * 10
+    assert horizontal_bar(-1.0, scale=1.0) == ""
+    with pytest.raises(ValueError):
+        horizontal_bar(1.0, scale=0)
+
+
+def test_experiment_result_render():
+    result = ExperimentResult(
+        experiment_id="figX",
+        title="Test figure",
+        headers=["benchmark", "ratio"],
+        rows=[["MG", 3.9]],
+        notes=["a note"],
+        summary={"mean": 3.9},
+    )
+    text = result.render()
+    assert "[figX] Test figure" in text
+    assert "MG" in text
+    assert "note: a note" in text
+    assert "mean=3.9" in text

@@ -1,0 +1,48 @@
+"""Tests for the monitoring-at-scale study."""
+
+import pytest
+
+from repro.harness import ext_scaling
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return ext_scaling(code="MG", rank_counts=(32, 128, 512))
+
+
+def test_overhead_constant_at_every_scale(scaling):
+    """The paper's scalability claim: per-node monitoring cost does
+    not grow with the machine."""
+    assert scaling.summary["overhead_constant"] == 1.0
+    assert all(row[5] == 196 for row in scaling.rows)
+
+
+def test_strong_scaling_reduces_elapsed(scaling):
+    elapsed = [row[2] for row in scaling.rows]
+    assert elapsed == sorted(elapsed, reverse=True)
+
+
+def test_comm_fraction_grows_with_scale(scaling):
+    comm = [row[4] for row in scaling.rows]
+    assert comm[-1] > comm[0]
+
+
+def test_all_512_events_monitored_at_every_scale(scaling):
+    assert all(row[8] == 512 for row in scaling.rows)
+
+
+def test_dump_io_grows_sublinearly(scaling):
+    """16x the nodes must cost far less than 16x the dump time
+    (parallel psets)."""
+    io = [row[6] for row in scaling.rows]
+    assert io[-1] < io[0] * 4
+
+
+def test_csv_output(tmp_path):
+    from repro.__main__ import main as cli_main
+
+    code = cli_main(["fig03", "--csv", str(tmp_path)])
+    assert code == 0
+    content = (tmp_path / "fig03.csv").read_text()
+    assert content.splitlines()[0].startswith("mode,")
+    assert "Virtual Node Mode" in content

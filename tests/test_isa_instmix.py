@@ -1,0 +1,183 @@
+"""Unit + property tests for InstructionMix algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import (
+    FLOPS_PER_OP,
+    NUM_OP_CLASSES,
+    InstructionMix,
+    OpClass,
+)
+
+
+def make_mix(**kwargs):
+    return InstructionMix({OpClass[k]: v for k, v in kwargs.items()})
+
+
+# ---------------------------------------------------------------------------
+# basics
+# ---------------------------------------------------------------------------
+def test_empty_mix_is_zero():
+    mix = InstructionMix()
+    assert mix.total() == 0
+    assert mix.flops() == 0
+    assert mix.fp_profile() == {}
+
+
+def test_getset_item():
+    mix = InstructionMix()
+    mix[OpClass.LOAD] = 42
+    assert mix[OpClass.LOAD] == 42
+    assert mix[OpClass.STORE] == 0
+
+
+def test_negative_count_rejected():
+    mix = InstructionMix()
+    with pytest.raises(ValueError):
+        mix[OpClass.LOAD] = -1
+
+
+def test_add_accumulates():
+    mix = InstructionMix()
+    mix.add(OpClass.FP_FMA, 10)
+    mix.add(OpClass.FP_FMA, 2.5)
+    assert mix[OpClass.FP_FMA] == 12.5
+
+
+def test_from_vector_shape_check():
+    with pytest.raises(ValueError):
+        InstructionMix.from_vector(np.zeros(3))
+
+
+def test_copy_is_independent():
+    a = make_mix(LOAD=5)
+    b = a.copy()
+    b[OpClass.LOAD] = 9
+    assert a[OpClass.LOAD] == 5
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(InstructionMix())
+
+
+# ---------------------------------------------------------------------------
+# arithmetic
+# ---------------------------------------------------------------------------
+def test_addition():
+    a = make_mix(LOAD=1, FP_FMA=2)
+    b = make_mix(LOAD=3, STORE=4)
+    c = a + b
+    assert c[OpClass.LOAD] == 4
+    assert c[OpClass.STORE] == 4
+    assert c[OpClass.FP_FMA] == 2
+
+
+def test_subtraction_guards_negative():
+    a = make_mix(LOAD=1)
+    b = make_mix(LOAD=5)
+    with pytest.raises(ValueError):
+        a - b
+    assert (b - a)[OpClass.LOAD] == 4
+
+
+def test_scalar_multiplication():
+    a = make_mix(FP_MUL=3)
+    assert (a * 2.5)[OpClass.FP_MUL] == 7.5
+    assert (2.5 * a)[OpClass.FP_MUL] == 7.5
+    with pytest.raises(ValueError):
+        a * -1
+
+
+# ---------------------------------------------------------------------------
+# derived quantities
+# ---------------------------------------------------------------------------
+def test_flops_weighting():
+    mix = make_mix(FP_ADDSUB=10, FP_FMA=10, FP_SIMD_FMA=10)
+    # 10*1 + 10*2 + 10*4
+    assert mix.flops() == 70
+
+
+def test_fp_instructions_vs_flops():
+    mix = make_mix(FP_SIMD_FMA=5)
+    assert mix.fp_instructions() == 5
+    assert mix.flops() == 20
+
+
+def test_simd_fraction():
+    mix = make_mix(FP_FMA=30, FP_SIMD_ADDSUB=10)
+    assert mix.simd_fraction() == pytest.approx(0.25)
+    assert InstructionMix().simd_fraction() == 0.0
+
+
+def test_memory_bytes():
+    mix = make_mix(LOAD=2, STORE=1, QUADLOAD=1)
+    assert mix.memory_bytes() == 2 * 8 + 8 + 16
+    assert mix.memory_instructions() == 4
+
+
+def test_fp_profile_sums_to_one():
+    mix = make_mix(FP_ADDSUB=1, FP_MUL=2, FP_FMA=3, FP_SIMD_FMA=4)
+    profile = mix.fp_profile()
+    assert sum(profile.values()) == pytest.approx(1.0)
+    assert profile[OpClass.FP_SIMD_FMA] == pytest.approx(0.4)
+
+
+def test_rounded_returns_ints():
+    mix = make_mix(LOAD=2.6)
+    assert mix.rounded()[OpClass.LOAD] == 3
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+counts = st.lists(st.floats(min_value=0, max_value=1e12,
+                            allow_nan=False, allow_infinity=False),
+                  min_size=NUM_OP_CLASSES, max_size=NUM_OP_CLASSES)
+
+
+@given(counts, counts)
+def test_prop_addition_commutes(a_counts, b_counts):
+    a = InstructionMix.from_vector(np.array(a_counts))
+    b = InstructionMix.from_vector(np.array(b_counts))
+    assert (a + b).allclose(b + a)
+
+
+@given(counts)
+def test_prop_total_is_sum_of_classes(a_counts):
+    mix = InstructionMix.from_vector(np.array(a_counts))
+    assert mix.total() == pytest.approx(sum(a_counts), rel=1e-12)
+
+
+@given(counts, st.floats(min_value=0, max_value=1e6, allow_nan=False))
+def test_prop_scaling_scales_flops(a_counts, k):
+    mix = InstructionMix.from_vector(np.array(a_counts))
+    assert (mix * k).flops() == pytest.approx(mix.flops() * k, rel=1e-9,
+                                              abs=1e-6)
+
+
+@given(counts)
+def test_prop_flops_at_least_fp_instructions(a_counts):
+    """Every FP instruction retires at least one flop."""
+    mix = InstructionMix.from_vector(np.array(a_counts))
+    assert mix.flops() >= mix.fp_instructions() - 1e-6
+
+
+@given(counts)
+def test_prop_flops_at_most_4x_instructions(a_counts):
+    """SIMD FMA is the densest op at 4 flops/instruction."""
+    mix = InstructionMix.from_vector(np.array(a_counts))
+    max_weight = max(FLOPS_PER_OP.values())
+    assert mix.flops() <= mix.fp_instructions() * max_weight + 1e-6
+
+
+@given(counts)
+def test_prop_profile_normalized(a_counts):
+    mix = InstructionMix.from_vector(np.array(a_counts))
+    profile = mix.fp_profile()
+    if profile:
+        assert sum(profile.values()) == pytest.approx(1.0, rel=1e-9)
+        assert all(v >= 0 for v in profile.values())

@@ -1,0 +1,67 @@
+"""Unit tests for the op-class enumeration and its static tables."""
+
+from repro.isa import (
+    BYTES_PER_MEM_OP,
+    FLOPS_PER_OP,
+    FP_CLASSES,
+    NUM_OP_CLASSES,
+    QUAD_EQUIVALENT,
+    SCALAR_FP_CLASSES,
+    SIMD_EQUIVALENT,
+    SIMD_FP_CLASSES,
+    OpClass,
+)
+
+
+def test_op_classes_are_contiguous():
+    values = sorted(int(op) for op in OpClass)
+    assert values == list(range(NUM_OP_CLASSES))
+
+
+def test_fp_predicate_matches_class_lists():
+    assert {op for op in OpClass if op.is_fp} == set(FP_CLASSES)
+
+
+def test_fp_classes_cover_scalar_and_simd():
+    assert set(FP_CLASSES) == set(SCALAR_FP_CLASSES) | set(SIMD_FP_CLASSES)
+    assert len(FP_CLASSES) == 8
+
+
+def test_simd_predicate():
+    for op in SIMD_FP_CLASSES:
+        assert op.is_simd and op.is_fp
+    for op in SCALAR_FP_CLASSES:
+        assert not op.is_simd and op.is_fp
+    assert not OpClass.LOAD.is_simd
+    assert not OpClass.INT_ALU.is_fp
+
+
+def test_memory_predicate():
+    assert OpClass.LOAD.is_memory
+    assert OpClass.QUADSTORE.is_memory
+    assert not OpClass.FP_FMA.is_memory
+    assert not OpClass.BRANCH.is_memory
+
+
+def test_flop_weights_double_for_simd():
+    """SIMD retires exactly twice the flops of its scalar counterpart."""
+    for scalar, simd in SIMD_EQUIVALENT.items():
+        assert FLOPS_PER_OP[simd] == 2 * FLOPS_PER_OP[scalar]
+
+
+def test_fma_counts_two_flops():
+    assert FLOPS_PER_OP[OpClass.FP_FMA] == 2
+    assert FLOPS_PER_OP[OpClass.FP_SIMD_FMA] == 4
+
+
+def test_quad_ops_move_twice_the_bytes():
+    for scalar, quad in QUAD_EQUIVALENT.items():
+        assert BYTES_PER_MEM_OP[quad] == 2 * BYTES_PER_MEM_OP[scalar]
+
+
+def test_flop_weight_keys_are_exactly_fp_classes():
+    assert set(FLOPS_PER_OP) == set(FP_CLASSES)
+
+
+def test_bytes_keys_are_exactly_memory_classes():
+    assert set(BYTES_PER_MEM_OP) == {op for op in OpClass if op.is_memory}

@@ -1,0 +1,151 @@
+"""Unit + property tests for stream descriptors and trace generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem import AccessKind, AccessPattern, StreamAccess, layout_streams
+
+
+def seq(footprint, stride=8, **kw):
+    return StreamAccess("a", footprint_bytes=footprint,
+                        stride_bytes=stride, **kw)
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+def test_rejects_nonpositive_footprint():
+    with pytest.raises(ValueError):
+        seq(0)
+
+
+def test_rejects_nonpositive_stride():
+    with pytest.raises(ValueError):
+        seq(64, stride=0)
+
+
+def test_random_requires_access_count():
+    with pytest.raises(ValueError, match="RANDOM"):
+        StreamAccess("a", footprint_bytes=1024,
+                     pattern=AccessPattern.RANDOM)
+
+
+def test_access_kind_predicates():
+    assert AccessKind.READ.reads and not AccessKind.READ.writes
+    assert AccessKind.WRITE.writes and not AccessKind.WRITE.reads
+    assert AccessKind.READWRITE.reads and AccessKind.READWRITE.writes
+
+
+# ---------------------------------------------------------------------------
+# derived counts
+# ---------------------------------------------------------------------------
+def test_accesses_default_is_full_sweep():
+    s = seq(1024, stride=8)
+    assert s.accesses_per_traversal == 128
+
+
+def test_distinct_lines_unit_stride():
+    s = seq(1024, stride=8)
+    assert s.distinct_lines(32) == 32  # 1024/32
+
+
+def test_distinct_lines_large_stride_one_line_per_access():
+    s = seq(1024, stride=128)
+    # 8 accesses, each on its own 32B line
+    assert s.distinct_lines(32) == 8
+
+
+def test_distinct_lines_random_coupon_collector():
+    s = StreamAccess("a", footprint_bytes=32 * 100, accesses=100,
+                     pattern=AccessPattern.RANDOM)
+    # 100 random accesses over 100 lines touch ~63 distinct lines
+    assert 55 <= s.distinct_lines(32) <= 70
+
+
+def test_bytes_moved_readwrite_doubles():
+    r = seq(1024, kind=AccessKind.READ)
+    rw = seq(1024, kind=AccessKind.READWRITE)
+    assert rw.bytes_moved() == 2 * r.bytes_moved()
+
+
+def test_scaled_changes_access_count_only():
+    s = seq(1024)
+    half = s.scaled(0.5)
+    assert half.accesses_per_traversal == 64
+    assert half.footprint_bytes == s.footprint_bytes
+
+
+# ---------------------------------------------------------------------------
+# trace generation
+# ---------------------------------------------------------------------------
+def test_sequential_trace_has_expected_addresses():
+    s = seq(64, stride=8)
+    trace = s.generate_trace(base_address=1000)
+    assert np.array_equal(trace, 1000 + np.arange(8) * 8)
+
+
+def test_trace_respects_footprint_wrap():
+    s = StreamAccess("a", footprint_bytes=32, stride_bytes=8, accesses=8)
+    trace = s.generate_trace()
+    assert trace.max() < 32
+    assert len(trace) == 8
+
+
+def test_random_trace_stays_in_footprint():
+    s = StreamAccess("a", footprint_bytes=4096, accesses=500,
+                     pattern=AccessPattern.RANDOM)
+    rng = np.random.default_rng(42)
+    trace = s.generate_trace(base_address=8192, rng=rng)
+    assert len(trace) == 500
+    assert trace.min() >= 8192
+    assert trace.max() < 8192 + 4096
+
+
+def test_random_trace_deterministic_default_rng():
+    s = StreamAccess("a", footprint_bytes=4096, accesses=50,
+                     pattern=AccessPattern.RANDOM)
+    assert np.array_equal(s.generate_trace(), s.generate_trace())
+
+
+# ---------------------------------------------------------------------------
+# layout
+# ---------------------------------------------------------------------------
+def test_layout_assigns_disjoint_regions():
+    streams = [StreamAccess("a", footprint_bytes=3 << 20),
+               StreamAccess("b", footprint_bytes=1 << 20),
+               StreamAccess("c", footprint_bytes=5 << 20)]
+    bases = layout_streams(streams)
+    regions = sorted((bases[s.array], bases[s.array] + s.footprint_bytes)
+                     for s in streams)
+    for (lo1, hi1), (lo2, hi2) in zip(regions, regions[1:]):
+        assert hi1 <= lo2, "stream regions overlap"
+    assert all(b > 0 for b in bases.values())
+
+
+def test_layout_is_stable_for_repeated_arrays():
+    streams = [StreamAccess("a", footprint_bytes=64),
+               StreamAccess("a", footprint_bytes=64)]
+    bases = layout_streams(streams)
+    assert list(bases) == ["a"]
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+@given(st.integers(1, 1 << 22), st.sampled_from([8, 16, 32, 64, 128, 256]))
+def test_prop_distinct_lines_bounded_by_accesses_and_footprint(fp, stride):
+    s = StreamAccess("a", footprint_bytes=fp, stride_bytes=stride)
+    for line in (32, 128):
+        u = s.distinct_lines(line)
+        assert 1 <= u <= s.accesses_per_traversal
+        assert u <= max(1, -(-fp // line))  # ceil(fp/line)
+
+
+@given(st.integers(1, 1 << 16), st.sampled_from([8, 32, 64]))
+def test_prop_trace_length_matches_descriptor(fp, stride):
+    s = StreamAccess("a", footprint_bytes=fp, stride_bytes=stride)
+    trace = s.generate_trace()
+    assert len(trace) == s.accesses_per_traversal
+    assert trace.max() < fp or fp < stride

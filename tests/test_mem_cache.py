@@ -1,0 +1,241 @@
+"""Unit + property tests for the exact cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import AccessResult, CacheConfig, CacheSim, ExactHierarchy
+
+
+def cache(size=1024, line=32, assoc=2, **kw):
+    return CacheSim(CacheConfig(size_bytes=size, line_bytes=line,
+                                associativity=assoc, **kw))
+
+
+# ---------------------------------------------------------------------------
+# config validation
+# ---------------------------------------------------------------------------
+def test_config_rejects_non_power_of_two_line():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1024, line_bytes=33)
+
+
+def test_config_rejects_indivisible_size():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, line_bytes=32, associativity=2)
+
+
+def test_config_geometry():
+    cfg = CacheConfig(size_bytes=32 * 1024, line_bytes=32, associativity=16)
+    assert cfg.num_sets == 64
+    assert cfg.num_lines == 1024
+
+
+# ---------------------------------------------------------------------------
+# basic behaviour
+# ---------------------------------------------------------------------------
+def test_first_touch_misses_second_hits():
+    c = cache()
+    r1 = c.access(np.array([0]))
+    r2 = c.access(np.array([0]))
+    assert (r1.hits, r1.misses) == (0, 1)
+    assert (r2.hits, r2.misses) == (1, 0)
+
+
+def test_spatial_locality_within_line():
+    c = cache(line=32)
+    r = c.access(np.arange(0, 32, 8, dtype=np.uint64))
+    assert r.misses == 1
+    assert r.hits == 3
+
+
+def test_zero_size_cache_misses_everything():
+    c = cache(size=0)
+    r = c.access(np.arange(0, 320, 32, dtype=np.uint64))
+    assert r.misses == 10
+    assert r.hits == 0
+    assert len(r.miss_lines) == 10
+
+
+def test_lru_eviction_order():
+    # 1 set, 2 ways: lines A, B fill it; touching A then adding C evicts B
+    c = cache(size=64, line=32, assoc=2)
+    assert c.config.num_sets == 1
+    c.access(np.array([0]))        # A miss
+    c.access(np.array([32]))       # B miss
+    c.access(np.array([0]))        # A hit (A newer than B)
+    r = c.access(np.array([64]))   # C miss, evicts B
+    assert r.misses == 1
+    assert c.contains(0)
+    assert not c.contains(32)
+    assert c.contains(64)
+
+
+def test_eviction_counts():
+    c = cache(size=64, line=32, assoc=2)
+    r = c.access(np.array([0, 32, 64], dtype=np.uint64))
+    assert r.misses == 3
+    assert r.evictions == 1
+
+
+def test_dirty_eviction_produces_writeback():
+    c = cache(size=64, line=32, assoc=1)  # 2 sets direct-mapped
+    c.access(np.array([0]), is_write=True)     # set 0 dirty
+    r = c.access(np.array([64]), is_write=False)  # same set, evicts dirty
+    assert r.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    c = cache(size=64, line=32, assoc=1)
+    c.access(np.array([0]), is_write=False)
+    r = c.access(np.array([64]))
+    assert r.evictions == 1
+    assert r.writebacks == 0
+
+
+def test_write_no_allocate_bypasses():
+    c = CacheSim(CacheConfig(size_bytes=1024, line_bytes=32,
+                             associativity=2, write_allocate=False))
+    r = c.access(np.array([0]), is_write=True)
+    assert r.misses == 1
+    assert not c.contains(0)
+
+
+def test_per_access_write_flags():
+    c = cache(size=64, line=32, assoc=1)
+    c.access(np.array([0, 32], dtype=np.uint64),
+             is_write=np.array([True, False]))
+    r = c.access(np.array([64]))   # evicts dirty line 0
+    assert r.writebacks == 1
+
+
+def test_miss_trace_contains_line_addresses():
+    c = cache(line=32)
+    r = c.access(np.array([5, 37], dtype=np.uint64))
+    assert list(r.miss_lines) == [0, 32]
+
+
+def test_reset_invalidates():
+    c = cache()
+    c.access(np.array([0]))
+    c.reset()
+    assert c.resident_lines() == 0
+    r = c.access(np.array([0]))
+    assert r.misses == 1
+
+
+def test_merge_results():
+    a = AccessResult(accesses=10, hits=8, misses=2,
+                     miss_lines=np.array([0], dtype=np.uint64))
+    b = AccessResult(accesses=5, hits=1, misses=4, writebacks=1,
+                     miss_lines=np.array([32], dtype=np.uint64))
+    m = a.merge(b)
+    assert (m.accesses, m.hits, m.misses, m.writebacks) == (15, 9, 6, 1)
+    assert list(m.miss_lines) == [0, 32]
+    assert m.hit_rate == pytest.approx(9 / 15)
+
+
+# ---------------------------------------------------------------------------
+# streaming behaviour (the figure-11 mechanism, in miniature)
+# ---------------------------------------------------------------------------
+def test_working_set_that_fits_hits_on_retraversal():
+    c = cache(size=1024, line=32, assoc=4)
+    trace = np.arange(0, 512, 8, dtype=np.uint64)  # 512B < 1KB
+    c.access(trace)
+    r = c.access(trace)
+    assert r.misses == 0
+    assert r.hits == len(trace)
+
+
+def test_working_set_twice_capacity_thrashes():
+    """Cyclic reuse beyond capacity retains nothing under LRU."""
+    c = cache(size=1024, line=32, assoc=4)
+    trace = np.arange(0, 4096, 8, dtype=np.uint64)  # 4KB >> 1KB
+    c.access(trace)
+    r = c.access(trace)
+    assert r.hits / r.accesses < 0.8  # mostly spatial hits only
+    # every line must be re-fetched
+    assert r.misses == 4096 // 32
+
+
+# ---------------------------------------------------------------------------
+# exact multi-level hierarchy
+# ---------------------------------------------------------------------------
+def test_hierarchy_filters_traffic_level_by_level():
+    h = ExactHierarchy([
+        CacheConfig(size_bytes=256, line_bytes=32, associativity=2),
+        CacheConfig(size_bytes=2048, line_bytes=128, associativity=4),
+    ])
+    trace = np.arange(0, 1024, 8, dtype=np.uint64)
+    res = h.access(trace)
+    l1, l2 = res.level(0), res.level(1)
+    assert l1.accesses == 128
+    assert l1.misses == 32          # 1024/32 lines
+    assert l2.accesses == 32
+    assert l2.misses == 8           # 1024/128 lines
+    # second pass: 1KB fits in L2 but not L1
+    res2 = h.access(trace)
+    assert res2.level(0).misses == 32
+    assert res2.level(1).misses == 0
+
+
+def test_hierarchy_handles_empty_trace():
+    h = ExactHierarchy([CacheConfig(size_bytes=256, line_bytes=32,
+                                    associativity=2)])
+    res = h.access(np.array([], dtype=np.uint64))
+    assert res.level(0).accesses == 0
+
+
+def test_hierarchy_requires_levels():
+    with pytest.raises(ValueError):
+        ExactHierarchy([])
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+addr_traces = st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300)
+
+
+@given(addr_traces)
+@settings(max_examples=50, deadline=None)
+def test_prop_hits_plus_misses_equals_accesses(trace):
+    c = cache(size=512, line=32, assoc=2)
+    r = c.access(np.array(trace, dtype=np.uint64))
+    assert r.hits + r.misses == r.accesses == len(trace)
+    assert len(r.miss_lines) == r.misses
+
+
+@given(addr_traces)
+@settings(max_examples=50, deadline=None)
+def test_prop_resident_lines_bounded_by_capacity(trace):
+    c = cache(size=512, line=32, assoc=2)
+    c.access(np.array(trace, dtype=np.uint64))
+    assert c.resident_lines() <= c.config.num_lines
+
+
+@given(addr_traces)
+@settings(max_examples=50, deadline=None)
+def test_prop_immediate_retouch_always_hits(trace):
+    """Accessing the same trace twice back-to-back: second access of any
+    address present in the last `num_lines` distinct lines must hit when
+    the trace fits entirely."""
+    distinct = {a // 32 for a in trace}
+    c = cache(size=32 * len(distinct) * 2 if distinct else 64,
+              line=32, assoc=max(1, len(distinct)))
+    # cache is fully associative and big enough: replay must fully hit
+    c.access(np.array(trace, dtype=np.uint64))
+    r = c.access(np.array(trace, dtype=np.uint64))
+    assert r.misses == 0
+
+
+@given(addr_traces)
+@settings(max_examples=30, deadline=None)
+def test_prop_misses_monotone_in_capacity(trace):
+    """A bigger cache (same line/assoc structure scaled) can't miss more
+    on a cold run of any trace (LRU inclusion property)."""
+    arr = np.array(trace, dtype=np.uint64)
+    small = cache(size=256, line=32, assoc=8)   # 1 set, 8 ways
+    big = cache(size=512, line=32, assoc=16)    # 1 set, 16 ways
+    assert big.access(arr).misses <= small.access(arr).misses

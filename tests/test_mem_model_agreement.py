@@ -1,0 +1,114 @@
+"""Cross-validation: the analytical model vs the exact simulator.
+
+The analytical model is the engine behind every whole-machine number in
+the reproduction, so these tests pin it against ground truth (the exact
+LRU simulator) on the regimes that matter for the paper's figures:
+streams that fit, streams that thrash, and random gathers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import (
+    AccessPattern,
+    CacheConfig,
+    CacheSim,
+    HierarchyConfig,
+    StreamAccess,
+    analyze_loop,
+)
+
+KB = 1024
+
+
+def exact_l1_misses(stream, traversals, config):
+    """Ground-truth L1 misses: replay the concrete trace."""
+    sim = CacheSim(config)
+    total = 0
+    rng = np.random.default_rng(7)
+    for _ in range(traversals):
+        trace = stream.generate_trace(rng=rng)
+        total += sim.access(trace).misses
+    return total
+
+
+def analytic_config(l1):
+    return HierarchyConfig(l1=l1, l3_capacity_bytes=8 << 20)
+
+
+L1 = CacheConfig(size_bytes=32 * KB, line_bytes=32, associativity=16,
+                 hit_latency=4)
+
+
+# ---------------------------------------------------------------------------
+# sequential regimes
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("footprint_kb", [4, 16])
+def test_fitting_sequential_stream_exact_match(footprint_kb):
+    """Below capacity: the model must match exactly (compulsory only)."""
+    stream = StreamAccess("a", footprint_bytes=footprint_kb * KB,
+                          stride_bytes=8)
+    exact = exact_l1_misses(stream, 4, L1)
+    model = analyze_loop([stream], 4, analytic_config(L1)).l1.misses
+    assert model == pytest.approx(exact, rel=0.01)
+
+
+@pytest.mark.parametrize("footprint_kb", [128, 512])
+def test_thrashing_sequential_stream_close(footprint_kb):
+    """Above capacity: cyclic LRU re-misses everything, both engines."""
+    stream = StreamAccess("a", footprint_bytes=footprint_kb * KB,
+                          stride_bytes=8)
+    exact = exact_l1_misses(stream, 3, L1)
+    model = analyze_loop([stream], 3, analytic_config(L1)).l1.misses
+    assert model == pytest.approx(exact, rel=0.05)
+
+
+def test_boundary_stream_within_tolerance():
+    """Near-capacity streams are the hardest case; allow wider error."""
+    stream = StreamAccess("a", footprint_bytes=36 * KB, stride_bytes=8)
+    exact = exact_l1_misses(stream, 3, L1)
+    model = analyze_loop([stream], 3, analytic_config(L1)).l1.misses
+    assert model == pytest.approx(exact, rel=0.6)
+
+
+# ---------------------------------------------------------------------------
+# strided
+# ---------------------------------------------------------------------------
+def test_large_stride_stream_one_miss_per_access():
+    stream = StreamAccess("a", footprint_bytes=256 * KB, stride_bytes=256)
+    exact = exact_l1_misses(stream, 2, L1)
+    model = analyze_loop([stream], 2, analytic_config(L1)).l1.misses
+    assert model == pytest.approx(exact, rel=0.05)
+
+
+# ---------------------------------------------------------------------------
+# random
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("footprint_kb,accesses", [(16, 4000), (256, 4000)])
+def test_random_stream_within_tolerance(footprint_kb, accesses):
+    stream = StreamAccess("a", footprint_bytes=footprint_kb * KB,
+                          accesses=accesses, pattern=AccessPattern.RANDOM)
+    exact = exact_l1_misses(stream, 2, L1)
+    model = analyze_loop([stream], 2, analytic_config(L1)).l1.misses
+    assert model == pytest.approx(exact, rel=0.25)
+
+
+# ---------------------------------------------------------------------------
+# property: regime-level agreement over random descriptors
+# ---------------------------------------------------------------------------
+@given(
+    footprint_kb=st.sampled_from([2, 8, 64, 256]),
+    stride=st.sampled_from([8, 32, 64]),
+    traversals=st.integers(1, 4),
+)
+@settings(max_examples=12, deadline=None)
+def test_prop_sequential_agreement(footprint_kb, stride, traversals):
+    stream = StreamAccess("a", footprint_bytes=footprint_kb * KB,
+                          stride_bytes=stride)
+    exact = exact_l1_misses(stream, traversals, L1)
+    model = analyze_loop([stream], traversals, analytic_config(L1)).l1.misses
+    # both engines must agree on the regime: within 2x either way and
+    # tight for the clean fit/thrash cases
+    assert 0.5 * exact <= model <= 2.0 * exact or abs(model - exact) < 64

@@ -1,0 +1,118 @@
+"""Unit tests for the node-level memory model (the VNM/SMP mechanism)."""
+
+import pytest
+
+from repro.mem import (
+    AccessPattern,
+    NodeMemoryConfig,
+    NodeMemoryModel,
+    StreamAccess,
+)
+
+MB = 1024 * 1024
+
+
+def seq_loops(footprint, traversals=5):
+    return [([StreamAccess("a", footprint_bytes=footprint)], traversals)]
+
+
+def random_loops(footprint, accesses=50_000, traversals=5):
+    return [([StreamAccess("g", footprint_bytes=footprint,
+                           accesses=accesses,
+                           pattern=AccessPattern.RANDOM)], traversals)]
+
+
+def test_single_process_gets_whole_l3():
+    model = NodeMemoryModel(NodeMemoryConfig())
+    result = model.analyze([seq_loops(3 * MB)])
+    assert result.shares == [8 * MB]
+    assert result.inflations == [1.0]
+    # 3MB fits an 8MB L3: compulsory DDR reads only
+    assert result.total_ddr_reads == pytest.approx(3 * MB / 128, rel=0.3)
+
+
+def test_four_processes_split_the_l3():
+    model = NodeMemoryModel(NodeMemoryConfig())
+    result = model.analyze([seq_loops(3 * MB)] * 4)
+    # equal intensity: 2MB each, 3MB stream no longer fits -> thrashing
+    assert all(s == pytest.approx(2 * MB) for s in result.shares)
+    solo = NodeMemoryModel(NodeMemoryConfig()).analyze([seq_loops(3 * MB)])
+    assert result.total_ddr_reads > 4 * solo.total_ddr_reads
+
+
+def test_vnm_traffic_ratio_mechanism():
+    """4 procs on 8MB vs 1 proc on 2MB (the paper's fair comparison).
+
+    With footprints that fit 2MB either way, per-process traffic is
+    equal and the node ratio is ~4x; thrash-prone co-runners push above.
+    """
+    fitting = seq_loops(int(1.5 * MB))
+    vnm = NodeMemoryModel(NodeMemoryConfig()).analyze([fitting] * 4)
+    smp = NodeMemoryModel(
+        NodeMemoryConfig().with_l3_size(2 * MB)).analyze([fitting])
+    ratio = vnm.total_ddr_transfers / smp.total_ddr_transfers
+    assert 3.5 <= ratio <= 4.5
+
+
+def test_thrashy_corunners_push_ratio_past_4x():
+    """The FT/IS mechanism: random co-runners inflate everyone's misses."""
+    thrashy = random_loops(6 * MB)
+    vnm = NodeMemoryModel(NodeMemoryConfig()).analyze([thrashy] * 4)
+    smp = NodeMemoryModel(
+        NodeMemoryConfig().with_l3_size(2 * MB)).analyze([thrashy])
+    ratio = vnm.total_ddr_reads / smp.total_ddr_reads
+    assert ratio > 4.0
+    assert all(f > 1.0 for f in vnm.inflations)
+
+
+def test_l3_size_sweep_monotone():
+    """Figure 11's mechanism: DDR traffic non-increasing in L3 size."""
+    loops = seq_loops(3 * MB, traversals=10)
+    traffic = []
+    for size_mb in (0, 2, 4, 6, 8):
+        model = NodeMemoryModel(NodeMemoryConfig().with_l3_size(
+            size_mb * MB))
+        traffic.append(model.analyze([loops]).total_ddr_transfers)
+    assert all(a >= b for a, b in zip(traffic, traffic[1:]))
+    # the cliff: 4MB (fits) way below 2MB (thrash); flat beyond 4MB
+    assert traffic[1] > 3 * traffic[2]
+    assert traffic[2] == pytest.approx(traffic[4], rel=0.05)
+
+
+def test_contention_computed_over_window():
+    model = NodeMemoryModel(NodeMemoryConfig())
+    result = model.analyze([seq_loops(16 * MB)] * 4)
+    c = model.contention(result, window_cycles=5_000_000)
+    assert c.utilisation > 0
+    assert result.contention is c
+    stalls = model.contention_stall_per_process(result, 5_000_000)
+    assert len(stalls) == 4
+    assert all(s >= 0 for s in stalls)
+
+
+def test_node_events_are_consistent():
+    model = NodeMemoryModel(NodeMemoryConfig())
+    result = model.analyze([seq_loops(4 * MB)] * 2)
+    model.contention(result, window_cycles=10_000_000)
+    events = model.node_events(result, stores_per_core=[10, 20])
+    assert events["BGP_DDR0_READ"] + events["BGP_DDR1_READ"] == int(round(
+        result.total_ddr_reads))
+    assert events["BGP_L3_READ"] == (events["BGP_L3_BANK0_ACCESS"]
+                                     + events["BGP_L3_BANK1_ACCESS"])
+    assert events["BGP_L3_READ"] == events["BGP_L3_HIT"] + events[
+        "BGP_L3_MISS"]
+    assert "BGP_DDR_PORT_CONFLICT" in events
+    assert events["BGP_PU0_SNOOP_RECEIVED"] == 20
+
+
+def test_analyze_rejects_empty():
+    with pytest.raises(ValueError):
+        NodeMemoryModel(NodeMemoryConfig()).analyze([])
+
+
+def test_with_l3_size_does_not_mutate():
+    cfg = NodeMemoryConfig()
+    cfg2 = cfg.with_l3_size(2 * MB)
+    assert cfg.l3.size_bytes == 8 * MB
+    assert cfg2.l3.size_bytes == 2 * MB
+    assert cfg2.l3.line_bytes == cfg.l3.line_bytes

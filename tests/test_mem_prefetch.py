@@ -1,0 +1,118 @@
+"""Unit tests for the L2 stream prefetcher models."""
+
+import numpy as np
+import pytest
+
+from repro.mem import (
+    AccessPattern,
+    PrefetcherConfig,
+    StreamPrefetcher,
+    analytical_coverage,
+)
+
+
+def run_seq(n_lines, config=None):
+    config = config or PrefetcherConfig(line_bytes=128)
+    pf = StreamPrefetcher(config)
+    trace = np.arange(n_lines, dtype=np.uint64) * 128
+    return pf.run(trace)
+
+
+# ---------------------------------------------------------------------------
+# exact model
+# ---------------------------------------------------------------------------
+def test_sequential_stream_mostly_covered():
+    demand, hits, issued = run_seq(100)
+    assert demand + hits == 100
+    assert hits >= 95  # only startup misses escape
+    assert issued > 0
+
+
+def test_single_access_is_demand_miss():
+    demand, hits, _ = run_seq(1)
+    assert demand == 1 and hits == 0
+
+
+def test_random_trace_not_covered():
+    pf = StreamPrefetcher(PrefetcherConfig(line_bytes=128))
+    rng = np.random.default_rng(1)
+    trace = rng.integers(0, 10_000, size=200).astype(np.uint64) * 128 * 17
+    demand, hits, _ = pf.run(trace)
+    assert hits / 200 < 0.1
+
+
+def test_depth_zero_disables_prefetching():
+    demand, hits, issued = run_seq(100, PrefetcherConfig(depth=0,
+                                                         line_bytes=128))
+    assert hits == 0
+    assert demand == 100
+    assert issued == 0
+
+
+def test_interleaved_streams_within_capacity_covered():
+    """Two interleaved sequential streams both tracked."""
+    pf = StreamPrefetcher(PrefetcherConfig(line_bytes=128, max_streams=8))
+    a = np.arange(50, dtype=np.uint64) * 128
+    b = np.arange(50, dtype=np.uint64) * 128 + (1 << 30)
+    trace = np.empty(100, dtype=np.uint64)
+    trace[0::2], trace[1::2] = a, b
+    demand, hits, _ = pf.run(trace)
+    assert hits >= 90
+
+
+def test_too_many_streams_overflow_table():
+    """More concurrent streams than table entries degrades coverage."""
+    pf = StreamPrefetcher(PrefetcherConfig(line_bytes=128, max_streams=2))
+    streams = [np.arange(30, dtype=np.uint64) * 128 + (i << 30)
+               for i in range(8)]
+    trace = np.ravel(np.column_stack(streams))
+    demand, hits, _ = pf.run(trace)
+    assert hits < len(trace) * 0.5
+
+
+def test_reset_clears_stream_table():
+    pf = StreamPrefetcher(PrefetcherConfig(line_bytes=128))
+    pf.run(np.arange(10, dtype=np.uint64) * 128)
+    pf.reset()
+    demand, hits, _ = pf.run(np.array([10 * 128], dtype=np.uint64))
+    assert demand == 1 and hits == 0
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        PrefetcherConfig(depth=-1)
+    with pytest.raises(ValueError):
+        PrefetcherConfig(max_streams=0)
+
+
+# ---------------------------------------------------------------------------
+# analytical coverage, validated against the exact model
+# ---------------------------------------------------------------------------
+def test_analytical_sequential_matches_exact():
+    cfg = PrefetcherConfig(line_bytes=128)
+    _, hits, _ = run_seq(1000, cfg)
+    exact_coverage = hits / 1000
+    model = analytical_coverage(AccessPattern.SEQUENTIAL, 8, cfg)
+    assert model <= exact_coverage  # the model is conservative
+    assert model >= exact_coverage - 0.2
+
+
+def test_analytical_random_is_zero():
+    cfg = PrefetcherConfig()
+    assert analytical_coverage(AccessPattern.RANDOM, 8, cfg) == 0.0
+
+
+def test_analytical_large_stride_uncovered():
+    cfg = PrefetcherConfig(depth=2, line_bytes=128)
+    assert analytical_coverage(AccessPattern.STRIDED, 4096, cfg) == 0.0
+
+
+def test_analytical_medium_stride_partial():
+    cfg = PrefetcherConfig(depth=2, line_bytes=128)
+    c = analytical_coverage(AccessPattern.STRIDED, 256, cfg)
+    assert 0.0 < c < 0.85
+
+
+def test_analytical_depth_zero_is_zero():
+    cfg = PrefetcherConfig(depth=0)
+    assert analytical_coverage(AccessPattern.SEQUENTIAL, 8, cfg) == 0.0

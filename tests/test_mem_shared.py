@@ -1,0 +1,190 @@
+"""Unit tests for the shared-resource models: L3 sharing, DDR, snoop."""
+
+import pytest
+
+from repro.mem import (
+    DDRConfig,
+    DDRModel,
+    ProcessMemoryProfile,
+    SharedL3Config,
+    SharedL3Model,
+    SnoopConfig,
+    SnoopFilterModel,
+)
+
+MB = 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# shared L3
+# ---------------------------------------------------------------------------
+def test_equal_intensity_equal_shares():
+    model = SharedL3Model(SharedL3Config(size_bytes=8 * MB))
+    shares = model.capacity_shares([ProcessMemoryProfile()] * 4)
+    assert shares == [2 * MB] * 4
+
+
+def test_idle_corunner_cedes_share():
+    model = SharedL3Model(SharedL3Config(size_bytes=8 * MB))
+    profiles = [ProcessMemoryProfile(intensity=3.0),
+                ProcessMemoryProfile(intensity=1.0)]
+    shares = model.capacity_shares(profiles)
+    assert shares[0] == pytest.approx(6 * MB)
+    assert shares[1] == pytest.approx(2 * MB)
+
+
+def test_all_idle_split_evenly():
+    model = SharedL3Model(SharedL3Config(size_bytes=8 * MB))
+    shares = model.capacity_shares([ProcessMemoryProfile(intensity=0)] * 2)
+    assert shares == [4 * MB] * 2
+
+
+def test_no_processes_rejected():
+    model = SharedL3Model(SharedL3Config())
+    with pytest.raises(ValueError):
+        model.capacity_shares([])
+
+
+def test_solo_process_no_inflation():
+    model = SharedL3Model(SharedL3Config())
+    assert model.miss_inflation(0, [ProcessMemoryProfile(
+        thrash_fraction=1.0)]) == 1.0
+
+
+def test_thrashy_corunners_inflate_misses():
+    model = SharedL3Model(SharedL3Config(interference_gamma=0.35))
+    calm = [ProcessMemoryProfile(thrash_fraction=0.0)] * 4
+    rough = [ProcessMemoryProfile(thrash_fraction=0.9)] * 4
+    assert model.miss_inflation(0, calm) == pytest.approx(1.0)
+    assert model.miss_inflation(0, rough) > 1.5
+
+
+def test_inflation_scales_with_corunner_count():
+    model = SharedL3Model(SharedL3Config())
+    p = ProcessMemoryProfile(thrash_fraction=0.5)
+    two = model.miss_inflation(0, [p, p])
+    four = model.miss_inflation(0, [p, p, p, p])
+    assert four > two
+
+
+def test_inflation_index_bounds():
+    model = SharedL3Model(SharedL3Config())
+    with pytest.raises(IndexError):
+        model.miss_inflation(2, [ProcessMemoryProfile()] * 2)
+
+
+def test_l3_size_bounds():
+    with pytest.raises(ValueError):
+        SharedL3Config(size_bytes=9 * MB)
+    with pytest.raises(ValueError):
+        SharedL3Config(size_bytes=-1)
+    SharedL3Config(size_bytes=0)  # the "no L3" experiment point is legal
+
+
+def test_bank_split_conserves_accesses():
+    model = SharedL3Model(SharedL3Config(banks=2))
+    assert sum(model.bank_split(101)) == 101
+    split = model.bank_split(101)
+    assert abs(split[0] - split[1]) <= 1
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        ProcessMemoryProfile(intensity=-1)
+    with pytest.raises(ValueError):
+        ProcessMemoryProfile(thrash_fraction=1.5)
+
+
+# ---------------------------------------------------------------------------
+# DDR controllers
+# ---------------------------------------------------------------------------
+def test_no_requests_no_contention():
+    model = DDRModel()
+    c = model.contention(0, 10_000)
+    assert c.utilisation == 0.0
+    assert c.conflict_cycles == 0
+
+
+def test_contention_grows_superlinearly_with_load():
+    """The M/D/1 knee: doubling load more than doubles queueing delay."""
+    model = DDRModel(DDRConfig(service_cycles=10))
+    window = 100_000
+    light = model.contention(4_000, window)   # rho = 0.2
+    heavy = model.contention(12_000, window)  # rho = 0.6
+    assert heavy.queue_delay > 3 * light.queue_delay
+
+
+def test_utilisation_is_clamped():
+    model = DDRModel(DDRConfig(max_utilisation=0.95))
+    c = model.contention(10**9, 100)
+    assert c.utilisation == 0.95
+    assert c.queue_delay < 1e6  # finite
+
+
+def test_split_conserves_and_balances():
+    model = DDRModel(DDRConfig(controllers=2))
+    split = model.split(101, 50)
+    assert sum(r for r, _ in split) == 101
+    assert sum(w for _, w in split) == 50
+    assert abs(split[0][0] - split[1][0]) <= 1
+
+
+def test_split_rejects_negative():
+    with pytest.raises(ValueError):
+        DDRModel().split(-1, 0)
+
+
+def test_effective_latency_includes_queueing():
+    model = DDRModel(DDRConfig(latency=104))
+    assert model.effective_latency(0, 1000) == 104
+    assert model.effective_latency(100, 1000) > 104
+
+
+def test_ddr_config_validation():
+    with pytest.raises(ValueError):
+        DDRConfig(controllers=0)
+    with pytest.raises(ValueError):
+        DDRConfig(service_cycles=0)
+    with pytest.raises(ValueError):
+        DDRConfig(max_utilisation=1.0)
+
+
+def test_contention_rejects_negative():
+    with pytest.raises(ValueError):
+        DDRModel().contention(-1, 100)
+
+
+# ---------------------------------------------------------------------------
+# snoop filter
+# ---------------------------------------------------------------------------
+def test_snoops_come_from_other_cores():
+    model = SnoopFilterModel(SnoopConfig(sharing_fraction=0.0))
+    results = model.analyze([100, 200, 300, 400])
+    assert results[0]["received"] == 900
+    assert results[3]["received"] == 600
+    assert all(r["hit"] == 0 for r in results)
+    assert all(r["filtered"] == r["received"] for r in results)
+
+
+def test_sharing_fraction_produces_hits():
+    model = SnoopFilterModel(SnoopConfig(sharing_fraction=0.1))
+    results = model.analyze([0, 1000])
+    assert results[0]["hit"] == 100
+    assert results[0]["filtered"] == 900
+    assert results[1]["received"] == 0
+
+
+def test_snoop_single_core_sees_nothing():
+    model = SnoopFilterModel()
+    assert model.analyze([500]) == [
+        {"received": 0, "filtered": 0, "hit": 0}]
+
+
+def test_snoop_rejects_negative_stores():
+    with pytest.raises(ValueError):
+        SnoopFilterModel().analyze([-1])
+
+
+def test_snoop_config_validation():
+    with pytest.raises(ValueError):
+        SnoopConfig(sharing_fraction=1.5)

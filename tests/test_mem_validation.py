@@ -1,0 +1,86 @@
+"""Tests for the trace-driven validation pipeline.
+
+This is the audit trail of the whole reproduction: every NAS
+benchmark's loops, miniaturised, must agree between the analytical
+model and the exact LRU simulator.
+"""
+
+import pytest
+
+from repro.mem import HierarchyConfig, StreamAccess
+from repro.mem.validation import (
+    LevelComparison,
+    validate_benchmark_loops,
+    validate_streams,
+    validation_report,
+)
+from repro.npb import BENCHMARK_ORDER
+
+
+# ---------------------------------------------------------------------------
+# the audit: every benchmark's loops agree across engines
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("code", BENCHMARK_ORDER)
+def test_benchmark_loops_validate(code):
+    cases = validate_benchmark_loops(code)
+    assert cases, f"{code}: no loops validated"
+    failures = [c.name for c in cases if not c.agrees()]
+    assert not failures, (
+        f"{code}: engines disagree on {failures}\n"
+        + validation_report(cases))
+
+
+# ---------------------------------------------------------------------------
+# unit behaviour
+# ---------------------------------------------------------------------------
+def test_validate_streams_simple_case():
+    case = validate_streams(
+        [StreamAccess("a", footprint_bytes=8 * 1024)],
+        traversals=3,
+        config=HierarchyConfig(l3_capacity_bytes=1 << 20),
+        name="simple")
+    assert case.agrees(tolerance=0.05)
+    l1 = case.levels[0]
+    # 8KB / 32B = 256 compulsory lines, cache holds them: one traversal
+    assert l1.exact_misses == 256
+    assert l1.model_misses == pytest.approx(256, rel=0.01)
+
+
+def test_level_comparison_relative_error():
+    lc = LevelComparison("L1", exact_misses=100, model_misses=120)
+    assert lc.relative_error == pytest.approx(0.2)
+    assert lc.agrees(tolerance=0.25)
+    assert not lc.agrees(tolerance=0.1)
+
+
+def test_level_comparison_zero_exact():
+    perfect = LevelComparison("L1", 0, 0)
+    assert perfect.relative_error == 0.0
+    ghost = LevelComparison("L1", 0, 1000)
+    assert ghost.relative_error == float("inf")
+    # but noise-level counts always agree
+    noise = LevelComparison("L1", 0, 10)
+    assert noise.agrees()
+
+
+def test_validation_report_format():
+    cases = validate_benchmark_loops("EP")
+    text = validation_report(cases)
+    assert "L3/DDR" in text
+    assert "yes" in text
+
+
+def test_wrapping_strided_stream_agrees():
+    """The SP/FT cross-line sweep pattern: the regression this module
+    caught during development."""
+    from repro.mem import AccessPattern
+
+    stream = StreamAccess("grid", footprint_bytes=64 * 1024,
+                          stride_bytes=1296, accesses=8192,
+                          pattern=AccessPattern.STRIDED)
+    assert stream.wraps
+    case = validate_streams([stream], traversals=2,
+                            config=HierarchyConfig(
+                                l3_capacity_bytes=1 << 20),
+                            name="wrap")
+    assert case.agrees(tolerance=0.35), validation_report([case])

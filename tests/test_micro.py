@@ -1,0 +1,109 @@
+"""Tests for the calibration microbenchmarks and their experiment."""
+
+import pytest
+
+from repro.compiler import O5, O_base, compile_program
+from repro.harness import ext_microbench
+from repro.harness.microbench import _run_single
+from repro.isa import PEAK_NODE_GFLOPS
+from repro.micro import (
+    MICROBENCHMARKS,
+    cache_probe,
+    peak_flops,
+    pointer_chase,
+    stream_triad,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# closed-form expectations
+# ---------------------------------------------------------------------------
+def test_peak_flops_hits_the_simd_ceiling():
+    """Fully SIMDized FMAs: 4 flops/cycle/core = 3.4 GFLOPS."""
+    job = _run_single(compile_program(peak_flops(), O5()))
+    assert job.mflops_total() / 1e3 == pytest.approx(
+        PEAK_NODE_GFLOPS / 4, rel=0.02)
+
+
+def test_peak_flops_scalar_is_half():
+    job = _run_single(compile_program(peak_flops(), O_base()))
+    assert job.mflops_total() / 1e3 == pytest.approx(
+        PEAK_NODE_GFLOPS / 8, rel=0.02)
+
+
+def test_triad_traffic_matches_closed_form():
+    """3 streaming arrays beyond any cache: every line moves once per
+    traversal (reads) plus the store writebacks."""
+    program = compile_program(stream_triad(footprint_bytes=48 * MB,
+                                           traversals=4), O5())
+    job = _run_single(program, counter_modes=(2, 0))
+    per_array = 48 * MB // 3
+    array_lines = per_array / 128
+    # per traversal: write-allocate reads of a, b, c + writeback of a
+    expected = 4 * (3 * array_lines + array_lines)
+    assert job.ddr_traffic_lines() == pytest.approx(expected, rel=0.15)
+
+
+def test_pointer_chase_latency_scales_with_footprint():
+    """The latency curve: a cache-resident ring is far cheaper than a
+    DDR-resident one."""
+    def cycles_per_access(footprint):
+        prog = compile_program(
+            pointer_chase(footprint_bytes=footprint, accesses=100_000),
+            O_base())
+        job = _run_single(prog)
+        return job.elapsed_cycles / 100_000
+
+    small = cycles_per_access(16 * KB)
+    large = cycles_per_access(16 * MB)
+    assert large > 3 * small
+    assert large > 50  # deep-memory latency dominates
+
+
+def test_cache_probe_mountain_is_monotone():
+    """Bigger footprints can only slow the sweep down."""
+    def bytes_per_cycle(footprint):
+        prog = compile_program(cache_probe(footprint), O5())
+        job = _run_single(prog)
+        loads = cache_probe(footprint).loops()[0].trip_count * 50
+        return loads * 8 / job.elapsed_cycles
+
+    rates = [bytes_per_cycle(fp) for fp in (16 * KB, 256 * KB, 32 * MB)]
+    assert rates[0] > rates[1] >= rates[2]
+
+
+def test_registry_contents():
+    assert set(MICROBENCHMARKS) == {"peak_flops", "stream_triad",
+                                    "pointer_chase"}
+    for builder in MICROBENCHMARKS.values():
+        program = builder()
+        assert program.loops()
+
+
+# ---------------------------------------------------------------------------
+# the experiment wrapper
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def micro():
+    return ext_microbench()
+
+
+def test_experiment_peak_fraction_is_one(micro):
+    assert micro.summary["peak_fraction"] == pytest.approx(1.0, rel=0.02)
+
+
+def test_experiment_simd_speedup_is_two(micro):
+    assert micro.summary["simd_speedup"] == pytest.approx(2.0, rel=0.02)
+
+
+def test_experiment_memory_mountain_falls(micro):
+    assert (micro.summary["probe_16KB"]
+            > micro.summary["probe_256KB"]
+            >= micro.summary["probe_32MB"])
+
+
+def test_experiment_chase_latency_deep(micro):
+    assert micro.summary["chase_latency"] > 50

@@ -1,0 +1,102 @@
+"""Unit tests for the control-plane networks: Ethernet I/O and JTAG."""
+
+import pytest
+
+from repro.net import (
+    EthernetIOModel,
+    IOConfig,
+    JTAGController,
+    Personality,
+)
+
+MB = 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Ethernet I/O
+# ---------------------------------------------------------------------------
+def test_pset_mapping():
+    io = EthernetIOModel(IOConfig(pset_size=32))
+    assert io.io_node_of(0) == 0
+    assert io.io_node_of(31) == 0
+    assert io.io_node_of(32) == 1
+
+
+def test_write_phase_bottleneck_is_busiest_pset():
+    io = EthernetIOModel(IOConfig(pset_size=2))
+    # pset 0 writes 3MB total, pset 1 writes 1MB
+    result = io.write_phase([2 * MB, 1 * MB, 1 * MB, 0])
+    assert result.busiest_io_node == 0
+    assert result.per_io_node_bytes == {0: 3 * MB, 1: 1 * MB}
+    assert result.bytes_total == 4 * MB
+
+
+def test_write_phase_scales_with_bytes():
+    io = EthernetIOModel()
+    small = io.write_phase([1 * MB])
+    large = io.write_phase([8 * MB])
+    assert large.cycles > small.cycles
+
+
+def test_empty_write_phase_is_free():
+    io = EthernetIOModel()
+    assert io.write_phase([]).cycles == 0.0
+
+
+def test_negative_write_rejected():
+    with pytest.raises(ValueError):
+        EthernetIOModel().write_phase([-1])
+
+
+def test_io_config_validation():
+    with pytest.raises(ValueError):
+        IOConfig(pset_size=0)
+    with pytest.raises(ValueError):
+        IOConfig(uplink_bytes_per_cycle=0)
+
+
+# ---------------------------------------------------------------------------
+# JTAG
+# ---------------------------------------------------------------------------
+def test_personality_defaults_and_validation():
+    p = Personality()
+    assert p.l3_size_bytes == 8 * MB
+    with pytest.raises(ValueError):
+        Personality(l3_size_bytes=9 * MB)
+    with pytest.raises(ValueError):
+        Personality(l2_prefetch_depth=-1)
+
+
+def test_load_and_boot_personality():
+    jtag = JTAGController()
+    jtag.load_personality(3, Personality(l3_size_bytes=2 * MB,
+                                         mode_name="SMP1"))
+    cost = jtag.boot([0, 3])
+    assert cost == 2 * jtag.scan_cycles_per_node
+    assert "l3=2MB" in jtag.last_boot(3)
+    assert "l3=8MB" in jtag.last_boot(0)  # default personality
+
+
+def test_boot_requires_nodes():
+    with pytest.raises(ValueError):
+        JTAGController().boot([])
+
+
+def test_last_boot_none_before_boot():
+    assert JTAGController().last_boot(5) is None
+
+
+def test_machine_boots_nodes_with_matching_personality():
+    """The runtime wires JTAG: the partition's config becomes the
+    personality every node boots with (the paper's svchost options)."""
+    from repro.mem import NodeMemoryConfig
+    from repro.node import OperatingMode
+    from repro.runtime import Machine
+
+    machine = Machine(4, mode=OperatingMode.VNM,
+                      mem_config=NodeMemoryConfig().with_l3_size(2 * MB))
+    assert machine.boot_cycles > 0
+    for node_id in range(4):
+        assert machine.jtag.personality_of(
+            node_id).l3_size_bytes == 2 * MB
+        assert "VNM" in machine.jtag.last_boot(node_id)

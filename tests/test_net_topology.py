@@ -1,0 +1,111 @@
+"""Unit + property tests for the torus topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import TorusTopology, partition_shape
+
+
+def test_standard_partition_shapes():
+    assert partition_shape(32) == (4, 4, 2)
+    assert partition_shape(128) == (8, 4, 4)
+    assert partition_shape(512) == (8, 8, 8)
+
+
+def test_nonstandard_size_factorized():
+    shape = partition_shape(27)
+    assert shape[0] * shape[1] * shape[2] == 27
+    assert shape == (3, 3, 3)
+
+
+def test_partition_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        partition_shape(0)
+
+
+def test_coords_roundtrip_all_nodes():
+    topo = TorusTopology.for_nodes(32)
+    for node in topo.all_nodes():
+        assert topo.node(topo.coords(node)) == node
+
+
+def test_coords_bounds_checked():
+    topo = TorusTopology((4, 4, 2))
+    with pytest.raises(ValueError):
+        topo.coords(32)
+    with pytest.raises(ValueError):
+        topo.node((4, 0, 0))
+
+
+def test_hop_distance_uses_wraparound():
+    topo = TorusTopology((8, 1, 1))
+    # 0 -> 7 is one hop backwards around the ring, not 7 forwards
+    assert topo.hop_distance(0, 7) == 1
+    assert topo.hop_distance(0, 4) == 4
+
+
+def test_hop_distance_symmetric():
+    topo = TorusTopology((4, 4, 2))
+    for a in (0, 5, 17):
+        for b in (3, 12, 31):
+            assert topo.hop_distance(a, b) == topo.hop_distance(b, a)
+
+
+def test_neighbors_are_one_hop():
+    topo = TorusTopology((4, 4, 2))
+    for node in (0, 13, 31):
+        for n in topo.neighbors(node):
+            assert topo.hop_distance(node, n) == 1
+
+
+def test_neighbors_dedup_on_small_dims():
+    topo = TorusTopology((4, 4, 2))  # z-dim 2: +1 and -1 coincide
+    assert len(topo.neighbors(0)) == 5
+
+
+def test_route_is_dimension_ordered():
+    topo = TorusTopology((4, 4, 4))
+    route = topo.route(topo.node((0, 0, 0)), topo.node((2, 1, 3)))
+    # hops: 2 in X, 1 in Y, then 1 in Z (wraparound 0->3)
+    assert len(route) == 2 + 1 + 1
+    dirs = [topo.link_direction(a, b) for a, b in route]
+    assert dirs == ["XP", "XP", "YP", "ZM"]
+
+
+def test_route_links_are_adjacent_and_connected():
+    topo = TorusTopology((4, 4, 2))
+    route = topo.route(0, 27)
+    assert route[0][0] == 0
+    assert route[-1][1] == 27
+    for (a1, b1), (a2, b2) in zip(route, route[1:]):
+        assert b1 == a2
+        assert topo.hop_distance(a1, b1) == 1
+
+
+def test_route_to_self_is_empty():
+    topo = TorusTopology((4, 4, 2))
+    assert topo.route(5, 5) == []
+
+
+def test_link_direction_errors():
+    topo = TorusTopology((4, 4, 4))
+    with pytest.raises(ValueError):
+        topo.link_direction(0, 0)
+    with pytest.raises(ValueError):
+        topo.link_direction(0, 2)  # two hops in X
+
+
+@given(st.sampled_from([8, 32, 64, 128]),
+       st.integers(0, 127), st.integers(0, 127))
+def test_prop_route_length_equals_hop_distance(nodes, a, b):
+    topo = TorusTopology.for_nodes(nodes)
+    a %= nodes
+    b %= nodes
+    assert len(topo.route(a, b)) == topo.hop_distance(a, b)
+
+
+@given(st.integers(1, 256))
+def test_prop_partition_shape_multiplies_out(n):
+    x, y, z = partition_shape(n)
+    assert x * y * z == n

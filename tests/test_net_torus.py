@@ -1,0 +1,189 @@
+"""Unit tests for the torus, collective and barrier network models."""
+
+import pytest
+
+from repro.net import (
+    BarrierConfig,
+    BarrierNetwork,
+    CollectiveConfig,
+    CollectiveNetwork,
+    Message,
+    TorusConfig,
+    TorusNetwork,
+    TorusTopology,
+)
+
+
+@pytest.fixture
+def net():
+    return TorusNetwork(TorusTopology((4, 4, 2)))
+
+
+# ---------------------------------------------------------------------------
+# torus
+# ---------------------------------------------------------------------------
+def test_message_cost_scales_with_hops(net):
+    near = net.message_cost(Message(0, 1, 1024))
+    far = net.message_cost(Message(0, net.topology.node((2, 2, 1)), 1024))
+    assert far > near
+
+
+def test_message_cost_scales_with_size(net):
+    small = net.message_cost(Message(0, 1, 1024))
+    large = net.message_cost(Message(0, 1, 1024 * 1024))
+    assert large > small
+    wire_delta = (1024 * 1024 - 1024) / net.config.bytes_per_cycle
+    assert large - small == pytest.approx(wire_delta)
+
+
+def test_intra_node_message_is_free_on_the_torus(net):
+    assert net.message_cost(Message(3, 3, 1 << 20)) == 0.0
+
+
+def test_packet_count_rounds_up(net):
+    assert net.packets(0) == 0
+    assert net.packets(1) == 1
+    assert net.packets(256) == 1
+    assert net.packets(257) == 2
+
+
+def test_phase_link_contention(net):
+    """Messages sharing a link serialise; disjoint ones don't."""
+    mb = 1 << 20
+    # both cross the 0->1 link (dimension-ordered X first)
+    shared = net.run_phase([
+        Message(0, 1, mb),
+        Message(0, net.topology.node((2, 0, 0)), mb),
+    ])
+    disjoint = net.run_phase([
+        Message(0, 1, mb),
+        Message(net.topology.node((0, 2, 0)),
+                net.topology.node((1, 2, 0)), mb),
+    ])
+    assert shared.max_link_bytes == 2 * mb
+    assert disjoint.max_link_bytes == mb
+    assert shared.cycles > disjoint.cycles
+
+
+def test_phase_events_count_packets(net):
+    result = net.run_phase([Message(0, 1, 512)])
+    events = net.phase_events(result)
+    assert events[0]["BGP_TORUS_XP_PACKETS"] == 2
+    assert events[1]["BGP_TORUS_RECV_PACKETS"] == 2
+
+
+def test_phase_skips_self_and_empty_messages(net):
+    result = net.run_phase([Message(0, 0, 1024), Message(0, 1, 0)])
+    assert result.total_packets == 0
+    assert result.cycles == 0.0
+
+
+def test_negative_message_size_rejected():
+    with pytest.raises(ValueError):
+        Message(0, 1, -1)
+
+
+def test_hop_cycles_accumulate(net):
+    far = net.topology.node((2, 2, 1))
+    result = net.run_phase([Message(0, far, 256)])
+    hops = net.topology.hop_distance(0, far)
+    assert result.hop_cycles == pytest.approx(
+        hops * net.config.hop_latency_cycles)
+
+
+# ---------------------------------------------------------------------------
+# collective
+# ---------------------------------------------------------------------------
+def test_collective_depth_log_fanout():
+    assert CollectiveNetwork(1).depth == 0
+    assert CollectiveNetwork(2).depth == 1
+    assert CollectiveNetwork(128).depth == 7
+    assert CollectiveNetwork(
+        128, CollectiveConfig(fanout=4)).depth == 4
+
+
+def test_collective_scales_logarithmically():
+    """Tree network: 4x the nodes adds a constant, not a factor."""
+    small = CollectiveNetwork(32).broadcast(1 << 20).cycles
+    large = CollectiveNetwork(128).broadcast(1 << 20).cycles
+    assert large > small
+    assert large < small * 1.1  # wire time dominates, depth is additive
+
+
+def test_allreduce_is_two_traversals():
+    net = CollectiveNetwork(64)
+    reduce_cost = net.reduce(4096).cycles
+    allreduce_cost = net.allreduce(4096).cycles
+    assert allreduce_cost > reduce_cost
+    assert allreduce_cost < 2 * reduce_cost  # shared software overhead
+
+
+def test_reduce_counts_alu_ops():
+    net = CollectiveNetwork(8)
+    result = net.reduce(800, element_bytes=8)
+    assert result.alu_ops == 100
+    assert result.up_packets > 0
+    assert result.down_packets == 0
+
+
+def test_broadcast_only_downtree():
+    result = CollectiveNetwork(8).broadcast(1024)
+    assert result.up_packets == 0
+    assert result.down_packets == 4
+    assert result.alu_ops == 0
+
+
+def test_collective_events():
+    net = CollectiveNetwork(8)
+    events = net.events(net.allreduce(256))
+    assert events["BGP_COLLECTIVE_UP_PACKETS"] == 1
+    assert events["BGP_COLLECTIVE_DOWN_PACKETS"] == 1
+    assert events["BGP_COLLECTIVE_ALU_OPS"] == 32
+
+
+def test_collective_validation():
+    with pytest.raises(ValueError):
+        CollectiveNetwork(0)
+    with pytest.raises(ValueError):
+        CollectiveConfig(fanout=1)
+
+
+# ---------------------------------------------------------------------------
+# barrier
+# ---------------------------------------------------------------------------
+def test_barrier_releases_after_last_arrival():
+    net = BarrierNetwork(64)
+    result = net.synchronize([100.0, 500.0, 300.0])
+    assert result.release_cycle == 500.0 + net.hardware_latency
+    assert result.wait_cycles[1] == pytest.approx(net.hardware_latency)
+    assert result.wait_cycles[0] == pytest.approx(
+        400.0 + net.hardware_latency)
+
+
+def test_barrier_hardware_latency_grows_with_depth():
+    assert (BarrierNetwork(1024).hardware_latency
+            > BarrierNetwork(4).hardware_latency)
+
+
+def test_barrier_single_node_cheap():
+    net = BarrierNetwork(1)
+    assert net.hardware_latency == net.config.software_overhead_cycles
+
+
+def test_barrier_events():
+    net = BarrierNetwork(16)
+    result = net.synchronize([0.0, 120.0])
+    events = net.events(result, participant=0)
+    assert events["BGP_BARRIER_ENTERED"] == 1
+    assert events["BGP_BARRIER_WAIT_CYCLES"] == int(round(
+        120.0 + net.hardware_latency))
+
+
+def test_barrier_validation():
+    net = BarrierNetwork(4)
+    with pytest.raises(ValueError):
+        net.synchronize([])
+    with pytest.raises(ValueError):
+        net.synchronize([-1.0])
+    with pytest.raises(ValueError):
+        BarrierNetwork(0)

@@ -1,0 +1,54 @@
+"""Unit tests for the node operating modes (paper Figure 3)."""
+
+from repro.node import OperatingMode, mode_table
+
+
+def test_figure3_table_shapes():
+    """The paper's Figure 3: processes and threads per node by mode."""
+    rows = {r.mode: r for r in mode_table()}
+    assert rows["SMP/1 thread"].processes_per_node == 1
+    assert rows["SMP/1 thread"].threads_per_process == 1
+    assert rows["SMP/4 threads"].processes_per_node == 1
+    assert rows["SMP/4 threads"].threads_per_process == 4
+    assert rows["Dual"].processes_per_node == 2
+    assert rows["Dual"].threads_per_process == 2
+    assert rows["Virtual Node Mode"].processes_per_node == 4
+    assert rows["Virtual Node Mode"].threads_per_process == 1
+
+
+def test_cores_used_never_exceeds_four():
+    for mode in OperatingMode:
+        assert 1 <= mode.cores_used <= 4
+
+
+def test_smp1_leaves_cores_idle():
+    assert OperatingMode.SMP1.cores_used == 1
+
+
+def test_address_space_sharing():
+    assert OperatingMode.SMP4.shares_address_space
+    assert OperatingMode.DUAL.shares_address_space
+    assert not OperatingMode.VNM.shares_address_space
+    assert not OperatingMode.SMP1.shares_address_space
+
+
+def test_snoop_sharing_higher_for_threaded_modes():
+    assert (OperatingMode.SMP4.snoop_sharing_fraction
+            > OperatingMode.VNM.snoop_sharing_fraction)
+
+
+def test_core_assignment_partitions_cores():
+    for mode in OperatingMode:
+        assignment = mode.core_assignment()
+        assert len(assignment) == mode.processes_per_node
+        flat = [c for cores in assignment for c in cores]
+        assert len(flat) == len(set(flat)) == mode.cores_used
+        assert all(0 <= c <= 3 for c in flat)
+
+
+def test_dual_mode_assignment():
+    assert OperatingMode.DUAL.core_assignment() == [[0, 1], [2, 3]]
+
+
+def test_vnm_one_core_per_process():
+    assert OperatingMode.VNM.core_assignment() == [[0], [1], [2], [3]]

@@ -1,0 +1,135 @@
+"""Unit + integration tests for the compute-node SoC model."""
+
+import pytest
+
+from repro.core import mflops, total_flops
+from repro.isa import InstructionMix, OpClass
+from repro.mem import NodeMemoryConfig, StreamAccess
+from repro.node import ComputeNode, LoopWork, OperatingMode, ProcessWork
+
+MB = 1024 * 1024
+
+
+def mix(**kwargs):
+    return InstructionMix({OpClass[k]: v for k, v in kwargs.items()})
+
+
+def simple_work(flops=10_000, footprint=256 * 1024):
+    return ProcessWork(loops=[LoopWork(
+        mix=mix(FP_FMA=flops // 2, LOAD=flops // 4, INT_ALU=flops // 10),
+        streams=[StreamAccess("a", footprint_bytes=footprint)],
+        traversals=4,
+    )])
+
+
+# ---------------------------------------------------------------------------
+# slot/placement rules
+# ---------------------------------------------------------------------------
+def test_smp1_accepts_one_process():
+    node = ComputeNode(mode=OperatingMode.SMP1)
+    result = node.run([simple_work()])
+    assert result.core_executions[0].cycles > 0
+    for idle in result.core_executions[1:]:
+        assert idle.cycles == 0
+
+
+def test_too_many_processes_rejected():
+    node = ComputeNode(mode=OperatingMode.SMP1)
+    with pytest.raises(ValueError, match="slots"):
+        node.run([simple_work(), simple_work()])
+
+
+def test_vnm_places_four_processes_on_four_cores():
+    node = ComputeNode(mode=OperatingMode.VNM)
+    result = node.run([simple_work() for _ in range(4)])
+    assert all(c.cycles > 0 for c in result.core_executions)
+    assert len(result.process_cycles) == 4
+
+
+def test_smp4_splits_one_process_over_four_cores():
+    node = ComputeNode(mode=OperatingMode.SMP4)
+    result = node.run([simple_work()])
+    assert all(c.cycles > 0 for c in result.core_executions)
+    # threads split the instructions roughly evenly
+    totals = [c.mix.total() for c in result.core_executions]
+    assert max(totals) == pytest.approx(min(totals), rel=0.01)
+
+
+def test_threading_speeds_up_one_process():
+    """SMP/4 finishes one process's work faster than SMP/1 (imperfectly)."""
+    work = simple_work(flops=100_000)
+    t1 = ComputeNode(mode=OperatingMode.SMP1).run([work]).node_cycles
+    t4 = ComputeNode(mode=OperatingMode.SMP4).run([work]).node_cycles
+    assert t4 < t1
+    assert t4 > t1 / 4  # thread efficiency + shared memory keep it >25%
+
+
+# ---------------------------------------------------------------------------
+# the VNM mechanisms (figures 12-14 in miniature)
+# ---------------------------------------------------------------------------
+def test_vnm_slower_per_process_than_smp1():
+    """Sharing the L3 and DDR ports costs each process some time."""
+    work = simple_work(flops=200_000, footprint=3 * MB)
+    smp = ComputeNode(mode=OperatingMode.SMP1,
+                      mem_config=NodeMemoryConfig().with_l3_size(2 * MB))
+    vnm = ComputeNode(mode=OperatingMode.VNM)
+    t_smp = smp.run([work]).node_cycles
+    t_vnm = vnm.run([work] * 4).node_cycles
+    assert t_vnm > t_smp
+
+
+def test_vnm_mflops_per_chip_beats_smp1():
+    """Four slower processes still beat one fast one per chip."""
+    work = simple_work(flops=200_000, footprint=1 * MB)
+    smp = ComputeNode(node_id=0, mode=OperatingMode.SMP1,
+                      mem_config=NodeMemoryConfig().with_l3_size(2 * MB))
+    vnm = ComputeNode(node_id=1, mode=OperatingMode.VNM)
+    r_smp = smp.run([work])
+    r_vnm = vnm.run([work] * 4)
+    assert mflops(r_vnm.events) > 2 * mflops(r_smp.events)
+
+
+def test_vnm_ddr_traffic_scales_with_processes():
+    work = simple_work(flops=50_000, footprint=3 * MB)
+    smp = ComputeNode(mode=OperatingMode.SMP1,
+                      mem_config=NodeMemoryConfig().with_l3_size(2 * MB))
+    vnm = ComputeNode(mode=OperatingMode.VNM)
+    r_smp = smp.run([work])
+    r_vnm = vnm.run([work] * 4)
+    smp_traffic = (r_smp.events["BGP_DDR0_READ"]
+                   + r_smp.events["BGP_DDR1_READ"])
+    vnm_traffic = (r_vnm.events["BGP_DDR0_READ"]
+                   + r_vnm.events["BGP_DDR1_READ"])
+    assert vnm_traffic > 2 * smp_traffic
+
+
+# ---------------------------------------------------------------------------
+# event plumbing
+# ---------------------------------------------------------------------------
+def test_events_reach_the_upc_unit():
+    node = ComputeNode(mode=OperatingMode.SMP1)
+    node.upc.mode = 0
+    node.run([simple_work()])
+    assert node.upc.read("BGP_PU0_FPU_FMA") > 0
+    assert node.upc.read("BGP_PU0_CYCLES") > 0
+    # mode-2 events were pulsed but gated off (unit is in mode 0)
+    assert node.upc.read("BGP_PU0_INST_COMPLETED") > 0
+
+
+def test_event_totals_match_flops():
+    node = ComputeNode(mode=OperatingMode.VNM)
+    work = simple_work(flops=10_000)
+    result = node.run([work] * 4)
+    expected = sum(total_flops({f"BGP_PU{c}_FPU_FMA":
+                                work.total_mix()[OpClass.FP_FMA]})
+                   for c in range(1))  # one process worth
+    assert total_flops(result.events) == pytest.approx(4 * expected,
+                                                       rel=0.01)
+
+
+def test_node_events_include_shared_resources():
+    node = ComputeNode(mode=OperatingMode.VNM)
+    result = node.run([simple_work(footprint=4 * MB)] * 4)
+    assert result.events["BGP_L3_READ"] > 0
+    assert result.events["BGP_DDR0_READ"] >= 0
+    assert "BGP_PU0_SNOOP_RECEIVED" in result.events

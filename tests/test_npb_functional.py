@@ -1,0 +1,96 @@
+"""Numerical verification of the functional NAS mini-kernels."""
+
+import numpy as np
+import pytest
+
+from repro.npb.functional import (
+    FUNCTIONAL_KERNELS,
+    run_bt,
+    run_cg,
+    run_ep,
+    run_ft,
+    run_is,
+    run_lu,
+    run_mg,
+    run_sp,
+)
+
+
+@pytest.mark.parametrize("name", sorted(FUNCTIONAL_KERNELS))
+def test_kernel_verifies(name):
+    """Every functional kernel passes its own verification test."""
+    result = FUNCTIONAL_KERNELS[name]()
+    assert result.verified, f"{name} failed: {result.details}"
+    assert result.name == name
+
+
+def test_ep_gaussian_statistics():
+    r = run_ep(n_pairs=8192)
+    assert abs(r.metric) < 0.05          # mean of the deviates ~ 0
+    assert 0.3 < r.details["ring0_fraction"] < 0.9
+    assert r.flops > 10 * 8192           # rejection wastes candidates
+
+
+def test_ep_deterministic():
+    assert run_ep(seed=5).metric == run_ep(seed=5).metric
+
+
+def test_cg_residual_shrinks_with_iterations():
+    short = run_cg(n=256, iterations=5)
+    long = run_cg(n=256, iterations=40)
+    assert long.details["final_residual"] < short.details["final_residual"]
+
+
+def test_cg_flop_count_scales_with_nnz():
+    a = run_cg(n=256, nnz_per_row=8)
+    b = run_cg(n=256, nnz_per_row=16)
+    assert b.flops > a.flops
+
+
+def test_mg_vcycles_converge():
+    one = run_mg(size=16, v_cycles=1)
+    four = run_mg(size=16, v_cycles=4)
+    assert four.metric < one.metric  # residual ratio improves
+
+
+def test_mg_requires_power_of_two():
+    with pytest.raises(ValueError):
+        run_mg(size=24)
+
+
+def test_ft_roundtrip_is_exact():
+    r = run_ft(size=16, steps=2)
+    assert r.details["roundtrip_error"] < 1e-10
+
+
+def test_ft_evolution_dissipates():
+    """The diffusion factors must not amplify the checksum."""
+    r = run_ft(size=16, steps=4)
+    assert np.isfinite(r.metric)
+
+
+def test_is_sorts_and_ranks():
+    r = run_is(n_keys=1 << 12, max_key=1 << 8)
+    assert r.verified
+    assert r.flops == 0.0  # integer benchmark
+
+
+def test_lu_reduces_residual():
+    r = run_lu(size=12, iterations=15)
+    assert r.details["final_residual"] < r.details["first_residual"]
+
+
+def test_sp_dissipates_energy():
+    r = run_sp(size=12, steps=3)
+    assert 0 < r.metric < 1.0
+
+
+def test_bt_dissipates_energy():
+    r = run_bt(size=8, steps=1)
+    assert 0 < r.metric < 1.0
+    assert np.isfinite(r.details["final_energy"])
+
+
+def test_all_eight_kernels_registered():
+    assert sorted(FUNCTIONAL_KERNELS) == ["BT", "CG", "EP", "FT", "IS",
+                                          "LU", "MG", "SP"]

@@ -1,0 +1,172 @@
+"""Unit tests for the NPB workload models (the loop-IR Programs)."""
+
+import pytest
+
+from repro.compiler import CommKind, O5, compile_program
+from repro.isa import OpClass
+from repro.mem import AccessPattern
+from repro.npb import (
+    BENCHMARK_ORDER,
+    SQUARE_RANKS,
+    all_benchmarks,
+    build_benchmark,
+    builder,
+    paper_ranks,
+)
+
+
+# ---------------------------------------------------------------------------
+# registry + validation
+# ---------------------------------------------------------------------------
+def test_suite_has_eight_benchmarks():
+    assert BENCHMARK_ORDER == ["MG", "FT", "EP", "CG", "IS", "LU", "SP",
+                               "BT"]
+    programs = all_benchmarks()
+    assert set(programs) == set(BENCHMARK_ORDER)
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ValueError, match="unknown NAS benchmark"):
+        builder("XX")
+
+
+def test_case_insensitive_lookup():
+    assert builder("mg").info.code == "MG"
+
+
+def test_paper_rank_counts():
+    """The paper uses 128 processes, 121 for the square-grid SP/BT."""
+    for code in BENCHMARK_ORDER:
+        expected = SQUARE_RANKS if code in ("SP", "BT") else 128
+        assert paper_ranks(code) == expected
+
+
+def test_square_rank_validation():
+    with pytest.raises(ValueError, match="square"):
+        build_benchmark("SP", num_ranks=128)
+    build_benchmark("SP", num_ranks=121)  # fine
+    build_benchmark("BT", num_ranks=16)   # fine
+
+
+def test_invalid_problem_class():
+    with pytest.raises(ValueError, match="problem class"):
+        build_benchmark("MG", problem_class="Z")
+
+
+def test_nonpositive_ranks_rejected():
+    with pytest.raises(ValueError):
+        build_benchmark("EP", num_ranks=0)
+
+
+# ---------------------------------------------------------------------------
+# program structure
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("code", BENCHMARK_ORDER)
+def test_programs_have_loops_and_comm(code):
+    prog = build_benchmark(code)
+    assert prog.name == code
+    assert prog.loops(), f"{code} has no compute"
+    assert prog.total_mix().total() > 0
+    assert prog.comms(), f"{code} has no communication phases"
+
+
+@pytest.mark.parametrize("code", BENCHMARK_ORDER)
+def test_class_scaling_shrinks_work(code):
+    big = build_benchmark(code, problem_class="C").total_mix().total()
+    small = build_benchmark(code, problem_class="A").total_mix().total()
+    assert small < big
+
+
+def test_more_ranks_less_work_per_rank():
+    per64 = build_benchmark("MG", num_ranks=64).total_mix().total()
+    per128 = build_benchmark("MG", num_ranks=128).total_mix().total()
+    assert per128 < per64
+
+
+# ---------------------------------------------------------------------------
+# figure-6 character: SIMDizability and FP mixes
+# ---------------------------------------------------------------------------
+def test_mg_ft_are_simd_heavy_at_o5():
+    for code in ("MG", "FT"):
+        prog = compile_program(build_benchmark(code), O5())
+        simd = prog.total_mix().simd_fraction()
+        assert simd > 0.6, f"{code} SIMD share {simd:.2f}"
+
+
+@pytest.mark.parametrize("code", ["EP", "CG", "IS", "LU", "SP", "BT"])
+def test_others_stay_scalar_dominated_at_o5(code):
+    prog = compile_program(build_benchmark(code), O5())
+    simd = prog.total_mix().simd_fraction()
+    assert simd < 0.45, f"{code} SIMD share {simd:.2f}"
+
+
+@pytest.mark.parametrize("code", ["EP", "CG", "LU", "BT"])
+def test_fma_is_largest_scalar_class(code):
+    """Figure 6: the single FMA dominates the non-SIMD FP classes."""
+    prog = compile_program(build_benchmark(code), O5())
+    mix = prog.total_mix()
+    fma = mix[OpClass.FP_FMA]
+    assert fma >= mix[OpClass.FP_ADDSUB]
+    assert fma >= mix[OpClass.FP_MUL]
+    assert fma >= mix[OpClass.FP_DIV]
+
+
+def test_is_has_negligible_fp():
+    prog = build_benchmark("IS")
+    mix = prog.total_mix()
+    assert mix.fp_instructions() < 0.05 * mix.total()
+
+
+def test_lu_recurrence_is_irreducible():
+    ssor = next(l for l in build_benchmark("LU").loops()
+                if "ssor" in l.name)
+    assert ssor.serial_floor >= 0.3
+
+
+def test_cg_gather_is_random():
+    matvec = next(l for l in build_benchmark("CG").loops()
+                  if "matvec" in l.name)
+    patterns = {s.pattern for s in matvec.streams}
+    assert AccessPattern.RANDOM in patterns
+
+
+def test_ft_uses_alltoall():
+    kinds = {c.kind for c in build_benchmark("FT").comms()}
+    assert CommKind.ALLTOALL in kinds
+
+
+def test_halo_benchmarks_use_halo():
+    for code in ("MG", "LU", "SP", "BT"):
+        kinds = {c.kind for c in build_benchmark(code).comms()}
+        assert CommKind.HALO in kinds, code
+
+
+def test_ep_comm_is_one_tiny_reduction():
+    comms = build_benchmark("EP").comms()
+    assert len(comms) == 1
+    assert comms[0].kind is CommKind.ALLREDUCE
+    assert comms[0].bytes_per_rank <= 128
+
+
+# ---------------------------------------------------------------------------
+# calibration against the functional kernels
+# ---------------------------------------------------------------------------
+def test_ep_model_matches_functional_fp_character():
+    """The EP model's flops/pair roughly matches the real kernel."""
+    from repro.npb.functional import run_ep
+
+    functional = run_ep(n_pairs=4096)
+    flops_per_pair_real = functional.flops / 4096
+    prog = build_benchmark("EP")
+    loop = prog.loops()[0]
+    flops_per_pair_model = loop.body.flops()
+    # same order of magnitude (the model includes sqrt/log expansions)
+    assert 0.5 * flops_per_pair_real <= flops_per_pair_model \
+        <= 5 * flops_per_pair_real
+
+
+def test_cg_model_matches_functional_structure():
+    """CG: ~1 FMA per nonzero in the matvec, as in the real kernel."""
+    prog = build_benchmark("CG")
+    matvec = next(l for l in prog.loops() if "matvec" in l.name)
+    assert matvec.body[OpClass.FP_FMA] == pytest.approx(1.0)

@@ -1,0 +1,212 @@
+"""Cross-module property tests: system-wide invariants under fuzzing.
+
+These pin the invariants the figures silently rely on:
+
+* no compiler flag set may create or destroy flops;
+* optimization never increases the instruction count or compute time;
+* the analytical hierarchy conserves accesses at every level and is
+  monotone in capacity;
+* the UPC delta protocol is exact for any activity pattern.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import FlagSet, Loop, compile_loop
+from repro.cpu import PipelineModel
+from repro.isa import InstructionMix, OpClass
+from repro.mem import (
+    AccessKind,
+    AccessPattern,
+    HierarchyConfig,
+    StreamAccess,
+    analyze_loop,
+)
+
+KB = 1024
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+op_counts = st.fixed_dictionaries({
+    OpClass.FP_ADDSUB: st.floats(0, 20),
+    OpClass.FP_MUL: st.floats(0, 20),
+    OpClass.FP_FMA: st.floats(0, 20),
+    OpClass.FP_DIV: st.floats(0, 2),
+    OpClass.LOAD: st.floats(0, 20),
+    OpClass.STORE: st.floats(0, 10),
+    OpClass.INT_ALU: st.floats(0, 20),
+    OpClass.INT_MUL: st.floats(0, 5),
+    OpClass.BRANCH: st.floats(0, 4),
+    OpClass.OTHER: st.floats(0, 5),
+})
+
+fractions = st.floats(0, 1)
+
+
+@st.composite
+def loops(draw):
+    body = InstructionMix(draw(op_counts))
+    serial = draw(st.floats(0.0, 0.9))
+    return Loop(
+        name="fuzz",
+        body=body,
+        trip_count=draw(st.integers(1, 10_000)),
+        data_parallel_fraction=draw(fractions),
+        serial_fraction=serial,
+        serial_floor=draw(st.floats(0.0, serial)),
+        overhead_fraction=draw(fractions),
+        hoistable_fraction=draw(fractions),
+    )
+
+
+@st.composite
+def flag_sets(draw):
+    level = draw(st.sampled_from([0, 3, 4, 5]))
+    return FlagSet(
+        opt_level=level,
+        qstrict=draw(st.booleans()) if level == 0 else False,
+        qarch440d=draw(st.booleans()) or level >= 4,
+        qhot=level >= 4,
+        qtune=level >= 4,
+        ipa=level >= 5,
+    )
+
+
+@st.composite
+def streams(draw):
+    pattern = draw(st.sampled_from(list(AccessPattern)))
+    footprint = draw(st.integers(1 * KB, 4096 * KB))
+    kwargs = dict(
+        footprint_bytes=footprint,
+        kind=draw(st.sampled_from(list(AccessKind))),
+        pattern=pattern,
+    )
+    if pattern is AccessPattern.RANDOM:
+        kwargs["accesses"] = draw(st.integers(1, 100_000))
+    else:
+        kwargs["stride_bytes"] = draw(st.sampled_from([4, 8, 16, 64,
+                                                       256, 2048]))
+    return StreamAccess("fuzz", **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# compiler invariants
+# ---------------------------------------------------------------------------
+@given(loops(), flag_sets())
+@settings(max_examples=80, deadline=None)
+def test_prop_compilation_preserves_flops(loop, flags):
+    compiled = compile_loop(loop, flags)
+    before = loop.total_mix().flops()
+    after = compiled.total_mix().flops()
+    assert after == pytest.approx(before, rel=1e-9, abs=1e-6)
+
+
+@given(loops(), flag_sets())
+@settings(max_examples=80, deadline=None)
+def test_prop_compilation_never_adds_instructions(loop, flags):
+    compiled = compile_loop(loop, flags)
+    assert compiled.total_mix().total() <= (loop.total_mix().total()
+                                            * (1 + 1e-9))
+
+
+@given(loops(), flag_sets())
+@settings(max_examples=60, deadline=None)
+def test_prop_compilation_never_slows_the_pipeline(loop, flags):
+    model = PipelineModel()
+    compiled = compile_loop(loop, flags)
+    before = model.cycles(loop.total_mix(), loop.serial_fraction)
+    after = model.cycles(compiled.total_mix(), compiled.serial_fraction)
+    assert after <= before * (1 + 1e-9)
+
+
+@given(loops(), flag_sets())
+@settings(max_examples=60, deadline=None)
+def test_prop_serial_floor_respected(loop, flags):
+    compiled = compile_loop(loop, flags)
+    assert compiled.serial_fraction >= loop.serial_floor - 1e-12
+
+
+@given(loops(), flag_sets())
+@settings(max_examples=60, deadline=None)
+def test_prop_memory_bytes_preserved(loop, flags):
+    """Quad fusion halves memory instructions, never memory bytes."""
+    compiled = compile_loop(loop, flags)
+    before = loop.body.memory_bytes()
+    after = compiled.body.memory_bytes()
+    # code motion may hoist some loads; it can only reduce
+    assert after <= before * (1 + 1e-9)
+    if flags.opt_level < 3:  # only the SIMDizer may run
+        assert after == pytest.approx(before, rel=1e-9, abs=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# analytical hierarchy invariants
+# ---------------------------------------------------------------------------
+@given(st.lists(streams(), min_size=1, max_size=4),
+       st.integers(1, 6))
+@settings(max_examples=60, deadline=None)
+def test_prop_hierarchy_conserves_accesses(stream_list, traversals):
+    result = analyze_loop(stream_list, traversals, HierarchyConfig())
+    for level in (result.l1, result.l2, result.l3):
+        assert level.hits + level.misses == pytest.approx(
+            level.accesses, rel=1e-6, abs=1e-6)
+        assert level.hits >= -1e-9 and level.misses >= -1e-9
+
+
+@given(st.lists(streams(), min_size=1, max_size=4),
+       st.integers(1, 6))
+@settings(max_examples=60, deadline=None)
+def test_prop_hierarchy_traffic_filters_downward(stream_list, traversals):
+    """Each level can only reduce traffic (plus bounded prefetch waste)."""
+    result = analyze_loop(stream_list, traversals, HierarchyConfig())
+    assert result.l2.accesses <= result.l1.accesses * (1 + 1e-9)
+    assert result.l3.accesses <= (result.l2.misses
+                                  + result.l2.prefetch_issued) * (1 + 1e-6)
+    assert result.ddr_reads <= result.l3.accesses * (1 + 1e-9)
+
+
+@given(st.lists(streams(), min_size=1, max_size=3),
+       st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_prop_ddr_reads_monotone_in_l3_capacity(stream_list, traversals):
+    small = analyze_loop(stream_list, traversals,
+                         HierarchyConfig(l3_capacity_bytes=1 << 20))
+    large = analyze_loop(stream_list, traversals,
+                         HierarchyConfig(l3_capacity_bytes=8 << 20))
+    assert large.ddr_reads <= small.ddr_reads * (1 + 1e-6)
+
+
+@given(st.lists(streams(), min_size=1, max_size=3),
+       st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_prop_stall_cycles_nonnegative(stream_list, traversals):
+    result = analyze_loop(stream_list, traversals, HierarchyConfig())
+    assert result.stall_cycles >= 0
+    assert result.l3_nonseq_misses <= result.l3.misses + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# UPC delta protocol
+# ---------------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(0, 255), st.integers(1, 1 << 40)),
+                min_size=0, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_prop_interface_deltas_are_exact(activity):
+    """Whatever happens between start and stop is exactly the delta."""
+    from repro.core import BGPCounterInterface, UPCUnit
+
+    upc = UPCUnit(node_id=0)
+    iface = BGPCounterInterface(upc, node_id=0)
+    iface.initialize(mode=0)
+    # background noise before the region
+    upc.registers.add_to_counter(0, 12345)
+    iface.start(0)
+    expected = np.zeros(256, dtype=np.uint64)
+    for counter, amount in activity:
+        upc.registers.add_to_counter(counter, amount)
+        expected[counter] += np.uint64(amount % (1 << 64))
+    iface.stop(0)
+    assert np.array_equal(iface.set_deltas(0), expected)

@@ -1,0 +1,144 @@
+"""Unit tests for the simulated MPI layer (CommOp lowering + costing)."""
+
+import pytest
+
+from repro.compiler import CommKind, CommOp
+from repro.net import (
+    BarrierNetwork,
+    CollectiveNetwork,
+    TorusNetwork,
+    TorusTopology,
+)
+from repro.node import OperatingMode
+from repro.runtime import SimMPI, place_ranks
+
+
+def make_mpi(num_ranks=16, mode=OperatingMode.VNM):
+    placement = place_ranks(num_ranks, mode)
+    topo = TorusTopology.for_nodes(placement.num_nodes)
+    return SimMPI(placement, topo, TorusNetwork(topo),
+                  CollectiveNetwork(placement.num_nodes),
+                  BarrierNetwork(placement.num_nodes))
+
+
+# ---------------------------------------------------------------------------
+# halo lowering
+# ---------------------------------------------------------------------------
+def test_halo_partners_distinct_and_bounded():
+    mpi = make_mpi(64)
+    for rank in (0, 17, 63):
+        partners = mpi.halo_partners(rank, 6)
+        assert len(partners) == 6
+        assert rank not in partners
+        assert len(set(partners)) == len(partners)
+
+
+def test_halo_partner_count_respected():
+    mpi = make_mpi(64)
+    assert len(mpi.halo_partners(0, 4)) == 4
+
+
+def test_halo_vnm_has_intra_node_messages():
+    """Block placement co-locates rank-grid neighbours in VNM."""
+    mpi = make_mpi(64, OperatingMode.VNM)
+    result = mpi.run(CommOp(CommKind.HALO, bytes_per_rank=6000,
+                            neighbors=6))
+    assert result.intra_node_bytes > 0
+    assert result.inter_node_bytes > 0
+
+
+def test_halo_smp_is_all_inter_node():
+    mpi = make_mpi(64, OperatingMode.SMP1)
+    result = mpi.run(CommOp(CommKind.HALO, bytes_per_rank=6000,
+                            neighbors=6))
+    assert result.intra_node_bytes == 0
+
+
+def test_intra_node_messages_cause_no_ddr_staging():
+    """The VNM mechanism of Figure 12: shared-L3 copies skip DDR."""
+    vnm = make_mpi(64, OperatingMode.VNM)
+    smp = make_mpi(64, OperatingMode.SMP1)
+    op = CommOp(CommKind.HALO, bytes_per_rank=60_000, neighbors=6)
+    vnm_lines = sum(vnm.run(op).ddr_lines_per_node.values())
+    smp_lines = sum(smp.run(op).ddr_lines_per_node.values())
+    assert vnm_lines < smp_lines
+
+
+# ---------------------------------------------------------------------------
+# alltoall / pairwise
+# ---------------------------------------------------------------------------
+def test_alltoall_message_count():
+    mpi = make_mpi(8)
+    triples = mpi._messages_for(CommOp(CommKind.ALLTOALL,
+                                       bytes_per_rank=7000))
+    assert len(triples) == 8 * 7
+    assert all(size == 1000 for _, _, size in triples)
+
+
+def test_alltoall_single_rank_is_empty():
+    mpi = make_mpi(1)
+    result = mpi.run(CommOp(CommKind.ALLTOALL, bytes_per_rank=1000))
+    assert result.cycles_per_rank == 0.0
+
+
+def test_pairwise_default_adjacent_partner():
+    mpi = make_mpi(8)
+    triples = mpi._messages_for(CommOp(CommKind.PAIRWISE,
+                                       bytes_per_rank=100))
+    assert (0, 1, 100) in triples
+    assert (1, 0, 100) in triples
+
+
+def test_pairwise_far_partner_stride():
+    """CG-style exchange across the grid stays inter-node in VNM."""
+    mpi = make_mpi(16, OperatingMode.VNM)
+    op = CommOp(CommKind.PAIRWISE, bytes_per_rank=4096, partner_stride=8)
+    triples = mpi._messages_for(op)
+    assert (0, 8, 4096) in triples
+    result = mpi.run(op)
+    assert result.intra_node_bytes == 0
+
+
+def test_repeats_scale_costs_and_events():
+    mpi = make_mpi(16)
+    once = mpi.run(CommOp(CommKind.HALO, bytes_per_rank=6000,
+                          neighbors=6, repeats=1))
+    thrice = mpi.run(CommOp(CommKind.HALO, bytes_per_rank=6000,
+                            neighbors=6, repeats=3))
+    assert thrice.cycles_per_rank == pytest.approx(
+        3 * once.cycles_per_rank)
+    assert thrice.inter_node_bytes == 3 * once.inter_node_bytes
+
+
+# ---------------------------------------------------------------------------
+# collectives + barrier
+# ---------------------------------------------------------------------------
+def test_allreduce_uses_tree_network():
+    mpi = make_mpi(16)
+    result = mpi.run(CommOp(CommKind.ALLREDUCE, bytes_per_rank=1024))
+    assert result.cycles_per_rank > 0
+    assert result.collective_events["BGP_COLLECTIVE_UP_PACKETS"] > 0
+    assert not result.torus_events
+
+
+def test_broadcast_only_downtree_packets():
+    mpi = make_mpi(16)
+    result = mpi.run(CommOp(CommKind.BROADCAST, bytes_per_rank=1024))
+    assert result.collective_events["BGP_COLLECTIVE_UP_PACKETS"] == 0
+    assert result.collective_events["BGP_COLLECTIVE_DOWN_PACKETS"] > 0
+
+
+def test_barrier_costs_hardware_latency():
+    mpi = make_mpi(16)
+    result = mpi.run(CommOp(CommKind.BARRIER, repeats=5))
+    assert result.cycles_per_rank == pytest.approx(
+        5 * mpi.barrier.hardware_latency)
+
+
+def test_torus_events_attributed_to_nodes():
+    mpi = make_mpi(64, OperatingMode.SMP1)
+    result = mpi.run(CommOp(CommKind.HALO, bytes_per_rank=6000,
+                            neighbors=6))
+    assert result.torus_events
+    for node, events in result.torus_events.items():
+        assert any(k.startswith("BGP_TORUS_") for k in events)

@@ -1,0 +1,61 @@
+"""Unit tests for rank placement."""
+
+import pytest
+
+from repro.node import OperatingMode
+from repro.runtime import place_ranks
+
+
+def test_vnm_block_placement():
+    p = place_ranks(8, OperatingMode.VNM)
+    assert p.num_nodes == 2
+    assert p.node_of(0) == 0 and p.slot_of(0) == 0
+    assert p.node_of(3) == 0 and p.slot_of(3) == 3
+    assert p.node_of(4) == 1 and p.slot_of(4) == 0
+
+
+def test_smp1_one_rank_per_node():
+    p = place_ranks(5, OperatingMode.SMP1)
+    assert p.num_nodes == 5
+    assert all(p.slot_of(r) == 0 for r in range(5))
+
+
+def test_dual_two_per_node():
+    p = place_ranks(6, OperatingMode.DUAL)
+    assert p.num_nodes == 3
+    assert p.ranks_on_node(1) == [2, 3]
+
+
+def test_intra_node_detection():
+    p = place_ranks(8, OperatingMode.VNM)
+    assert p.is_intra_node(0, 3)
+    assert not p.is_intra_node(3, 4)
+
+
+def test_partial_last_node():
+    p = place_ranks(121, OperatingMode.VNM)
+    assert p.num_nodes == 31
+    assert p.ranks_on_node(30) == [120]
+
+
+def test_extra_nodes_allowed():
+    p = place_ranks(4, OperatingMode.VNM, num_nodes=8)
+    assert p.num_nodes == 8
+    assert p.ranks_on_node(1) == []
+
+
+def test_too_few_nodes_rejected():
+    with pytest.raises(ValueError, match="need >="):
+        place_ranks(128, OperatingMode.VNM, num_nodes=16)
+
+
+def test_no_ranks_rejected():
+    with pytest.raises(ValueError):
+        place_ranks(0, OperatingMode.VNM)
+
+
+def test_slots_by_node_partitions_ranks():
+    p = place_ranks(10, OperatingMode.VNM)
+    by_node = p.slots_by_node()
+    flat = [r for ranks in by_node.values() for r in ranks]
+    assert sorted(flat) == list(range(10))
