@@ -1,0 +1,60 @@
+"""Bench: the observability layer must be ~free when disabled.
+
+The no-op tracer guard: with no tracer installed, every instrumentation
+point costs one global load + compare (span) or one integer add
+(metrics counter).  The guard measures that per-call cost, counts how
+many obs calls a small experiment run actually performs, and asserts
+the total stays under 5% of the run's wall time — i.e. tracing
+disabled-at-import and the shipped no-op default are indistinguishable
+within noise.
+"""
+
+import time
+
+from repro.compiler import O5
+from repro.harness import clear_caches
+from repro.harness.sweep import run_vnm
+from repro.obs import tracer
+
+CALIBRATION_CALLS = 200_000
+
+
+def _noop_span_cost_s() -> float:
+    """Per-call wall cost of span() with tracing disabled."""
+    assert not tracer.enabled()
+    span = tracer.span
+    start = time.perf_counter()
+    for _ in range(CALIBRATION_CALLS):
+        span("calibration")
+    return (time.perf_counter() - start) / CALIBRATION_CALLS
+
+
+def test_noop_span_is_shared_and_cheap(benchmark):
+    tracer.uninstall()
+    result = benchmark(tracer.span, "x")
+    assert result is tracer.NULL_SPAN
+
+
+def test_noop_tracer_overhead_under_5_percent(fresh_caches):
+    tracer.uninstall()
+
+    # 1) wall time of a small experiment run on the no-op tracer
+    clear_caches()
+    start = time.perf_counter()
+    run_vnm("EP", O5())
+    wall = time.perf_counter() - start
+
+    # 2) how many spans that run opens (count with a real tracer)
+    clear_caches()
+    with tracer.recording() as t:
+        run_vnm("EP", O5())
+    spans_per_run = len(t.spans) + t.close_open_spans()
+
+    # 3) the no-op path's total bill must be < 5% of the run
+    per_call = _noop_span_cost_s()
+    # enter+exit+set: charge three calls per span, generously
+    obs_bill = spans_per_run * 3 * per_call
+    assert spans_per_run > 50  # the run is genuinely instrumented
+    assert obs_bill < 0.05 * wall, (
+        f"no-op tracing would cost {obs_bill * 1e3:.3f} ms against a "
+        f"{wall * 1e3:.1f} ms run ({obs_bill / wall:.1%})")

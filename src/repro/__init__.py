@@ -21,13 +21,29 @@ Subpackages
     NAS Parallel Benchmark workload models + functional mini-kernels.
 ``repro.harness``
     Experiment runners regenerating every figure of the paper.
+``repro.obs``
+    Observability for the simulator itself: span tracing, internal
+    metrics, structured logging, machine-readable run artifacts.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import compiler, core, cpu, harness, isa, mem, net, node, npb, runtime
+from . import (
+    compiler,
+    core,
+    cpu,
+    harness,
+    isa,
+    mem,
+    net,
+    node,
+    npb,
+    obs,
+    runtime,
+)
 
 __all__ = [
+    "obs",
     "core",
     "isa",
     "cpu",

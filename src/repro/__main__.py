@@ -5,6 +5,13 @@ Usage::
     python -m repro                 # run every experiment
     python -m repro fig11 fig12     # run selected experiments
     python -m repro --list          # list experiment ids
+    python -m repro fig03 --trace out/ --profile --json out/
+                                    # + trace/metrics artifacts, a
+                                    # hot-span profile, JSON results
+
+Experiment tables go to stdout; progress/telemetry goes to the
+structured log on stderr (``-v`` for timings, ``-vv`` for debug,
+``-q`` for errors only).
 """
 
 from __future__ import annotations
@@ -19,8 +26,10 @@ from .harness import (
     characterization_table,
     ext_microbench,
     ext_scaling,
+    format_table,
     model_validation,
 )
+from .obs import kv, metrics, setup_logging, tracer
 
 
 def main(argv=None) -> int:
@@ -39,7 +48,23 @@ def main(argv=None) -> int:
                         help="also write each experiment's rows to "
                              "DIR/<experiment>.csv (the paper's "
                              "spreadsheet workflow)")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also write each experiment's full result "
+                             "to DIR/<experiment>.json")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="record simulator spans; write Chrome/"
+                             "Perfetto trace.json, spans.jsonl and "
+                             "metrics.json into DIR")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a hot-span summary table after the "
+                             "run (implies span recording)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress at INFO (-v) or DEBUG (-vv)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="log errors only")
     args = parser.parse_args(argv)
+
+    log = setup_logging(-1 if args.quiet else args.verbose)
 
     catalog = dict(ALL_EXPERIMENTS)
     catalog.update(ABLATION_EXPERIMENTS)
@@ -64,14 +89,44 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiments {unknown}; "
                      f"choose from {list(catalog)}")
 
-    for name in selected:
-        start = time.time()
-        result = catalog[name]()
-        print(result.render())
-        print(f"  ({time.time() - start:.1f}s)\n")
-        if args.csv:
-            path = _write_csv(result, args.csv)
-            print(f"  csv: {path}\n")
+    # fail fast on unusable output dirs, before 20 s of experiments
+    import os
+    for flag, directory in (("--csv", args.csv), ("--json", args.json),
+                            ("--trace", args.trace)):
+        if directory:
+            try:
+                os.makedirs(directory, exist_ok=True)
+            except OSError as exc:
+                parser.error(f"{flag} {directory!r}: {exc}")
+
+    recording = tracer.install() if (args.trace or args.profile) else None
+    try:
+        for name in selected:
+            log.info(kv("experiment.start", id=name))
+            start = time.perf_counter()
+            result = catalog[name]()
+            elapsed = time.perf_counter() - start
+            print(result.render())
+            print()
+            log.info(kv("experiment.done", id=name, seconds=elapsed))
+            if args.csv:
+                path = _write_csv(result, args.csv)
+                log.info(kv("experiment.csv", id=name, path=path))
+            if args.json:
+                path = _write_json(result, args.json)
+                log.info(kv("experiment.json", id=name, path=path))
+    finally:
+        if recording is not None:
+            tracer.uninstall()
+
+    if recording is not None:
+        recording.close_open_spans()
+        if args.profile:
+            print(_profile_table(recording))
+            print()
+        if args.trace:
+            for path in _export_trace(recording, args.trace):
+                log.info(kv("trace.artifact", path=path))
     return 0
 
 
@@ -87,6 +142,43 @@ def _write_csv(result, directory: str) -> str:
         writer.writerow(result.headers)
         writer.writerows(result.rows)
     return path
+
+
+def _write_json(result, directory: str) -> str:
+    """One experiment's full result as a JSON document."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.experiment_id}.json")
+    with open(path, "w") as fh:
+        fh.write(result.to_json() + "\n")
+    return path
+
+
+def _profile_table(recording: "tracer.Tracer") -> str:
+    """Hot-span summary: where the simulator's wall time went."""
+    rows = []
+    for name, agg in sorted(recording.summary().items(),
+                            key=lambda kv_: -kv_[1]["total_us"]):
+        rows.append([name, int(agg["count"]),
+                     agg["total_us"] / 1000.0, agg["max_us"] / 1000.0,
+                     agg["cycles"]])
+    return format_table(
+        ["span", "calls", "total ms", "max ms", "sim cycles"],
+        rows, title="[profile] hot spans (wall time, simulated cycles)")
+
+
+def _export_trace(recording: "tracer.Tracer", directory: str):
+    """Write trace.json + spans.jsonl + metrics.json into ``directory``."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    return [
+        recording.export_chrome(os.path.join(directory, "trace.json")),
+        recording.export_jsonl(os.path.join(directory, "spans.jsonl")),
+        metrics.REGISTRY.export_json(
+            os.path.join(directory, "metrics.json")),
+    ]
 
 
 if __name__ == "__main__":

@@ -37,6 +37,9 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from ..obs.tracer import enabled as _tracing
+from ..obs.tracer import marker as _marker
+from ..obs.tracer import span as _span
 from .config import COUNTER_MASK
 from .counters import UPCUnit
 from .dump import DumpWriter
@@ -97,6 +100,9 @@ class _SetState:
     start_snapshot: Optional[np.ndarray] = None
     start_count: int = 0
     stop_count: int = 0
+    #: open tracer marker span bracketing the current start/stop pair
+    #: (LIKWID-style: the paper's counter regions line up with traces)
+    marker: Optional[object] = None
 
 
 class BGPCounterInterface:
@@ -161,6 +167,9 @@ class BGPCounterInterface:
         if state.start_snapshot is not None:
             raise InterfaceError(
                 f"BGP_Start({set_id}) called twice without BGP_Stop")
+        if _tracing():
+            state.marker = _marker(f"BGP_set{set_id}", kind="marker",
+                                   node=self.node_id, set=set_id)
         state.start_snapshot = self.upc.snapshot()
         # start overhead is charged *after* the snapshot: the tail of the
         # call executes inside the measured region, as on the real chip
@@ -184,6 +193,9 @@ class BGPCounterInterface:
             COUNTER_MASK)
         state.start_snapshot = None
         state.stop_count += 1
+        if state.marker is not None:
+            state.marker.set("events", int(delta.sum())).end()
+            state.marker = None
         # the stop overhead is charged *after* the snapshot so it never
         # perturbs the measured region (paper, Section IV)
         self._charge(OVERHEAD_STOP_CYCLES)
@@ -204,10 +216,12 @@ class BGPCounterInterface:
                 f"BGP_Finalize with sets still running: {open_sets}")
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"bgp_counters_node{self.node_id:05d}.bin")
-        writer = DumpWriter(node_id=self.node_id, mode=self.upc.mode)
-        for set_id in sorted(self._sets):
-            writer.add_set(set_id, self._sets[set_id].accumulated)
-        writer.write(path)
+        with _span("BGP_finalize", node=self.node_id,
+                   sets=len(self._sets)):
+            writer = DumpWriter(node_id=self.node_id, mode=self.upc.mode)
+            for set_id in sorted(self._sets):
+                writer.add_set(set_id, self._sets[set_id].accumulated)
+            writer.write(path)
         self.dump_cycles += OVERHEAD_DUMP_CYCLES_PER_SET * max(
             len(self._sets), 1)
         self._finalized = True

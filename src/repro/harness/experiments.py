@@ -10,9 +10,12 @@ records paper-vs-measured for each.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional, Sequence
 
 from ..compiler import O5, compiler_sweep
+from ..obs import metrics as _metrics
+from ..obs.tracer import span as _span
 from ..core.interface import (
     BGPCounterInterface,
     OVERHEAD_TOTAL_CYCLES,
@@ -32,10 +35,25 @@ from .sweep import (
 FIG9_BENCHMARKS = ("FT", "EP", "CG", "MG")
 FIG10_BENCHMARKS = ("IS", "LU", "SP", "BT")
 
+_RUNS = _metrics.counter("harness.experiment_runs")
+
+
+def traced_experiment(experiment_id: str):
+    """Wrap a figure runner in a tracer span named after the figure."""
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            _RUNS.inc()
+            with _span(f"experiment:{experiment_id}"):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate
+
 
 # ---------------------------------------------------------------------------
 # Figure 3 — modes of operation table
 # ---------------------------------------------------------------------------
+@traced_experiment("fig03")
 def fig03_modes() -> ExperimentResult:
     """The operating-modes table (processes / threads per node)."""
     result = ExperimentResult(
@@ -53,6 +71,7 @@ def fig03_modes() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Figure 6 — dynamic FP instruction profile
 # ---------------------------------------------------------------------------
+@traced_experiment("fig06")
 def fig06_instruction_profile(problem_class: str = "C"
                               ) -> ExperimentResult:
     """FP instruction mix of the NAS suite (fractions per FP class).
@@ -108,11 +127,13 @@ def _simd_vs_flags(code: str, figure_id: str) -> ExperimentResult:
     return result
 
 
+@traced_experiment("fig07")
 def fig07_ft_simd() -> ExperimentResult:
     """FT's SIMD instruction count across the compiler sweep."""
     return _simd_vs_flags("FT", "fig07")
 
 
+@traced_experiment("fig08")
 def fig08_mg_simd() -> ExperimentResult:
     """MG's SIMD instruction count across the compiler sweep."""
     return _simd_vs_flags("MG", "fig08")
@@ -142,11 +163,13 @@ def _exec_time_vs_flags(benchmarks: Sequence[str],
     return result
 
 
+@traced_experiment("fig09")
 def fig09_exec_time() -> ExperimentResult:
     """Execution time vs flags for FT, EP, CG, MG."""
     return _exec_time_vs_flags(FIG9_BENCHMARKS, "fig09")
 
 
+@traced_experiment("fig10")
 def fig10_exec_time() -> ExperimentResult:
     """Execution time vs flags for IS, LU, SP, BT."""
     return _exec_time_vs_flags(FIG10_BENCHMARKS, "fig10")
@@ -155,6 +178,7 @@ def fig10_exec_time() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Figure 11 — L3 size sweep
 # ---------------------------------------------------------------------------
+@traced_experiment("fig11")
 def fig11_l3_sweep(benchmarks: Optional[Sequence[str]] = None
                    ) -> ExperimentResult:
     """DDR traffic per node vs L3 size (0..8 MB in 2 MB steps)."""
@@ -185,6 +209,7 @@ def fig11_l3_sweep(benchmarks: Optional[Sequence[str]] = None
 # ---------------------------------------------------------------------------
 # Figures 12-14 — Virtual Node Mode vs SMP/1
 # ---------------------------------------------------------------------------
+@traced_experiment("fig12")
 def fig12_ddr_ratio() -> ExperimentResult:
     """DDR traffic per chip: VNM (4 procs/chip) over SMP/1 (1 proc)."""
     result = ExperimentResult(
@@ -211,6 +236,7 @@ def fig12_ddr_ratio() -> ExperimentResult:
     return result
 
 
+@traced_experiment("fig13")
 def fig13_time_increase() -> ExperimentResult:
     """Per-process execution-time increase in VNM vs SMP/1."""
     result = ExperimentResult(
@@ -235,6 +261,7 @@ def fig13_time_increase() -> ExperimentResult:
     return result
 
 
+@traced_experiment("fig14")
 def fig14_mflops_ratio() -> ExperimentResult:
     """Delivered MFLOPS per chip: VNM over SMP/1."""
     result = ExperimentResult(
@@ -259,6 +286,7 @@ def fig14_mflops_ratio() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Section IV — interface overhead sanity check
 # ---------------------------------------------------------------------------
+@traced_experiment("overhead")
 def overhead_check() -> ExperimentResult:
     """Measure the interface's own cost, as the paper's sanity check.
 

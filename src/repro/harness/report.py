@@ -8,6 +8,7 @@ normalised series).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -96,3 +97,30 @@ class ExperimentResult:
                               for k, v in self.summary.items())
             text += f"\n  summary: {pairs}"
         return text
+
+    def to_dict(self) -> Dict[str, object]:
+        """The result as plain JSON-ready data (the CSV's richer twin:
+        it keeps the title, notes, and summary scalars the CSV drops)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[_json_cell(v) for v in row] for row in self.rows],
+            "notes": list(self.notes),
+            "summary": {k: _json_cell(v)
+                        for k, v in self.summary.items()},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The result serialised as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _json_cell(value: object) -> object:
+    """Coerce table cells (incl. numpy scalars) to JSON-safe values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # numpy scalar
+    if callable(item):
+        return item()
+    return str(value)

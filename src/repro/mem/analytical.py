@@ -28,9 +28,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from ..obs import metrics as _metrics
 from .address import AccessKind, AccessPattern, StreamAccess
 from .cache import CacheConfig
 from .prefetch import PrefetcherConfig, analytical_coverage
+
+#: Hot-path tallies: how many cache-model evaluations a run performed.
+#: Counting (one int add) is always on; spans would be too heavy here.
+_LOOP_EVALS = _metrics.counter("mem.loop_evals")
+_STREAM_EVALS = _metrics.counter("mem.stream_evals")
 
 #: Fraction of nominal capacity usable before conflict misses bite.
 EFFECTIVE_FRACTION = 0.9
@@ -272,6 +278,8 @@ def analyze_loop(streams: Sequence[StreamAccess], traversals: int,
     result = LoopMemoryResult()
     if traversals == 0 or not streams:
         return result
+    _LOOP_EVALS.inc()
+    _STREAM_EVALS.inc(len(streams))
 
     # ---- L1 ----------------------------------------------------------
     # wrapping large-stride sweeps (transpose-order walks) have reuse

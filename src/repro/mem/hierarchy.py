@@ -17,12 +17,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as _metrics
+from ..obs.tracer import span as _span
 from .address import AccessPattern, StreamAccess
 from .analytical import (
     HierarchyConfig,
     LoopMemoryResult,
     analyze_loops,
 )
+
+_NODE_ANALYSES = _metrics.counter("mem.node_analyses")
+_CONTENTION_RESOLUTIONS = _metrics.counter(
+    "mem.ddr_contention_resolutions")
+_QUEUE_DELAY = _metrics.histogram("mem.ddr_queue_delay_cycles")
 from .cache import CacheConfig
 from .ddr import ContentionResult, DDRConfig, DDRModel
 from .l3 import ProcessMemoryProfile, SharedL3Config, SharedL3Model
@@ -132,18 +139,20 @@ class NodeMemoryModel:
         """Full node analysis of the co-resident processes' loop sets."""
         if not processes:
             raise ValueError("no processes on the node")
+        _NODE_ANALYSES.inc()
         n = len(processes)
-        fair = (self.config.l3.size_bytes / n) if n else 0.0
-        profiles = [self.derive_profile(p, fair) for p in processes]
-        shares = self.l3_model.capacity_shares(profiles)
-        out = NodeMemoryResult(shares=shares)
-        for i, (loops, share) in enumerate(zip(processes, shares)):
-            cfg = self._hierarchy_config(share)
-            result = analyze_loops(loops, cfg)
-            inflation = self.l3_model.miss_inflation(i, profiles)
-            self._apply_inflation(result, inflation, cfg)
-            out.per_process.append(result)
-            out.inflations.append(inflation)
+        with _span("mem.analyze", processes=n):
+            fair = (self.config.l3.size_bytes / n) if n else 0.0
+            profiles = [self.derive_profile(p, fair) for p in processes]
+            shares = self.l3_model.capacity_shares(profiles)
+            out = NodeMemoryResult(shares=shares)
+            for i, (loops, share) in enumerate(zip(processes, shares)):
+                cfg = self._hierarchy_config(share)
+                result = analyze_loops(loops, cfg)
+                inflation = self.l3_model.miss_inflation(i, profiles)
+                self._apply_inflation(result, inflation, cfg)
+                out.per_process.append(result)
+                out.inflations.append(inflation)
         return out
 
     @staticmethod
@@ -165,6 +174,8 @@ class NodeMemoryModel:
         """DDR port contention over the node's execution window."""
         c = self.ddr_model.contention(result.total_ddr_transfers,
                                       window_cycles)
+        _CONTENTION_RESOLUTIONS.inc()
+        _QUEUE_DELAY.observe(c.queue_delay)
         result.contention = c
         return c
 

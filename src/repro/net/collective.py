@@ -13,6 +13,11 @@ import math
 from dataclasses import dataclass
 from typing import Dict
 
+from ..obs import metrics as _metrics
+from ..obs.tracer import span as _span
+
+_OPS = _metrics.counter("net.collective_ops")
+
 
 @dataclass(frozen=True)
 class CollectiveConfig:
@@ -71,32 +76,41 @@ class CollectiveNetwork:
 
     def broadcast(self, size_bytes: int) -> CollectiveResult:
         """Root-to-all broadcast: one downtree traversal."""
-        return CollectiveResult(
+        return self._charge("broadcast", size_bytes, CollectiveResult(
             cycles=self._traversal_cycles(size_bytes, 1),
             up_packets=0,
             down_packets=self._packets(size_bytes),
             alu_ops=0,
-        )
+        ))
 
     def reduce(self, size_bytes: int,
                element_bytes: int = 8) -> CollectiveResult:
         """All-to-root reduction: one uptree traversal, combining inline."""
-        return CollectiveResult(
+        return self._charge("reduce", size_bytes, CollectiveResult(
             cycles=self._traversal_cycles(size_bytes, 1),
             up_packets=self._packets(size_bytes),
             down_packets=0,
             alu_ops=max(1, size_bytes // element_bytes),
-        )
+        ))
 
     def allreduce(self, size_bytes: int,
                   element_bytes: int = 8) -> CollectiveResult:
         """Reduce + broadcast, pipelined through the tree."""
-        return CollectiveResult(
+        return self._charge("allreduce", size_bytes, CollectiveResult(
             cycles=self._traversal_cycles(size_bytes, 2),
             up_packets=self._packets(size_bytes),
             down_packets=self._packets(size_bytes),
             alu_ops=max(1, size_bytes // element_bytes),
-        )
+        ))
+
+    @staticmethod
+    def _charge(op: str, size_bytes: int,
+                result: CollectiveResult) -> CollectiveResult:
+        """Record the already-computed charge on the obs layer."""
+        _OPS.inc()
+        _span("net.collective.charge", op=op, bytes=size_bytes,
+              cycles=result.cycles).end()
+        return result
 
     def events(self, result: CollectiveResult) -> Dict[str, int]:
         """Mode-3 UPC pulses for one participating node."""

@@ -16,7 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from ..obs import metrics as _metrics
+from ..obs.tracer import span as _span
 from .topology import TorusTopology
+
+_PHASES = _metrics.counter("net.torus_phases")
+_PACKETS = _metrics.counter("net.torus_packets")
+_PHASE_CYCLES = _metrics.histogram("net.torus_phase_cycles")
 
 
 @dataclass(frozen=True)
@@ -100,6 +106,9 @@ class TorusNetwork:
         routes: the phase then drains at node-aggregate bandwidth, with
         per-link hotspots averaged away.
         """
+        _PHASES.inc()
+        charge_span = _span("net.torus.phase", messages=len(messages),
+                            balanced=balanced)
         result = PhaseResult()
         link_bytes: Dict[Tuple[int, int], int] = {}
         worst_message = 0.0
@@ -137,6 +146,11 @@ class TorusNetwork:
             serialization = (result.max_link_bytes
                              / self.config.bytes_per_cycle)
         result.cycles = max(worst_message, serialization)
+        _PACKETS.inc(result.total_packets)
+        _PHASE_CYCLES.observe(result.cycles)
+        charge_span.set("cycles", result.cycles)
+        charge_span.set("packets", result.total_packets)
+        charge_span.end()
         return result
 
     # ------------------------------------------------------------------

@@ -19,7 +19,11 @@ from ..cpu import CoreExecution, PPC450Core, PipelineModel
 from ..isa import InstructionMix, OpClass
 from ..mem import NodeMemoryConfig, NodeMemoryModel, StreamAccess
 from ..mem.analytical import LoopMemoryResult, analyze_loop
+from ..obs import metrics as _metrics
+from ..obs.tracer import span as _span
 from .modes import OperatingMode
+
+_NODE_RUNS = _metrics.counter("node.runs")
 
 #: Efficiency of an OpenMP-style thread split inside one process
 #: (imperfect due to serial sections and barrier costs).
@@ -107,7 +111,14 @@ class ComputeNode:
             raise ValueError(
                 f"{self.mode.value} offers {slots} process slots, "
                 f"got {len(processes)} processes")
+        _NODE_RUNS.inc()
+        with _span("node.run", node=self.node_id,
+                   processes=len(processes)) as node_span:
+            result = self._run(processes)
+            node_span.set("cycles", result.node_cycles)
+        return result
 
+    def _run(self, processes: Sequence[ProcessWork]) -> NodeRunResult:
         # 1) shared-memory analysis over the co-resident processes
         mem_loops = [p.memory_loops() for p in processes]
         non_empty = [ml if ml else [((), 0)] for ml in mem_loops]

@@ -1,0 +1,68 @@
+"""Observability for the simulator itself: spans, metrics, logging.
+
+The paper instruments Blue Gene/P; this package instruments the
+*reproduction* — a LIKWID-style span tracer with wall-time and
+simulated-cycle attributes, a metrics registry for the model's internal
+hot paths, and structured logging.  Everything defaults to off at
+near-zero cost; the CLI's ``--trace``/``--profile``/``--json`` flags
+(and :func:`repro.obs.tracer.install`) switch recording on.
+
+Artifacts a traced run exports:
+
+* ``trace.json`` — Chrome/Perfetto-loadable span timeline;
+* ``spans.jsonl`` — one span per line for ad-hoc analysis;
+* ``metrics.json`` — the counters/gauges/histograms snapshot.
+"""
+
+from . import logging, metrics, tracer
+from .logging import get_logger, kv
+from .logging import setup as setup_logging
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from .tracer import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    Tracer,
+    enabled,
+    install,
+    marker,
+    recording,
+    span,
+    uninstall,
+)
+
+__all__ = [
+    "tracer",
+    "metrics",
+    "logging",
+    "Tracer",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "span",
+    "marker",
+    "enabled",
+    "install",
+    "uninstall",
+    "recording",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_logger",
+    "setup_logging",
+    "kv",
+]

@@ -1,0 +1,84 @@
+"""Structured logging for the simulator.
+
+Replaces ad-hoc ``print`` progress reporting with stdlib logging under
+the ``repro`` namespace, rendered as ``event key=value`` lines.  The
+split of concerns mirrors real measurement tooling: *results* (the
+experiment tables) go to stdout; *telemetry* (progress, timings,
+artifact paths) goes to the log on stderr, where ``-v``/``-q`` can
+raise or silence it without perturbing the result stream.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Optional
+
+#: Root of the library's logger namespace.
+LOGGER_NAME = "repro"
+
+#: Verbosity (``-q`` = -1, default 0, ``-v`` = 1, ``-vv`` = 2) to level.
+_VERBOSITY_LEVELS = {
+    -1: logging.ERROR,
+    0: logging.WARNING,
+    1: logging.INFO,
+    2: logging.DEBUG,
+}
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    if name.startswith(LOGGER_NAME + ".") or name == LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def kv(event: str, **fields: Any) -> str:
+    """Render ``event key=value ...`` with stable field order.
+
+    Floats are compacted to 4 significant digits; strings containing
+    whitespace are quoted so lines stay machine-splittable.
+    """
+    parts = [event]
+    for key, value in fields.items():
+        parts.append(f"{key}={_format_value(value)}")
+    return " ".join(parts)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, str) and any(c.isspace() for c in value):
+        return f'"{value}"'
+    return str(value)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``HH:MM:SS level logger message`` — terse, grep-friendly."""
+
+    def __init__(self):
+        super().__init__(fmt="%(asctime)s %(levelname)-7s %(name)s "
+                             "%(message)s",
+                         datefmt="%H:%M:%S")
+
+
+def setup(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent.
+
+    Installs one stream handler (stderr by default) with the key=value
+    formatter, replacing any handler a previous ``setup`` installed, so
+    repeated CLI invocations in one process don't stack handlers.
+    """
+    verbosity = max(-1, min(2, verbosity))
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(_VERBOSITY_LEVELS[verbosity])
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    logger.addHandler(handler)
+    return logger

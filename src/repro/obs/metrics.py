@@ -1,0 +1,173 @@
+"""A metrics registry for the simulator's own internals.
+
+The UPC unit counts the *modelled machine*; this registry counts the
+*model* — how many cache-model evaluations, DDR contention resolutions,
+network phase charges and BSP iterations a run performed.  That is the
+raw material for finding and verifying hot-path optimisations (you
+cannot speed up what you cannot see).
+
+Three instrument kinds, deliberately minimal:
+
+* :class:`Counter` — monotonically increasing count (``inc``);
+* :class:`Gauge` — last-written value (``set``);
+* :class:`Histogram` — streaming count/total/min/max over observations
+  (no buckets: the consumers here want means and extremes, and a
+  bucketless histogram is one compare + three adds on the hot path).
+
+Hot modules bind their instruments once at import time
+(``_EVALS = counter("mem.loop_evals")``); incrementing is then a method
+call and an integer add.  :func:`reset` zeroes instruments **in
+place**, so those module-level bindings survive.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A last-value-wins instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Streaming summary statistics of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._reset()
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def _reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def to_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0}
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean, "min": self.min, "max": self.max}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(name)
+        return inst
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every instrument in place (bindings stay valid)."""
+        for group in (self.counters, self.gauges, self.histograms):
+            for inst in group.values():
+                inst._reset()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All current values as a plain JSON-ready dict."""
+        return {
+            "counters": {n: c.value for n, c in
+                         sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {n: h.to_dict() for n, h in
+                           sorted(self.histograms.items())},
+        }
+
+    def export_json(self, path: str) -> str:
+        with open(path, "w") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+#: The process-global registry the instrumented modules bind against.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Get or create a counter on the global registry."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get or create a gauge on the global registry."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Get or create a histogram on the global registry."""
+    return REGISTRY.histogram(name)
+
+
+def reset(registry: Optional[MetricsRegistry] = None) -> None:
+    """Zero the given (default: global) registry in place."""
+    (registry or REGISTRY).reset()
+
+
+def snapshot() -> Dict[str, Dict[str, object]]:
+    """Snapshot of the global registry."""
+    return REGISTRY.snapshot()

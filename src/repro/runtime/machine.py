@@ -41,8 +41,13 @@ from ..net import (
     TorusTopology,
 )
 from ..node import ComputeNode, LoopWork, OperatingMode, ProcessWork
+from ..obs import metrics as _metrics
+from ..obs.tracer import span as _span
 from .mpi import SimMPI
 from .process import JobPlacement, place_ranks
+
+_JOBS = _metrics.counter("runtime.jobs")
+_BSP_PHASES = _metrics.counter("runtime.bsp_phases")
 
 
 class Machine:
@@ -196,6 +201,11 @@ class Job:
         which the paper's figures need).
         """
         machine = self.machine
+        _JOBS.inc()
+        job_span = _span("job", program=self.program.name,
+                         flags=self.program.flags_label,
+                         mode=machine.mode.name, ranks=self.num_ranks,
+                         nodes=machine.num_nodes)
         placement = place_ranks(self.num_ranks, machine.mode,
                                 machine.num_nodes)
         used_nodes = sorted(placement.slots_by_node())
@@ -209,11 +219,13 @@ class Job:
         # ---- compute: every node runs its resident ranks' loops -------
         work = _program_to_work(self.program)
         compute_cycles: List[float] = [0.0] * self.num_ranks
-        for node in nodes:
-            residents = placement.ranks_on_node(node.node_id)
-            result = node.run([work] * len(residents))
-            for slot, rank in enumerate(residents):
-                compute_cycles[rank] = result.process_cycles[slot]
+        with _span("phase.compute", nodes=len(nodes)) as compute_span:
+            for node in nodes:
+                residents = placement.ranks_on_node(node.node_id)
+                result = node.run([work] * len(residents))
+                for slot, rank in enumerate(residents):
+                    compute_cycles[rank] = result.process_cycles[slot]
+            compute_span.set("cycles", max(compute_cycles, default=0.0))
 
         # ---- communication: phase by phase on the networks ------------
         mpi = SimMPI(placement, machine.topology, machine.torus,
@@ -221,7 +233,12 @@ class Job:
         comm_cycles = 0.0
         comm_ddr: Dict[int, int] = {}
         for op in self.program.comms():
-            comm = mpi.run(op)
+            _BSP_PHASES.inc()
+            with _span("phase.comm", kind=op.kind.value,
+                       bytes_per_rank=op.bytes_per_rank,
+                       repeats=op.repeats) as comm_span:
+                comm = mpi.run(op)
+                comm_span.set("cycles", comm.cycles_per_rank)
             comm_cycles += comm.cycles_per_rank
             for node_id, events in comm.torus_events.items():
                 if node_id in set(used_nodes):
@@ -250,14 +267,19 @@ class Job:
                         node.pulse_events(
                             {f"BGP_PU{core}_CYCLES": comm_int})
 
-        session.mpi_finalize()
-        dump_bytes = [0] * machine.num_nodes
-        for path in session.dump_paths:
-            node_id = int(path.rsplit("node", 1)[1].split(".")[0])
-            dump_bytes[node_id] = os.path.getsize(path)
-        dump_io = machine.io.write_phase(dump_bytes).cycles
+        with _span("phase.dump", files=len(session.dump_paths)
+                   ) as dump_span:
+            session.mpi_finalize()
+            dump_bytes = [0] * machine.num_nodes
+            for path in session.dump_paths:
+                node_id = int(path.rsplit("node", 1)[1].split(".")[0])
+                dump_bytes[node_id] = os.path.getsize(path)
+            dump_io = machine.io.write_phase(dump_bytes).cycles
+            dump_span.set("cycles", dump_io)
 
         elapsed = max(c + comm_cycles for c in compute_cycles)
+        job_span.set("cycles", elapsed)
+        job_span.end()
         return JobResult(
             program_name=self.program.name,
             flags_label=self.program.flags_label,

@@ -132,3 +132,86 @@ def test_counter_wrap_handled(upc):
     upc.pulse(ev, 10)  # wraps
     m.advance(1000)
     assert m.series[ev.name].deltas() == [10]
+
+
+# ---------------------------------------------------------------------------
+# flush() edge cases
+# ---------------------------------------------------------------------------
+def test_flush_zero_increment_takes_no_sample(upc):
+    """A flush with nothing pending must not append a trailing zero."""
+    m = monitor(upc)
+    upc.pulse("BGP_PU0_FPU_FMA", 8)
+    m.advance(1500)  # periodic sample at 1000 captures the pulse
+    before = len(m.series["BGP_PU0_FPU_FMA"].samples)
+    m.flush()
+    assert len(m.series["BGP_PU0_FPU_FMA"].samples) == before
+
+
+def test_flush_before_any_advance_is_noop(upc):
+    m = monitor(upc)
+    upc.pulse("BGP_PU0_FPU_FMA", 5)
+    m.flush()  # _now == 0: there is no interval to attribute to
+    assert m.series["BGP_PU0_FPU_FMA"].samples == []
+
+
+def test_flush_idempotent_after_partial_sample(upc):
+    m = monitor(upc)
+    m.advance(1500)
+    upc.pulse("BGP_PU0_FPU_FMA", 7)
+    m.flush()
+    m.flush()  # the first flush drained the pending delta
+    series = m.series["BGP_PU0_FPU_FMA"]
+    assert [s.delta for s in series.samples] == [0, 7]
+
+
+def test_flush_handles_counter_wrap(upc):
+    """The wrap correction in _take_sample applies on the flush path."""
+    from repro.core import event_by_name
+
+    ev = event_by_name("BGP_PU0_FPU_FMA")
+    m = monitor(upc)
+    upc.registers.set_counter(ev.counter, (1 << 64) - 2)
+    m.advance(1000)  # sample the near-wrap absolute value
+    upc.pulse(ev, 9)  # wraps past 2^64
+    m.advance(500)   # below the next period boundary
+    m.flush()
+    assert m.series[ev.name].samples[-1].cycle == 1500
+    assert m.series[ev.name].samples[-1].delta == 9
+
+
+# ---------------------------------------------------------------------------
+# phase_changes() edge cases
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("factor", [1.0, 0.5, 0.0, -4.0])
+def test_phase_change_rejects_factor_at_or_below_one(upc, factor):
+    with pytest.raises(ValueError, match="factor"):
+        monitor(upc).phase_changes(factor=factor)
+
+
+def test_phase_change_factor_just_above_one_is_usable(upc):
+    m = monitor(upc, period=100)
+    upc.pulse("BGP_PU0_FPU_FMA", 10)
+    m.advance(100)
+    upc.pulse("BGP_PU0_FPU_FMA", 11)
+    m.advance(100)
+    assert m.phase_changes(factor=1.05) == [200]
+
+
+def test_phase_change_ignores_idle_gaps(upc):
+    """Zero-delta intervals are gaps between bursts, not phases."""
+    m = monitor(upc, period=100)
+    upc.pulse("BGP_PU0_FPU_FMA", 10)
+    m.advance(100)
+    m.advance(300)  # three silent intervals
+    upc.pulse("BGP_PU0_FPU_FMA", 10)
+    m.advance(100)
+    assert m.phase_changes(factor=4.0) == []
+
+
+def test_phase_change_detects_drop_as_well_as_jump(upc):
+    m = monitor(upc, period=100)
+    upc.pulse("BGP_PU0_FPU_FMA", 100)
+    m.advance(100)
+    upc.pulse("BGP_PU0_FPU_FMA", 10)
+    m.advance(100)
+    assert m.phase_changes(factor=4.0) == [200]

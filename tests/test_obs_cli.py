@@ -1,0 +1,117 @@
+"""CLI observability flags: --trace, --profile, --json, -v/-q."""
+
+import contextlib
+import io
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.obs import tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    tracer.uninstall()
+    yield
+    tracer.uninstall()
+
+
+def run_cli(*args):
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = cli_main(list(args))
+    return code, buf.getvalue()
+
+
+def test_trace_profile_json_produce_artifacts(tmp_path):
+    trace_dir = str(tmp_path / "t")
+    json_dir = str(tmp_path / "j")
+    code, out = run_cli("fig03", "--trace", trace_dir, "--profile",
+                        "--json", json_dir)
+    assert code == 0
+
+    # the experiment table still prints to stdout
+    assert "Virtual Node Mode" in out
+
+    # hot-span profile table on stdout
+    assert "[profile] hot spans" in out
+    assert "experiment:fig03" in out
+
+    # loadable Chrome trace with the experiment span
+    doc = json.load(open(os.path.join(trace_dir, "trace.json")))
+    names = [e["name"] for e in doc["traceEvents"]]
+    assert "experiment:fig03" in names
+
+    # spans.jsonl + metrics.json ride along
+    spans = [json.loads(line)
+             for line in open(os.path.join(trace_dir, "spans.jsonl"))]
+    assert any(s["name"] == "experiment:fig03" for s in spans)
+    metrics_doc = json.load(open(os.path.join(trace_dir, "metrics.json")))
+    assert metrics_doc["counters"]["harness.experiment_runs"] >= 1
+
+    # valid per-experiment JSON result, symmetric with --csv
+    result = json.load(open(os.path.join(json_dir, "fig03.json")))
+    assert result["experiment_id"] == "fig03"
+    assert result["headers"][0] == "mode"
+    assert len(result["rows"]) == 4
+
+    # the CLI uninstalls its tracer
+    assert not tracer.enabled()
+
+
+def test_trace_contains_nested_job_phase_spans(tmp_path):
+    """An experiment that runs jobs yields the job -> phase hierarchy."""
+    trace_dir = str(tmp_path / "t")
+    code, _ = run_cli("overhead", "--trace", trace_dir)
+    assert code == 0
+    spans = [json.loads(line)
+             for line in open(os.path.join(trace_dir, "spans.jsonl"))]
+    names = {s["name"] for s in spans}
+    assert "experiment:overhead" in names
+    # the Section IV check brackets a region with BGP_Start/Stop: the
+    # marker span must line up with the counter region
+    marker = next(s for s in spans if s["name"] == "BGP_set0")
+    assert marker["attrs"]["kind"] == "marker"
+
+
+def test_json_flag_without_trace(tmp_path):
+    json_dir = str(tmp_path / "j")
+    code, out = run_cli("fig03", "--json", json_dir)
+    assert code == 0
+    assert os.path.exists(os.path.join(json_dir, "fig03.json"))
+    assert "[profile]" not in out
+    assert not tracer.enabled()
+
+
+def test_profile_without_trace_writes_no_files(tmp_path):
+    code, out = run_cli("fig03", "--profile")
+    assert code == 0
+    assert "[profile] hot spans" in out
+
+
+def test_verbose_and_quiet_flags_accepted(capsys):
+    code, out = run_cli("fig03", "-v")
+    assert code == 0 and "Virtual Node Mode" in out
+    code, out = run_cli("fig03", "-q")
+    assert code == 0 and "Virtual Node Mode" in out
+
+
+def test_default_output_has_no_obs_noise():
+    """No obs flags => stdout is just the tables (timing moved to log)."""
+    code, out = run_cli("fig03")
+    assert code == 0
+    assert "[profile]" not in out
+    assert "trace" not in out.lower()
+    # table + trailing separator line only
+    assert out.rstrip().endswith("4")
+
+
+def test_experiment_result_roundtrips_to_json():
+    from repro.harness import fig03_modes
+
+    result = fig03_modes()
+    doc = json.loads(result.to_json())
+    assert doc == result.to_dict()
+    assert doc["title"].startswith("Modes of operation")

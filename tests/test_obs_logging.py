@@ -1,0 +1,69 @@
+"""Tests for the structured logging setup."""
+
+import io
+import logging
+
+from repro.obs import get_logger, kv, setup_logging
+from repro.obs.logging import LOGGER_NAME
+
+
+def _capture(verbosity):
+    stream = io.StringIO()
+    logger = setup_logging(verbosity, stream=stream)
+    return logger, stream
+
+
+def teardown_function(_fn):
+    # leave the tree unconfigured for other tests
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+
+
+def test_kv_formats_event_and_fields():
+    line = kv("experiment.done", id="fig11", seconds=12.3456789, rows=8)
+    assert line == "experiment.done id=fig11 seconds=12.35 rows=8"
+
+
+def test_kv_quotes_strings_with_spaces():
+    assert kv("e", title="two words") == 'e title="two words"'
+
+
+def test_get_logger_namespaced_under_repro():
+    assert get_logger().name == "repro"
+    assert get_logger("harness").name == "repro.harness"
+    assert get_logger("repro.mem").name == "repro.mem"
+
+
+def test_default_verbosity_hides_info():
+    logger, stream = _capture(0)
+    logger.info("hidden")
+    logger.warning("shown")
+    out = stream.getvalue()
+    assert "hidden" not in out and "shown" in out
+
+
+def test_verbose_shows_info_quiet_hides_warning():
+    logger, stream = _capture(1)
+    logger.info(kv("experiment.start", id="fig03"))
+    assert "experiment.start id=fig03" in stream.getvalue()
+
+    logger, stream = _capture(-1)
+    logger.warning("hidden")
+    logger.error("shown")
+    out = stream.getvalue()
+    assert "hidden" not in out and "shown" in out
+
+
+def test_setup_is_idempotent_no_handler_stacking():
+    logger, _ = _capture(0)
+    setup_logging(0, stream=io.StringIO())
+    setup_logging(0, stream=io.StringIO())
+    assert len(logger.handlers) == 1
+
+
+def test_child_loggers_inherit_configuration():
+    _, stream = _capture(1)
+    get_logger("runtime").info(kv("job.done", cycles=100))
+    assert "repro.runtime" in stream.getvalue()
+    assert "job.done cycles=100" in stream.getvalue()
