@@ -1,0 +1,105 @@
+"""Benchmark the parallel + memoized engine; record BENCH_parallel.json.
+
+Runs the paper's 64-node figure sweep (all eight class-C NPB kernels
+across the five Figure-11 L3 sizes, 256 ranks in VNM) twice:
+
+* **baseline** — the legacy engine (``Job(..., memoize=False)``, one
+  worker): every node simulated separately, every communication phase
+  costed from scratch — the pre-engine behavior;
+* **engine** — node-equivalence memoization + the cross-job comm-phase
+  cache, with ``--jobs 4`` workers available to the class fan-out.
+
+Both legs produce byte-identical counter dumps (the engine tests assert
+this); the benchmark records the wall-clock ratio plus the engine's
+cache statistics into ``BENCH_parallel.json`` at the repo root.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.compiler import O5
+from repro.harness.sweep import PAPER_L3_SIZES_MB, compiled_benchmark
+from repro.mem import NodeMemoryConfig
+from repro.node import OperatingMode
+from repro.npb import BENCHMARK_ORDER
+from repro.obs import metrics
+from repro.parallel import set_jobs
+from repro.runtime.machine import Job, Machine, clear_comm_cache
+
+MB = 1024 * 1024
+NODES = 64
+RANKS = 256
+JOBS = 4
+
+
+def run_sweep(memoize: bool) -> float:
+    """One full 64-node figure sweep; returns the wall time."""
+    clear_comm_cache()
+    start = time.perf_counter()
+    for code in BENCHMARK_ORDER:
+        program = compiled_benchmark(code, O5())
+        for l3_mb in PAPER_L3_SIZES_MB:
+            machine = Machine(NODES, mode=OperatingMode.VNM,
+                              mem_config=NodeMemoryConfig().with_l3_size(
+                                  l3_mb * MB))
+            Job(machine, program, RANKS, memoize=memoize).run()
+    return time.perf_counter() - start
+
+
+def counter_value(name: str) -> int:
+    return int(metrics.REGISTRY.snapshot()["counters"].get(name, 0))
+
+
+def main() -> int:
+    points = len(BENCHMARK_ORDER) * len(PAPER_L3_SIZES_MB)
+    print(f"sweep: {points} points ({NODES} nodes, {RANKS} ranks, VNM)")
+
+    set_jobs(1)
+    baseline = run_sweep(memoize=False)
+    print(f"baseline (legacy engine, 1 worker): {baseline:.2f}s")
+
+    set_jobs(JOBS)
+    before = {name: counter_value(name) for name in (
+        "runtime.node_classes", "runtime.node_class_hits",
+        "runtime.comm_cache_hits", "runtime.comm_cache_misses")}
+    engine = run_sweep(memoize=True)
+    set_jobs(1)
+    stats = {name.split(".", 1)[1]: counter_value(name) - start
+             for name, start in before.items()}
+    speedup = baseline / engine if engine else 0.0
+    print(f"engine (memoized, --jobs {JOBS}): {engine:.2f}s "
+          f"-> {speedup:.2f}x")
+
+    record = {
+        "benchmark": "64-node figure sweep "
+                     "(8 NPB kernels x 5 L3 sizes, 256 ranks, VNM)",
+        "nodes": NODES,
+        "ranks": RANKS,
+        "sweep_points": points,
+        "jobs": JOBS,
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "baseline_seconds": round(baseline, 3),
+        "engine_seconds": round(engine, 3),
+        "speedup": round(speedup, 2),
+        "engine_stats": stats,
+    }
+    out = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_parallel.json")
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return 0 if speedup >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from .harness import (
     model_validation,
 )
 from .obs import kv, metrics, setup_logging, tracer
+from .parallel import set_jobs
 
 
 def main(argv=None) -> int:
@@ -51,6 +52,12 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also write each experiment's full result "
                              "to DIR/<experiment>.json")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        metavar="N",
+                        help="worker processes for independent sweep "
+                             "points and node equivalence classes "
+                             "(default 1: fully serial, deterministic "
+                             "and byte-identical results)")
     parser.add_argument("--trace", metavar="DIR", default=None,
                         help="record simulator spans; write Chrome/"
                              "Perfetto trace.json, spans.jsonl and "
@@ -65,6 +72,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     log = setup_logging(-1 if args.quiet else args.verbose)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    set_jobs(args.jobs)
 
     catalog = dict(ALL_EXPERIMENTS)
     catalog.update(ABLATION_EXPERIMENTS)

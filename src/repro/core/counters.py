@@ -35,7 +35,6 @@ import numpy as np
 
 from .config import COUNTER_MASK, CounterConfig, SignalMode
 from .events import (
-    COUNTERS_PER_MODE,
     EVENTS_BY_NAME,
     Event,
     event_by_name,
@@ -78,9 +77,8 @@ class UPCUnit:
     def reset(self, mode: Optional[int] = None) -> None:
         """Zero counters, restore default configs, optionally set mode."""
         self.registers.reset_counters()
-        for i in range(COUNTERS_PER_MODE):
-            self.registers.set_config(i, CounterConfig())
-            self.registers.set_threshold(i, 0)
+        self.registers.reset_configs(CounterConfig())
+        self.registers.reset_thresholds()
         if mode is not None:
             self.registers.mode = mode
         self.registers.global_enable = True
@@ -188,7 +186,8 @@ class UPCUnit:
     def _increment(self, ev: Event, amount: int,
                    cfg: CounterConfig) -> None:
         old = self.registers.counter(ev.counter)
-        new = self.registers.add_to_counter(ev.counter, amount)
+        new = (old + int(amount)) & COUNTER_MASK
+        self.registers.set_counter(ev.counter, new)
         if cfg.interrupt_enable:
             threshold = self.registers.threshold(ev.counter)
             crossed = threshold > 0 and (

@@ -97,7 +97,7 @@ class CounterMonitor:
                     f"the unit runs mode {upc.mode}: the monitoring "
                     "thread could never observe it")
             self.series[ev.name] = EventSeries(event=ev)
-            self._last_values[ev.name] = upc.read(ev)
+            self._last_values[ev.name] = int(upc.read(ev))
         self._now = 0
         self._next_sample = period_cycles
 
@@ -126,7 +126,10 @@ class CounterMonitor:
 
     def _take_sample(self, cycle: int) -> None:
         for name, series in self.series.items():
-            value = self.upc.read(series.event)
+            # force Python ints: a NumPy uint64 read would make the
+            # subtraction wrap (or promote to float) instead of going
+            # negative, silently disabling the wrap correction below
+            value = int(self.upc.read(series.event))
             delta = value - self._last_values[name]
             if delta < 0:  # counter wrapped
                 delta += 1 << 64
@@ -142,7 +145,7 @@ class CounterMonitor:
 
     def _pending_since_last_sample(self) -> bool:
         for name, series in self.series.items():
-            if self.upc.read(series.event) != self._last_values[name]:
+            if int(self.upc.read(series.event)) != self._last_values[name]:
                 return True
         return False
 

@@ -74,14 +74,17 @@ def validate_dumps(dumps: Sequence[NodeDump]) -> None:
                 f"node {d.node_id} has sets {d.set_ids()}, "
                 f"expected {reference}")
     ceiling = np.uint64((1 << 64) - (1 << 10))
+    offenders: List[str] = []
     for d in dumps:
         for set_id, arr in d.sets.items():
-            if (arr > ceiling).any():
-                bad = int(np.argmax(arr > ceiling))
-                raise ValidationError(
-                    f"node {d.node_id} set {set_id} counter {bad}: value "
-                    f"{int(arr[bad])} is within 2**10 of wrap — likely a "
-                    f"counter wrap artefact")
+            for bad in np.flatnonzero(arr > ceiling):
+                offenders.append(
+                    f"node {d.node_id} set {set_id} counter {int(bad)}: "
+                    f"value {int(arr[bad])}")
+    if offenders:
+        raise ValidationError(
+            "counter values within 2**10 of wrap — likely counter wrap "
+            "artefacts:\n  " + "\n  ".join(offenders))
 
 
 class Aggregation:

@@ -174,6 +174,24 @@ class UPCRegisterFile:
         start = COUNTER_BASE // _WORD
         self._words[start:start + COUNTERS_PER_MODE * 2] = 0
 
+    def reset_configs(self, cfg: CounterConfig) -> None:
+        """Set every counter's config nibble to ``cfg`` in one store.
+
+        Equivalent to 256 ``set_config`` calls; vectorized because the
+        job engine resets every node's unit at session start.
+        """
+        nibble = cfg.encode()
+        word = 0
+        for shift in range(0, 32, 4):
+            word |= nibble << shift
+        start = CONFIG_BASE // _WORD
+        self._words[start:start + COUNTERS_PER_MODE // 8] = np.uint64(word)
+
+    def reset_thresholds(self) -> None:
+        """Zero every counter's threshold register in one store."""
+        start = THRESHOLD_BASE // _WORD
+        self._words[start:start + COUNTERS_PER_MODE * 2] = 0
+
     @staticmethod
     def _check_counter(index: int) -> None:
         if not 0 <= index < COUNTERS_PER_MODE:

@@ -28,6 +28,7 @@ from ..mem import NodeMemoryConfig
 from ..net import Message, TorusNetwork, TorusTopology
 from ..node import OperatingMode
 from ..npb import build_benchmark, paper_ranks
+from ..parallel import parallel_map
 from ..runtime import Job, Machine
 from .report import ExperimentResult
 from .sweep import compiled_benchmark, vnm_nodes
@@ -42,6 +43,15 @@ def _run(code: str, mem_config: NodeMemoryConfig,
     nodes = (-(-ranks // mode.processes_per_node))
     machine = Machine(nodes, mode=mode, mem_config=mem_config)
     return Job(machine, compiled_benchmark(code, O5()), ranks).run()
+
+
+def _run_sweep(points):
+    """Run ``_run`` over (code, mem_config[, mode[, ranks]]) points.
+
+    Independent sweep points fan out over the process pool when the
+    ``--jobs`` worker count allows; results come back in point order.
+    """
+    return parallel_map(_run, points, label="ablation_points")
 
 
 # ---------------------------------------------------------------------------
@@ -61,9 +71,11 @@ def ablation_prefetch_depth(
         title="L2 prefetch depth sweep (time relative to depth=2)",
         headers=["benchmark"] + [f"depth={d}" for d in depths],
     )
-    for code in benchmarks:
-        times = [_run(code, NodeMemoryConfig().with_prefetch_depth(d)
-                      ).elapsed_cycles for d in depths]
+    runs = _run_sweep([(code, NodeMemoryConfig().with_prefetch_depth(d))
+                       for code in benchmarks for d in depths])
+    for i, code in enumerate(benchmarks):
+        times = [job.elapsed_cycles
+                 for job in runs[i * len(depths):(i + 1) * len(depths)]]
         baseline = times[depths.index(2)]
         result.rows.append([code] + [t / baseline for t in times])
         result.summary[f"no_prefetch_penalty_{code}"] = (
@@ -75,6 +87,17 @@ def ablation_prefetch_depth(
 # ---------------------------------------------------------------------------
 # future work: hybrid node modes
 # ---------------------------------------------------------------------------
+def _hybrid_point(code: str, mode: OperatingMode, ranks: int):
+    """One (benchmark, node-mode) point of the hybrid-modes study."""
+    from ..compiler import compile_program
+
+    compiled = compile_program(build_benchmark(code, num_ranks=ranks),
+                               O5())
+    nodes = -(-ranks // mode.processes_per_node)
+    machine = Machine(nodes, mode=mode)
+    return Job(machine, compiled, ranks).run()
+
+
 def ext_hybrid_modes(
         benchmarks: Sequence[str] = ("MG", "CG", "LU", "BT"),
         ranks: int = 16) -> ExperimentResult:
@@ -88,17 +111,13 @@ def ext_hybrid_modes(
         title=f"MFLOPS per chip by node mode ({ranks} ranks)",
         headers=["benchmark"] + [m.value for m in modes],
     )
-    for code in benchmarks:
-        program = build_benchmark(code, num_ranks=ranks)
-        from ..compiler import compile_program
-
-        compiled = compile_program(program, O5())
-        row = [code]
-        for mode in modes:
-            nodes = -(-ranks // mode.processes_per_node)
-            machine = Machine(nodes, mode=mode)
-            job = Job(machine, compiled, ranks).run()
-            row.append(job.mflops_per_node())
+    runs = parallel_map(_hybrid_point,
+                        [(code, mode, ranks) for code in benchmarks
+                         for mode in modes],
+                        label="hybrid_points")
+    for i, code in enumerate(benchmarks):
+        row = [code] + [job.mflops_per_node()
+                        for job in runs[i * len(modes):(i + 1) * len(modes)]]
         result.rows.append(row)
         result.summary[f"vnm_over_smp1_{code}"] = row[4] / row[1]
     result.notes.append(
@@ -121,16 +140,19 @@ def ablation_interference() -> ExperimentResult:
         title="Figure 12 traffic ratio with and without L3 interference",
         headers=["benchmark", "with interference", "gamma = 0"],
     )
-    for code in ("MG", "FT", "IS", "LU"):
-        ranks = paper_ranks(code)
-        smp_cfg = NodeMemoryConfig().with_l3_size(2 * MB)
-        smp = _run(code, smp_cfg, OperatingMode.SMP1, ranks)
-
-        vnm_on = _run(code, NodeMemoryConfig())
-        cfg_off = NodeMemoryConfig()
-        cfg_off = replace(cfg_off, l3=replace(cfg_off.l3,
-                                              interference_gamma=0.0))
-        vnm_off = _run(code, cfg_off)
+    codes = ("MG", "FT", "IS", "LU")
+    cfg_off = NodeMemoryConfig()
+    cfg_off = replace(cfg_off, l3=replace(cfg_off.l3,
+                                          interference_gamma=0.0))
+    points = []
+    for code in codes:
+        points.append((code, NodeMemoryConfig().with_l3_size(2 * MB),
+                       OperatingMode.SMP1, paper_ranks(code)))
+        points.append((code, NodeMemoryConfig()))
+        points.append((code, cfg_off))
+    runs = _run_sweep(points)
+    for i, code in enumerate(codes):
+        smp, vnm_on, vnm_off = runs[3 * i:3 * i + 3]
         denom = smp.ddr_traffic_lines_per_node()
         with_g = vnm_on.ddr_traffic_lines_per_node() / denom
         without = vnm_off.ddr_traffic_lines_per_node() / denom
@@ -154,10 +176,12 @@ def ablation_write_stall(
         headers=["benchmark", "store buffers (default)",
                  "stores stall fully", "slowdown"],
     )
-    for code in benchmarks:
-        default = _run(code, NodeMemoryConfig())
-        naive = _run(code, replace(NodeMemoryConfig(),
-                                   write_stall_factor=1.0))
+    runs = _run_sweep(
+        [(code, cfg) for code in benchmarks
+         for cfg in (NodeMemoryConfig(),
+                     replace(NodeMemoryConfig(), write_stall_factor=1.0))])
+    for i, code in enumerate(benchmarks):
+        default, naive = runs[2 * i:2 * i + 2]
         ratio = naive.elapsed_cycles / default.elapsed_cycles
         result.rows.append([code, default.elapsed_cycles,
                             naive.elapsed_cycles, ratio])
@@ -182,12 +206,15 @@ def ablation_capacity_sharing() -> ExperimentResult:
         title="Figure 11 (MG) under the two capacity-sharing policies",
         headers=["policy", "0MB", "2MB", "4MB", "6MB", "8MB"],
     )
-    for policy in ("greedy", "proportional"):
-        traffic = []
-        for size_mb in (0, 2, 4, 6, 8):
-            cfg = replace(NodeMemoryConfig().with_l3_size(size_mb * MB),
-                          capacity_sharing=policy)
-            traffic.append(_run("MG", cfg).ddr_traffic_lines_per_node())
+    policies = ("greedy", "proportional")
+    sizes = (0, 2, 4, 6, 8)
+    runs = _run_sweep(
+        [("MG", replace(NodeMemoryConfig().with_l3_size(size_mb * MB),
+                        capacity_sharing=policy))
+         for policy in policies for size_mb in sizes])
+    for i, policy in enumerate(policies):
+        traffic = [job.ddr_traffic_lines_per_node()
+                   for job in runs[i * len(sizes):(i + 1) * len(sizes)]]
         normalized = [t / traffic[0] for t in traffic]
         result.rows.append([policy] + normalized)
         result.summary[f"at2mb_{policy}"] = normalized[1]

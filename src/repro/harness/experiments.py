@@ -29,6 +29,8 @@ from .sweep import (
     PAPER_L3_SIZES_MB,
     run_vnm,
     vnm_smp_pair,
+    warm_pairs,
+    warm_runs,
 )
 
 #: Figure 9 plots these benchmarks, Figure 10 the rest.
@@ -87,6 +89,7 @@ def fig06_instruction_profile(problem_class: str = "C"
         headers=["benchmark"] + labels,
     )
     simd_heavy: Dict[str, float] = {}
+    warm_runs((code, O5(), 8, problem_class) for code in BENCHMARK_ORDER)
     for code in BENCHMARK_ORDER:
         job = run_vnm(code, O5(), problem_class=problem_class)
         profile = job.fp_profile()
@@ -110,6 +113,7 @@ def _simd_vs_flags(code: str, figure_id: str) -> ExperimentResult:
                  "SIMD share of FP"],
     )
     counts: List[float] = []
+    warm_runs((code, flags) for flags in compiler_sweep())
     for flags in compiler_sweep():
         job = run_vnm(code, flags)
         simd = job.simd_instructions()
@@ -152,6 +156,7 @@ def _exec_time_vs_flags(benchmarks: Sequence[str],
         headers=["benchmark"] + [f.label for f in sweep]
                 + ["best/baseline"],
     )
+    warm_runs((code, flags) for code in benchmarks for flags in sweep)
     for code in benchmarks:
         cycles = [run_vnm(code, flags).elapsed_cycles for flags in sweep]
         normalized = [c / cycles[0] for c in cycles]
@@ -190,6 +195,8 @@ def fig11_l3_sweep(benchmarks: Optional[Sequence[str]] = None
                 + ["L3 miss ratio @4MB"],
     )
     ratios_4mb: List[float] = []
+    warm_runs((code, O5(), mb) for code in benchmarks
+              for mb in PAPER_L3_SIZES_MB)
     for code in benchmarks:
         traffic = [run_vnm(code, O5(), l3_mb=mb).ddr_traffic_lines_per_node()
                    for mb in PAPER_L3_SIZES_MB]
@@ -219,6 +226,7 @@ def fig12_ddr_ratio() -> ExperimentResult:
         headers=["benchmark", "traffic ratio"],
     )
     ratios = []
+    warm_pairs(BENCHMARK_ORDER, O5())
     for code in BENCHMARK_ORDER:
         vnm, smp = vnm_smp_pair(code, O5())
         ratio = (vnm.ddr_traffic_lines_per_node()
@@ -245,6 +253,7 @@ def fig13_time_increase() -> ExperimentResult:
         headers=["benchmark", "time ratio", "increase %"],
     )
     increases = []
+    warm_pairs(BENCHMARK_ORDER, O5())
     for code in BENCHMARK_ORDER:
         vnm, smp = vnm_smp_pair(code, O5())
         ratio = vnm.elapsed_cycles / smp.elapsed_cycles
@@ -271,6 +280,7 @@ def fig14_mflops_ratio() -> ExperimentResult:
                  "ratio"],
     )
     ratios = []
+    warm_pairs(BENCHMARK_ORDER, O5())
     for code in BENCHMARK_ORDER:
         vnm, smp = vnm_smp_pair(code, O5())
         ratio = vnm.mflops_per_node() / smp.mflops_per_node()

@@ -23,8 +23,18 @@ from ..compiler import O5, compile_program
 from ..core.interface import OVERHEAD_TOTAL_CYCLES
 from ..node import OperatingMode
 from ..npb import build_benchmark
-from ..runtime import Job, Machine
+from ..parallel import parallel_map
+from ..runtime import Job, JobResult, Machine
 from .report import ExperimentResult
+
+
+def _scaling_point(code: str, ranks: int) -> JobResult:
+    """One strong-scaling point (module-level so it can pool out)."""
+    nodes = -(-ranks // 4)
+    program = compile_program(build_benchmark(code, num_ranks=ranks),
+                              O5())
+    machine = Machine(nodes, mode=OperatingMode.VNM)
+    return Job(machine, program, ranks).run()
 
 
 def ext_scaling(code: str = "MG",
@@ -39,13 +49,12 @@ def ext_scaling(code: str = "MG",
                  "comm %", "overhead cyc/node", "dump I/O (Kcyc)",
                  "aggregate (ms)", "events monitored"],
     )
+    jobs = parallel_map(_scaling_point,
+                        [(code, ranks) for ranks in rank_counts],
+                        label="scaling_points")
     base_elapsed = None
-    for ranks in rank_counts:
+    for ranks, job in zip(rank_counts, jobs):
         nodes = -(-ranks // 4)
-        program = compile_program(build_benchmark(code, num_ranks=ranks),
-                                  O5())
-        machine = Machine(nodes, mode=OperatingMode.VNM)
-        job = Job(machine, program, ranks).run()
         if base_elapsed is None:
             base_elapsed = job.elapsed_cycles * rank_counts[0]
         # per-node interface overhead: read it off the sessions' books

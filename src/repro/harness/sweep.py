@@ -1,15 +1,28 @@
-"""Parameter-sweep scaffolding shared by the experiment runners."""
+"""Parameter-sweep scaffolding shared by the experiment runners.
+
+The run helpers here are memoized through
+:class:`repro.parallel.MemoizedFunction`, so a figure runner that needs
+the same (benchmark, flags, L3) point as an earlier figure gets it for
+free — and, when the process-wide worker count is above 1 (the
+``--jobs N`` CLI flag), the :func:`warm_runs` / :func:`warm_pairs`
+helpers pre-fill those caches by fanning the missing sweep points out
+over a process pool.  With one worker nothing is pre-computed and every
+consumer takes the exact serial code path, keeping results
+byte-identical to a pre-pool run.
+"""
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
+from typing import Iterable, Sequence, Tuple
 
 from ..compiler import FlagSet, Program, compile_program
 from ..mem import NodeMemoryConfig
 from ..node import OperatingMode
 from ..npb import build_benchmark, paper_ranks
+from ..parallel import memoized, warm
 from ..runtime import Job, JobResult, Machine
+from ..runtime.machine import clear_comm_cache
 
 MB = 1024 * 1024
 
@@ -32,7 +45,7 @@ def compiled_benchmark(code: str, flags: FlagSet,
                            flags)
 
 
-@lru_cache(maxsize=256)
+@memoized
 def run_vnm(code: str, flags: FlagSet, l3_mb: int = 8,
             problem_class: str = "C",
             counter_modes: Tuple[int, int] = (0, 2)) -> JobResult:
@@ -51,7 +64,7 @@ def run_vnm(code: str, flags: FlagSet, l3_mb: int = 8,
     return Job(machine, program, ranks).run(counter_modes=counter_modes)
 
 
-@lru_cache(maxsize=256)
+@memoized
 def run_smp1(code: str, flags: FlagSet, l3_mb: int = 2,
              problem_class: str = "C") -> JobResult:
     """Run a benchmark in the paper's fair SMP/1 configuration.
@@ -67,6 +80,25 @@ def run_smp1(code: str, flags: FlagSet, l3_mb: int = 2,
     return Job(machine, program, ranks).run()
 
 
+@memoized
+def run_scaled_vnm(code: str, flags: FlagSet, num_ranks: int,
+                   l3_mb: int = 8,
+                   problem_class: str = "C") -> JobResult:
+    """Run a benchmark at an arbitrary VNM scale (memoised).
+
+    The figure runners use the paper's fixed partition; scaling studies
+    and the parallel-speedup benchmark sweep this one across rank
+    counts and L3 sizes instead.
+    """
+    program = compile_program(
+        build_benchmark(code, num_ranks=num_ranks,
+                        problem_class=problem_class), flags)
+    machine = Machine(vnm_nodes(num_ranks), mode=OperatingMode.VNM,
+                      mem_config=NodeMemoryConfig().with_l3_size(
+                          l3_mb * MB))
+    return Job(machine, program, num_ranks).run()
+
+
 def vnm_smp_pair(code: str, flags: FlagSet,
                  problem_class: str = "C") -> Tuple[JobResult, JobResult]:
     """The Figure 12/13/14 comparison pair for one benchmark."""
@@ -74,8 +106,25 @@ def vnm_smp_pair(code: str, flags: FlagSet,
             run_smp1(code, flags, problem_class=problem_class))
 
 
+def warm_runs(calls: Iterable[Tuple]) -> int:
+    """Pre-fill ``run_vnm``'s cache with the given argument tuples."""
+    return warm(run_vnm, calls)
+
+
+def warm_pairs(codes: Sequence[str], flags: FlagSet,
+               problem_class: str = "C") -> int:
+    """Pre-fill both sides of the Figure 12/13/14 comparison pairs."""
+    warmed = warm(run_vnm, [(code, flags, 8, problem_class)
+                            for code in codes])
+    warmed += warm(run_smp1, [(code, flags, 2, problem_class)
+                              for code in codes])
+    return warmed
+
+
 def clear_caches() -> None:
     """Drop all memoised runs (tests use this for isolation)."""
     compiled_benchmark.cache_clear()
     run_vnm.cache_clear()
     run_smp1.cache_clear()
+    run_scaled_vnm.cache_clear()
+    clear_comm_cache()

@@ -1,0 +1,201 @@
+"""Parallel + memoized execution engine for the simulator.
+
+The paper's evaluation sweeps class-C NPB kernels across node counts,
+L3 sizes and node modes; every sweep point is an independent simulation
+and most of them repeat work (SPMD placement gives most nodes
+byte-identical compute).  This module supplies the two mechanisms the
+rest of the codebase composes to exploit that:
+
+* a **process-pool fan-out** (:func:`parallel_map`) used by the job
+  engine across distinct node equivalence classes and by the harness
+  across independent sweep points, gated by a process-wide worker count
+  (:func:`set_jobs` / the ``--jobs N`` CLI flag, default 1 so every
+  result stays deterministic and byte-identical to the serial path);
+* a **memoization layer** (:func:`memoized` + :func:`warm`) that caches
+  whole simulation results by argument tuple and can pre-fill its cache
+  from the pool, so serial consumers downstream simply hit the cache.
+
+Both are wired into ``repro.obs``: the pool records per-task wall
+times, worker utilization and task counts; memo caches record hits and
+misses — the raw material for the speedup numbers in
+``BENCH_parallel.json``.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .obs import metrics as _metrics
+from .obs.tracer import span as _span
+
+_POOL_MAPS = _metrics.counter("parallel.maps")
+_POOL_TASKS = _metrics.counter("parallel.pool_tasks")
+_SERIAL_TASKS = _metrics.counter("parallel.serial_tasks")
+_TASK_SECONDS = _metrics.histogram("parallel.task_seconds")
+_UTILIZATION = _metrics.gauge("parallel.worker_utilization")
+
+#: Process-wide worker count; 1 means "never spawn a pool".
+_jobs = max(1, int(os.environ.get("REPRO_JOBS", "1") or 1))
+
+
+def set_jobs(n: int) -> None:
+    """Set the process-wide worker count (the ``--jobs N`` knob)."""
+    if n < 1:
+        raise ValueError(f"jobs must be >= 1, got {n}")
+    global _jobs
+    _jobs = int(n)
+
+
+def get_jobs() -> int:
+    """The current process-wide worker count."""
+    return _jobs
+
+
+def _timed_call(fn: Callable, args: Tuple) -> Tuple[Any, float]:
+    """Pool target: run one task and report its wall time."""
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def parallel_map(fn: Callable, argtuples: Sequence[Tuple],
+                 jobs: Optional[int] = None,
+                 label: str = "map") -> List[Any]:
+    """Ordered map of ``fn`` over argument tuples, pooled when allowed.
+
+    With ``jobs`` (default: the process-wide setting) at 1, or fewer
+    than two tasks, this is a plain in-process loop — bit-identical to
+    writing the loop by hand, which is what keeps ``--jobs 1`` runs
+    reproducible.  Otherwise the tasks fan out over a
+    ``ProcessPoolExecutor``; ``fn`` must be a module-level function and
+    every argument and result must pickle.
+    """
+    argtuples = list(argtuples)
+    jobs = _jobs if jobs is None else jobs
+    if jobs <= 1 or len(argtuples) <= 1:
+        _SERIAL_TASKS.inc(len(argtuples))
+        return [fn(*args) for args in argtuples]
+    workers = min(jobs, len(argtuples))
+    _POOL_MAPS.inc()
+    _POOL_TASKS.inc(len(argtuples))
+    with _span(f"parallel.{label}", tasks=len(argtuples),
+               workers=workers) as map_span:
+        start = time.perf_counter()
+        busy = 0.0
+        results: List[Any] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_timed_call, fn, args)
+                       for args in argtuples]
+            for future in futures:
+                result, seconds = future.result()
+                _TASK_SECONDS.observe(seconds)
+                busy += seconds
+                results.append(result)
+        wall = time.perf_counter() - start
+        utilization = busy / (wall * workers) if wall > 0 else 0.0
+        _UTILIZATION.set(utilization)
+        map_span.set("wall_seconds", wall)
+        map_span.set("utilization", utilization)
+    return results
+
+
+class MemoizedFunction:
+    """A memoizing wrapper whose cache can be pre-filled from a pool.
+
+    Unlike ``functools.lru_cache`` the cache is a plain dict keyed by
+    the *normalised* positional argument tuple (defaults applied), so
+    ``f(x)`` and ``f(x, l3_mb=8)`` share an entry and :func:`warm` can
+    seed results computed in worker processes.
+    """
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+        self.cache: Dict[Tuple, Any] = {}
+        self._signature = inspect.signature(fn)
+        functools.update_wrapper(self, fn)
+        name = fn.__name__
+        self.hits = _metrics.counter(f"memo.{name}.hits")
+        self.misses = _metrics.counter(f"memo.{name}.misses")
+
+    def key(self, *args: Any, **kwargs: Any) -> Tuple:
+        """The cache key of one call: all arguments, defaults applied."""
+        bound = self._signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        return tuple(bound.arguments.values())
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        key = self.key(*args, **kwargs)
+        try:
+            result = self.cache[key]
+        except KeyError:
+            self.misses.inc()
+            result = self.cache[key] = self.fn(*args, **kwargs)
+            return result
+        self.hits.inc()
+        return result
+
+    def seed(self, key: Tuple, value: Any) -> None:
+        """Insert one precomputed result (used by :func:`warm`)."""
+        self.cache[key] = value
+
+    def cache_clear(self) -> None:
+        self.cache.clear()
+
+
+def memoized(fn: Callable) -> MemoizedFunction:
+    """Decorator form of :class:`MemoizedFunction`."""
+    return MemoizedFunction(fn)
+
+
+def _call_undecorated(module: str, qualname: str, args: Tuple) -> Any:
+    """Pool target for :func:`warm`: run a memoized function's inner fn.
+
+    The decorated name in its module resolves to the
+    :class:`MemoizedFunction` wrapper, so the inner function cannot be
+    pickled by reference; workers re-resolve it from the wrapper
+    instead.
+    """
+    import importlib
+
+    obj: Any = importlib.import_module(module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj.fn(*args)
+
+
+def warm(memo: MemoizedFunction, calls: Iterable[Tuple],
+         jobs: Optional[int] = None) -> int:
+    """Pre-fill a memoized function's cache, fanning out over the pool.
+
+    ``calls`` is an iterable of positional-argument tuples.  With one
+    worker this is a no-op — the serial consumer computes lazily through
+    the exact same code path as before, keeping ``--jobs 1`` results
+    untouched.  With more, the missing keys are computed concurrently
+    (each worker runs the *undecorated* function) and seeded into the
+    cache; returns the number of entries warmed.
+    """
+    jobs = _jobs if jobs is None else jobs
+    if jobs <= 1:
+        return 0
+    missing: List[Tuple] = []
+    seen = set(memo.cache)
+    for args in calls:
+        key = memo.key(*args)
+        if key not in seen:
+            seen.add(key)
+            missing.append(key)
+    if not missing:
+        return 0
+    results = parallel_map(
+        _call_undecorated,
+        [(memo.__module__, memo.__qualname__, key) for key in missing],
+        jobs=jobs, label=f"warm.{memo.__name__}")
+    for key, result in zip(missing, results):
+        memo.seed(key, result)
+        memo.misses.inc()
+    return len(missing)

@@ -43,11 +43,28 @@ from ..net import (
 from ..node import ComputeNode, LoopWork, OperatingMode, ProcessWork
 from ..obs import metrics as _metrics
 from ..obs.tracer import span as _span
+from ..parallel import get_jobs, parallel_map
 from .mpi import SimMPI
 from .process import JobPlacement, place_ranks
 
 _JOBS = _metrics.counter("runtime.jobs")
 _BSP_PHASES = _metrics.counter("runtime.bsp_phases")
+_NODE_CLASSES = _metrics.counter("runtime.node_classes")
+_NODE_CLASS_HITS = _metrics.counter("runtime.node_class_hits")
+_COMM_HITS = _metrics.counter("runtime.comm_cache_hits")
+_COMM_MISSES = _metrics.counter("runtime.comm_cache_misses")
+
+#: Cross-job cache of costed communication phases.  A comm phase is a
+#: pure function of (comm ops, rank count, mode, partition size) — the
+#: memory configuration never enters it — so L3/prefetch sweep points
+#: of the same benchmark share one entry.
+_COMM_CACHE: "Dict[Tuple, List]" = {}
+_COMM_CACHE_MAX = 64
+
+
+def clear_comm_cache() -> None:
+    """Drop all cached communication phases (tests use this)."""
+    _COMM_CACHE.clear()
 
 
 class Machine:
@@ -99,6 +116,22 @@ def _program_to_work(program: Program) -> ProcessWork:
         for loop in program.loops()
     ]
     return ProcessWork(loops=loops)
+
+
+def _simulate_node_class(mode: OperatingMode,
+                         mem_config: NodeMemoryConfig,
+                         work: ProcessWork,
+                         residents: int) -> Tuple[List[float], Dict[str, int]]:
+    """Pool target: simulate one node equivalence class from scratch.
+
+    Builds a throwaway node with the class's configuration, runs the
+    class's work, and returns only what the job engine replicates to the
+    class members: the per-slot compute cycles and the named counter
+    pulses.
+    """
+    node = ComputeNode(node_id=0, mode=mode, mem_config=mem_config)
+    result = node.run([work] * residents)
+    return result.process_cycles, result.events
 
 
 @dataclass
@@ -180,9 +213,19 @@ class JobResult:
 
 
 class Job:
-    """One SPMD application run on a machine partition."""
+    """One SPMD application run on a machine partition.
 
-    def __init__(self, machine: Machine, program: Program, num_ranks: int):
+    ``memoize`` controls the execution engine: when True (default)
+    nodes are grouped into equivalence classes and each class is
+    simulated once, with counter deltas replicated to the members, and
+    communication phases are reused from the cross-job comm cache; when
+    False every node is simulated separately and every phase is costed
+    from scratch (the legacy path, kept for baseline benchmarking and
+    for verifying the memoized engine's results are identical).
+    """
+
+    def __init__(self, machine: Machine, program: Program, num_ranks: int,
+                 memoize: bool = True):
         if num_ranks > machine.max_ranks:
             raise ValueError(
                 f"{num_ranks} ranks exceed the partition's "
@@ -191,6 +234,7 @@ class Job:
         self.machine = machine
         self.program = program
         self.num_ranks = num_ranks
+        self.memoize = memoize
 
     def run(self, counter_modes: Tuple[int, int] = (0, 2),
             dump_dir: Optional[str] = None) -> JobResult:
@@ -216,38 +260,106 @@ class Job:
                                  dump_dir=dump_dir)
         session.mpi_init()
 
-        # ---- compute: every node runs its resident ranks' loops -------
+        # ---- compute: one simulation per node equivalence class -------
+        # SPMD placement gives every resident rank the same work, so two
+        # nodes with the same configuration and resident count perform
+        # byte-identical compute.  Simulate each class once and replicate
+        # the counter deltas to the other members via pulse_events —
+        # O(classes) node simulations instead of O(nodes).
         work = _program_to_work(self.program)
         compute_cycles: List[float] = [0.0] * self.num_ranks
+        job_key = (self.program.name, self.program.flags_label,
+                   machine.mode.name, machine.mem_config)
         with _span("phase.compute", nodes=len(nodes)) as compute_span:
+            classes: Dict[Tuple, List[ComputeNode]] = {}
             for node in nodes:
                 residents = placement.ranks_on_node(node.node_id)
-                result = node.run([work] * len(residents))
+                if self.memoize:
+                    key = (len(residents),) + job_key
+                else:  # legacy: every node is its own class
+                    key = (len(residents), node.node_id) + job_key
+                classes.setdefault(key, []).append(node)
+            keys = list(classes)
+            simulated: Dict[int, bool] = {}
+            if get_jobs() > 1 and len(keys) > 1:
+                # fan the distinct classes out over the process pool;
+                # every member (including the representative) gets the
+                # replicated deltas afterwards
+                outs = parallel_map(
+                    _simulate_node_class,
+                    [(machine.mode, machine.mem_config, work, key[0])
+                     for key in keys],
+                    label="node_classes")
+                class_results = dict(zip(keys, outs))
+            else:
+                class_results = {}
+                for key in keys:
+                    representative = classes[key][0]
+                    result = representative.run([work] * key[0])
+                    class_results[key] = (result.process_cycles,
+                                          result.events)
+                    simulated[representative.node_id] = True
+            _NODE_CLASSES.inc(len(keys))
+            _NODE_CLASS_HITS.inc(len(nodes) - len(keys))
+            for node in nodes:
+                residents = placement.ranks_on_node(node.node_id)
+                if self.memoize:
+                    key = (len(residents),) + job_key
+                else:
+                    key = (len(residents), node.node_id) + job_key
+                cycles, events = class_results[key]
+                if not simulated.get(node.node_id):
+                    node.pulse_events(events)
                 for slot, rank in enumerate(residents):
-                    compute_cycles[rank] = result.process_cycles[slot]
+                    compute_cycles[rank] = cycles[slot]
             compute_span.set("cycles", max(compute_cycles, default=0.0))
+            compute_span.set("classes", len(keys))
+            compute_span.set("replicated", len(nodes) - len(keys))
 
         # ---- communication: phase by phase on the networks ------------
+        # phase costs are pure functions of (ops, placement, partition),
+        # independent of the memory configuration, so sweep points that
+        # differ only in L3/prefetch settings replay the cached phases
         mpi = SimMPI(placement, machine.topology, machine.torus,
                      machine.collective, machine.barrier)
+        comm_ops = list(self.program.comms())
+        comm_key: Optional[Tuple] = None
+        cached_phases = None
+        if self.memoize:
+            comm_key = (tuple(comm_ops), self.num_ranks,
+                        machine.mode.name, machine.num_nodes)
+            cached_phases = _COMM_CACHE.get(comm_key)
+            (_COMM_HITS if cached_phases is not None
+             else _COMM_MISSES).inc()
+        computed_phases: List = []
         comm_cycles = 0.0
         comm_ddr: Dict[int, int] = {}
-        for op in self.program.comms():
+        used_node_set = set(used_nodes)
+        for op_index, op in enumerate(comm_ops):
             _BSP_PHASES.inc()
             with _span("phase.comm", kind=op.kind.value,
                        bytes_per_rank=op.bytes_per_rank,
                        repeats=op.repeats) as comm_span:
-                comm = mpi.run(op)
+                if cached_phases is not None:
+                    comm = cached_phases[op_index]
+                    comm_span.set("cached", True)
+                else:
+                    comm = mpi.run(op)
+                    computed_phases.append(comm)
                 comm_span.set("cycles", comm.cycles_per_rank)
             comm_cycles += comm.cycles_per_rank
             for node_id, events in comm.torus_events.items():
-                if node_id in set(used_nodes):
+                if node_id in used_node_set:
                     machine.nodes[node_id].pulse_events(events)
             if comm.collective_events:
                 for node in nodes:
                     node.pulse_events(comm.collective_events)
             for node_id, lines in comm.ddr_lines_per_node.items():
                 comm_ddr[node_id] = comm_ddr.get(node_id, 0) + lines
+        if comm_key is not None and cached_phases is None:
+            while len(_COMM_CACHE) >= _COMM_CACHE_MAX:
+                _COMM_CACHE.pop(next(iter(_COMM_CACHE)))
+            _COMM_CACHE[comm_key] = computed_phases
 
         # message staging traffic: split lines across the controllers
         for node_id, lines in comm_ddr.items():

@@ -141,3 +141,41 @@ def test_prop_dump_roundtrip(node_id, mode, sets):
     for set_id, values in sets:
         assert np.array_equal(dump.deltas(set_id),
                               np.array(values, dtype=np.uint64))
+
+
+# ---------------------------------------------------------------------------
+# boundary values and trailer validation
+# ---------------------------------------------------------------------------
+def test_u64_max_boundary_roundtrips(tmp_path):
+    """Counters at 2**64 - 1 (one short of wrap) survive a round-trip."""
+    w = make_writer()
+    deltas = np.zeros(256, dtype=np.uint64)
+    deltas[0] = np.uint64(2**64 - 1)
+    deltas[255] = np.uint64(2**64 - 1)
+    w.add_set(0, deltas)
+    path = str(tmp_path / "max.bin")
+    w.write(path)
+    dump = read_dump(path)
+    assert int(dump.deltas(0)[0]) == 2**64 - 1
+    assert int(dump.deltas(0)[255]) == 2**64 - 1
+    # the trailer checksum itself is computed modulo 2**64
+    assert np.array_equal(dump.deltas(0), deltas)
+
+
+def test_corrupted_trailer_checksum_rejected():
+    w = make_writer()
+    w.add_set(0, np.full(256, 5, dtype=np.uint64))
+    data = bytearray(w.to_bytes())
+    data[-1] ^= 0xFF  # corrupt the stored checksum, payload untouched
+    with pytest.raises(DumpFormatError, match="checksum"):
+        read_dump_bytes(bytes(data))
+
+
+def test_truncated_trailer_rejected():
+    w = make_writer()
+    w.add_set(0, np.full(256, 5, dtype=np.uint64))
+    data = w.to_bytes()
+    # drop exactly the 8-byte checksum trailer: payload is intact, so
+    # only the length check can catch it
+    with pytest.raises(DumpFormatError, match="length"):
+        read_dump_bytes(data[:-8])

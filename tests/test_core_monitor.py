@@ -215,3 +215,41 @@ def test_phase_change_detects_drop_as_well_as_jump(upc):
     upc.pulse("BGP_PU0_FPU_FMA", 10)
     m.advance(100)
     assert m.phase_changes(factor=4.0) == [200]
+
+
+def test_counter_wrap_with_numpy_scalar_reads(upc):
+    """Regression: NumPy-typed counter reads must not defeat the wrap fix.
+
+    If ``upc.read`` hands back ``np.uint64`` the subtraction in
+    ``_take_sample`` either promotes to float64 (NumPy 1.x — the near-2**64
+    operand rounds and the delta collapses to 0.0) or stays modular uint64
+    (NumPy 2.x — numerically right but never hits the wrap branch and leaks
+    NumPy scalars into the series).  The monitor must coerce to Python ints
+    so a counter forced past 2**64 yields the exact integer delta.
+    """
+    import numpy as np
+
+    from repro.core.events import event_by_name
+
+    ev = event_by_name("BGP_PU0_FPU_FMA")
+
+    class NumpyReadUPC:
+        """Proxy UPC whose reads return NumPy scalars."""
+
+        def __init__(self, unit):
+            self._unit = unit
+
+        def __getattr__(self, name):
+            return getattr(self._unit, name)
+
+        def read(self, event):
+            return np.uint64(self._unit.read(event))
+
+    upc.registers.set_counter(ev.counter, (1 << 64) - 3)
+    m = CounterMonitor(NumpyReadUPC(upc), ["BGP_PU0_FPU_FMA"],
+                       period_cycles=1000)
+    upc.pulse(ev, 10)  # forces the counter past 2**64: wraps to 7
+    m.advance(1000)
+    deltas = m.series["BGP_PU0_FPU_FMA"].deltas()
+    assert deltas == [10]
+    assert all(type(d) is int for d in deltas)

@@ -106,6 +106,25 @@ def test_validate_rejects_near_wrap_values():
         validate_dumps([d])
 
 
+def test_validate_reports_every_near_wrap_offender():
+    """All offending (node, set, counter) pairs appear in one error."""
+    bad_a = event_by_name("BGP_PU0_FPU_FMA")
+    bad_b = event_by_name("BGP_PU1_FPU_FMA")
+    dumps = [
+        make_dump(0, 0, {bad_a.name: (1 << 64) - 3,
+                         bad_b.name: (1 << 64) - 1}),
+        make_dump(1, 0, {bad_a.name: (1 << 64) - 2}),
+        make_dump(2, 0, {bad_a.name: 17}),  # clean node
+    ]
+    with pytest.raises(ValidationError) as exc:
+        validate_dumps(dumps)
+    message = str(exc.value)
+    for node_id, counter in ((0, bad_a.counter), (0, bad_b.counter),
+                             (1, bad_a.counter)):
+        assert f"node {node_id} set 0 counter {counter}" in message
+    assert "node 2" not in message
+
+
 def test_validate_rejects_empty():
     with pytest.raises(ValidationError):
         validate_dumps([])

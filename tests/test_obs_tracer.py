@@ -163,11 +163,15 @@ def test_job_run_produces_nested_job_phase_spans():
     assert job.attrs["cycles"] > 0
     phases = {s.name for s in t.spans if s.parent_id == job.span_id}
     assert {"phase.compute", "phase.comm", "phase.dump"} <= phases
-    # node-model spans nest under the compute phase
+    # node-model spans nest under the compute phase; the two nodes
+    # form one equivalence class, so exactly one is simulated and its
+    # counter deltas are replicated to the other
     compute = by_name["phase.compute"][0]
     node_runs = [s for s in by_name["node.run"]
                  if s.parent_id == compute.span_id]
-    assert len(node_runs) == 2
+    assert len(node_runs) == 1
+    assert compute.attrs["classes"] == 1
+    assert compute.attrs["replicated"] == 1
     # the BGP_Start/Stop marker spans line up with the counter regions
     markers = by_name["BGP_set0"]
     assert len(markers) == 2  # one per node

@@ -1,0 +1,152 @@
+"""Unit tests for the parallel + memoized execution engine."""
+
+import pytest
+
+from repro import parallel
+from repro.parallel import (
+    MemoizedFunction,
+    get_jobs,
+    memoized,
+    parallel_map,
+    set_jobs,
+    warm,
+)
+
+
+@pytest.fixture(autouse=True)
+def serial_jobs():
+    """Every test starts (and ends) with the deterministic default."""
+    before = get_jobs()
+    set_jobs(1)
+    yield
+    set_jobs(before)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _add(a, b=10):
+    return a + b
+
+
+# ---------------------------------------------------------------------------
+# worker-count knob
+# ---------------------------------------------------------------------------
+def test_set_jobs_roundtrip():
+    set_jobs(4)
+    assert get_jobs() == 4
+    set_jobs(1)
+    assert get_jobs() == 1
+
+
+def test_set_jobs_rejects_nonpositive():
+    with pytest.raises(ValueError, match="jobs"):
+        set_jobs(0)
+
+
+# ---------------------------------------------------------------------------
+# parallel_map
+# ---------------------------------------------------------------------------
+def test_parallel_map_serial_path():
+    out = parallel_map(_double, [(i,) for i in range(5)])
+    assert out == [0, 2, 4, 6, 8]
+
+
+def test_parallel_map_pool_matches_serial_and_order():
+    args = [(i,) for i in range(8)]
+    serial = parallel_map(_double, args, jobs=1)
+    pooled = parallel_map(_double, args, jobs=2)
+    assert pooled == serial == [2 * i for i in range(8)]
+
+
+def test_parallel_map_single_task_stays_serial():
+    # one task never pays pool startup, whatever the worker count
+    assert parallel_map(_double, [(21,)], jobs=8) == [42]
+
+
+def test_parallel_map_empty():
+    assert parallel_map(_double, [], jobs=4) == []
+
+
+# ---------------------------------------------------------------------------
+# memoization
+# ---------------------------------------------------------------------------
+def test_memoized_caches_by_normalized_key():
+    calls = []
+
+    @memoized
+    def probe(a, b=10):
+        calls.append((a, b))
+        return a + b
+
+    assert probe(1) == 11
+    assert probe(1, b=10) == 11  # default applied: same cache entry
+    assert probe(1, 10) == 11
+    assert calls == [(1, 10)]
+    assert probe(1, b=11) == 12
+    assert len(calls) == 2
+
+
+def test_memoized_exposes_wrapper_metadata():
+    @memoized
+    def probe(a):
+        """Docstring survives."""
+        return a
+
+    assert isinstance(probe, MemoizedFunction)
+    assert probe.__name__ == "probe"
+    assert probe.__doc__ == "Docstring survives."
+
+
+def test_memoized_seed_and_clear():
+    @memoized
+    def probe(a):
+        raise AssertionError("must not be called")
+
+    probe.seed(probe.key(5), 50)
+    assert probe(5) == 50
+    probe.cache_clear()
+    with pytest.raises(AssertionError):
+        probe(5)
+
+
+# ---------------------------------------------------------------------------
+# cache warming
+# ---------------------------------------------------------------------------
+_warm_probe_calls = []
+
+
+@memoized
+def _warm_probe(x):
+    _warm_probe_calls.append(x)
+    return x * x
+
+
+def test_warm_is_noop_at_one_worker():
+    _warm_probe.cache_clear()
+    assert warm(_warm_probe, [(2,), (3,)], jobs=1) == 0
+    assert _warm_probe.cache == {}
+
+
+def test_warm_fills_cache_from_pool():
+    _warm_probe.cache_clear()
+    warmed = warm(_warm_probe, [(2,), (3,), (2,)], jobs=2)
+    assert warmed == 2  # duplicate call collapsed
+    # consumers now hit the cache without running the function here
+    del _warm_probe_calls[:]
+    assert _warm_probe(2) == 4
+    assert _warm_probe(3) == 9
+    assert _warm_probe_calls == []
+
+
+def test_warm_skips_already_cached_keys():
+    _warm_probe.cache_clear()
+    _warm_probe(4)
+    assert warm(_warm_probe, [(4,)], jobs=2) == 0
+
+
+def test_module_default_from_env():
+    # the module initialises from REPRO_JOBS; whatever it was, the
+    # runtime knob must stay a positive int
+    assert parallel.get_jobs() >= 1

@@ -114,3 +114,77 @@ def test_vnm_beats_smp1_throughput_per_chip(small_mg):
     assert vnm.mflops_per_node() > smp.mflops_per_node()
     # but each process runs no faster than it did alone
     assert vnm.elapsed_cycles >= smp.elapsed_cycles * 0.99
+
+
+# ---------------------------------------------------------------------------
+# memoized execution engine
+# ---------------------------------------------------------------------------
+def _dump_bytes(result):
+    out = []
+    for path in sorted(result.dump_paths):
+        with open(path, "rb") as fh:
+            out.append(fh.read())
+    return out
+
+
+def _run_engine(small_mg, tmp_path, tag, memoize, ranks=14):
+    from repro.runtime.machine import clear_comm_cache
+
+    clear_comm_cache()
+    machine = Machine(4, mode=OperatingMode.VNM)
+    d = tmp_path / tag
+    d.mkdir()
+    return Job(machine, small_mg, ranks, memoize=memoize).run(
+        dump_dir=str(d))
+
+
+def test_memoized_engine_matches_legacy_exactly(small_mg, tmp_path):
+    """Equivalence-class simulation replicates the per-node dumps and
+    totals byte-for-byte; 14 ranks on 4 VNM nodes gives two classes
+    (three 4-resident nodes + one 2-resident node)."""
+    legacy = _run_engine(small_mg, tmp_path, "legacy", memoize=False)
+    memo = _run_engine(small_mg, tmp_path, "memo", memoize=True)
+    assert _dump_bytes(memo) == _dump_bytes(legacy)
+    assert memo.elapsed_cycles == legacy.elapsed_cycles
+    assert memo.compute_cycles_per_rank == legacy.compute_cycles_per_rank
+    assert memo.comm_cycles_per_rank == legacy.comm_cycles_per_rank
+    assert memo.scaled_totals() == legacy.scaled_totals()
+
+
+def test_comm_cache_hit_is_exact(small_mg, tmp_path):
+    """A job replaying cached comm phases produces identical results."""
+    from repro.runtime.machine import _COMM_CACHE
+
+    miss = _run_engine(small_mg, tmp_path, "miss", memoize=True)
+    assert len(_COMM_CACHE) == 1
+    machine = Machine(4, mode=OperatingMode.VNM)
+    d = tmp_path / "hit"
+    d.mkdir()
+    hit = Job(machine, small_mg, 14).run(dump_dir=str(d))
+    assert len(_COMM_CACHE) == 1  # replayed, not recomputed
+    assert _dump_bytes(hit) == _dump_bytes(miss)
+    assert hit.elapsed_cycles == miss.elapsed_cycles
+
+
+def test_legacy_engine_bypasses_comm_cache(small_mg, tmp_path):
+    from repro.runtime.machine import _COMM_CACHE
+
+    _run_engine(small_mg, tmp_path, "bypass", memoize=False)
+    assert _COMM_CACHE == {}
+
+
+def test_pool_engine_matches_serial_exactly(small_mg, tmp_path):
+    """--jobs 4 fans node classes over a process pool; results are
+    byte-identical to the serial engine."""
+    from repro.parallel import get_jobs, set_jobs
+
+    serial = _run_engine(small_mg, tmp_path, "serial", memoize=True)
+    before = get_jobs()
+    set_jobs(4)
+    try:
+        pooled = _run_engine(small_mg, tmp_path, "pooled", memoize=True)
+    finally:
+        set_jobs(before)
+    assert _dump_bytes(pooled) == _dump_bytes(serial)
+    assert pooled.elapsed_cycles == serial.elapsed_cycles
+    assert pooled.scaled_totals() == serial.scaled_totals()
