@@ -14,7 +14,7 @@ import time
 from repro.compiler import O5
 from repro.harness import clear_caches
 from repro.harness.sweep import run_vnm
-from repro.obs import tracer
+from repro.obs import timeline, tracer
 
 CALIBRATION_CALLS = 200_000
 
@@ -58,3 +58,46 @@ def test_noop_tracer_overhead_under_5_percent(fresh_caches):
     assert obs_bill < 0.05 * wall, (
         f"no-op tracing would cost {obs_bill * 1e3:.3f} ms against a "
         f"{wall * 1e3:.1f} ms run ({obs_bill / wall:.1%})")
+
+
+def _sampling_off_check_cost_s() -> float:
+    """Per-call wall cost of the disabled-sampling gate in Job.run.
+
+    With no config installed and no per-job override, every hook the
+    sampler adds to the engine reduces to ``resolve_config(None)`` (one
+    global load, returns None) or a cheaper is-None / empty-dict check.
+    Charging the resolve cost for all of them over-bills the real path.
+    """
+    assert timeline.get_config() is None
+    resolve = timeline.resolve_config
+    start = time.perf_counter()
+    for _ in range(CALIBRATION_CALLS):
+        resolve(None)
+    return (time.perf_counter() - start) / CALIBRATION_CALLS
+
+
+def test_sampling_off_job_run_overhead_under_5_percent(fresh_caches):
+    """Job.run with sampling off must not pay for the telemetry hooks."""
+    timeline.uninstall_sampling()
+    tracer.uninstall()
+
+    clear_caches()
+    start = time.perf_counter()
+    result = run_vnm("EP", O5())
+    wall = time.perf_counter() - start
+    assert result.timeline is None  # the off path really was taken
+
+    # Hooks on the off path: one resolve_config per job, one is-None
+    # check per node, one empty-dict check per BSP phase and one at
+    # dump.  Bill every one of them at the (dearest) resolve cost.
+    from repro.harness.sweep import compiled_benchmark, paper_ranks
+
+    nodes = result.placement.num_nodes
+    phases = len(compiled_benchmark("EP", O5(), "C").comms())
+    checks = 1 + nodes + phases + 1
+    assert paper_ranks("EP") // 4 == nodes  # VNM: the run we billed
+    per_call = _sampling_off_check_cost_s()
+    sampling_bill = checks * per_call
+    assert sampling_bill < 0.05 * wall, (
+        f"disabled sampling would cost {sampling_bill * 1e6:.1f} us "
+        f"against a {wall * 1e3:.1f} ms run ({sampling_bill / wall:.1%})")

@@ -8,6 +8,12 @@ Usage::
     python -m repro fig03 --trace out/ --profile --json out/
                                     # + trace/metrics artifacts, a
                                     # hot-span profile, JSON results
+    python -m repro smoke --trace out/ --sample-every 50000
+                                    # + job-level counter timelines
+                                    # (timeline.jsonl, Perfetto
+                                    # counter tracks in trace.json)
+    python -m repro report out/     # render report.md + report.json
+                                    # from an exported artifact dir
 
 Experiment tables go to stdout; progress/telemetry goes to the
 structured log on stderr (``-v`` for timings, ``-vv`` for debug,
@@ -28,12 +34,17 @@ from .harness import (
     ext_scaling,
     format_table,
     model_validation,
+    smoke_telemetry,
 )
 from .obs import kv, metrics, setup_logging, tracer
+from .obs import timeline as obs_timeline
 from .parallel import set_jobs
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["report"]:
+        return _report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables/figures of Ganesan et al., "
@@ -62,6 +73,13 @@ def main(argv=None) -> int:
                         help="record simulator spans; write Chrome/"
                              "Perfetto trace.json, spans.jsonl and "
                              "metrics.json into DIR")
+    parser.add_argument("--sample-every", type=int, default=None,
+                        metavar="N",
+                        help="attach a monitoring thread to every job "
+                             "node, sampling counters every N simulated "
+                             "cycles; writes timeline.jsonl into the "
+                             "--trace/--json/--csv directory and merges "
+                             "Perfetto counter tracks into trace.json")
     parser.add_argument("--profile", action="store_true",
                         help="print a hot-span summary table after the "
                              "run (implies span recording)")
@@ -75,6 +93,12 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     set_jobs(args.jobs)
+    if args.sample_every is not None:
+        if args.sample_every < 1:
+            parser.error(f"--sample-every must be >= 1 cycle, "
+                         f"got {args.sample_every}")
+        obs_timeline.clear_recorded()
+        obs_timeline.install_sampling(args.sample_every)
 
     catalog = dict(ALL_EXPERIMENTS)
     catalog.update(ABLATION_EXPERIMENTS)
@@ -82,6 +106,7 @@ def main(argv=None) -> int:
     catalog["validate"] = model_validation
     catalog["ext-scaling"] = ext_scaling
     catalog["ext-microbench"] = ext_microbench
+    catalog["smoke"] = smoke_telemetry
 
     if args.list:
         for name, fn in catalog.items():
@@ -128,6 +153,8 @@ def main(argv=None) -> int:
     finally:
         if recording is not None:
             tracer.uninstall()
+        if args.sample_every is not None:
+            obs_timeline.uninstall_sampling()
 
     if recording is not None:
         recording.close_open_spans()
@@ -135,8 +162,48 @@ def main(argv=None) -> int:
             print(_profile_table(recording))
             print()
         if args.trace:
-            for path in _export_trace(recording, args.trace):
+            counter_tracks = (obs_timeline.perfetto_events()
+                              if args.sample_every is not None else None)
+            for path in _export_trace(recording, args.trace,
+                                      counter_tracks):
                 log.info(kv("trace.artifact", path=path))
+    if args.sample_every is not None:
+        out_dir = args.trace or args.json or args.csv
+        timelines = obs_timeline.recorded()
+        if out_dir and timelines:
+            path = obs_timeline.export_jsonl(
+                os.path.join(out_dir, "timeline.jsonl"))
+            log.info(kv("timeline.artifact", path=path,
+                        jobs=len(timelines)))
+        elif not out_dir:
+            log.warning(kv("timeline.discarded",
+                           reason="no --trace/--json/--csv directory"))
+    return 0
+
+
+def _report_main(argv) -> int:
+    """The ``python -m repro report RUNDIR`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Render a SUPReMM-style job report (report.md + "
+                    "report.json) from a run's exported artifacts "
+                    "(timeline.jsonl, plus spans.jsonl/metrics.json "
+                    "when present).")
+    parser.add_argument("directory",
+                        help="artifact directory of a sampled run "
+                             "(needs timeline.jsonl)")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="write report.md/report.json here "
+                             "(default: the artifact directory)")
+    args = parser.parse_args(argv)
+    from .obs import report as obs_report
+
+    try:
+        paths = obs_report.write_report(args.directory, args.out)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    for path in paths.values():
+        print(path)
     return 0
 
 
@@ -178,13 +245,20 @@ def _profile_table(recording: "tracer.Tracer") -> str:
         rows, title="[profile] hot spans (wall time, simulated cycles)")
 
 
-def _export_trace(recording: "tracer.Tracer", directory: str):
-    """Write trace.json + spans.jsonl + metrics.json into ``directory``."""
+def _export_trace(recording: "tracer.Tracer", directory: str,
+                  counter_tracks=None):
+    """Write trace.json + spans.jsonl + metrics.json into ``directory``.
+
+    ``counter_tracks`` are the timeline pipeline's Perfetto counter
+    events; merged into trace.json they render the sampled counters as
+    graphs under the span rows.
+    """
     import os
 
     os.makedirs(directory, exist_ok=True)
     return [
-        recording.export_chrome(os.path.join(directory, "trace.json")),
+        recording.export_chrome(os.path.join(directory, "trace.json"),
+                                extra_events=counter_tracks),
         recording.export_jsonl(os.path.join(directory, "spans.jsonl")),
         metrics.REGISTRY.export_json(
             os.path.join(directory, "metrics.json")),

@@ -334,6 +334,49 @@ def overhead_check() -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# telemetry smoke run (not a paper figure: CI's instrumented small job)
+# ---------------------------------------------------------------------------
+@traced_experiment("smoke")
+def smoke_telemetry(benchmarks: Sequence[str] = ("MG", "EP")
+                    ) -> ExperimentResult:
+    """Small instrumented run exercising the full telemetry pipeline.
+
+    Two class-A kernels on a 4-node VNM partition — seconds, not
+    minutes — so ``--trace --sample-every N`` runs (CI's smoke step)
+    produce every artifact: spans, metrics, sampled timelines, counter
+    tracks, and a report.  With sampling off the jobs still run and the
+    table simply reports telemetry as absent.
+    """
+    from ..obs import timeline as obs_timeline
+    from .sweep import run_small_vnm
+
+    result = ExperimentResult(
+        experiment_id="smoke",
+        title="Telemetry smoke run (class A, 16 ranks, 4 nodes VNM)",
+        headers=["benchmark", "elapsed Mcycles", "MFLOPS/node",
+                 "sampled nodes", "samples", "alerts", "anomalies"],
+    )
+    sampling = obs_timeline.get_config()
+    for code in benchmarks:
+        run = run_small_vnm(code, O5())
+        timeline = run.timeline
+        result.rows.append([
+            code,
+            round(run.elapsed_cycles / 1e6, 2),
+            round(run.mflops_per_node(), 1),
+            len(timeline.nodes) if timeline else 0,
+            len(timeline.sample_grid()) if timeline else 0,
+            len(timeline.alerts()) if timeline else 0,
+            len(timeline.anomalies()) if timeline else 0,
+        ])
+    result.notes.append(
+        f"sampling every {sampling.sample_every} cycles"
+        if sampling else
+        "sampling off — rerun with --sample-every N for timelines")
+    return result
+
+
+# ---------------------------------------------------------------------------
 # everything
 # ---------------------------------------------------------------------------
 ALL_EXPERIMENTS = {

@@ -99,6 +99,24 @@ def run_scaled_vnm(code: str, flags: FlagSet, num_ranks: int,
     return Job(machine, program, num_ranks).run()
 
 
+def run_small_vnm(code: str, flags: FlagSet, num_ranks: int = 16,
+                  problem_class: str = "A",
+                  sample_every: int = None) -> JobResult:
+    """A small class-A VNM run, deliberately **not** memoised.
+
+    The telemetry smoke experiment (and CI's instrumented smoke step)
+    runs this with sampling enabled; a memo cache would hand back a
+    stale ``JobResult`` whose timeline reflects the *first* call's
+    sampling configuration, so every call simulates fresh.
+    """
+    program = compile_program(
+        build_benchmark(code, num_ranks=num_ranks,
+                        problem_class=problem_class), flags)
+    machine = Machine(vnm_nodes(num_ranks), mode=OperatingMode.VNM)
+    return Job(machine, program, num_ranks,
+               sample_every=sample_every).run()
+
+
 def vnm_smp_pair(code: str, flags: FlagSet,
                  problem_class: str = "C") -> Tuple[JobResult, JobResult]:
     """The Figure 12/13/14 comparison pair for one benchmark."""

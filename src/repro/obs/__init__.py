@@ -3,18 +3,36 @@
 The paper instruments Blue Gene/P; this package instruments the
 *reproduction* — a LIKWID-style span tracer with wall-time and
 simulated-cycle attributes, a metrics registry for the model's internal
-hot paths, and structured logging.  Everything defaults to off at
-near-zero cost; the CLI's ``--trace``/``--profile``/``--json`` flags
-(and :func:`repro.obs.tracer.install`) switch recording on.
+hot paths, structured logging, and (via :mod:`repro.obs.timeline` /
+:mod:`repro.obs.report`) job-level counter sampling with SUPReMM-style
+run reports.  Everything defaults to off at near-zero cost; the CLI's
+``--trace``/``--profile``/``--json``/``--sample-every`` flags (and
+:func:`repro.obs.tracer.install`) switch recording on.
 
 Artifacts a traced run exports:
 
-* ``trace.json`` — Chrome/Perfetto-loadable span timeline;
+* ``trace.json`` — Chrome/Perfetto-loadable span timeline (plus
+  counter tracks when ``--sample-every`` is active);
 * ``spans.jsonl`` — one span per line for ad-hoc analysis;
-* ``metrics.json`` — the counters/gauges/histograms snapshot.
+* ``metrics.json`` — the counters/gauges/histograms snapshot;
+* ``timeline.jsonl`` — per-sample job telemetry records;
+* ``report.md``/``report.json`` — ``python -m repro report`` summary.
+
+One registry per process
+------------------------
+The tracer slot, the metrics :data:`REGISTRY`, and the timeline
+recorder are **process-global**.  A :func:`repro.parallel.parallel_map`
+pool worker therefore records into *its own* globals, which die with
+the worker; the pool protocol compensates by shipping each task's
+instrument state (``metrics.dump_state()``) and finished spans back
+with the result, and merging them into the parent's registry/tracer
+(``metrics.merge_state()`` / ``Tracer.absorb``).  Code that builds its
+own private :class:`MetricsRegistry`/:class:`Tracer` is outside that
+protocol and will not survive the process boundary.
 """
 
 from . import logging, metrics, tracer
+from . import report, timeline
 from .logging import get_logger, kv
 from .logging import setup as setup_logging
 from .metrics import (
@@ -26,6 +44,14 @@ from .metrics import (
     counter,
     gauge,
     histogram,
+)
+from .timeline import (
+    DEFAULT_SAMPLE_EVENTS,
+    JobTimeline,
+    NodeTimeline,
+    NodeTimelineSampler,
+    TimelineAlert,
+    TimelineConfig,
 )
 from .tracer import (
     NULL_SPAN,
@@ -44,6 +70,14 @@ __all__ = [
     "tracer",
     "metrics",
     "logging",
+    "timeline",
+    "report",
+    "TimelineConfig",
+    "TimelineAlert",
+    "NodeTimelineSampler",
+    "NodeTimeline",
+    "JobTimeline",
+    "DEFAULT_SAMPLE_EVENTS",
     "Tracer",
     "Span",
     "NullSpan",

@@ -10,9 +10,10 @@ Three instrument kinds, deliberately minimal:
 
 * :class:`Counter` — monotonically increasing count (``inc``);
 * :class:`Gauge` — last-written value (``set``);
-* :class:`Histogram` — streaming count/total/min/max over observations
-  (no buckets: the consumers here want means and extremes, and a
-  bucketless histogram is one compare + three adds on the hot path).
+* :class:`Histogram` — streaming count/total/min/max plus p50/p90/p99
+  tails over observations (no buckets: a bounded reservoir of raw
+  samples keeps the hot path at one compare + three adds + one append,
+  and nearest-rank percentiles are computed only at snapshot time).
 
 Hot modules bind their instruments once at import time
 (``_EVALS = counter("mem.loop_evals")``); incrementing is then a method
@@ -59,9 +60,21 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary statistics of observed values."""
+    """Streaming summary statistics of observed values.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Percentiles come from a deterministic decimating reservoir: raw
+    samples accumulate until :data:`MAX_SAMPLES`, then every other
+    retained sample is dropped and the keep-stride doubles.  The kept
+    samples stay an unbiased, evenly spaced subsample of the stream in
+    arrival order, so nearest-rank percentiles over them converge on
+    the stream's tails without unbounded memory.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_samples", "_stride")
+
+    #: reservoir capacity before decimation halves it
+    MAX_SAMPLES = 4096
 
     def __init__(self, name: str):
         self.name = name
@@ -74,23 +87,41 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self.count % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) >= self.MAX_SAMPLES:
+                self._samples = self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile over the retained reservoir."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, -(-pct * len(ordered) // 100))  # ceil
+        return ordered[int(min(rank, len(ordered))) - 1]
 
     def _reset(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._samples = []
+        self._stride = 1
 
     def to_dict(self) -> Dict[str, float]:
         if not self.count:
             return {"count": 0, "total": 0.0, "mean": 0.0,
-                    "min": 0.0, "max": 0.0}
+                    "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0}
         return {"count": self.count, "total": self.total,
-                "mean": self.mean, "min": self.min, "max": self.max}
+                "mean": self.mean, "min": self.min, "max": self.max,
+                "p50": self.percentile(50), "p90": self.percentile(90),
+                "p99": self.percentile(99)}
 
 
 class MetricsRegistry:
@@ -143,6 +174,54 @@ class MetricsRegistry:
             fh.write("\n")
         return path
 
+    # ------------------------------------------------------------------
+    # cross-process shipping (pool workers -> parent)
+    # ------------------------------------------------------------------
+    def dump_state(self) -> Dict[str, object]:
+        """Full instrument state as a picklable dict.
+
+        Unlike :meth:`snapshot` this includes histogram reservoirs, so
+        a pool worker can ship its per-task instrument state back to
+        the parent for :meth:`merge_state` without losing tails.
+        """
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()
+                         if c.value},
+            "gauges": {n: g.value for n, g in self.gauges.items()
+                       if g.value},
+            "histograms": {
+                n: {"count": h.count, "total": h.total,
+                    "min": h.min, "max": h.max,
+                    "samples": list(h._samples), "stride": h._stride}
+                for n, h in self.histograms.items() if h.count},
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Merge a worker's :meth:`dump_state` into this registry.
+
+        Counters add, gauges take the shipped value (last-write-wins,
+        matching their in-process semantics), histograms combine their
+        summary stats and pool their reservoirs (decimating back under
+        the cap if the union overflows).
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, shipped in state.get("histograms", {}).items():
+            hist = self.histogram(name)
+            hist.count += shipped["count"]
+            hist.total += shipped["total"]
+            if shipped["min"] < hist.min:
+                hist.min = shipped["min"]
+            if shipped["max"] > hist.max:
+                hist.max = shipped["max"]
+            hist._samples = hist._samples + list(shipped["samples"])
+            hist._stride = max(hist._stride, int(shipped["stride"]))
+            while len(hist._samples) >= Histogram.MAX_SAMPLES:
+                hist._samples = hist._samples[::2]
+                hist._stride *= 2
+
 
 #: The process-global registry the instrumented modules bind against.
 REGISTRY = MetricsRegistry()
@@ -171,3 +250,13 @@ def reset(registry: Optional[MetricsRegistry] = None) -> None:
 def snapshot() -> Dict[str, Dict[str, object]]:
     """Snapshot of the global registry."""
     return REGISTRY.snapshot()
+
+
+def dump_state() -> Dict[str, object]:
+    """Picklable full state of the global registry (for pool workers)."""
+    return REGISTRY.dump_state()
+
+
+def merge_state(state: Dict[str, object]) -> None:
+    """Merge a shipped worker state into the global registry."""
+    REGISTRY.merge_state(state)

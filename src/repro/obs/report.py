@@ -1,0 +1,284 @@
+"""SUPReMM-style job reports from a run's exported artifacts.
+
+``python -m repro report RUNDIR`` consumes the artifact directory a
+traced + sampled run exported (``timeline.jsonl``, and optionally
+``spans.jsonl`` / ``metrics.json``) and renders a per-job summary in
+the spirit of SUPReMM/XDMoD job analytics: what ran, how the derived
+metrics moved over time, which phases dominated, which events were
+imbalanced across nodes, which anomaly flags and thresholding
+interrupts fired.  Output is ``report.md`` (human) + ``report.json``
+(machine) next to the inputs, or under ``--out``.
+
+This module deliberately depends only on the artifact files — not on
+live :class:`~repro.obs.timeline.JobTimeline` objects — so reports can
+be produced after the fact, on another machine, or in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+TIMELINE_FILE = "timeline.jsonl"
+SPANS_FILE = "spans.jsonl"
+METRICS_FILE = "metrics.json"
+
+
+def load_artifacts(directory: str) -> Dict[str, Any]:
+    """Read whatever run artifacts ``directory`` holds.
+
+    ``timeline.jsonl`` is required (a report without telemetry would be
+    empty); ``spans.jsonl`` and ``metrics.json`` enrich the report when
+    present.
+    """
+    timeline_path = os.path.join(directory, TIMELINE_FILE)
+    if not os.path.exists(timeline_path):
+        raise FileNotFoundError(
+            f"{timeline_path} not found — run with --sample-every N "
+            "(and --trace/--json DIR) to export job telemetry first")
+    records: List[Dict[str, Any]] = []
+    with open(timeline_path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    spans: List[Dict[str, Any]] = []
+    spans_path = os.path.join(directory, SPANS_FILE)
+    if os.path.exists(spans_path):
+        with open(spans_path) as fh:
+            spans = [json.loads(line) for line in fh if line.strip()]
+    metrics: Dict[str, Any] = {}
+    metrics_path = os.path.join(directory, METRICS_FILE)
+    if os.path.exists(metrics_path):
+        with open(metrics_path) as fh:
+            metrics = json.load(fh)
+    return {"records": records, "spans": spans, "metrics": metrics,
+            "directory": directory}
+
+
+# ---------------------------------------------------------------------------
+# report assembly
+# ---------------------------------------------------------------------------
+def _job_section(job: Dict[str, Any],
+                 records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Summarise one job's telemetry records."""
+    label = job["job"]
+    samples = [r for r in records
+               if r["kind"] == "sample" and r["job"] == label]
+    nodes = [r for r in records
+             if r["kind"] == "node" and r["job"] == label]
+    alerts = [r for r in records
+              if r["kind"] == "alert" and r["job"] == label]
+
+    # derived-metric envelope over the sampled intervals
+    derived = [r["derived"] for r in samples if "derived" in r]
+    derived_summary: Dict[str, Dict[str, float]] = {}
+    for metric in ("mflops", "ddr_bytes_per_sec", "simd_fraction"):
+        values = [d[metric] for d in derived if metric in d]
+        if values:
+            derived_summary[metric] = {
+                "min": min(values),
+                "mean": sum(values) / len(values),
+                "max": max(values),
+            }
+
+    # per-phase table: BSP phases as the samplers recorded them
+    phases: Dict[str, Dict[str, float]] = {}
+    for node in nodes:
+        for phase in node.get("phases", []):
+            agg = phases.setdefault(phase["label"], {
+                "nodes": 0, "total_cycles": 0.0, "max_cycles": 0.0})
+            width = phase["end"] - phase["start"]
+            agg["nodes"] += 1
+            agg["total_cycles"] += width
+            agg["max_cycles"] = max(agg["max_cycles"], width)
+    phase_rows = []
+    for name, agg in phases.items():
+        mean = agg["total_cycles"] / agg["nodes"] if agg["nodes"] else 0.0
+        phase_rows.append({
+            "phase": name,
+            "nodes": int(agg["nodes"]),
+            "mean_cycles": mean,
+            "max_cycles": agg["max_cycles"],
+            "share": (mean / job["elapsed_cycles"]
+                      if job.get("elapsed_cycles") else 0.0),
+        })
+    phase_rows.sort(key=lambda row: -row["mean_cycles"])
+
+    # cross-node imbalance over whole-run event totals
+    per_event: Dict[str, List[int]] = {}
+    for node in nodes:
+        for name, total in node.get("totals", {}).items():
+            per_event.setdefault(name, []).append(total)
+    imbalance = []
+    for name, values in per_event.items():
+        mean = sum(values) / len(values)
+        if mean <= 0 or len(values) < 2:
+            continue
+        imbalance.append({
+            "event": name,
+            "nodes": len(values),
+            "min": min(values),
+            "mean": mean,
+            "max": max(values),
+            "imbalance": (max(values) - min(values)) / mean,
+        })
+    imbalance.sort(key=lambda row: -row["imbalance"])
+
+    anomalies = []
+    for node in nodes:
+        for event, cycles in node.get("phase_changes", {}).items():
+            anomalies.append({"node": node["node"], "event": event,
+                              "cycles": cycles})
+
+    return {
+        "job": label,
+        "program": job.get("program"),
+        "flags": job.get("flags"),
+        "mode": job.get("mode"),
+        "nodes": job.get("nodes"),
+        "sampled_nodes": job.get("sampled_nodes"),
+        "ranks": job.get("ranks"),
+        "sample_every": job.get("sample_every"),
+        "elapsed_cycles": job.get("elapsed_cycles"),
+        "samples": len(samples),
+        "derived": derived_summary,
+        "phases": phase_rows,
+        "top_imbalanced": imbalance[:5],
+        "alerts": alerts,
+        "anomalies": anomalies,
+    }
+
+
+def build_report(artifacts: Dict[str, Any]) -> Dict[str, Any]:
+    """Assemble the machine-readable report dict."""
+    records = artifacts["records"]
+    jobs = [r for r in records if r["kind"] == "job"]
+    report: Dict[str, Any] = {
+        "source": artifacts.get("directory"),
+        "jobs": [_job_section(job, records) for job in jobs],
+    }
+    if artifacts.get("spans"):
+        summary: Dict[str, Dict[str, float]] = {}
+        for span in artifacts["spans"]:
+            agg = summary.setdefault(span["name"], {
+                "count": 0, "total_us": 0.0})
+            agg["count"] += 1
+            agg["total_us"] += span.get("dur_us") or 0.0
+        report["span_summary"] = dict(sorted(
+            summary.items(), key=lambda kv: -kv[1]["total_us"]))
+    if artifacts.get("metrics"):
+        report["sim_counters"] = artifacts["metrics"].get("counters", {})
+    return report
+
+
+# ---------------------------------------------------------------------------
+# markdown rendering
+# ---------------------------------------------------------------------------
+def _md_table(headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> str:
+    """A GitHub-flavored markdown table (local helper: the harness
+    table formatter lives above this package in the import graph)."""
+    out = ["| " + " | ".join(str(h) for h in headers) + " |",
+           "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(out)
+
+
+def _fmt(value: float, digits: int = 1) -> str:
+    return f"{value:,.{digits}f}"
+
+
+def render_markdown(report: Dict[str, Any]) -> str:
+    """The report as a human-readable markdown document."""
+    lines: List[str] = ["# Run report", ""]
+    if report.get("source"):
+        lines += [f"Artifacts: `{report['source']}`", ""]
+    for job in report["jobs"]:
+        lines += [f"## {job['job']}", ""]
+        lines.append(_md_table(
+            ["program", "flags", "mode", "nodes", "sampled", "ranks",
+             "sample every", "elapsed cycles", "samples"],
+            [[job["program"], job["flags"], job["mode"], job["nodes"],
+              job["sampled_nodes"], job["ranks"],
+              _fmt(job["sample_every"], 0),
+              _fmt(job["elapsed_cycles"], 0), job["samples"]]]))
+        lines.append("")
+        if job["derived"]:
+            lines += ["### Derived metrics over time", ""]
+            rows = []
+            for metric, stats in job["derived"].items():
+                rows.append([metric, _fmt(stats["min"], 3),
+                             _fmt(stats["mean"], 3),
+                             _fmt(stats["max"], 3)])
+            lines.append(_md_table(["metric", "min", "mean", "max"],
+                                   rows))
+            lines.append("")
+        if job["phases"]:
+            lines += ["### Phases", ""]
+            rows = [[row["phase"], row["nodes"],
+                     _fmt(row["mean_cycles"], 0),
+                     _fmt(row["max_cycles"], 0),
+                     f"{row['share'] * 100:.1f}%"]
+                    for row in job["phases"]]
+            lines.append(_md_table(
+                ["phase", "nodes", "mean cycles", "max cycles",
+                 "share of elapsed"], rows))
+            lines.append("")
+        if job["top_imbalanced"]:
+            lines += ["### Top imbalanced events", ""]
+            rows = [[row["event"], row["nodes"], _fmt(row["min"], 0),
+                     _fmt(row["mean"], 0), _fmt(row["max"], 0),
+                     f"{row['imbalance']:.3f}"]
+                    for row in job["top_imbalanced"]]
+            lines.append(_md_table(
+                ["event", "nodes", "min", "mean", "max",
+                 "(max-min)/mean"], rows))
+            lines.append("")
+        if job["alerts"]:
+            lines += ["### Threshold interrupts", ""]
+            rows = [[a["node"], _fmt(a["cycle"], 0), a["event"],
+                     _fmt(a["threshold"], 0), _fmt(a["value"], 0)]
+                    for a in job["alerts"]]
+            lines.append(_md_table(
+                ["node", "cycle", "event", "threshold", "value"], rows))
+            lines.append("")
+        if job["anomalies"]:
+            lines += ["### Anomaly flags (rate jumps)", ""]
+            rows = [[a["node"], a["event"],
+                     ", ".join(_fmt(c, 0) for c in a["cycles"])]
+                    for a in job["anomalies"]]
+            lines.append(_md_table(["node", "event", "at cycles"], rows))
+            lines.append("")
+        if not (job["alerts"] or job["anomalies"]):
+            lines += ["No threshold interrupts or anomaly flags fired.",
+                      ""]
+    if report.get("span_summary"):
+        lines += ["## Simulator span summary", ""]
+        rows = [[name, int(agg["count"]), _fmt(agg["total_us"], 1)]
+                for name, agg in list(report["span_summary"].items())[:15]]
+        lines.append(_md_table(["span", "count", "total us"], rows))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_report(directory: str,
+                 out_dir: Optional[str] = None) -> Dict[str, str]:
+    """Build and write ``report.md`` + ``report.json``.
+
+    Returns the written paths keyed by format.
+    """
+    artifacts = load_artifacts(directory)
+    report = build_report(artifacts)
+    out_dir = out_dir or directory
+    os.makedirs(out_dir, exist_ok=True)
+    json_path = os.path.join(out_dir, "report.json")
+    with open(json_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    md_path = os.path.join(out_dir, "report.md")
+    with open(md_path, "w") as fh:
+        fh.write(render_markdown(report))
+    return {"json": json_path, "markdown": md_path}

@@ -18,7 +18,11 @@ rest of the codebase composes to exploit that:
 Both are wired into ``repro.obs``: the pool records per-task wall
 times, worker utilization and task counts; memo caches record hits and
 misses — the raw material for the speedup numbers in
-``BENCH_parallel.json``.
+``BENCH_parallel.json``.  Worker-side observability is not lost to the
+process boundary: each pool task ships its metric deltas and finished
+spans back with its result, and the parent merges them into its own
+registry/tracer (see the "one registry per process" note in
+``repro.obs``).
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .obs import metrics as _metrics
+from .obs import tracer as _tracer
 from .obs.tracer import span as _span
 
 _POOL_MAPS = _metrics.counter("parallel.maps")
@@ -56,11 +61,32 @@ def get_jobs() -> int:
     return _jobs
 
 
-def _timed_call(fn: Callable, args: Tuple) -> Tuple[Any, float]:
-    """Pool target: run one task and report its wall time."""
+def _timed_call(fn: Callable, args: Tuple,
+                trace: bool = False) -> Tuple[Any, float, Dict, List]:
+    """Pool target: run one task; ship its result *and* its obs state.
+
+    Observability is process-global (see ``repro.obs``), so metrics a
+    worker increments and spans it opens would die with the worker.
+    Instead each task starts from a zeroed worker registry (fork
+    inherits the parent's counts — without the reset they would be
+    double-counted on merge), optionally records its own tracer, and
+    returns ``(result, seconds, metrics_state, span_dicts)`` for the
+    parent to merge.
+    """
+    _metrics.REGISTRY.reset()
+    worker_tracer = _tracer.install() if trace else None
     start = time.perf_counter()
-    result = fn(*args)
-    return result, time.perf_counter() - start
+    try:
+        result = fn(*args)
+    finally:
+        if worker_tracer is not None:
+            worker_tracer.close_open_spans()
+            _tracer.uninstall()
+    seconds = time.perf_counter() - start
+    span_dicts = ([s.to_dict() for s in
+                   sorted(worker_tracer.spans, key=lambda s: s.start_us)]
+                  if worker_tracer is not None else [])
+    return result, seconds, _metrics.dump_state(), span_dicts
 
 
 def parallel_map(fn: Callable, argtuples: Sequence[Tuple],
@@ -87,14 +113,24 @@ def parallel_map(fn: Callable, argtuples: Sequence[Tuple],
                workers=workers) as map_span:
         start = time.perf_counter()
         busy = 0.0
+        trace = _tracer.enabled()
         results: List[Any] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_timed_call, fn, args)
+            futures = [pool.submit(_timed_call, fn, args, trace)
                        for args in argtuples]
-            for future in futures:
-                result, seconds = future.result()
+            for index, future in enumerate(futures):
+                result, seconds, worker_state, span_dicts = (
+                    future.result())
                 _TASK_SECONDS.observe(seconds)
                 busy += seconds
+                # graft the worker's observability into this process:
+                # its metric deltas add into the parent registry, its
+                # spans land under this parallel.<label> span
+                _metrics.merge_state(worker_state)
+                recorder = _tracer.get()
+                if recorder is not None and span_dicts:
+                    recorder.absorb(span_dicts,
+                                    worker=f"{label}[{index}]")
                 results.append(result)
         wall = time.perf_counter() - start
         utilization = busy / (wall * workers) if wall > 0 else 0.0

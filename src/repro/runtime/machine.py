@@ -42,6 +42,7 @@ from ..net import (
 )
 from ..node import ComputeNode, LoopWork, OperatingMode, ProcessWork
 from ..obs import metrics as _metrics
+from ..obs import timeline as _timeline
 from ..obs.tracer import span as _span
 from ..parallel import get_jobs, parallel_map
 from .mpi import SimMPI
@@ -53,6 +54,7 @@ _NODE_CLASSES = _metrics.counter("runtime.node_classes")
 _NODE_CLASS_HITS = _metrics.counter("runtime.node_class_hits")
 _COMM_HITS = _metrics.counter("runtime.comm_cache_hits")
 _COMM_MISSES = _metrics.counter("runtime.comm_cache_misses")
+_SAMPLED_NODES = _metrics.counter("runtime.sampled_nodes")
 
 #: Cross-job cache of costed communication phases.  A comm phase is a
 #: pure function of (comm ops, rank count, mode, partition size) — the
@@ -151,6 +153,9 @@ class JobResult:
     #: after monitoring stopped, so it lengthens the job but never
     #: perturbs the counts (paper, Section IV)
     dump_io_cycles: float = 0.0
+    #: job-level sampled telemetry (only when sampling was enabled via
+    #: ``Job(..., sample_every=N)`` or an installed timeline config)
+    timeline: Optional[_timeline.JobTimeline] = None
 
     # ------------------------------------------------------------------
     # whole-machine metric helpers
@@ -222,10 +227,19 @@ class Job:
     False every node is simulated separately and every phase is costed
     from scratch (the legacy path, kept for baseline benchmarking and
     for verifying the memoized engine's results are identical).
+
+    ``sample_every`` turns on job-level telemetry: a monitoring thread
+    (:class:`repro.obs.timeline.NodeTimelineSampler`) is attached to
+    every monitored node and samples the configured event set at that
+    cycle period; the rolled-up :class:`repro.obs.timeline.JobTimeline`
+    lands on ``JobResult.timeline``.  ``None`` (default) defers to the
+    process-global config installed by ``--sample-every`` (usually:
+    sampling off, zero overhead).
     """
 
     def __init__(self, machine: Machine, program: Program, num_ranks: int,
-                 memoize: bool = True):
+                 memoize: bool = True,
+                 sample_every: Optional[int] = None):
         if num_ranks > machine.max_ranks:
             raise ValueError(
                 f"{num_ranks} ranks exceed the partition's "
@@ -235,6 +249,7 @@ class Job:
         self.program = program
         self.num_ranks = num_ranks
         self.memoize = memoize
+        self.sample_every = sample_every
 
     def run(self, counter_modes: Tuple[int, int] = (0, 2),
             dump_dir: Optional[str] = None) -> JobResult:
@@ -259,6 +274,12 @@ class Job:
                                  secondary_mode=counter_modes[1],
                                  dump_dir=dump_dir)
         session.mpi_init()
+
+        # job-level telemetry: one shadow sampler per monitored node,
+        # created per node class below so the memoized engine samples
+        # each class representative once and replicates the series
+        sampling = _timeline.resolve_config(self.sample_every)
+        samplers: Dict[int, _timeline.NodeTimelineSampler] = {}
 
         # ---- compute: one simulation per node equivalence class -------
         # SPMD placement gives every resident rank the same work, so two
@@ -301,6 +322,7 @@ class Job:
                     simulated[representative.node_id] = True
             _NODE_CLASSES.inc(len(keys))
             _NODE_CLASS_HITS.inc(len(nodes) - len(keys))
+            rep_samplers: Dict[Tuple, _timeline.NodeTimelineSampler] = {}
             for node in nodes:
                 residents = placement.ranks_on_node(node.node_id)
                 if self.memoize:
@@ -312,6 +334,23 @@ class Job:
                     node.pulse_events(events)
                 for slot, rank in enumerate(residents):
                     compute_cycles[rank] = cycles[slot]
+                if sampling is not None:
+                    # nodes of the same class split across counter modes
+                    # by the node-card policy, so the sampling class is
+                    # (compute class, counter mode); the representative
+                    # samples the compute phase once, members branch
+                    upc_mode = node.upc.mode
+                    if not sampling.events_in_mode(upc_mode):
+                        continue
+                    group = (key, upc_mode)
+                    rep = rep_samplers.get(group)
+                    if rep is None:
+                        rep = _timeline.NodeTimelineSampler(
+                            node.node_id, upc_mode, sampling)
+                        rep.feed("compute", events, max(cycles))
+                        rep_samplers[group] = rep
+                    samplers[node.node_id] = rep.branch(node.node_id)
+            _SAMPLED_NODES.inc(len(samplers))
             compute_span.set("cycles", max(compute_cycles, default=0.0))
             compute_span.set("classes", len(keys))
             compute_span.set("replicated", len(nodes) - len(keys))
@@ -335,6 +374,7 @@ class Job:
         comm_cycles = 0.0
         comm_ddr: Dict[int, int] = {}
         used_node_set = set(used_nodes)
+        assignment = machine.mode.core_assignment()
         for op_index, op in enumerate(comm_ops):
             _BSP_PHASES.inc()
             with _span("phase.comm", kind=op.kind.value,
@@ -356,6 +396,39 @@ class Job:
                     node.pulse_events(comm.collective_events)
             for node_id, lines in comm.ddr_lines_per_node.items():
                 comm_ddr[node_id] = comm_ddr.get(node_id, 0) + lines
+            if samplers:
+                phase_wait = int(round(comm.cycles_per_rank))
+                for node in nodes:
+                    sampler = samplers.get(node.node_id)
+                    if sampler is None:
+                        continue
+                    phase_events: Dict[str, int] = {}
+                    for source in (
+                            comm.torus_events.get(node.node_id, {}),
+                            comm.collective_events):
+                        for name, count in source.items():
+                            phase_events[name] = (
+                                phase_events.get(name, 0) + count)
+                    lines = comm.ddr_lines_per_node.get(node.node_id, 0)
+                    if lines:
+                        # message staging traffic for this phase
+                        phase_events["BGP_DDR0_WRITE"] = (
+                            phase_events.get("BGP_DDR0_WRITE", 0)
+                            + lines // 2)
+                        phase_events["BGP_DDR1_READ"] = (
+                            phase_events.get("BGP_DDR1_READ", 0)
+                            + lines - lines // 2)
+                    if phase_wait > 0:
+                        # comm wait elapses on every rank-hosting core
+                        residents = placement.ranks_on_node(node.node_id)
+                        for slot in range(len(residents)):
+                            for core in assignment[slot]:
+                                cname = f"BGP_PU{core}_CYCLES"
+                                phase_events[cname] = (
+                                    phase_events.get(cname, 0)
+                                    + phase_wait)
+                    sampler.feed(f"comm.{op.kind.value}", phase_events,
+                                 comm.cycles_per_rank)
         if comm_key is not None and cached_phases is None:
             while len(_COMM_CACHE) >= _COMM_CACHE_MAX:
                 _COMM_CACHE.pop(next(iter(_COMM_CACHE)))
@@ -369,7 +442,6 @@ class Job:
             })
 
         # comm wait time elapses on every core hosting a rank
-        assignment = machine.mode.core_assignment()
         comm_int = int(round(comm_cycles))
         if comm_int > 0:
             for node in nodes:
@@ -392,6 +464,31 @@ class Job:
         elapsed = max(c + comm_cycles for c in compute_cycles)
         job_span.set("cycles", elapsed)
         job_span.end()
+
+        timeline = None
+        if samplers:
+            for sampler in samplers.values():
+                # the dump ships after monitoring stopped: no events,
+                # but the job's clock keeps running through it
+                sampler.feed("dump", {}, dump_io)
+            timeline = _timeline.JobTimeline(
+                program=self.program.name,
+                flags=self.program.flags_label,
+                mode_name=machine.mode.name,
+                num_nodes=len(nodes),
+                num_ranks=self.num_ranks,
+                sample_every=sampling.sample_every,
+                elapsed_cycles=elapsed,
+                nodes={node_id: sampler.finish()
+                       for node_id, sampler in sorted(samplers.items())},
+                percentiles=sampling.percentiles,
+                wall_start_us=getattr(job_span, "start_us", None),
+                wall_dur_us=getattr(job_span, "dur_us", None),
+            )
+            if _timeline.get_config() is not None:
+                # CLI-installed sampling: register with the recorder so
+                # --trace/--json runs export timeline.jsonl at exit
+                _timeline.record(timeline)
         return JobResult(
             program_name=self.program.name,
             flags_label=self.program.flags_label,
@@ -403,6 +500,7 @@ class Job:
             aggregation=session.aggregation(),
             dump_paths=session.dump_paths,
             dump_io_cycles=dump_io,
+            timeline=timeline,
         )
 
 

@@ -217,6 +217,44 @@ def test_phase_change_detects_drop_as_well_as_jump(upc):
     assert m.phase_changes(factor=4.0) == [200]
 
 
+def test_phase_change_merges_flags_across_events(upc):
+    """Anomaly flags are the union over events, sorted and unique."""
+    m = monitor(upc, events=("BGP_PU0_FPU_FMA", "BGP_PU0_LOAD"),
+                period=100)
+    upc.pulse("BGP_PU0_FPU_FMA", 10)
+    upc.pulse("BGP_PU0_LOAD", 10)
+    m.advance(100)
+    upc.pulse("BGP_PU0_FPU_FMA", 100)  # FMA jumps at 200
+    upc.pulse("BGP_PU0_LOAD", 10)
+    m.advance(100)
+    upc.pulse("BGP_PU0_FPU_FMA", 100)
+    upc.pulse("BGP_PU0_LOAD", 1)       # LOAD drops at 300
+    m.advance(100)
+    assert m.phase_changes(factor=4.0) == [200, 300]
+
+
+def test_phase_change_flags_every_transition(upc):
+    """An app alternating phases is flagged at each boundary."""
+    m = monitor(upc, period=100)
+    for burst in (10, 100, 10, 100):
+        upc.pulse("BGP_PU0_FPU_FMA", burst)
+        m.advance(100)
+    assert m.phase_changes(factor=4.0) == [200, 300, 400]
+
+
+def test_phase_change_same_cycle_reported_once(upc):
+    """Two events jumping at the same boundary yield one flag."""
+    m = monitor(upc, events=("BGP_PU0_FPU_FMA", "BGP_PU0_LOAD"),
+                period=100)
+    upc.pulse("BGP_PU0_FPU_FMA", 10)
+    upc.pulse("BGP_PU0_LOAD", 10)
+    m.advance(100)
+    upc.pulse("BGP_PU0_FPU_FMA", 100)
+    upc.pulse("BGP_PU0_LOAD", 100)
+    m.advance(100)
+    assert m.phase_changes(factor=4.0) == [200]
+
+
 def test_counter_wrap_with_numpy_scalar_reads(upc):
     """Regression: NumPy-typed counter reads must not defeat the wrap fix.
 

@@ -50,7 +50,85 @@ def test_empty_histogram_snapshot_is_finite():
     r.histogram("x")
     snap = r.snapshot()["histograms"]["x"]
     assert snap == {"count": 0, "total": 0.0, "mean": 0.0,
-                    "min": 0.0, "max": 0.0}
+                    "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+
+def test_histogram_percentiles_exact_when_under_capacity():
+    r = MetricsRegistry()
+    h = r.histogram("x")
+    for v in range(1, 101):  # 1..100, arrival order irrelevant
+        h.observe(float(v))
+    snap = h.to_dict()
+    assert snap["p50"] == 50.0
+    assert snap["p90"] == 90.0
+    assert snap["p99"] == 99.0
+
+
+def test_histogram_percentiles_survive_reservoir_decimation():
+    r = MetricsRegistry()
+    h = r.histogram("x")
+    n = 4 * h.MAX_SAMPLES  # forces at least two decimation rounds
+    for v in range(n):
+        h.observe(float(v))
+    assert len(h._samples) < h.MAX_SAMPLES
+    assert h.count == n
+    # decimation keeps an evenly spaced subsample: percentiles stay
+    # within a stride of the exact answer
+    assert abs(h.percentile(50) - n * 0.50) <= 2 * h._stride
+    assert abs(h.percentile(90) - n * 0.90) <= 2 * h._stride
+
+
+def test_histogram_reset_clears_reservoir():
+    r = MetricsRegistry()
+    h = r.histogram("x")
+    for v in range(10):
+        h.observe(float(v))
+    r.reset()
+    assert h._samples == [] and h._stride == 1
+    assert h.percentile(50) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# cross-process state shipping (the pool-worker merge protocol)
+# ---------------------------------------------------------------------------
+def test_dump_and_merge_state_counters_add_gauges_overwrite():
+    worker = MetricsRegistry()
+    worker.counter("tasks").inc(3)
+    worker.gauge("depth").set(2.5)
+    parent = MetricsRegistry()
+    parent.counter("tasks").inc(1)
+    parent.merge_state(worker.dump_state())
+    assert parent.counter("tasks").value == 4
+    assert parent.gauge("depth").value == 2.5
+
+
+def test_merge_state_combines_histograms_including_tails():
+    worker = MetricsRegistry()
+    parent = MetricsRegistry()
+    for v in (1.0, 2.0, 3.0):
+        parent.histogram("lat").observe(v)
+    for v in (100.0, 200.0):
+        worker.histogram("lat").observe(v)
+    parent.merge_state(worker.dump_state())
+    h = parent.histogram("lat")
+    assert h.count == 5
+    assert h.total == 306.0
+    assert h.min == 1.0 and h.max == 200.0
+    assert h.percentile(99) == 200.0  # worker tail visible in parent
+
+
+def test_merge_state_roundtrips_through_pickle():
+    import pickle
+
+    worker = MetricsRegistry()
+    worker.counter("n").inc(2)
+    worker.histogram("h").observe(7.0)
+    state = pickle.loads(pickle.dumps(worker.dump_state()))
+    parent = MetricsRegistry()
+    parent.merge_state(state)
+    assert parent.counter("n").value == 2
+    assert parent.histogram("h").to_dict()["p50"] == 7.0
 
 
 def test_get_or_create_returns_same_instance():

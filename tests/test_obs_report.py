@@ -1,0 +1,98 @@
+"""Tests for SUPReMM-style run reports (repro.obs.report)."""
+
+import json
+
+import pytest
+
+from repro.compiler import O5, compile_program
+from repro.node import OperatingMode
+from repro.npb import build_benchmark
+from repro.obs import report as obs_report
+from repro.obs import timeline as tl
+from repro.runtime import Job, Machine
+from repro.runtime.machine import clear_comm_cache
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    """An artifact directory as a sampled + traced CLI run exports it."""
+    from repro.obs import tracer
+
+    directory = tmp_path_factory.mktemp("run")
+    clear_comm_cache()
+    tl.clear_recorded()
+    tl.install_sampling(tl.TimelineConfig(
+        sample_every=200_000,
+        thresholds={"BGP_PU0_INST_COMPLETED": 1_000_000}))
+    program = compile_program(build_benchmark("MG", num_ranks=16,
+                                              problem_class="A"), O5())
+    machine = Machine(4, mode=OperatingMode.VNM)
+    with tracer.recording() as recording:
+        Job(machine, program, 16).run()
+    tl.uninstall_sampling()
+    recording.close_open_spans()
+    tl.export_jsonl(str(directory / "timeline.jsonl"))
+    recording.export_jsonl(str(directory / "spans.jsonl"))
+    tl.clear_recorded()
+    return directory
+
+
+def test_load_artifacts_requires_timeline(tmp_path):
+    with pytest.raises(FileNotFoundError, match="sample-every"):
+        obs_report.load_artifacts(str(tmp_path))
+
+
+def test_build_report_summarises_the_job(artifact_dir):
+    artifacts = obs_report.load_artifacts(str(artifact_dir))
+    report = obs_report.build_report(artifacts)
+    (job,) = report["jobs"]
+    assert job["program"] == "MG"
+    assert job["mode"] == "VNM"
+    assert job["sampled_nodes"] == 4
+    assert job["samples"] > 0
+    assert job["derived"]["mflops"]["max"] > 0
+    phases = {row["phase"] for row in job["phases"]}
+    assert "compute" in phases
+    assert any(p.startswith("comm.") for p in phases)
+    assert job["alerts"], "the threshold config must fire alerts"
+    # span summary present because spans.jsonl was exported
+    assert "job" in report["span_summary"]
+
+
+def test_render_markdown_contains_tables(artifact_dir):
+    artifacts = obs_report.load_artifacts(str(artifact_dir))
+    markdown = obs_report.render_markdown(
+        obs_report.build_report(artifacts))
+    assert markdown.startswith("# Run report")
+    assert "### Phases" in markdown
+    assert "### Threshold interrupts" in markdown
+    assert "| compute |" in markdown
+    assert "BGP_PU0_INST_COMPLETED" in markdown
+
+
+def test_write_report_emits_both_formats(artifact_dir):
+    paths = obs_report.write_report(str(artifact_dir))
+    doc = json.load(open(paths["json"]))
+    assert doc["jobs"][0]["program"] == "MG"
+    text = open(paths["markdown"]).read()
+    assert "# Run report" in text
+
+
+def test_write_report_respects_out_dir(artifact_dir, tmp_path):
+    out = tmp_path / "elsewhere"
+    paths = obs_report.write_report(str(artifact_dir), str(out))
+    assert paths["json"].startswith(str(out))
+    assert paths["markdown"].startswith(str(out))
+    assert (out / "report.md").exists()
+
+
+def test_report_without_spans_or_metrics(tmp_path, artifact_dir):
+    """timeline.jsonl alone must be enough for a report."""
+    bare = tmp_path / "bare"
+    bare.mkdir()
+    (bare / "timeline.jsonl").write_text(
+        (artifact_dir / "timeline.jsonl").read_text())
+    report = obs_report.build_report(
+        obs_report.load_artifacts(str(bare)))
+    assert "span_summary" not in report
+    assert report["jobs"][0]["samples"] > 0

@@ -150,3 +150,71 @@ def test_module_default_from_env():
     # the module initialises from REPRO_JOBS; whatever it was, the
     # runtime knob must stay a positive int
     assert parallel.get_jobs() >= 1
+
+
+# ---------------------------------------------------------------------------
+# worker-side observability ships back with the results
+# ---------------------------------------------------------------------------
+def _observed_square(x):
+    from repro.obs import metrics
+    from repro.obs.tracer import span
+
+    metrics.counter("test.pool_work").inc()
+    metrics.histogram("test.pool_values").observe(float(x))
+    with span("test.work", x=x):
+        return x * x
+
+
+def test_pool_workers_metrics_merge_into_parent():
+    from repro.obs import metrics
+
+    metrics.reset()
+    out = parallel_map(_observed_square, [(i,) for i in range(6)],
+                       jobs=2)
+    assert out == [i * i for i in range(6)]
+    snap = metrics.snapshot()
+    # all six increments happened in workers, yet the parent sees them
+    assert snap["counters"]["test.pool_work"] == 6
+    hist = snap["histograms"]["test.pool_values"]
+    assert hist["count"] == 6
+    assert hist["min"] == 0.0 and hist["max"] == 5.0
+    metrics.reset()
+
+
+def test_pool_worker_state_is_a_delta_not_a_double_count():
+    """Fork inherits the parent registry; workers must reset it so the
+    shipped state holds only this task's increments."""
+    from repro.obs import metrics
+
+    metrics.reset()
+    metrics.counter("test.pool_work").inc(1000)  # parent-side history
+    parallel_map(_observed_square, [(1,), (2,)], jobs=2)
+    assert metrics.snapshot()["counters"]["test.pool_work"] == 1002
+    metrics.reset()
+
+
+def test_pool_worker_spans_absorbed_under_map_span():
+    from repro.obs import tracer
+
+    with tracer.recording() as recording:
+        parallel_map(_observed_square, [(i,) for i in range(4)],
+                     jobs=2)
+    names = [s.name for s in recording.spans]
+    assert names.count("test.work") == 4
+    map_span = next(s for s in recording.spans
+                    if s.name == "parallel.map")
+    workers = [s for s in recording.spans if s.name == "test.work"]
+    assert all(s.parent_id == map_span.span_id for s in workers)
+    assert all(s.attrs.get("worker") for s in workers)
+    # shipped spans are closed and land inside the recorded window
+    assert all(s.dur_us is not None for s in workers)
+
+
+def test_serial_path_needs_no_shipping():
+    """At jobs=1 the obs state is written in-process directly."""
+    from repro.obs import metrics
+
+    metrics.reset()
+    parallel_map(_observed_square, [(3,)], jobs=1)
+    assert metrics.snapshot()["counters"]["test.pool_work"] == 1
+    metrics.reset()
