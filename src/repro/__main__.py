@@ -14,6 +14,14 @@ Usage::
                                     # counter tracks in trace.json)
     python -m repro report out/     # render report.md + report.json
                                     # from an exported artifact dir
+    python -m repro --jobs 4 --resume ckpt/
+                                    # checkpoint every completed sweep
+                                    # point/experiment into ckpt/; an
+                                    # interrupted run restarted with the
+                                    # same directory resumes from there
+    python -m repro fault-audit --faults seed=7,link_stall_rate=0.1
+                                    # seeded fault injection (RAS log
+                                    # exported as ras.jsonl)
 
 Experiment tables go to stdout; progress/telemetry goes to the
 structured log on stderr (``-v`` for timings, ``-vv`` for debug,
@@ -26,12 +34,17 @@ import argparse
 import sys
 import time
 
+from . import faults as faults_mod
 from .harness import (
     ABLATION_EXPERIMENTS,
     ALL_EXPERIMENTS,
+    ExperimentResult,
+    attach_resume,
     characterization_table,
+    detach_resume,
     ext_microbench,
     ext_scaling,
+    fault_audit,
     format_table,
     model_validation,
     smoke_telemetry,
@@ -83,6 +96,18 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="print a hot-span summary table after the "
                              "run (implies span recording)")
+    parser.add_argument("--resume", metavar="DIR", default=None,
+                        help="checkpoint every completed sweep point "
+                             "and experiment into DIR (atomic JSON); "
+                             "rerunning with the same DIR resumes an "
+                             "interrupted run from the finished work")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="enable seeded fault injection, e.g. "
+                             "'seed=7,sram_flip_rate=0.1,"
+                             "link_stall_rate=0.5' (see repro.faults; "
+                             "the RAS event log is written to the "
+                             "--trace/--json/--csv directory as "
+                             "ras.jsonl)")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="log progress at INFO (-v) or DEBUG (-vv)")
     parser.add_argument("-q", "--quiet", action="store_true",
@@ -93,6 +118,17 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     set_jobs(args.jobs)
+    if args.resume and args.faults:
+        parser.error("--resume cannot be combined with --faults: "
+                     "fault-perturbed results must never seed a resume "
+                     "checkpoint")
+    injector = None
+    if args.faults:
+        try:
+            injector = faults_mod.install(
+                faults_mod.FaultConfig.parse(args.faults))
+        except ValueError as exc:
+            parser.error(f"--faults: {exc}")
     if args.sample_every is not None:
         if args.sample_every < 1:
             parser.error(f"--sample-every must be >= 1 cycle, "
@@ -107,6 +143,7 @@ def main(argv=None) -> int:
     catalog["ext-scaling"] = ext_scaling
     catalog["ext-microbench"] = ext_microbench
     catalog["smoke"] = smoke_telemetry
+    catalog["fault-audit"] = fault_audit
 
     if args.list:
         for name, fn in catalog.items():
@@ -134,27 +171,62 @@ def main(argv=None) -> int:
             except OSError as exc:
                 parser.error(f"{flag} {directory!r}: {exc}")
 
+    store = None
+    if args.resume:
+        try:
+            store = attach_resume(args.resume)
+        except OSError as exc:
+            parser.error(f"--resume {args.resume!r}: {exc}")
+
+    def emit(result) -> None:
+        print(result.render())
+        print()
+        if args.csv:
+            path = _write_csv(result, args.csv)
+            log.info(kv("experiment.csv", id=result.experiment_id,
+                        path=path))
+        if args.json:
+            path = _write_json(result, args.json)
+            log.info(kv("experiment.json", id=result.experiment_id,
+                        path=path))
+
+    interrupted = False
     recording = tracer.install() if (args.trace or args.profile) else None
     try:
-        for name in selected:
-            log.info(kv("experiment.start", id=name))
-            start = time.perf_counter()
-            result = catalog[name]()
-            elapsed = time.perf_counter() - start
-            print(result.render())
-            print()
-            log.info(kv("experiment.done", id=name, seconds=elapsed))
-            if args.csv:
-                path = _write_csv(result, args.csv)
-                log.info(kv("experiment.csv", id=name, path=path))
-            if args.json:
-                path = _write_json(result, args.json)
-                log.info(kv("experiment.json", id=name, path=path))
+        try:
+            for name in selected:
+                if store is not None:
+                    payload = store.load("experiments", name)
+                    if payload is not None:
+                        log.info(kv("experiment.resumed", id=name))
+                        emit(ExperimentResult.from_dict(payload))
+                        continue
+                log.info(kv("experiment.start", id=name))
+                start = time.perf_counter()
+                result = catalog[name]()
+                elapsed = time.perf_counter() - start
+                log.info(kv("experiment.done", id=name, seconds=elapsed))
+                if store is not None:
+                    store.save("experiments", name, result.to_dict())
+                emit(result)
+        except KeyboardInterrupt:
+            # completed sweep points/experiments are already on disk
+            # (when --resume is active); tell the user how to continue
+            interrupted = True
+            log.warning(kv(
+                "run.interrupted",
+                resume=(f"rerun with --resume {args.resume} to continue"
+                        if args.resume else
+                        "rerun with --resume DIR to make runs resumable")))
     finally:
         if recording is not None:
             tracer.uninstall()
         if args.sample_every is not None:
             obs_timeline.uninstall_sampling()
+        if store is not None:
+            detach_resume()
+        if injector is not None:
+            faults_mod.uninstall()
 
     if recording is not None:
         recording.close_open_spans()
@@ -178,7 +250,17 @@ def main(argv=None) -> int:
         elif not out_dir:
             log.warning(kv("timeline.discarded",
                            reason="no --trace/--json/--csv directory"))
-    return 0
+    if injector is not None and injector.events:
+        out_dir = args.trace or args.json or args.csv
+        if out_dir:
+            path = os.path.join(out_dir, "ras.jsonl")
+            count = injector.export_jsonl(path)
+            log.info(kv("ras.artifact", path=path, events=count))
+        else:
+            log.warning(kv("ras.discarded",
+                           reason="no --trace/--json/--csv directory",
+                           events=len(injector.events)))
+    return 130 if interrupted else 0
 
 
 def _report_main(argv) -> int:

@@ -1,0 +1,100 @@
+"""Atomic on-disk checkpoints for interrupted runs (``--resume DIR``).
+
+A sweep over class-C NPB kernels is minutes of simulation; a SIGINT,
+a dead worker or a batch-system preemption at minute nine should not
+cost the first eight.  :class:`CheckpointStore` persists every
+completed unit of work — a memoized sweep point, a finished
+experiment's row table — as its own small JSON file, written atomically
+(temp file + fsync + ``os.replace``) so a crash mid-write can never
+leave a half-written checkpoint that a resumed run would trust.
+
+Layout: ``<dir>/<category>/<sha256(repr(key))[:40]>.json``, each file
+holding ``{"key": repr(key), "payload": ...}``.  The recorded ``repr``
+guards against digest collisions and makes the files self-describing;
+a file whose recorded key disagrees, or that fails to parse, is treated
+as absent (with a logged warning) rather than poisoning the resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from .obs import metrics as _metrics
+from .obs.logging import get_logger, kv
+
+_log = get_logger("checkpoint")
+
+_SAVES = _metrics.counter("checkpoint.saves")
+_LOADS = _metrics.counter("checkpoint.loads")
+
+
+def digest(key: Any) -> str:
+    """Stable filename stem for a cache key (hash of its ``repr``).
+
+    ``repr`` rather than ``hash()``: Python's string hashing is
+    PYTHONHASHSEED-salted per process, while the key types used here
+    (str/int/tuple/frozen dataclasses) all have stable, faithful reprs.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:40]
+
+
+class CheckpointStore:
+    """A directory of atomically-written, self-describing JSON records."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, category: str, key: Any) -> Path:
+        return self.directory / category / f"{digest(key)}.json"
+
+    def save(self, category: str, key: Any, payload: Any) -> Path:
+        """Persist one record; atomic even against a crash mid-write."""
+        target = self.path(category, key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump({"key": repr(key), "payload": payload}, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        _SAVES.inc()
+        return target
+
+    def load(self, category: str, key: Any) -> Optional[Any]:
+        """The saved payload, or None if absent/corrupt/mismatched."""
+        target = self.path(category, key)
+        try:
+            with open(target) as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            _log.warning(kv("checkpoint.unreadable", path=str(target),
+                            error=type(exc).__name__))
+            return None
+        if record.get("key") != repr(key):
+            _log.warning(kv("checkpoint.key_mismatch", path=str(target),
+                            expected=repr(key)))
+            return None
+        _LOADS.inc()
+        return record.get("payload")
+
+    def count(self, category: Optional[str] = None) -> int:
+        """Number of records on disk (optionally within one category)."""
+        root = self.directory / category if category else self.directory
+        if not root.is_dir():
+            return 0
+        return sum(1 for _ in root.rglob("*.json"))

@@ -19,7 +19,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 import numpy as np
 
 from .dump import DumpFormatError, NodeDump, read_dump
-from .events import COUNTERS_PER_MODE, EVENTS_BY_ID, Event
+from .events import COUNTERS_PER_MODE, EVENTS_BY_ID, EVENTS_BY_NAME, Event
 
 
 @dataclass(frozen=True)
@@ -121,6 +121,35 @@ class Aggregation:
                 total=int(sum(values)),
                 node_count=len(values),
             )
+
+    @classmethod
+    def from_stats(cls, set_id: int,
+                   nodes_by_mode: Mapping[int | str, Sequence[int]],
+                   stats: Mapping[str, Sequence]) -> "Aggregation":
+        """Rebuild an aggregation from serialised statistics.
+
+        Inverse of the checkpoint layer's encoding: ``stats`` maps each
+        event name to its ``[min, max, mean, total, node_count]`` row
+        (JSON turns ``nodes_by_mode`` keys into strings; both forms are
+        accepted).  Validation already ran when the original dumps were
+        aggregated, so none is repeated here.
+        """
+        agg = cls.__new__(cls)
+        agg.set_id = set_id
+        agg.nodes_by_mode = {int(mode): [int(n) for n in nodes]
+                             for mode, nodes in nodes_by_mode.items()}
+        agg.stats = {}
+        for name, row in stats.items():
+            minimum, maximum, mean, total, node_count = row
+            agg.stats[name] = CounterStats(
+                event=EVENTS_BY_NAME[name],
+                minimum=int(minimum),
+                maximum=int(maximum),
+                mean=float(mean),
+                total=int(total),
+                node_count=int(node_count),
+            )
+        return agg
 
     # ------------------------------------------------------------------
     def __contains__(self, event_name: str) -> bool:

@@ -6,6 +6,14 @@ the simulated machine and returns an
 the same information the paper plots.  The benchmark harness under
 ``benchmarks/`` wraps these runners one-to-one, and EXPERIMENTS.md
 records paper-vs-measured for each.
+
+Every runner here is resumable for free: the expensive work funnels
+through the memoised sweep runners in :mod:`~repro.harness.sweep`,
+which ``--resume DIR`` backs with an on-disk
+:class:`~repro.checkpoint.CheckpointStore` — an interrupted figure
+restarts from its completed sweep points, and a finished figure's whole
+row table is replayed from the experiment-level checkpoint without
+rerunning anything.
 """
 
 from __future__ import annotations
@@ -46,7 +54,7 @@ def traced_experiment(experiment_id: str):
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
             _RUNS.inc()
-            with _span(f"experiment:{experiment_id}"):
+            with _span(f"experiment:{experiment_id}", id=experiment_id):
                 return fn(*args, **kwargs)
         return wrapper
     return decorate

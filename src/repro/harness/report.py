@@ -115,6 +115,19 @@ class ExperimentResult:
         """The result serialised as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent)
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result saved by :meth:`to_dict` (the ``--resume``
+        layer replays finished experiments from these)."""
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            headers=list(data["headers"]),
+            rows=[list(row) for row in data["rows"]],
+            notes=list(data["notes"]),
+            summary=dict(data["summary"]),
+        )
+
 
 def _json_cell(value: object) -> object:
     """Coerce table cells (incl. numpy scalars) to JSON-safe values."""

@@ -14,8 +14,9 @@ byte-identical to a pre-pool run.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
+from ..checkpoint import CheckpointStore
 from ..compiler import FlagSet, Program, compile_program
 from ..mem import NodeMemoryConfig
 from ..node import OperatingMode
@@ -146,3 +147,32 @@ def clear_caches() -> None:
     run_smp1.cache_clear()
     run_scaled_vnm.cache_clear()
     clear_comm_cache()
+
+
+# ---------------------------------------------------------------------------
+# checkpoint/resume (the --resume DIR layer)
+# ---------------------------------------------------------------------------
+#: Every memoised sweep-point runner, i.e. everything worth persisting.
+_RESUMABLE = (run_vnm, run_smp1, run_scaled_vnm)
+
+
+def attach_resume(directory) -> CheckpointStore:
+    """Back every memoised sweep runner with an on-disk store.
+
+    From here on, each completed sweep point is persisted atomically as
+    it finishes, and cache misses consult the store before simulating —
+    so a run interrupted by SIGINT or a dead worker picks up where it
+    left off when restarted with the same directory.  Returns the store
+    (the CLI also checkpoints whole experiment results into it).
+    """
+    store = CheckpointStore(directory)
+    for runner in _RESUMABLE:
+        runner.attach_store(store, encode=lambda r: r.to_dict(),
+                            decode=JobResult.from_dict)
+    return store
+
+
+def detach_resume() -> None:
+    """Disconnect the sweep runners from any attached store."""
+    for runner in _RESUMABLE:
+        runner.detach_store()

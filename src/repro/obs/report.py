@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence
 TIMELINE_FILE = "timeline.jsonl"
 SPANS_FILE = "spans.jsonl"
 METRICS_FILE = "metrics.json"
+RAS_FILE = "ras.jsonl"
 
 
 def load_artifacts(directory: str) -> Dict[str, Any]:
@@ -53,8 +54,13 @@ def load_artifacts(directory: str) -> Dict[str, Any]:
     if os.path.exists(metrics_path):
         with open(metrics_path) as fh:
             metrics = json.load(fh)
+    ras: List[Dict[str, Any]] = []
+    ras_path = os.path.join(directory, RAS_FILE)
+    if os.path.exists(ras_path):
+        with open(ras_path) as fh:
+            ras = [json.loads(line) for line in fh if line.strip()]
     return {"records": records, "spans": spans, "metrics": metrics,
-            "directory": directory}
+            "ras": ras, "directory": directory}
 
 
 # ---------------------------------------------------------------------------
@@ -170,6 +176,16 @@ def build_report(artifacts: Dict[str, Any]) -> Dict[str, Any]:
             summary.items(), key=lambda kv: -kv[1]["total_us"]))
     if artifacts.get("metrics"):
         report["sim_counters"] = artifacts["metrics"].get("counters", {})
+    if artifacts.get("ras"):
+        ras = artifacts["ras"]
+        by_kind: Dict[str, int] = {}
+        for event in ras:
+            by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+        report["ras"] = {
+            "total": len(ras),
+            "by_kind": dict(sorted(by_kind.items())),
+            "events": ras,
+        }
     return report
 
 
@@ -255,6 +271,26 @@ def render_markdown(report: Dict[str, Any]) -> str:
         if not (job["alerts"] or job["anomalies"]):
             lines += ["No threshold interrupts or anomaly flags fired.",
                       ""]
+    if report.get("ras"):
+        ras = report["ras"]
+        lines += ["## RAS events (injected faults)", ""]
+        kinds = ", ".join(f"{kind}: {count}"
+                          for kind, count in ras["by_kind"].items())
+        lines += [f"{ras['total']} event(s) — {kinds}", ""]
+        rows = [[e["kind"], e["severity"],
+                 "-" if e.get("node_id") is None else e["node_id"],
+                 e["phase"], e["job"],
+                 ", ".join(f"{k}={v}"
+                           for k, v in sorted(e.get("detail",
+                                                    {}).items()))]
+                for e in ras["events"][:20]]
+        lines.append(_md_table(
+            ["kind", "severity", "node", "phase", "job", "detail"],
+            rows))
+        if ras["total"] > 20:
+            lines.append(f"... and {ras['total'] - 20} more "
+                         "(see ras.jsonl)")
+        lines.append("")
     if report.get("span_summary"):
         lines += ["## Simulator span summary", ""]
         rows = [[name, int(agg["count"]), _fmt(agg["total_us"], 1)]

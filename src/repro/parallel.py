@@ -12,8 +12,10 @@ rest of the codebase composes to exploit that:
   (:func:`set_jobs` / the ``--jobs N`` CLI flag, default 1 so every
   result stays deterministic and byte-identical to the serial path);
 * a **memoization layer** (:func:`memoized` + :func:`warm`) that caches
-  whole simulation results by argument tuple and can pre-fill its cache
-  from the pool, so serial consumers downstream simply hit the cache.
+  whole simulation results by argument tuple, can pre-fill its cache
+  from the pool, and can be backed by an on-disk
+  :class:`~repro.checkpoint.CheckpointStore` so an interrupted sweep
+  resumes from the points that already finished.
 
 Both are wired into ``repro.obs``: the pool records per-task wall
 times, worker utilization and task counts; memo caches record hits and
@@ -21,8 +23,23 @@ misses — the raw material for the speedup numbers in
 ``BENCH_parallel.json``.  Worker-side observability is not lost to the
 process boundary: each pool task ships its metric deltas and finished
 spans back with its result, and the parent merges them into its own
-registry/tracer (see the "one registry per process" note in
-``repro.obs``).
+registry/tracer **as each task completes** (see the "one registry per
+process" note in ``repro.obs``).
+
+Fault tolerance
+---------------
+Blue Gene/P's RAS design assumes components fail; so does the pool
+path.  Its per-task policy (:class:`Resilience` / :func:`set_resilience`)
+gives every task a bounded number of retries with exponential backoff
+and an optional wall-clock timeout.  A worker that dies mid-task (a
+crash, an ``os._exit``, the OOM killer) breaks the whole
+``ProcessPoolExecutor``; the engine salvages every task that already
+finished, respawns the pool, and re-runs only the lost tasks.  A task
+that keeps failing re-raises its error — after the completed siblings'
+metrics and spans have been merged and all pending work has been
+cancelled, so a single bad sweep point never discards or deadlocks the
+rest of the figure.  ``KeyboardInterrupt`` tears the pool down the same
+way instead of blocking on unfinished futures.
 """
 
 from __future__ import annotations
@@ -31,21 +48,63 @@ import functools
 import inspect
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait as _futures_wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .obs import metrics as _metrics
 from .obs import tracer as _tracer
+from .obs.logging import get_logger, kv
 from .obs.tracer import span as _span
+
+_log = get_logger("parallel")
 
 _POOL_MAPS = _metrics.counter("parallel.maps")
 _POOL_TASKS = _metrics.counter("parallel.pool_tasks")
 _SERIAL_TASKS = _metrics.counter("parallel.serial_tasks")
 _TASK_SECONDS = _metrics.histogram("parallel.task_seconds")
 _UTILIZATION = _metrics.gauge("parallel.worker_utilization")
+_RETRIES = _metrics.counter("parallel.retries")
+_TIMEOUTS = _metrics.counter("parallel.timeouts")
+_RESPAWNS = _metrics.counter("parallel.pool_respawns")
+_FAILURES = _metrics.counter("parallel.task_failures")
+
+
+def _jobs_from_env() -> int:
+    """The ``REPRO_JOBS`` default, hardened against garbage values.
+
+    A mis-set environment variable (``REPRO_JOBS=abc``) must not make
+    ``import repro.parallel`` raise; it falls back to the serial default
+    with a logged warning instead.
+    """
+    raw = os.environ.get("REPRO_JOBS", "")
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        _log.warning(kv("parallel.bad_jobs_env", REPRO_JOBS=raw,
+                        fallback=1))
+        return 1
+
 
 #: Process-wide worker count; 1 means "never spawn a pool".
-_jobs = max(1, int(os.environ.get("REPRO_JOBS", "1") or 1))
+_jobs = _jobs_from_env()
 
 
 def set_jobs(n: int) -> None:
@@ -61,6 +120,52 @@ def get_jobs() -> int:
     return _jobs
 
 
+# ---------------------------------------------------------------------------
+# resilience policy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Resilience:
+    """Per-task fault-handling policy of the pool path.
+
+    ``retries`` is the number of *additional* attempts a failed task
+    gets (so a task runs at most ``retries + 1`` times); retry ``k``
+    sleeps ``backoff_seconds * 2**(k-1)`` first.  ``timeout_seconds``
+    bounds one attempt's wall time — a stuck worker cannot be cancelled,
+    so expiry kills and respawns the pool, charging only the overdue
+    task an attempt (in-flight siblings are re-run for free).
+    """
+
+    retries: int = 2
+    backoff_seconds: float = 0.05
+    timeout_seconds: Optional[float] = None
+
+
+_resilience = Resilience()
+
+
+def set_resilience(policy: Resilience) -> None:
+    """Set the process-wide pool fault-handling policy."""
+    if policy.retries < 0:
+        raise ValueError(f"retries must be >= 0, got {policy.retries}")
+    if policy.backoff_seconds < 0:
+        raise ValueError("backoff_seconds must be >= 0, "
+                         f"got {policy.backoff_seconds}")
+    if policy.timeout_seconds is not None and policy.timeout_seconds <= 0:
+        raise ValueError("timeout_seconds must be positive or None, "
+                         f"got {policy.timeout_seconds}")
+    global _resilience
+    _resilience = policy
+
+
+def get_resilience() -> Resilience:
+    """The current process-wide pool fault-handling policy."""
+    return _resilience
+
+
+class TaskTimeoutError(TimeoutError):
+    """A pool task exceeded its per-attempt timeout on every attempt."""
+
+
 def _timed_call(fn: Callable, args: Tuple,
                 trace: bool = False) -> Tuple[Any, float, Dict, List]:
     """Pool target: run one task; ship its result *and* its obs state.
@@ -73,6 +178,11 @@ def _timed_call(fn: Callable, args: Tuple,
     returns ``(result, seconds, metrics_state, span_dicts)`` for the
     parent to merge.
     """
+    # forked workers inherit the parent's _jobs > 1; a task that itself
+    # calls parallel_map (e.g. Job.run fanning node classes inside a
+    # sweep-point task) must stay serial or it nests process pools and
+    # oversubscribes the machine
+    set_jobs(1)
     _metrics.REGISTRY.reset()
     worker_tracer = _tracer.install() if trace else None
     start = time.perf_counter()
@@ -89,49 +199,242 @@ def _timed_call(fn: Callable, args: Tuple,
     return result, seconds, _metrics.dump_state(), span_dicts
 
 
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without waiting, killing its workers outright.
+
+    The worker list must be snapshotted *before* ``shutdown()`` —
+    CPython drops ``_processes`` there — and the workers terminated
+    *after* it: a running task cannot be cancelled, and a worker left
+    sleeping would keep the executor's management thread (and thus
+    interpreter exit) blocked until the task finished on its own.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    finally:
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+
+class _PoolRun:
+    """One resilient pool execution of a batch of tasks.
+
+    Owns the executor, the in-flight future bookkeeping, the per-task
+    attempt counters and the incremental obs merging; :meth:`run`
+    returns the ordered results plus the summed busy seconds.
+    """
+
+    def __init__(self, fn: Callable, argtuples: Sequence[Tuple],
+                 workers: int, trace: bool, label: str,
+                 policy: Resilience):
+        self.fn = fn
+        self.argtuples = argtuples
+        self.workers = workers
+        self.trace = trace
+        self.label = label
+        self.policy = policy
+        self.results: Dict[int, Any] = {}
+        self.attempts = [0] * len(argtuples)
+        self.busy = 0.0
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.futures: Dict[Future, int] = {}
+        self.deadlines: Dict[Future, float] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple[List[Any], float]:
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            for index in range(len(self.argtuples)):
+                self._submit(index)
+            while self.futures:
+                self._step()
+            self.pool.shutdown()
+            return ([self.results[i] for i in range(len(self.argtuples))],
+                    self.busy)
+        except BaseException:
+            # task failure, timeout, crash beyond retries, or an
+            # interrupt: completed siblings' results and obs state were
+            # already merged as they finished; drop everything pending
+            # and leave — never block on unfinished futures
+            self._abort()
+            raise
+
+    def _abort(self) -> None:
+        for future in self.futures:
+            future.cancel()
+        _kill_pool(self.pool)
+
+    # ------------------------------------------------------------------
+    def _submit(self, index: int) -> None:
+        self.attempts[index] += 1
+        future = self.pool.submit(_timed_call, self.fn,
+                                  self.argtuples[index], self.trace)
+        self.futures[future] = index
+        if self.policy.timeout_seconds is not None:
+            self.deadlines[future] = (time.monotonic()
+                                      + self.policy.timeout_seconds)
+
+    def _step(self) -> None:
+        timeout = None
+        if self.deadlines:
+            timeout = max(0.0,
+                          min(self.deadlines.values()) - time.monotonic())
+        done, _ = _futures_wait(set(self.futures), timeout=timeout,
+                                return_when=FIRST_COMPLETED)
+        if not done:
+            self._handle_timeouts()
+            return
+        for future in done:
+            if future not in self.futures:
+                continue  # bookkeeping was rebuilt by a pool respawn
+            self._finish_one(future)
+
+    def _finish_one(self, future: Future) -> None:
+        index = self.futures.pop(future)
+        self.deadlines.pop(future, None)
+        try:
+            payload = future.result()
+        except BrokenProcessPool as exc:
+            self.futures[future] = index  # it is lost work too
+            self._recover_crash(exc)
+        except Exception as exc:
+            self._retry_or_raise(index, exc)
+        else:
+            self._absorb(index, payload)
+
+    def _absorb(self, index: int, payload: Tuple) -> None:
+        """Merge one completed task's result and obs state immediately."""
+        result, seconds, worker_state, span_dicts = payload
+        _TASK_SECONDS.observe(seconds)
+        self.busy += seconds
+        # graft the worker's observability into this process: its
+        # metric deltas add into the parent registry, its spans land
+        # under this parallel.<label> span
+        _metrics.merge_state(worker_state)
+        recorder = _tracer.get()
+        if recorder is not None and span_dicts:
+            recorder.absorb(span_dicts, worker=f"{self.label}[{index}]")
+        self.results[index] = result
+
+    def _retry_or_raise(self, index: int, exc: Exception) -> None:
+        if self.attempts[index] > self.policy.retries:
+            _FAILURES.inc()
+            raise exc
+        _RETRIES.inc()
+        delay = (self.policy.backoff_seconds
+                 * (2 ** (self.attempts[index] - 1)))
+        _log.warning(kv("parallel.task_retry", label=self.label,
+                        task=index, attempt=self.attempts[index],
+                        error=type(exc).__name__, backoff=delay))
+        if delay > 0:
+            time.sleep(delay)
+        self._submit(index)
+
+    # ------------------------------------------------------------------
+    def _salvage_and_clear(self) -> List[int]:
+        """Harvest finished results; return the indices of lost tasks."""
+        lost: List[int] = []
+        for future, index in self.futures.items():
+            if (future.done() and not future.cancelled()
+                    and future.exception() is None):
+                self._absorb(index, future.result())
+            else:
+                lost.append(index)
+        self.futures.clear()
+        self.deadlines.clear()
+        return lost
+
+    def _respawn(self, lost: Sequence[int]) -> None:
+        _RESPAWNS.inc()
+        _kill_pool(self.pool)
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        for index in sorted(lost):
+            self._submit(index)
+
+    def _recover_crash(self, exc: BrokenProcessPool) -> None:
+        """A worker died mid-task: the whole executor is poisoned.
+
+        Every in-flight future fails with ``BrokenProcessPool`` even
+        though only one worker crashed; salvage the tasks that did
+        finish, then respawn the pool and re-run only the lost ones.
+        The culprit is unknowable, so every lost task is charged an
+        attempt.
+        """
+        lost = self._salvage_and_clear()
+        over = [i for i in sorted(lost)
+                if self.attempts[i] > self.policy.retries]
+        if over:
+            _FAILURES.inc(len(over))
+            raise exc
+        _log.warning(kv("parallel.worker_crash", label=self.label,
+                        rerun=len(lost)))
+        self._respawn(lost)
+
+    def _handle_timeouts(self) -> None:
+        now = time.monotonic()
+        expired = [future for future, deadline in self.deadlines.items()
+                   if deadline <= now and not future.done()]
+        if not expired:
+            return
+        culprits = {self.futures[future] for future in expired}
+        _TIMEOUTS.inc(len(culprits))
+        # a running task cannot be cancelled: kill the pool and re-run
+        # everything still in flight; innocent bystanders get their
+        # attempt refunded so collateral damage never exhausts a budget
+        lost = self._salvage_and_clear()
+        for index in lost:
+            if index not in culprits:
+                self.attempts[index] -= 1
+        over = [i for i in sorted(culprits)
+                if self.attempts[i] > self.policy.retries]
+        if over:
+            _FAILURES.inc(len(over))
+            raise TaskTimeoutError(
+                f"parallel.{self.label} task(s) {over} exceeded "
+                f"{self.policy.timeout_seconds}s on every attempt "
+                f"({self.policy.retries} retries)")
+        _log.warning(kv("parallel.task_timeout", label=self.label,
+                        tasks=len(culprits), rerun=len(lost)))
+        self._respawn(lost)
+
+
 def parallel_map(fn: Callable, argtuples: Sequence[Tuple],
                  jobs: Optional[int] = None,
-                 label: str = "map") -> List[Any]:
+                 label: str = "map",
+                 resilience: Optional[Resilience] = None) -> List[Any]:
     """Ordered map of ``fn`` over argument tuples, pooled when allowed.
 
     With ``jobs`` (default: the process-wide setting) at 1, or fewer
     than two tasks, this is a plain in-process loop — bit-identical to
     writing the loop by hand, which is what keeps ``--jobs 1`` runs
     reproducible.  Otherwise the tasks fan out over a
-    ``ProcessPoolExecutor``; ``fn`` must be a module-level function and
-    every argument and result must pickle.
+    ``ProcessPoolExecutor`` under the fault-handling policy
+    (``resilience``, default: the process-wide :func:`set_resilience`
+    setting): failed tasks retry with backoff, crashed workers trigger
+    a pool respawn that re-runs only the lost tasks, and a task that
+    stays failed re-raises after the completed siblings' results and
+    obs state were merged and pending work was cancelled.  ``fn`` must
+    be a module-level function and every argument and result must
+    pickle.
     """
     argtuples = list(argtuples)
     jobs = _jobs if jobs is None else jobs
     if jobs <= 1 or len(argtuples) <= 1:
         _SERIAL_TASKS.inc(len(argtuples))
         return [fn(*args) for args in argtuples]
+    policy = _resilience if resilience is None else resilience
     workers = min(jobs, len(argtuples))
     _POOL_MAPS.inc()
     _POOL_TASKS.inc(len(argtuples))
     with _span(f"parallel.{label}", tasks=len(argtuples),
                workers=workers) as map_span:
         start = time.perf_counter()
-        busy = 0.0
-        trace = _tracer.enabled()
-        results: List[Any] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_timed_call, fn, args, trace)
-                       for args in argtuples]
-            for index, future in enumerate(futures):
-                result, seconds, worker_state, span_dicts = (
-                    future.result())
-                _TASK_SECONDS.observe(seconds)
-                busy += seconds
-                # graft the worker's observability into this process:
-                # its metric deltas add into the parent registry, its
-                # spans land under this parallel.<label> span
-                _metrics.merge_state(worker_state)
-                recorder = _tracer.get()
-                if recorder is not None and span_dicts:
-                    recorder.absorb(span_dicts,
-                                    worker=f"{label}[{index}]")
-                results.append(result)
+        runner = _PoolRun(fn, argtuples, workers, _tracer.enabled(),
+                          label, policy)
+        results, busy = runner.run()
         wall = time.perf_counter() - start
         utilization = busy / (wall * workers) if wall > 0 else 0.0
         _UTILIZATION.set(utilization)
@@ -146,41 +449,125 @@ class MemoizedFunction:
     Unlike ``functools.lru_cache`` the cache is a plain dict keyed by
     the *normalised* positional argument tuple (defaults applied), so
     ``f(x)`` and ``f(x, l3_mb=8)`` share an entry and :func:`warm` can
-    seed results computed in worker processes.
+    seed results computed in worker processes.  :meth:`attach_store`
+    additionally backs the cache with an on-disk checkpoint store, so
+    completed entries survive the process (``--resume DIR``).
     """
 
     def __init__(self, fn: Callable):
         self.fn = fn
         self.cache: Dict[Tuple, Any] = {}
         self._signature = inspect.signature(fn)
+        self._store = None
+        self._encode: Optional[Callable[[Any], Any]] = None
+        self._decode: Optional[Callable[[Any], Any]] = None
         functools.update_wrapper(self, fn)
         name = fn.__name__
         self.hits = _metrics.counter(f"memo.{name}.hits")
         self.misses = _metrics.counter(f"memo.{name}.misses")
+        self.disk_hits = _metrics.counter(f"memo.{name}.disk_hits")
 
     def key(self, *args: Any, **kwargs: Any) -> Tuple:
-        """The cache key of one call: all arguments, defaults applied."""
+        """The cache key of one call: all arguments, defaults applied.
+
+        Variadic parameters are normalised into hashable shapes —
+        ``*args`` to a tuple, ``**kwargs`` to a name-sorted item tuple —
+        and any remaining unhashable argument raises a ``TypeError``
+        naming the offenders instead of a bare ``unhashable type``.
+        """
         bound = self._signature.bind(*args, **kwargs)
         bound.apply_defaults()
-        return tuple(bound.arguments.values())
+        parts: List[Any] = []
+        for name, value in bound.arguments.items():
+            kind = self._signature.parameters[name].kind
+            if kind is inspect.Parameter.VAR_KEYWORD:
+                value = tuple(sorted(value.items()))
+            elif kind is inspect.Parameter.VAR_POSITIONAL:
+                value = tuple(value)
+            parts.append(value)
+        key = tuple(parts)
+        try:
+            hash(key)
+        except TypeError:
+            bad = []
+            for name, part in zip(bound.arguments, parts):
+                try:
+                    hash(part)
+                except TypeError:
+                    bad.append(f"{name} ({type(part).__name__})")
+            raise TypeError(
+                f"memoized function {self.__name__!r} requires hashable "
+                f"arguments for its cache key; unhashable: "
+                f"{', '.join(bad)} — pass tuples instead of "
+                f"lists/dicts/sets") from None
+        return key
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
         key = self.key(*args, **kwargs)
-        try:
-            result = self.cache[key]
-        except KeyError:
-            self.misses.inc()
-            result = self.cache[key] = self.fn(*args, **kwargs)
-            return result
-        self.hits.inc()
+        if key in self.cache:
+            self.hits.inc()
+            return self.cache[key]
+        if self._store is not None and self.load_cached(key):
+            return self.cache[key]
+        self.misses.inc()
+        result = self.cache[key] = self.fn(*args, **kwargs)
+        self._persist(key, result)
         return result
 
     def seed(self, key: Tuple, value: Any) -> None:
         """Insert one precomputed result (used by :func:`warm`)."""
         self.cache[key] = value
+        self._persist(key, value)
 
     def cache_clear(self) -> None:
         self.cache.clear()
+
+    # ------------------------------------------------------------------
+    # disk-seedable cache (the --resume layer)
+    # ------------------------------------------------------------------
+    def attach_store(self, store, encode: Optional[Callable] = None,
+                     decode: Optional[Callable] = None) -> None:
+        """Back the cache with an on-disk checkpoint store.
+
+        Every computed (or :meth:`seed`-ed) result is persisted
+        atomically as it lands, and misses consult the store before
+        simulating — so a sweep interrupted by SIGINT or a dead worker
+        resumes from the points that already finished.  ``encode`` maps
+        a result to a JSON-serialisable payload and ``decode`` inverts
+        it; both default to identity.
+        """
+        self._store = store
+        self._encode = encode or (lambda value: value)
+        self._decode = decode or (lambda payload: payload)
+
+    def detach_store(self) -> None:
+        self._store = None
+        self._encode = None
+        self._decode = None
+
+    @property
+    def store(self):
+        return self._store
+
+    def _category(self) -> str:
+        return f"memo.{self.__name__}"
+
+    def load_cached(self, key: Tuple) -> bool:
+        """True when ``key`` is resident (pulled from disk if needed)."""
+        if key in self.cache:
+            return True
+        if self._store is None:
+            return False
+        payload = self._store.load(self._category(), key)
+        if payload is None:
+            return False
+        self.disk_hits.inc()
+        self.cache[key] = self._decode(payload)
+        return True
+
+    def _persist(self, key: Tuple, value: Any) -> None:
+        if self._store is not None:
+            self._store.save(self._category(), key, self._encode(value))
 
 
 def memoized(fn: Callable) -> MemoizedFunction:
@@ -213,7 +600,8 @@ def warm(memo: MemoizedFunction, calls: Iterable[Tuple],
     the exact same code path as before, keeping ``--jobs 1`` results
     untouched.  With more, the missing keys are computed concurrently
     (each worker runs the *undecorated* function) and seeded into the
-    cache; returns the number of entries warmed.
+    cache; returns the number of entries warmed.  Keys already resident
+    on an attached checkpoint store are pulled from disk, not re-run.
     """
     jobs = _jobs if jobs is None else jobs
     if jobs <= 1:
@@ -222,9 +610,12 @@ def warm(memo: MemoizedFunction, calls: Iterable[Tuple],
     seen = set(memo.cache)
     for args in calls:
         key = memo.key(*args)
-        if key not in seen:
-            seen.add(key)
-            missing.append(key)
+        if key in seen:
+            continue
+        seen.add(key)
+        if memo.load_cached(key):
+            continue
+        missing.append(key)
     if not missing:
         return 0
     results = parallel_map(

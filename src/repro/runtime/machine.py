@@ -29,6 +29,7 @@ from ..core.metrics import (
 )
 from ..core.mpi_hooks import CounterSession
 from ..core.postprocess import Aggregation
+from .. import faults as _faults
 from ..isa.latency import CORE_CLOCK_HZ
 from ..mem import NodeMemoryConfig
 from ..net import (
@@ -216,6 +217,60 @@ class JobResult:
         reads = totals.get("BGP_L3_READ", 0)
         return totals.get("BGP_L3_MISS", 0) / reads if reads else 0.0
 
+    # ------------------------------------------------------------------
+    # JSON round trip (the checkpoint/--resume layer)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form holding every derived-metric input.
+
+        Dump paths (session-scoped temp files) and the timeline (absent
+        on memoized sweep runs) are deliberately dropped: a resumed
+        process could not use either.
+        """
+        return {
+            "program_name": self.program_name,
+            "flags_label": self.flags_label,
+            "mode": self.mode.name,
+            "num_ranks": self.placement.num_ranks,
+            "num_nodes": self.placement.num_nodes,
+            "elapsed_cycles": self.elapsed_cycles,
+            "compute_cycles_per_rank": list(self.compute_cycles_per_rank),
+            "comm_cycles_per_rank": self.comm_cycles_per_rank,
+            "dump_io_cycles": self.dump_io_cycles,
+            "aggregation": {
+                "set_id": self.aggregation.set_id,
+                "nodes_by_mode": {str(mode): nodes for mode, nodes
+                                  in self.aggregation.nodes_by_mode.items()},
+                "stats": {name: [s.minimum, s.maximum, s.mean, s.total,
+                                 s.node_count]
+                          for name, s in self.aggregation.stats.items()},
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobResult":
+        """Rebuild a result saved by :meth:`to_dict`.
+
+        The placement is re-derived from (ranks, mode, nodes) — block
+        placement is deterministic, so the rebuilt object answers every
+        metric query identically to the original.
+        """
+        mode = OperatingMode[data["mode"]]
+        agg = data["aggregation"]
+        return cls(
+            program_name=data["program_name"],
+            flags_label=data["flags_label"],
+            mode=mode,
+            placement=place_ranks(data["num_ranks"], mode,
+                                  data["num_nodes"]),
+            elapsed_cycles=data["elapsed_cycles"],
+            compute_cycles_per_rank=list(data["compute_cycles_per_rank"]),
+            comm_cycles_per_rank=data["comm_cycles_per_rank"],
+            aggregation=Aggregation.from_stats(
+                agg["set_id"], agg["nodes_by_mode"], agg["stats"]),
+            dump_io_cycles=data["dump_io_cycles"],
+        )
+
 
 class Job:
     """One SPMD application run on a machine partition.
@@ -275,6 +330,17 @@ class Job:
                                  dump_dir=dump_dir)
         session.mpi_init()
 
+        # fault injection (off unless an injector is installed): each
+        # run of this job is one RAS "attempt", so a harness retry after
+        # a NodeFailure re-rolls the dice instead of dying identically
+        injector = _faults.get()
+        fault_ctx = None
+        if injector is not None and injector.config.any_enabled:
+            fault_ctx = injector.begin_job(
+                (self.program.name, self.program.flags_label,
+                 machine.mode.name, self.num_ranks, machine.num_nodes,
+                 machine.mem_config.l3.size_bytes))
+
         # job-level telemetry: one shadow sampler per monitored node,
         # created per node class below so the memoized engine samples
         # each class representative once and replicates the series
@@ -324,6 +390,11 @@ class Job:
             _NODE_CLASS_HITS.inc(len(nodes) - len(keys))
             rep_samplers: Dict[Tuple, _timeline.NodeTimelineSampler] = {}
             for node in nodes:
+                if fault_ctx is not None:
+                    # node-level faults land on every member's own UPC
+                    # unit, not just the class representative's; a
+                    # node_failure raises NodeFailure out of the job
+                    fault_ctx.visit_node(node, phase="compute")
                 residents = placement.ranks_on_node(node.node_id)
                 if self.memoize:
                     key = (len(residents),) + job_key
@@ -387,7 +458,14 @@ class Job:
                     comm = mpi.run(op)
                     computed_phases.append(comm)
                 comm_span.set("cycles", comm.cycles_per_rank)
-            comm_cycles += comm.cycles_per_rank
+                # an injected link stall is charged outside the phase
+                # cost so the cross-job comm cache stays clean
+                stall = 0
+                if fault_ctx is not None:
+                    stall = fault_ctx.link_stall(op_index, op.kind.value)
+                    if stall:
+                        comm_span.set("ras_stall_cycles", stall)
+            comm_cycles += comm.cycles_per_rank + stall
             for node_id, events in comm.torus_events.items():
                 if node_id in used_node_set:
                     machine.nodes[node_id].pulse_events(events)

@@ -1,0 +1,209 @@
+"""Tests for the checkpoint/resume layer (``--resume DIR``).
+
+Three strata: the atomic :class:`CheckpointStore` file format, the
+``JobResult`` JSON round trip it persists (which must be *exact*, or a
+resumed run's tables drift from a clean run's), and the end-to-end CLI
+contract — an interrupted run restarted with the same directory must
+produce byte-identical CSVs without recomputing finished work.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.__main__ as main_mod
+from repro.checkpoint import CheckpointStore, digest
+from repro.compiler import O5
+from repro.harness.report import ExperimentResult
+from repro.harness.sweep import (attach_resume, clear_caches,
+                                 detach_resume, run_scaled_vnm)
+from repro.obs import metrics
+from repro.runtime import JobResult
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    """Every test starts and ends with cold memo caches, no store."""
+    detach_resume()
+    clear_caches()
+    yield
+    detach_resume()
+    clear_caches()
+
+
+# ---------------------------------------------------------------------------
+# CheckpointStore file format
+# ---------------------------------------------------------------------------
+def test_digest_is_stable_and_key_sensitive():
+    assert digest(("MG", 8)) == digest(("MG", 8))
+    assert digest(("MG", 8)) != digest(("MG", 16))
+    assert len(digest("x")) == 40
+
+
+def test_save_then_load_round_trips(tmp_path):
+    store = CheckpointStore(tmp_path)
+    key = ("MG", "-O5", 8)
+    payload = {"rows": [[1, 2.5, "a"]], "n": None}
+    path = store.save("memo.run", key, payload)
+    assert path.is_file()
+    assert store.load("memo.run", key) == payload
+    assert store.count() == store.count("memo.run") == 1
+
+
+def test_load_missing_returns_none(tmp_path):
+    store = CheckpointStore(tmp_path)
+    assert store.load("memo.run", ("absent",)) is None
+
+
+def test_save_leaves_no_temp_files_behind(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save("c", "k1", 1)
+    store.save("c", "k1", 2)  # overwrite is atomic too
+    leftovers = [p for p in (tmp_path / "c").iterdir()
+                 if p.suffix != ".json"]
+    assert leftovers == []
+    assert store.load("c", "k1") == 2
+
+
+def test_corrupt_checkpoint_is_treated_as_absent(tmp_path):
+    store = CheckpointStore(tmp_path)
+    key = ("MG",)
+    store.save("c", key, {"ok": True})
+    store.path("c", key).write_text("{truncated-mid-wr")
+    assert store.load("c", key) is None
+
+
+def test_key_collision_is_detected_via_recorded_repr(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save("c", ("real",), 42)
+    # an adversarial digest collision: same filename, different key
+    store.path("c", ("real",)).write_text(
+        json.dumps({"key": repr(("impostor",)), "payload": 13}))
+    assert store.load("c", ("real",)) is None
+
+
+# ---------------------------------------------------------------------------
+# JobResult JSON round trip (the payload --resume persists)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_result():
+    clear_caches()
+    result = run_scaled_vnm("MG", O5(), 8, 8, "A")
+    clear_caches()
+    return result
+
+
+def test_job_result_survives_json_exactly(small_result):
+    wire = json.loads(json.dumps(small_result.to_dict()))
+    back = JobResult.from_dict(wire)
+    assert back.program_name == small_result.program_name
+    assert back.flags_label == small_result.flags_label
+    assert back.mode is small_result.mode
+    assert back.elapsed_cycles == small_result.elapsed_cycles
+    assert back.compute_cycles_per_rank == \
+        small_result.compute_cycles_per_rank
+    assert back.scaled_totals() == small_result.scaled_totals()
+    assert back.ddr_traffic_lines() == small_result.ddr_traffic_lines()
+    assert back.fp_profile() == small_result.fp_profile()
+    assert back.aggregation.nodes_by_mode == \
+        small_result.aggregation.nodes_by_mode
+
+
+# ---------------------------------------------------------------------------
+# disk-seeded memoization (attach_resume)
+# ---------------------------------------------------------------------------
+def test_attached_store_persists_and_reloads_sweep_points(tmp_path):
+    store = attach_resume(tmp_path)
+    first = run_scaled_vnm("MG", O5(), 8, 8, "A")
+    assert store.count("memo.run_scaled_vnm") == 1
+
+    # a "new process": memory caches gone, the directory remains
+    clear_caches()
+    hits = metrics.counter("memo.run_scaled_vnm.disk_hits").value
+    second = run_scaled_vnm("MG", O5(), 8, 8, "A")
+    assert metrics.counter("memo.run_scaled_vnm.disk_hits").value \
+        == hits + 1
+    assert second.elapsed_cycles == first.elapsed_cycles
+    assert second.scaled_totals() == first.scaled_totals()
+
+    detach_resume()
+    clear_caches()
+    # detached again: the store no longer sees new computations
+    run_scaled_vnm("MG", O5(), 8, 8, "A")
+    assert store.count("memo.run_scaled_vnm") == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI: interrupt, then --resume => byte-identical output, no recompute
+# ---------------------------------------------------------------------------
+def _fake_catalog(calls):
+    def alpha():
+        calls.append("alpha")
+        return ExperimentResult(
+            experiment_id="alpha", title="stable table",
+            headers=["k", "v"], rows=[["x", 1.25], ["y", 2]],
+            notes=["derived"], summary={"total": 3.25})
+
+    def beta():
+        calls.append("beta")
+        if calls.count("beta") == 1:
+            raise KeyboardInterrupt  # the operator hits Ctrl-C
+        return ExperimentResult(
+            experiment_id="beta", title="second table",
+            headers=["k", "v"], rows=[["z", 7]])
+
+    return {"alpha": alpha, "beta": beta}
+
+
+def _run_cli(*args):
+    import contextlib
+    import io
+
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = main_mod.main(list(args))
+    return code, buf.getvalue()
+
+
+def test_interrupted_run_resumes_byte_identical(tmp_path, monkeypatch):
+    calls = []
+    monkeypatch.setattr(main_mod, "ALL_EXPERIMENTS",
+                        _fake_catalog(calls))
+    ckpt = str(tmp_path / "ckpt")
+    clean_dir = str(tmp_path / "clean")
+    out1 = str(tmp_path / "out1")
+    out2 = str(tmp_path / "out2")
+
+    # the reference: one uninterrupted run (beta's single interrupt
+    # consumed by a throwaway first pass without --resume or --csv)
+    code, _ = _run_cli("-q")
+    assert code == 130
+    code, _ = _run_cli("--csv", clean_dir, "-q")
+    assert code == 0
+
+    # interrupted run: alpha completes and is checkpointed, beta ^C's
+    calls.clear()
+    monkeypatch.setattr(main_mod, "ALL_EXPERIMENTS",
+                        _fake_catalog(calls))
+    code, _ = _run_cli("--resume", ckpt, "--csv", out1, "-q")
+    assert code == 130
+    assert calls == ["alpha", "beta"]
+    assert os.path.exists(os.path.join(out1, "alpha.csv"))
+    assert not os.path.exists(os.path.join(out1, "beta.csv"))
+
+    # resumed run: alpha is replayed from the checkpoint, not re-run
+    code, _ = _run_cli("--resume", ckpt, "--csv", out2, "-q")
+    assert code == 0
+    assert calls == ["alpha", "beta", "beta"]
+
+    for name in ("alpha", "beta"):
+        resumed = open(os.path.join(out2, f"{name}.csv"), "rb").read()
+        clean = open(os.path.join(clean_dir, f"{name}.csv"), "rb").read()
+        assert resumed == clean, f"{name}.csv drifted across resume"
+
+
+def test_cli_rejects_resume_with_faults(tmp_path):
+    with pytest.raises(SystemExit):
+        _run_cli("smoke", "--resume", str(tmp_path),
+                 "--faults", "seed=1,link_stall_rate=1")

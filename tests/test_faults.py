@@ -1,0 +1,206 @@
+"""Tests for repro.faults: seeded fault injection and RAS events.
+
+The contract under test: injection is off by default (zero behaviour
+change), every enabled class is *detected* by the machinery the paper
+describes (validation, aggregation, traffic/time deltas), and the whole
+RAS event log is a deterministic function of the seed.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.compiler import O5, compile_program
+from repro.core import ValidationError
+from repro.faults import FaultConfig, NodeFailure, RASEvent
+from repro.node import OperatingMode
+from repro.npb import build_benchmark
+from repro.runtime import Job, Machine
+from repro.runtime.machine import clear_comm_cache
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    """No test leaves an injector (or poisoned comm cache) behind."""
+    faults.uninstall()
+    clear_comm_cache()
+    yield
+    faults.uninstall()
+    clear_comm_cache()
+
+
+@pytest.fixture(scope="module")
+def small_mg():
+    """A small MG job (class A, 16 ranks) that runs in milliseconds."""
+    return compile_program(build_benchmark("MG", num_ranks=16,
+                                           problem_class="A"), O5())
+
+
+def _run(program):
+    machine = Machine(4, mode=OperatingMode.VNM)
+    return Job(machine, program, 16).run()
+
+
+# ---------------------------------------------------------------------------
+# FaultConfig.parse
+# ---------------------------------------------------------------------------
+def test_parse_builds_config_with_right_types():
+    cfg = FaultConfig.parse(
+        "seed=7, sram_flip_rate=0.25,link_stall_cycles=1000")
+    assert cfg.seed == 7
+    assert cfg.sram_flip_rate == 0.25
+    assert cfg.link_stall_cycles == 1000
+    assert cfg.any_enabled  # a rate is > 0
+
+
+def test_parse_empty_spec_is_all_off():
+    cfg = FaultConfig.parse("")
+    assert cfg == FaultConfig()
+    assert not cfg.any_enabled
+
+
+def test_parse_rejects_unknown_key_listing_known_ones():
+    with pytest.raises(ValueError, match="link_stall_rate"):
+        FaultConfig.parse("bogus_rate=1")
+
+
+def test_parse_rejects_non_numeric_value():
+    with pytest.raises(ValueError, match="seed"):
+        FaultConfig.parse("seed=lots")
+
+
+# ---------------------------------------------------------------------------
+# off by default / zero behaviour change
+# ---------------------------------------------------------------------------
+def test_no_injector_installed_by_default():
+    assert faults.get() is None
+
+
+def test_all_zero_rates_change_nothing(small_mg):
+    clean = _run(small_mg)
+    injector = faults.install(FaultConfig(seed=3))  # every rate 0
+    try:
+        perturbed = _run(small_mg)
+        assert not injector.events
+    finally:
+        faults.uninstall()
+    assert perturbed.elapsed_cycles == clean.elapsed_cycles
+    assert perturbed.scaled_totals() == clean.scaled_totals()
+
+
+# ---------------------------------------------------------------------------
+# per-class detection (rate=1 makes each roll deterministic-certain)
+# ---------------------------------------------------------------------------
+def test_node_failure_aborts_job_with_fatal_event(small_mg):
+    injector = faults.install(FaultConfig(seed=1, node_failure_rate=1.0))
+    with pytest.raises(NodeFailure) as excinfo:
+        _run(small_mg)
+    assert excinfo.value.phase == "compute"
+    assert [e.kind for e in injector.events] == ["node_failure"]
+    assert injector.events[0].severity == "fatal"
+    assert injector.events[0].node_id == excinfo.value.node_id
+
+
+def test_wrap_storm_is_caught_by_dump_validation(small_mg):
+    faults.install(FaultConfig(seed=2, wrap_storm_rate=1.0))
+    with pytest.raises(ValidationError, match="wrap"):
+        _run(small_mg)
+
+
+def test_ddr_correctable_shows_up_as_extra_read_traffic(small_mg):
+    clean = _run(small_mg)
+    faults.install(FaultConfig(seed=4, ddr_error_rate=1.0,
+                               ddr_burst_lines=512))
+    stormy = _run(small_mg)
+    assert stormy.ddr_traffic_lines() > clean.ddr_traffic_lines()
+
+
+def test_link_stall_slows_job_without_poisoning_comm_cache(small_mg):
+    clean = _run(small_mg)
+    faults.install(FaultConfig(seed=5, link_stall_rate=1.0,
+                               link_stall_cycles=50_000))
+    stalled = _run(small_mg)
+    assert stalled.elapsed_cycles > clean.elapsed_cycles
+    faults.uninstall()
+    # the stall was charged outside the cached comm-phase cost: a clean
+    # run served from the warm cache is still byte-identical
+    again = _run(small_mg)
+    assert again.elapsed_cycles == clean.elapsed_cycles
+
+
+def test_sram_bit_flip_perturbs_counter_statistics(small_mg):
+    clean = _run(small_mg)
+    faults.install(FaultConfig(seed=6, sram_flip_rate=1.0))
+    try:
+        flipped = _run(small_mg)
+        detected = flipped.scaled_totals() != clean.scaled_totals()
+    except ValidationError:
+        detected = True  # a flip near the top bits looks like a wrap
+    assert detected
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+def _campaign_log(config, program):
+    injector = faults.install(config)
+    try:
+        _run(program)
+    except (NodeFailure, ValidationError):
+        pass
+    finally:
+        faults.uninstall()
+    clear_comm_cache()
+    return tuple(injector.events)
+
+
+def test_same_seed_replays_identical_ras_log(small_mg):
+    config = FaultConfig(seed=7, sram_flip_rate=0.5, link_stall_rate=0.5)
+    first = _campaign_log(config, small_mg)
+    second = _campaign_log(config, small_mg)
+    assert first and first == second
+
+
+def test_different_seed_changes_the_log(small_mg):
+    base = FaultConfig(seed=8, sram_flip_rate=1.0)
+    first = _campaign_log(base, small_mg)
+    second = _campaign_log(FaultConfig(seed=9, sram_flip_rate=1.0), small_mg)
+    assert first and second and first != second
+
+
+def test_retried_job_rerolls_as_a_new_attempt():
+    injector = faults.FaultInjector(FaultConfig(seed=10,
+                                                node_failure_rate=0.5))
+    first = injector.begin_job(("MG", "-O5", "VNM"))
+    second = injector.begin_job(("MG", "-O5", "VNM"))
+    assert (first.attempt, second.attempt) == (1, 2)
+    # different attempt => independent dice
+    r1 = injector.rng(first.job, 1, "node_failure", 0).random()
+    r2 = injector.rng(second.job, 2, "node_failure", 0).random()
+    assert r1 != r2
+
+
+# ---------------------------------------------------------------------------
+# RAS log plumbing
+# ---------------------------------------------------------------------------
+def test_ras_event_round_trips_through_to_dict():
+    event = RASEvent(kind="link_stall", severity="warning", node_id=None,
+                     job="MG/-O5", phase="comm[0].alltoall",
+                     detail=(("cycles", 25_000),))
+    assert event.to_dict() == {
+        "kind": "link_stall", "severity": "warning", "node_id": None,
+        "job": "MG/-O5", "phase": "comm[0].alltoall",
+        "detail": {"cycles": 25_000}}
+
+
+def test_export_jsonl_writes_one_event_per_line(tmp_path, small_mg):
+    config = FaultConfig(seed=11, link_stall_rate=1.0)
+    injector = faults.install(config)
+    _run(small_mg)
+    faults.uninstall()
+    path = tmp_path / "ras.jsonl"
+    count = injector.export_jsonl(path)
+    lines = path.read_text().splitlines()
+    assert count == len(injector.events) == len(lines) > 0
+    assert json.loads(lines[0])["kind"] == "link_stall"

@@ -1,10 +1,15 @@
 """Unit tests for the parallel + memoized execution engine."""
 
+import os
+import time
+
 import pytest
 
 from repro import parallel
 from repro.parallel import (
     MemoizedFunction,
+    Resilience,
+    TaskTimeoutError,
     get_jobs,
     memoized,
     parallel_map,
@@ -218,3 +223,267 @@ def test_serial_path_needs_no_shipping():
     parallel_map(_observed_square, [(3,)], jobs=1)
     assert metrics.snapshot()["counters"]["test.pool_work"] == 1
     metrics.reset()
+
+
+# ---------------------------------------------------------------------------
+# satellite: hardened REPRO_JOBS parsing
+# ---------------------------------------------------------------------------
+def test_bad_jobs_env_falls_back_to_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "abc")
+    assert parallel._jobs_from_env() == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert parallel._jobs_from_env() == 3
+    monkeypatch.setenv("REPRO_JOBS", "-2")
+    assert parallel._jobs_from_env() == 1
+    monkeypatch.delenv("REPRO_JOBS")
+    assert parallel._jobs_from_env() == 1
+
+
+def test_bad_jobs_env_does_not_break_import():
+    """REPRO_JOBS=abc must not make `import repro.parallel` raise."""
+    import subprocess
+    import sys
+
+    env = dict(os.environ, REPRO_JOBS="abc")
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "import repro.parallel as p; print(p.get_jobs())"],
+        env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "1"
+
+
+# ---------------------------------------------------------------------------
+# satellite: workers must not nest process pools
+# ---------------------------------------------------------------------------
+def _report_worker_jobs(x):
+    return get_jobs()
+
+
+def test_pool_workers_are_pinned_serial():
+    """Forked workers inherit _jobs > 1; _timed_call must pin them to 1
+    or a task that itself calls parallel_map nests process pools."""
+    set_jobs(4)
+    try:
+        out = parallel_map(_report_worker_jobs, [(i,) for i in range(4)],
+                           jobs=2)
+    finally:
+        set_jobs(1)
+    assert out == [1, 1, 1, 1]
+    assert get_jobs() == 1  # the parent's knob is untouched by workers
+
+
+# ---------------------------------------------------------------------------
+# resilience policy plumbing
+# ---------------------------------------------------------------------------
+def test_resilience_roundtrip_and_validation():
+    before = parallel.get_resilience()
+    try:
+        policy = Resilience(retries=5, backoff_seconds=0.0,
+                            timeout_seconds=2.0)
+        parallel.set_resilience(policy)
+        assert parallel.get_resilience() == policy
+    finally:
+        parallel.set_resilience(before)
+    with pytest.raises(ValueError, match="retries"):
+        parallel.set_resilience(Resilience(retries=-1))
+    with pytest.raises(ValueError, match="timeout"):
+        parallel.set_resilience(Resilience(timeout_seconds=0))
+
+
+def _counter_delta(before, after, name):
+    return (after["counters"].get(name, 0)
+            - before["counters"].get(name, 0))
+
+
+# ---------------------------------------------------------------------------
+# retry with backoff
+# ---------------------------------------------------------------------------
+def _fail_twice_then_succeed(dirpath, x):
+    path = os.path.join(dirpath, f"{x}.attempts")
+    attempts = int(open(path).read()) if os.path.exists(path) else 0
+    attempts += 1
+    with open(path, "w") as fh:
+        fh.write(str(attempts))
+    if attempts <= 2:
+        raise RuntimeError(f"transient failure {x} (attempt {attempts})")
+    return 10 * x
+
+
+def test_retry_with_backoff_recovers_transient_failures(tmp_path):
+    from repro.obs import metrics
+
+    before = metrics.snapshot()
+    out = parallel_map(_fail_twice_then_succeed,
+                       [(str(tmp_path), i) for i in range(3)],
+                       jobs=2,
+                       resilience=Resilience(retries=2,
+                                             backoff_seconds=0.01))
+    after = metrics.snapshot()
+    assert out == [0, 10, 20]
+    # every task failed exactly twice before succeeding
+    assert _counter_delta(before, after, "parallel.retries") == 6
+    for i in range(3):
+        assert (tmp_path / f"{i}.attempts").read_text() == "3"
+
+
+def test_retry_budget_exhaustion_reraises(tmp_path):
+    from repro.obs import metrics
+
+    before = metrics.snapshot()
+    with pytest.raises(RuntimeError, match="transient failure"):
+        parallel_map(_fail_twice_then_succeed,
+                     [(str(tmp_path), i) for i in range(3)],
+                     jobs=2,
+                     resilience=Resilience(retries=1,
+                                           backoff_seconds=0.0))
+    after = metrics.snapshot()
+    assert _counter_delta(before, after, "parallel.task_failures") >= 1
+
+
+# ---------------------------------------------------------------------------
+# worker crash (BrokenProcessPool) recovery
+# ---------------------------------------------------------------------------
+def _crash_once(sentinel, x):
+    if x == 2 and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(1)  # hard kill: poisons the whole executor
+    return 10 * x
+
+
+def test_worker_crash_respawns_pool_and_reruns_lost_tasks(tmp_path):
+    from repro.obs import metrics
+
+    sentinel = str(tmp_path / "crashed")
+    before = metrics.snapshot()
+    out = parallel_map(_crash_once, [(sentinel, i) for i in range(6)],
+                       jobs=2,
+                       resilience=Resilience(retries=2,
+                                             backoff_seconds=0.0))
+    after = metrics.snapshot()
+    assert out == [10 * i for i in range(6)]
+    assert os.path.exists(sentinel)
+    assert _counter_delta(before, after, "parallel.pool_respawns") >= 1
+
+
+def _always_crash(x):
+    os._exit(1)
+
+
+def test_worker_crash_beyond_retry_budget_raises():
+    from concurrent.futures.process import BrokenProcessPool
+
+    with pytest.raises(BrokenProcessPool):
+        parallel_map(_always_crash, [(i,) for i in range(2)], jobs=2,
+                     resilience=Resilience(retries=1,
+                                           backoff_seconds=0.0))
+
+
+# ---------------------------------------------------------------------------
+# per-task timeouts
+# ---------------------------------------------------------------------------
+def _sleep_forever(x):
+    time.sleep(600)
+    return x
+
+
+def _slow_once(sentinel, x):
+    if not os.path.exists(f"{sentinel}.{x}"):
+        open(f"{sentinel}.{x}", "w").close()
+        time.sleep(600)
+    return 10 * x
+
+
+def test_timeout_expiry_raises_after_budget():
+    from repro.obs import metrics
+
+    before = metrics.snapshot()
+    start = time.monotonic()
+    with pytest.raises(TaskTimeoutError, match="exceeded"):
+        parallel_map(_sleep_forever, [(i,) for i in range(2)], jobs=2,
+                     resilience=Resilience(retries=0,
+                                           timeout_seconds=0.3))
+    assert time.monotonic() - start < 30  # never waits out the sleep
+    after = metrics.snapshot()
+    assert _counter_delta(before, after, "parallel.timeouts") >= 1
+
+
+def test_timeout_then_retry_succeeds(tmp_path):
+    sentinel = str(tmp_path / "slow")
+    out = parallel_map(_slow_once, [(sentinel, i) for i in range(2)],
+                       jobs=2,
+                       resilience=Resilience(retries=1,
+                                             backoff_seconds=0.0,
+                                             timeout_seconds=0.5))
+    assert out == [0, 10]
+
+
+# ---------------------------------------------------------------------------
+# satellite: a failing task must not drop siblings' obs state or hang
+# ---------------------------------------------------------------------------
+def _observed_or_slow_fail(x):
+    from repro.obs import metrics
+
+    if x < 0:
+        time.sleep(0.3)  # let the successful siblings land first
+        raise RuntimeError("poisoned task")
+    metrics.counter("test.survivors").inc()
+    return x
+
+
+def test_task_failure_keeps_completed_siblings_obs():
+    from repro.obs import metrics
+
+    metrics.reset()
+    start = time.monotonic()
+    with pytest.raises(RuntimeError, match="poisoned"):
+        parallel_map(_observed_or_slow_fail,
+                     [(0,), (1,), (2,), (3,), (-1,)], jobs=2,
+                     resilience=Resilience(retries=0,
+                                           backoff_seconds=0.0))
+    elapsed = time.monotonic() - start
+    # the completed siblings' metrics were merged before the re-raise
+    assert metrics.snapshot()["counters"].get("test.survivors", 0) >= 1
+    assert elapsed < 30  # pending futures were cancelled, not awaited
+    metrics.reset()
+
+
+def _raise_keyboard_interrupt(x):
+    raise KeyboardInterrupt
+
+
+def test_worker_interrupt_propagates_without_hanging():
+    start = time.monotonic()
+    with pytest.raises(KeyboardInterrupt):
+        parallel_map(_raise_keyboard_interrupt,
+                     [(i,) for i in range(4)], jobs=2)
+    assert time.monotonic() - start < 30
+
+
+# ---------------------------------------------------------------------------
+# satellite: memo keys for variadic / unhashable arguments
+# ---------------------------------------------------------------------------
+def test_memoized_normalises_variadic_arguments():
+    calls = []
+
+    @memoized
+    def probe(a, *extra, **options):
+        calls.append(a)
+        return (a, extra, tuple(sorted(options.items())))
+
+    first = probe(1, 2, 3, beta=4, alpha=5)
+    again = probe(1, 2, 3, alpha=5, beta=4)  # kwarg order is irrelevant
+    assert first == again
+    assert calls == [1]
+    hash(probe.key(1, 2, 3, beta=4, alpha=5))  # plain-hashable key
+
+
+def test_memoized_rejects_unhashable_with_clear_error():
+    @memoized
+    def probe(a, b=0):
+        return a
+
+    with pytest.raises(TypeError, match=r"unhashable: a \(list\)"):
+        probe([1, 2])
+    with pytest.raises(TypeError, match=r"b \(dict\)"):
+        probe(1, b={"x": 1})
