@@ -4,7 +4,9 @@ Two complementary engines:
 
 * an exact set-associative LRU simulator (:class:`CacheSim`,
   :class:`ExactHierarchy`) driven by concrete address traces — the
-  validation-grade ground truth;
+  validation-grade ground truth, backed by batched NumPy kernels
+  (:func:`lru_batch`, :func:`lru_dict_replay`) that are bit-identical
+  to the scalar reference loop;
 * an analytical stream-descriptor model (:func:`analyze_loop`,
   :class:`NodeMemoryModel`) fast enough for whole-machine workload
   runs, validated against the exact engine in the test suite.
@@ -32,6 +34,7 @@ from .cache import (
     HierarchyResult,
 )
 from .ddr import ContentionResult, DDRConfig, DDRModel
+from .kernels import BatchStats, lru_batch, lru_dict_replay
 from .hierarchy import (
     NodeMemoryConfig,
     NodeMemoryModel,
@@ -60,6 +63,9 @@ __all__ = [
     "AccessResult",
     "ExactHierarchy",
     "HierarchyResult",
+    "BatchStats",
+    "lru_batch",
+    "lru_dict_replay",
     "PrefetcherConfig",
     "StreamPrefetcher",
     "analytical_coverage",

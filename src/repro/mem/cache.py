@@ -1,14 +1,23 @@
 """Exact set-associative LRU cache simulator.
 
-This is the *validation-grade* model: it processes concrete address
-traces one access at a time, maintaining true LRU state per set.  It is
-deliberately simple and obviously-correct; the analytical model used for
-whole-machine runs is tested against it (see
+This is the *validation-grade* model: it replays concrete address
+traces maintaining true LRU state per set.  The analytical model used
+for whole-machine runs is tested against it (see
 ``tests/test_mem_model_agreement.py``).
 
-The simulator also emits the **miss trace** (line addresses fetched), so
-hierarchies can be composed exactly: L2 is fed L1's miss trace, L3 is
-fed L2's.
+Two interchangeable engines back :meth:`CacheSim.access`:
+
+* :meth:`CacheSim.access_scalar` — the original one-access-per-Python-
+  iteration loop, deliberately simple and obviously correct.  It is
+  the **oracle** the batched kernel is tested against.
+* :mod:`repro.mem.kernels` — a set-partitioned, time-step-vectorized
+  NumPy engine, bit-identical to the scalar loop (counts, miss-trace
+  order, and the private tag/dirty/LRU state).  ``access`` dispatches
+  to it for traces worth batching.
+
+The simulator also emits the **miss trace** (line addresses fetched, in
+access order), so hierarchies can be composed exactly: L2 is fed L1's
+miss trace, L3 is fed L2's.
 """
 
 from __future__ import annotations
@@ -17,6 +26,22 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
+
+from ..obs import metrics as _metrics
+from . import kernels
+
+#: below this trace length the fixed setup cost of the batched kernels
+#: exceeds the scalar loop's total cost.
+_KERNEL_CUTOFF = 64
+
+#: the set-partitioned kernel advances one access per set per time
+#: step; with fewer sets than this there is too little cross-set
+#: parallelism to amortize its per-step NumPy calls, and the dict-based
+#: replay (fast Python bookkeeping, no per-access NumPy) wins instead.
+_BATCH_MIN_SETS = 32
+
+_KERNEL_BATCHES = _metrics.counter("mem.kernel_batches")
+_SCALAR_REPLAYS = _metrics.counter("mem.scalar_replays")
 
 
 @dataclass(frozen=True)
@@ -115,27 +140,94 @@ class CacheSim:
         Returns the batch's :class:`AccessResult`; cache state persists
         across calls so traversals can be replayed for temporal-reuse
         behaviour.
+
+        Dispatches to the batched kernel (:mod:`repro.mem.kernels`)
+        when the trace is long enough to amortize its setup; results
+        and post-call state are bit-identical to
+        :meth:`access_scalar` either way.
+        """
+        prepared = self._prepare(addresses, is_write, collect_miss_trace)
+        if isinstance(prepared, AccessResult):
+            return prepared
+        addresses, writes, lines, sets, line_shift = prepared
+        n = len(addresses)
+        if n < _KERNEL_CUTOFF:
+            return self._scalar_replay(lines, sets, writes,
+                                       collect_miss_trace, line_shift)
+        _KERNEL_BATCHES.inc()
+        if self.config.num_sets < _BATCH_MIN_SETS:
+            stats, mask = kernels.lru_dict_replay(
+                self._tags, self._dirty, self._lru, lines, sets, writes,
+                self._clock, write_allocate=self.config.write_allocate,
+                collect_miss_mask=collect_miss_trace)
+        else:
+            stats, mask = kernels.lru_batch(
+                self._tags, self._dirty, self._lru, lines, sets, writes,
+                self._clock, write_allocate=self.config.write_allocate,
+                collect_miss_mask=collect_miss_trace)
+        self._clock += n
+        result = AccessResult(accesses=n, hits=stats.hits,
+                              misses=stats.misses,
+                              evictions=stats.evictions,
+                              writebacks=stats.writebacks)
+        if collect_miss_trace:
+            result.miss_lines = np.left_shift(
+                lines[mask], line_shift).astype(np.uint64)
+        return result
+
+    def access_scalar(self, addresses: np.ndarray,
+                      is_write: bool | np.ndarray = False,
+                      collect_miss_trace: bool = True) -> AccessResult:
+        """The reference per-access loop (the batched kernel's oracle).
+
+        Same contract as :meth:`access`; kept as the independent,
+        obviously-correct implementation the identity tests compare
+        the vectorized engine against.
+        """
+        prepared = self._prepare(addresses, is_write, collect_miss_trace)
+        if isinstance(prepared, AccessResult):
+            return prepared
+        _, writes, lines, sets, line_shift = prepared
+        return self._scalar_replay(lines, sets, writes,
+                                   collect_miss_trace, line_shift)
+
+    def _prepare(self, addresses, is_write, collect_miss_trace):
+        """Shared preamble: decode the trace, settle degenerate cases.
+
+        Returns a finished :class:`AccessResult` for the empty-trace
+        and no-cache cases, else the decoded
+        ``(addresses, writes, lines, sets, line_shift)`` tuple.
         """
         addresses = np.asarray(addresses, dtype=np.uint64)
         n = len(addresses)
-        writes = np.broadcast_to(np.asarray(is_write, dtype=bool),
-                                 (n,))
-        result = AccessResult(accesses=n)
-
+        if n == 0:
+            # zeroed result with an *empty* (never unset) miss trace,
+            # before is_write broadcasting can trip on shape (0,)
+            return AccessResult(
+                accesses=0,
+                miss_lines=(np.empty(0, dtype=np.uint64)
+                            if collect_miss_trace else None))
+        writes = np.broadcast_to(np.asarray(is_write, dtype=bool), (n,))
         if self.config.size_bytes == 0:
             # no cache at all: every access is a miss straight through
-            result.misses = n
-            result.writebacks = int(writes.sum())
+            result = AccessResult(accesses=n, misses=n,
+                                  writebacks=int(writes.sum()))
             if collect_miss_trace:
                 result.miss_lines = (addresses
                                      // self.config.line_bytes
                                      * self.config.line_bytes)
             return result
-
         line_shift = int(np.log2(self.config.line_bytes))
-        num_sets = self.config.num_sets
         lines = (addresses >> np.uint64(line_shift)).astype(np.int64)
-        sets = lines % num_sets
+        sets = lines % self.config.num_sets
+        return addresses, writes, lines, sets, line_shift
+
+    def _scalar_replay(self, lines, sets, writes, collect_miss_trace,
+                       line_shift) -> AccessResult:
+        """The original one-access-per-iteration LRU loop."""
+        _SCALAR_REPLAYS.inc()
+        n = len(lines)
+        result = AccessResult(accesses=n)
         miss_lines: List[int] = []
 
         tags, dirty, lru = self._tags, self._dirty, self._lru
@@ -217,10 +309,8 @@ class ExactHierarchy:
         trace = np.asarray(addresses, dtype=np.uint64)
         write_flags: bool | np.ndarray = is_write
         for idx, sim in enumerate(self.sims):
-            if len(trace) == 0:
-                result.levels.append(AccessResult(
-                    accesses=0, miss_lines=np.array([], dtype=np.uint64)))
-                continue
+            # empty traces fall out naturally: access() returns a
+            # zeroed result with an empty miss trace
             r = sim.access(trace, write_flags, collect_miss_trace=True)
             result.levels.append(r)
             trace = r.miss_lines

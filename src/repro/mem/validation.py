@@ -100,14 +100,21 @@ def validate_streams(streams: Sequence[StreamAccess], traversals: int,
     bases = layout_streams(list(streams))
     rng = np.random.default_rng(seed)
     exact_l1 = exact_l2 = exact_l3 = 0
+    # The interleave order depends only on the streams' lengths and the
+    # write flags only on their kinds — both are invariant across
+    # traversals, so compute them once and reuse (only the RANDOM
+    # streams' addresses change traversal to traversal).
+    lengths = [s.accesses_per_traversal for s in streams]
+    order = _interleave_order(lengths)
+    writes = np.concatenate(
+        [np.full(length, s.kind.writes and not s.kind.reads)
+         for s, length in zip(streams, lengths)])[order]
     for _ in range(traversals):
         # interleave the streams' accesses the way the loop body issues
         # them (the analytical model's capacity sharing assumes this)
         traces = [s.generate_trace(bases[s.array], rng=rng)
                   for s in streams]
-        flags = [np.full(len(t), s.kind.writes and not s.kind.reads)
-                 for s, t in zip(streams, traces)]
-        trace, writes = _interleave(traces, flags)
+        trace = np.concatenate(traces)[order]
         r1 = l1.access(trace, is_write=writes)
         exact_l1 += r1.misses
         r2 = l2.access(r1.miss_lines, is_write=False)
@@ -175,12 +182,21 @@ def validation_report(cases: Sequence[ValidationCase],
     return "\n".join(lines)
 
 
+def _interleave_order(lengths: Sequence[int]) -> np.ndarray:
+    """Loop-body merge order for streams of the given lengths.
+
+    Proportional round-robin: each stream's accesses are spread evenly
+    over the merged sequence, the way a loop body issues them.
+    """
+    keys = np.concatenate([
+        (np.arange(length, dtype=np.float64) + 0.5) / max(length, 1)
+        for length in lengths])
+    return np.argsort(keys, kind="stable")
+
+
 def _interleave(traces, flags):
     """Merge traces in loop-body order: proportional round-robin."""
-    keys = np.concatenate([
-        (np.arange(len(t), dtype=np.float64) + 0.5) / max(len(t), 1)
-        for t in traces])
-    order = np.argsort(keys, kind="stable")
+    order = _interleave_order([len(t) for t in traces])
     merged = np.concatenate(traces)[order]
     merged_flags = np.concatenate(flags)[order]
     return merged, merged_flags

@@ -110,6 +110,52 @@ def test_per_access_write_flags():
     assert r.writebacks == 1
 
 
+def test_empty_trace_returns_zeroed_result_with_empty_miss_trace():
+    c = cache()
+    for method in (c.access, c.access_scalar):
+        r = method(np.empty(0, dtype=np.uint64))
+        assert (r.accesses, r.hits, r.misses, r.evictions,
+                r.writebacks) == (0, 0, 0, 0, 0)
+        # empty, not unset: hierarchy composition consumes it verbatim
+        assert r.miss_lines is not None
+        assert len(r.miss_lines) == 0
+        assert r.miss_lines.dtype == np.uint64
+
+
+def test_empty_trace_without_collection_leaves_trace_unset():
+    r = cache().access(np.empty(0, dtype=np.uint64),
+                       collect_miss_trace=False)
+    assert r.accesses == 0
+    assert r.miss_lines is None
+
+
+def test_empty_trace_on_zero_size_cache():
+    r = cache(size=0).access(np.empty(0, dtype=np.uint64))
+    assert r.misses == 0
+    assert len(r.miss_lines) == 0
+
+
+def test_write_no_allocate_identical_across_engines():
+    """Bypassed write misses (incl. re-miss after bypass) match exactly."""
+    cfg = dict(size=4 * 1024, line=32, assoc=2, write_allocate=False)
+    rng = np.random.default_rng(31)
+    addrs = rng.integers(0, 1 << 14, size=600).astype(np.uint64)
+    writes = rng.random(600) < 0.5
+    vec, ref = cache(**cfg), cache(**cfg)
+    rv = vec.access(addrs, is_write=writes)
+    rs = ref.access_scalar(addrs, is_write=writes)
+    assert (rv.hits, rv.misses, rv.evictions, rv.writebacks) == \
+        (rs.hits, rs.misses, rs.evictions, rs.writebacks)
+    np.testing.assert_array_equal(rv.miss_lines, rs.miss_lines)
+    np.testing.assert_array_equal(vec._tags, ref._tags)
+    # a write miss bypassed the cache, so re-touching the line re-misses
+    # in both engines
+    line0 = np.uint64(addrs[0] // 32 * 32)
+    again_v = vec.access(np.array([line0]), is_write=True)
+    again_r = ref.access_scalar(np.array([line0]), is_write=True)
+    assert again_v.misses == again_r.misses
+
+
 def test_miss_trace_contains_line_addresses():
     c = cache(line=32)
     r = c.access(np.array([5, 37], dtype=np.uint64))

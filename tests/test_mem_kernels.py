@@ -1,0 +1,248 @@
+"""Identity tests: the batched LRU kernels vs the scalar oracle.
+
+The vectorized engines (:mod:`repro.mem.kernels`) must be
+**bit-identical** to :meth:`CacheSim.access_scalar` — counts, miss
+trace values *and order*, and the private tag/dirty/LRU state after
+every call.  These tests replay seeded random and stream-shaped traces
+through paired simulators and compare everything after each call, so
+any divergence (including LRU-victim behaviour that only shows up on a
+later access) is caught.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import AccessPattern, CacheConfig, CacheSim, StreamAccess
+from repro.mem.cache import _BATCH_MIN_SETS, _KERNEL_CUTOFF
+from repro.mem.kernels import BatchStats, lru_batch, lru_dict_replay
+
+KB = 1024
+
+#: geometries spanning the dispatch space: batched kernel (>= 32 sets),
+#: dict replay (1..31 sets), direct-mapped, and the validation configs
+GEOMETRIES = [
+    pytest.param(dict(size_bytes=32 * KB, line_bytes=32,
+                      associativity=16), id="node-l1-64sets"),
+    pytest.param(dict(size_bytes=2 * KB, line_bytes=32,
+                      associativity=8), id="validation-l1-8sets"),
+    pytest.param(dict(size_bytes=1 * KB, line_bytes=128,
+                      associativity=8), id="one-set"),
+    pytest.param(dict(size_bytes=4 * KB, line_bytes=64,
+                      associativity=1), id="direct-mapped-64sets"),
+    pytest.param(dict(size_bytes=2 * KB, line_bytes=64,
+                      associativity=1), id="direct-mapped-32sets"),
+    pytest.param(dict(size_bytes=256 * KB, line_bytes=128,
+                      associativity=8), id="l3-256sets"),
+]
+
+
+def assert_identical(vectorized: CacheSim, oracle: CacheSim,
+                     rv, rs, label="") -> None:
+    """Full-equivalence assertion after one access() call each."""
+    assert (rv.accesses, rv.hits, rv.misses, rv.evictions,
+            rv.writebacks) == (rs.accesses, rs.hits, rs.misses,
+                               rs.evictions, rs.writebacks), label
+    if rs.miss_lines is None:
+        assert rv.miss_lines is None, label
+    else:
+        # values AND order: L2 is fed L1's miss sequence verbatim
+        np.testing.assert_array_equal(rv.miss_lines, rs.miss_lines,
+                                      err_msg=label)
+    np.testing.assert_array_equal(vectorized._tags, oracle._tags,
+                                  err_msg=label)
+    np.testing.assert_array_equal(vectorized._dirty, oracle._dirty,
+                                  err_msg=label)
+    np.testing.assert_array_equal(vectorized._lru, oracle._lru,
+                                  err_msg=label)
+    assert vectorized._clock == oracle._clock, label
+
+
+def replay_and_compare(cfg: CacheConfig, batches, collect=True) -> None:
+    """Drive paired sims through the batches, comparing after each."""
+    vec, ref = CacheSim(cfg), CacheSim(cfg)
+    for i, (addrs, wr) in enumerate(batches):
+        rv = vec.access(addrs, is_write=wr, collect_miss_trace=collect)
+        rs = ref.access_scalar(addrs, is_write=wr,
+                               collect_miss_trace=collect)
+        assert_identical(vec, ref, rv, rs, label=f"batch {i}")
+
+
+def random_batches(rng, span, sizes, write_fraction=0.3):
+    """Seeded mixed read/write address batches."""
+    out = []
+    for n in sizes:
+        addrs = rng.integers(0, span, size=n).astype(np.uint64)
+        writes = rng.random(n) < write_fraction
+        out.append((addrs, writes))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# randomized identity across the dispatch space
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("geometry", GEOMETRIES)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_random_trace_identity(geometry, seed):
+    rng = np.random.default_rng(seed)
+    cfg = CacheConfig(**geometry)
+    # spans chosen to exercise fitting and thrashing regimes
+    span = cfg.size_bytes * (1 if seed % 2 else 16)
+    batches = random_batches(rng, max(span, 4 * KB), [5000, 700, 2500])
+    replay_and_compare(cfg, batches)
+
+
+@pytest.mark.parametrize("geometry", GEOMETRIES)
+def test_write_no_allocate_identity(geometry):
+    rng = np.random.default_rng(5)
+    cfg = CacheConfig(write_allocate=False, **geometry)
+    batches = random_batches(rng, 16 * cfg.size_bytes, [4000, 4000],
+                             write_fraction=0.5)
+    replay_and_compare(cfg, batches)
+
+
+def test_stream_shaped_traces_identity():
+    """Sequential, wrapping-strided and random streams, interleaved."""
+    streams = [
+        StreamAccess("seq", footprint_bytes=64 * KB, stride_bytes=8),
+        StreamAccess("wrap", footprint_bytes=16 * KB, stride_bytes=1296,
+                     accesses=4096, pattern=AccessPattern.STRIDED),
+        StreamAccess("rand", footprint_bytes=128 * KB, accesses=3000,
+                     pattern=AccessPattern.RANDOM),
+    ]
+    assert streams[1].wraps
+    rng = np.random.default_rng(11)
+    traces = [s.generate_trace(base, rng=rng)
+              for s, base in zip(streams, (0, 1 << 20, 2 << 20))]
+    trace = np.concatenate(traces)
+    for geometry in (dict(size_bytes=32 * KB, line_bytes=32,
+                          associativity=16),
+                     dict(size_bytes=2 * KB, line_bytes=32,
+                          associativity=8)):
+        cfg = CacheConfig(**geometry)
+        writes = np.zeros(len(trace), dtype=bool)
+        writes[::7] = True
+        replay_and_compare(cfg, [(trace, writes), (trace, False)])
+
+
+def test_zero_size_cache_identity():
+    cfg = CacheConfig(size_bytes=0, line_bytes=32, associativity=8)
+    rng = np.random.default_rng(3)
+    addrs = rng.integers(0, 1 << 16, size=500).astype(np.uint64)
+    writes = rng.random(500) < 0.4
+    vec, ref = CacheSim(cfg), CacheSim(cfg)
+    rv = vec.access(addrs, is_write=writes)
+    rs = ref.access_scalar(addrs, is_write=writes)
+    assert_identical(vec, ref, rv, rs)
+    assert rv.misses == 500
+    assert rv.writebacks == int(writes.sum())
+
+
+def test_huge_addresses_use_int64_path_identically():
+    """Addresses past 2^62 overflow int32; the kernel must fall back."""
+    rng = np.random.default_rng(9)
+    base = np.uint64(2 ** 62)
+    addrs = base + rng.integers(0, 1 << 18, size=2000).astype(np.uint64)
+    writes = rng.random(2000) < 0.3
+    cfg = CacheConfig(size_bytes=32 * KB, line_bytes=32, associativity=16)
+    replay_and_compare(cfg, [(addrs, writes), (addrs[::2], True)])
+
+
+def test_victim_behaviour_after_kernel_batches():
+    """LRU victims on later calls reflect kernel-batch recency state."""
+    cfg = CacheConfig(size_bytes=64, line_bytes=32, associativity=2)
+    rng = np.random.default_rng(21)
+    addrs = rng.integers(0, 512, size=200).astype(np.uint64)
+    vec, ref = CacheSim(cfg), CacheSim(cfg)
+    # long batch (dict replay), then scalar-sized probes on both sims
+    vec.access(addrs)
+    ref.access_scalar(addrs)
+    for probe in ([0], [96], [0, 32, 64], [480]):
+        arr = np.asarray(probe, dtype=np.uint64)
+        rv = vec.access(arr)
+        rs = ref.access_scalar(arr)
+        assert_identical(vec, ref, rv, rs, label=f"probe {probe}")
+
+
+def test_collect_miss_trace_false_identity():
+    rng = np.random.default_rng(13)
+    cfg = CacheConfig(size_bytes=32 * KB, line_bytes=32, associativity=16)
+    addrs = rng.integers(0, 1 << 20, size=5000).astype(np.uint64)
+    replay_and_compare(cfg, [(addrs, False), (addrs, True)],
+                       collect=False)
+
+
+# ---------------------------------------------------------------------------
+# kernel functions driven directly (bypassing the dispatch heuristics)
+# ---------------------------------------------------------------------------
+def _drive_kernel(kernel, cfg_kwargs, addrs, writes_arr, calls=1):
+    """Run a kernel and the scalar oracle on identical state."""
+    cfg = CacheConfig(**cfg_kwargs)
+    vec, ref = CacheSim(cfg), CacheSim(cfg)
+    shift = int(np.log2(cfg.line_bytes))
+    for _ in range(calls):
+        lines = (addrs >> np.uint64(shift)).astype(np.int64)
+        sets = lines % cfg.num_sets
+        stats, mask = kernel(vec._tags, vec._dirty, vec._lru,
+                             lines, sets, writes_arr, vec._clock,
+                             write_allocate=cfg.write_allocate)
+        vec._clock += len(addrs)
+        rs = ref.access_scalar(addrs, is_write=writes_arr)
+        assert isinstance(stats, BatchStats)
+        assert (stats.hits, stats.misses, stats.evictions,
+                stats.writebacks) == (rs.hits, rs.misses, rs.evictions,
+                                      rs.writebacks)
+        np.testing.assert_array_equal(
+            np.left_shift(lines[mask], shift).astype(np.uint64),
+            rs.miss_lines)
+        np.testing.assert_array_equal(vec._tags, ref._tags)
+        np.testing.assert_array_equal(vec._dirty, ref._dirty)
+        np.testing.assert_array_equal(vec._lru, ref._lru)
+
+
+@pytest.mark.parametrize("kernel", [lru_batch, lru_dict_replay],
+                         ids=["batch", "dict"])
+def test_kernels_direct_on_few_sets(kernel):
+    """Both kernels are exact on geometries dispatch wouldn't give them."""
+    rng = np.random.default_rng(17)
+    addrs = rng.integers(0, 1 << 15, size=3000).astype(np.uint64)
+    writes = rng.random(3000) < 0.3
+    _drive_kernel(kernel, dict(size_bytes=2 * KB, line_bytes=32,
+                               associativity=4), addrs, writes, calls=2)
+    _drive_kernel(kernel, dict(size_bytes=8 * KB, line_bytes=32,
+                               associativity=2), addrs, writes, calls=2)
+
+
+def test_dispatch_thresholds_exist():
+    """The dispatch constants stay sane (guards doc/bench assumptions)."""
+    assert _KERNEL_CUTOFF >= 1
+    assert _BATCH_MIN_SETS > 1
+
+
+# ---------------------------------------------------------------------------
+# property: identity over random small configs and traces
+# ---------------------------------------------------------------------------
+@given(
+    seed=st.integers(0, 2 ** 16),
+    sets_exp=st.integers(0, 7),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+    n=st.integers(64, 400),
+    write_fraction=st.sampled_from([0.0, 0.3, 1.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_prop_kernel_identity(seed, sets_exp, assoc, n, write_fraction):
+    rng = np.random.default_rng(seed)
+    line = 32
+    num_sets = 1 << sets_exp
+    cfg = CacheConfig(size_bytes=num_sets * assoc * line,
+                      line_bytes=line, associativity=assoc)
+    span = 4 * max(cfg.size_bytes, line * 8)
+    addrs = rng.integers(0, span, size=n).astype(np.uint64)
+    writes = rng.random(n) < write_fraction
+    # drive the batch kernel directly so every config exercises it,
+    # then the dispatching path for whatever engine it picks
+    _drive_kernel(lru_batch, dict(size_bytes=cfg.size_bytes,
+                                  line_bytes=line, associativity=assoc),
+                  addrs, writes)
+    replay_and_compare(cfg, [(addrs, writes)])
