@@ -14,6 +14,13 @@ Usage::
                                     # counter tracks in trace.json)
     python -m repro report out/     # render report.md + report.json
                                     # from an exported artifact dir
+    python -m repro summarize-fleet runs/ --datasource sqlite -j 4
+                                    # index an archive of runs and
+                                    # build the cross-run fleet report
+                                    # (fleet_report.md/json)
+    python -m repro gen-corpus runs/ --runs 20
+                                    # generate a deterministic corpus
+                                    # of small archived runs
     python -m repro --jobs 4 --resume ckpt/
                                     # checkpoint every completed sweep
                                     # point/experiment into ckpt/; an
@@ -58,6 +65,10 @@ def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv[:1] == ["report"]:
         return _report_main(argv[1:])
+    if argv[:1] == ["summarize-fleet"]:
+        return _fleet_main(argv[1:])
+    if argv[:1] == ["gen-corpus"]:
+        return _gen_corpus_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables/figures of Ganesan et al., "
@@ -286,6 +297,114 @@ def _report_main(argv) -> int:
         parser.error(str(exc))
     for path in paths.values():
         print(path)
+    return 0
+
+
+def _fleet_main(argv) -> int:
+    """The ``python -m repro summarize-fleet DIR`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro summarize-fleet",
+        description="Incrementally index a directory tree of archived "
+                    "run artifacts and summarize every run with the "
+                    "registered derived-metric plugins; writes "
+                    "fleet_report.md + fleet_report.json with "
+                    "percentile bands and outlier-run flags.")
+    parser.add_argument("directory",
+                        help="root of the run archive (each run is a "
+                             "directory holding timeline.jsonl etc.)")
+    parser.add_argument("--datasource", metavar="SPEC", default=None,
+                        help="summary storage backend: 'jsonl' "
+                             "(default, tables under DIR/.fleet), "
+                             "'sqlite', 'jsonl:DIR' or 'sqlite:PATH'")
+    parser.add_argument("--plugins", metavar="NAMES", default=None,
+                        help="comma-separated summarizer subset "
+                             "(default: all discovered plugins)")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="write fleet_report.md/json here "
+                             "(default: the archive root)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        metavar="N",
+                        help="worker processes for the per-run fan-out "
+                             "(default 1: serial)")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="record the scan's own spans/metrics into "
+                             "DIR (trace.json, spans.jsonl, "
+                             "metrics.json)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress at INFO (-v) or DEBUG (-vv)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="log errors only")
+    args = parser.parse_args(argv)
+    log = setup_logging(-1 if args.quiet else args.verbose)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    set_jobs(args.jobs)
+    import os
+    if not os.path.isdir(args.directory):
+        parser.error(f"{args.directory!r} is not a directory")
+    from .fleet import summarize_fleet
+
+    plugins = None
+    if args.plugins:
+        plugins = [p.strip() for p in args.plugins.split(",")
+                   if p.strip()]
+    recording = tracer.install() if args.trace else None
+    try:
+        try:
+            summary = summarize_fleet(
+                args.directory, datasource=args.datasource,
+                plugins=plugins, jobs=args.jobs, out_dir=args.out)
+        except (KeyError, ValueError, OSError) as exc:
+            parser.error(str(exc))
+    finally:
+        if recording is not None:
+            tracer.uninstall()
+    if recording is not None:
+        recording.close_open_spans()
+        for path in _export_trace(recording, args.trace):
+            log.info(kv("trace.artifact", path=path))
+    counts = summary.delta
+    print(f"[fleet] {counts['total']} run(s) indexed via "
+          f"{summary.datasource_kind} "
+          f"(+{counts['added']} ~{counts['changed']} "
+          f"-{counts['removed']} ={counts['unchanged']}); "
+          f"{summary.processed} plugin process call(s)")
+    for path in summary.report_paths.values():
+        print(path)
+    return 0
+
+
+def _gen_corpus_main(argv) -> int:
+    """The ``python -m repro gen-corpus DIR`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro gen-corpus",
+        description="Generate a deterministic corpus of small archived "
+                    "runs (rotating workloads, rank counts and counter "
+                    "modes; includes one fault-injected and one "
+                    "interrupted run) for exercising summarize-fleet.")
+    parser.add_argument("directory", help="corpus root to create")
+    parser.add_argument("--runs", type=int, default=20, metavar="N",
+                        help="number of runs to generate (default 20)")
+    parser.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="base seed for the fault-injected runs")
+    parser.add_argument("--class", dest="problem_class", default="S",
+                        metavar="C",
+                        help="NPB problem class (default S: seconds, "
+                             "not minutes)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress at INFO (-v) or DEBUG (-vv)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="log errors only")
+    args = parser.parse_args(argv)
+    setup_logging(-1 if args.quiet else args.verbose)
+    if args.runs < 1:
+        parser.error(f"--runs must be >= 1, got {args.runs}")
+    from .fleet import generate_corpus
+
+    created = generate_corpus(args.directory, runs=args.runs,
+                              seed=args.seed,
+                              problem_class=args.problem_class)
+    print(f"[corpus] {len(created)} run(s) under {args.directory}")
     return 0
 
 

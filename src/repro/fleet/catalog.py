@@ -1,0 +1,293 @@
+"""The artifact catalog: an incremental index over archived run dirs.
+
+A *run* is any directory holding at least one of the artifact files a
+traced + sampled ``python -m repro`` invocation exports.  The catalog
+walks a fleet root, **fingerprints** every run from artifact stat
+signatures (names, sizes, mtimes — no file contents are read for
+unchanged runs), and keeps the index in a
+:class:`~repro.fleet.datasource.DataSource` table so a re-scan touches
+only the delta: new runs, runs whose artifacts changed, and runs that
+disappeared.  That is what lets ``summarize-fleet`` over a 10 000-run
+archive finish in seconds when 3 runs are new (cf. SUPReMM's
+``indexarchives.py``).
+
+Run metadata (workload, node count, config hash) is parsed from the
+run's ``timeline.jsonl`` job records — and only for new/changed runs;
+partial or truncated artifacts degrade to a ``partial`` flag via
+:func:`repro.obs.report.load_artifacts`'s structured warnings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..obs import metrics as _metrics
+from ..obs import report as obs_report
+from ..obs.logging import get_logger, kv
+from ..obs.tracer import span as _span
+from .datasource import DataSource
+
+_log = get_logger("fleet.catalog")
+
+_SCANS = _metrics.counter("fleet.catalog.scans")
+_RUNS_SEEN = _metrics.counter("fleet.catalog.runs_seen")
+_RUNS_FINGERPRINTED = _metrics.counter("fleet.catalog.runs_fingerprinted")
+
+#: artifact files that make a directory a run (and feed its fingerprint)
+ARTIFACT_FILES = (
+    "timeline.jsonl",
+    "spans.jsonl",
+    "metrics.json",
+    "trace.json",
+    "report.json",
+    "report.md",
+    "ras.jsonl",
+)
+
+#: a directory must hold one of these to count as a run at all
+_RUN_MARKERS = ("timeline.jsonl", "report.json", "ras.jsonl")
+
+#: the catalog's own table name in the datasource
+CATALOG_TABLE = "catalog"
+
+
+@dataclass
+class RunRecord:
+    """One archived run as the catalog sees it."""
+
+    run_id: str          #: relative path from the fleet root
+    path: str            #: absolute artifact directory
+    fingerprint: str     #: sha256 over artifact (name, size, mtime_ns)
+    mtime: float = 0.0   #: newest artifact mtime (seconds)
+    artifacts: List[str] = field(default_factory=list)
+    # ---- parsed from timeline.jsonl job records (new/changed only) ----
+    config_hash: str = ""
+    workload: str = ""
+    flags: str = ""
+    mode: str = ""
+    nodes: int = 0
+    ranks: int = 0
+    sample_every: int = 0
+    jobs: int = 0
+    elapsed_cycles: float = 0.0
+    partial: bool = False
+    warnings: int = 0
+
+    # ------------------------------------------------------------------
+    def to_row(self) -> Dict[str, Any]:
+        return {
+            "run": self.run_id,
+            "fingerprint": self.fingerprint,
+            "mtime": self.mtime,
+            "artifacts": list(self.artifacts),
+            "config_hash": self.config_hash,
+            "workload": self.workload,
+            "flags": self.flags,
+            "mode": self.mode,
+            "nodes": self.nodes,
+            "ranks": self.ranks,
+            "sample_every": self.sample_every,
+            "jobs": self.jobs,
+            "elapsed_cycles": self.elapsed_cycles,
+            "partial": self.partial,
+            "warnings": self.warnings,
+        }
+
+    @classmethod
+    def from_row(cls, row: Dict[str, Any],
+                 root: Optional[str] = None) -> "RunRecord":
+        return cls(
+            run_id=row["run"],
+            path=(os.path.join(root, row["run"]) if root else row["run"]),
+            fingerprint=row.get("fingerprint", ""),
+            mtime=row.get("mtime", 0.0),
+            artifacts=list(row.get("artifacts", [])),
+            config_hash=row.get("config_hash", ""),
+            workload=row.get("workload", ""),
+            flags=row.get("flags", ""),
+            mode=row.get("mode", ""),
+            nodes=int(row.get("nodes", 0)),
+            ranks=int(row.get("ranks", 0)),
+            sample_every=int(row.get("sample_every", 0)),
+            jobs=int(row.get("jobs", 0)),
+            elapsed_cycles=float(row.get("elapsed_cycles", 0.0)),
+            partial=bool(row.get("partial", False)),
+            warnings=int(row.get("warnings", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    def load_artifacts(self) -> Dict[str, Any]:
+        """This run's artifacts, loaded leniently (partial runs survive)."""
+        return obs_report.load_artifacts(self.path, require_timeline=False)
+
+
+@dataclass
+class CatalogDelta:
+    """What one :meth:`Catalog.refresh` found, relative to the index."""
+
+    added: List[RunRecord] = field(default_factory=list)
+    changed: List[RunRecord] = field(default_factory=list)
+    unchanged: List[RunRecord] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def to_process(self) -> List[RunRecord]:
+        """The runs a summarization pass must (re-)process."""
+        return self.added + self.changed
+
+    @property
+    def total(self) -> int:
+        return (len(self.added) + len(self.changed)
+                + len(self.unchanged))
+
+    def counts(self) -> Dict[str, int]:
+        return {"added": len(self.added), "changed": len(self.changed),
+                "unchanged": len(self.unchanged),
+                "removed": len(self.removed), "total": self.total}
+
+
+# ---------------------------------------------------------------------------
+# scanning
+# ---------------------------------------------------------------------------
+def _fingerprint(path: str) -> tuple[str, float, List[str]]:
+    """(sha256 signature, newest mtime, artifact names) of one run dir.
+
+    Stat-only: the signature covers each artifact's name, size and
+    mtime_ns, which is what makes unchanged-run detection O(stat) —
+    the whole point of the incremental index.
+    """
+    digest = hashlib.sha256()
+    newest = 0.0
+    present: List[str] = []
+    for name in ARTIFACT_FILES:
+        try:
+            st = os.stat(os.path.join(path, name))
+        except OSError:
+            continue
+        present.append(name)
+        digest.update(f"{name}:{st.st_size}:{st.st_mtime_ns}\n".encode())
+        newest = max(newest, st.st_mtime)
+    return digest.hexdigest()[:40], newest, present
+
+
+def discover_runs(root: str) -> List[RunRecord]:
+    """Walk ``root`` and fingerprint every run directory found.
+
+    The catalog's own storage (``.fleet``) and hidden directories are
+    skipped; returned records carry only stat-level fields — job
+    metadata is parsed later, and only for new/changed runs.
+    """
+    root = os.path.abspath(root)
+    records: List[RunRecord] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+        names = set(filenames)
+        if not names.intersection(_RUN_MARKERS):
+            continue
+        fingerprint, mtime, present = _fingerprint(dirpath)
+        run_id = os.path.relpath(dirpath, root)
+        records.append(RunRecord(
+            run_id=run_id.replace(os.sep, "/"),
+            path=dirpath, fingerprint=fingerprint, mtime=mtime,
+            artifacts=present))
+    records.sort(key=lambda record: record.run_id)
+    _RUNS_SEEN.inc(len(records))
+    return records
+
+
+def parse_run_metadata(record: RunRecord) -> RunRecord:
+    """Fill a stat-level record with job metadata from its artifacts.
+
+    Reads ``timeline.jsonl`` job records (leniently); a run with no
+    parseable job record — interrupted before export, or truncated —
+    is flagged ``partial`` and keeps zeroed metadata so the catalog
+    still tracks it.
+    """
+    _RUNS_FINGERPRINTED.inc()
+    artifacts = record.load_artifacts()
+    jobs = [r for r in artifacts["records"] if r.get("kind") == "job"]
+    record.warnings = len(artifacts["warnings"])
+    record.partial = bool(artifacts["warnings"]) or not jobs
+    record.jobs = len(jobs)
+    if jobs:
+        first = jobs[0]
+        record.workload = "+".join(
+            sorted({str(j.get("program", "?")) for j in jobs}))
+        record.flags = str(first.get("flags", ""))
+        record.mode = str(first.get("mode", ""))
+        record.nodes = max(int(j.get("nodes", 0) or 0) for j in jobs)
+        record.ranks = max(int(j.get("ranks", 0) or 0) for j in jobs)
+        record.sample_every = int(first.get("sample_every", 0) or 0)
+        record.elapsed_cycles = float(sum(
+            float(j.get("elapsed_cycles", 0.0) or 0.0) for j in jobs))
+        config = tuple(
+            (str(j.get("program", "")), str(j.get("flags", "")),
+             str(j.get("mode", "")), int(j.get("nodes", 0) or 0),
+             int(j.get("ranks", 0) or 0),
+             int(j.get("sample_every", 0) or 0))
+            for j in jobs)
+        record.config_hash = hashlib.sha256(
+            repr(config).encode()).hexdigest()[:16]
+    return record
+
+
+# ---------------------------------------------------------------------------
+# the index
+# ---------------------------------------------------------------------------
+class Catalog:
+    """The persistent run index, backed by a datasource table."""
+
+    def __init__(self, datasource: DataSource):
+        self.datasource = datasource
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """The indexed runs as stored rows (key order)."""
+        return self.datasource.read_table(CATALOG_TABLE)
+
+    def records(self, root: Optional[str] = None) -> List[RunRecord]:
+        """The indexed runs as :class:`RunRecord` objects."""
+        return [RunRecord.from_row(row, root) for row in self.rows()]
+
+    # ------------------------------------------------------------------
+    def refresh(self, root: str) -> CatalogDelta:
+        """Scan ``root`` and classify every run against the index.
+
+        New and changed runs get their metadata (re-)parsed from the
+        artifacts; unchanged runs keep their stored metadata without a
+        single artifact read.  The index itself is **not** written here
+        — callers commit via :meth:`commit` once downstream processing
+        succeeded, so a crashed summarization never marks work done.
+        """
+        _SCANS.inc()
+        with _span("fleet.catalog.scan", root=root) as scan_span:
+            indexed = {row["run"]: row for row in self.rows()}
+            delta = CatalogDelta()
+            seen = set()
+            for record in discover_runs(root):
+                seen.add(record.run_id)
+                stored = indexed.get(record.run_id)
+                if stored is None:
+                    delta.added.append(parse_run_metadata(record))
+                elif stored.get("fingerprint") != record.fingerprint:
+                    delta.changed.append(parse_run_metadata(record))
+                else:
+                    delta.unchanged.append(
+                        RunRecord.from_row(stored, root))
+            delta.removed = sorted(set(indexed) - seen)
+            counts = delta.counts()
+            for name, value in counts.items():
+                scan_span.set(name, value)
+            _log.info(kv("fleet.catalog.scan", root=root, **counts))
+            return delta
+
+    def commit(self, delta: CatalogDelta) -> None:
+        """Persist a refresh's outcome into the index table."""
+        rows = [record.to_row()
+                for record in delta.added + delta.changed]
+        if rows:
+            self.datasource.upsert(CATALOG_TABLE, rows)
+        if delta.removed:
+            self.datasource.delete(CATALOG_TABLE, delta.removed)

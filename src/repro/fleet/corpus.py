@@ -1,0 +1,169 @@
+"""Deterministic corpus generator: many small archived runs.
+
+CI's fleet job and the test suite need a realistic artifact tree —
+dozens of runs across workloads, node counts and counter modes, plus
+the awkward cases a production archive accumulates: a fault-injected
+run with a RAS log, and an interrupted run whose exporter died
+mid-write (truncated ``timeline.jsonl``, corrupt ``report.json``).
+:func:`generate_corpus` simulates each run for real (class-S kernels
+finish in tens of milliseconds) and lays the artifacts out one
+directory per run, exactly as ``python -m repro --trace DIR
+--sample-every N`` would.
+
+Everything is seeded and derived from the run index, so two
+invocations with the same arguments produce the same corpus layout —
+which is what lets CI diff JSONL-backed and SQLite-backed scans of it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import faults as _faults
+from ..compiler import O3, O5, compile_program
+from ..node import OperatingMode
+from ..npb import build_benchmark
+from ..obs import report as obs_report
+from ..obs import timeline as obs_timeline
+from ..obs.logging import get_logger, kv
+from ..obs.tracer import span as _span
+from ..runtime import Job, Machine
+
+_log = get_logger("fleet.corpus")
+
+#: benchmark rotation for the generated runs
+BENCHMARKS = ("EP", "MG", "CG", "FT", "IS", "LU")
+
+#: rank-count rotation (>= 8 so both counter-mode node cards exist)
+RANKS = (8, 16, 32)
+
+#: sampled-event set for the network-counter runs: the default mode-0
+#: processor events plus the mode-3 torus set
+TORUS_EVENTS = obs_timeline.DEFAULT_SAMPLE_EVENTS + (
+    "BGP_TORUS_XP_PACKETS", "BGP_TORUS_XM_PACKETS",
+    "BGP_TORUS_YP_PACKETS", "BGP_TORUS_YM_PACKETS",
+    "BGP_TORUS_ZP_PACKETS", "BGP_TORUS_ZM_PACKETS",
+    "BGP_TORUS_RECV_PACKETS", "BGP_TORUS_HOP_CYCLES",
+)
+
+
+def _run_spec(index: int, seed: int) -> Dict[str, Any]:
+    """The (deterministic) shape of run ``index``."""
+    code = BENCHMARKS[index % len(BENCHMARKS)]
+    ranks = RANKS[index % len(RANKS)]
+    return {
+        "index": index,
+        "code": code,
+        "ranks": ranks,
+        "flags": O5() if index % 4 else O3(),
+        "sample_every": (50_000, 100_000, 200_000)[index % 3],
+        # every third run monitors the network counter set instead of
+        # the L3/DDR set — half the fleet can answer torus questions,
+        # the other half L3/DDR questions, like a real node-card split
+        "torus": index % 3 == 2,
+        "seed": seed * 1000 + index,
+    }
+
+
+def _generate_one(root: str, spec: Dict[str, Any],
+                  problem_class: str,
+                  fault_config: Optional[_faults.FaultConfig]) -> str:
+    """Simulate one run and export its artifact directory."""
+    run_dir = os.path.join(
+        root, f"run-{spec['index']:03d}-{spec['code'].lower()}")
+    os.makedirs(run_dir, exist_ok=True)
+    prior = obs_timeline.get_config()
+    injector = None
+    events = TORUS_EVENTS if spec["torus"] else \
+        obs_timeline.DEFAULT_SAMPLE_EVENTS
+    obs_timeline.clear_recorded()
+    obs_timeline.install_sampling(obs_timeline.TimelineConfig(
+        sample_every=spec["sample_every"], events=events))
+    try:
+        if fault_config is not None:
+            injector = _faults.install(fault_config)
+        program = compile_program(
+            build_benchmark(spec["code"], num_ranks=spec["ranks"],
+                            problem_class=problem_class),
+            spec["flags"])
+        nodes = max(1, spec["ranks"] // 4)
+        machine = Machine(nodes, mode=OperatingMode.VNM)
+        counter_modes = (0, 3) if spec["torus"] else (0, 2)
+        Job(machine, program, spec["ranks"]).run(
+            counter_modes=counter_modes)
+        timelines = obs_timeline.recorded()
+        obs_timeline.export_jsonl(
+            os.path.join(run_dir, "timeline.jsonl"), timelines)
+        if injector is not None and injector.events:
+            injector.export_jsonl(os.path.join(run_dir, "ras.jsonl"))
+    finally:
+        if injector is not None:
+            _faults.uninstall()
+        obs_timeline.uninstall_sampling()
+        obs_timeline.clear_recorded()
+        if prior is not None:
+            obs_timeline.install_sampling(prior)
+    obs_report.write_report(run_dir)
+    return run_dir
+
+
+def _interrupt(run_dir: str) -> None:
+    """Make a run look like its exporter died mid-write."""
+    timeline = os.path.join(run_dir, "timeline.jsonl")
+    with open(timeline) as fh:
+        data = fh.read()
+    # cut inside the final record so the last line no longer parses
+    cut = max(data.find("\n") + 10, int(len(data) * 0.6))
+    with open(timeline, "w") as fh:
+        fh.write(data[:cut])
+    with open(os.path.join(run_dir, "report.json"), "w") as fh:
+        fh.write('{"jobs": [{"job": "')  # half-written JSON document
+
+
+def generate_corpus(root: str, runs: int = 20, seed: int = 0,
+                    problem_class: str = "S",
+                    fault_runs: Sequence[int] = (1,),
+                    interrupted_runs: Sequence[int] = (3,)) -> List[str]:
+    """Generate ``runs`` archived run directories under ``root``.
+
+    Runs rotate through benchmarks, rank counts, compiler flags,
+    sampling periods and counter modes (see :func:`_run_spec`).  Runs
+    whose index is in ``fault_runs`` execute under seeded fault
+    injection (DDR correctable-error bursts + torus link stalls: noisy
+    but survivable) and export ``ras.jsonl``; runs in
+    ``interrupted_runs`` are truncated after the fact to model an
+    exporter killed mid-write.  Returns the run directories created.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    created: List[str] = []
+    with _span("fleet.gen_corpus", runs=runs):
+        for index in range(runs):
+            spec = _run_spec(index, seed)
+            fault_config = None
+            if index in set(fault_runs):
+                fault_config = _faults.FaultConfig(
+                    seed=spec["seed"], ddr_error_rate=1.0,
+                    link_stall_rate=0.5)
+            run_dir = _generate_one(root, spec, problem_class,
+                                    fault_config)
+            if index in set(interrupted_runs):
+                _interrupt(run_dir)
+            created.append(run_dir)
+            _log.info(kv("fleet.corpus.run", index=index,
+                         code=spec["code"], ranks=spec["ranks"],
+                         torus=spec["torus"],
+                         faults=fault_config is not None,
+                         interrupted=index in set(interrupted_runs)))
+    manifest = {
+        "runs": runs, "seed": seed, "problem_class": problem_class,
+        "fault_runs": sorted(set(fault_runs) & set(range(runs))),
+        "interrupted_runs": sorted(
+            set(interrupted_runs) & set(range(runs))),
+    }
+    with open(os.path.join(root, "corpus.json"), "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return created

@@ -1,0 +1,306 @@
+"""Pluggable storage for the fleet catalog and summary tables.
+
+Both the artifact catalog and every summarizer plugin's per-run rows
+are plain tables: dict rows keyed by a unique string column (the run
+id).  :func:`create_datasource` hides two interchangeable backends
+behind that table model:
+
+* :class:`JsonlDataSource` — one ``<table>.jsonl`` file per table in a
+  directory; human-greppable, diff-friendly, append-cheap;
+* :class:`SqliteDataSource` — one SQLite file holding every table;
+  compact and queryable at hundreds of thousands of rows.
+
+The backends are required to be **observationally identical**: rows
+round-trip through JSON in both, reads return rows ordered by key, and
+the CI fleet job diffs a JSONL-backed scan against a SQLite-backed one
+for byte equality (:func:`DataSource.dump_canonical`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..obs import metrics as _metrics
+from ..obs.logging import get_logger, kv
+
+_log = get_logger("fleet.datasource")
+
+_ROWS_WRITTEN = _metrics.counter("fleet.datasource.rows_written")
+_ROWS_READ = _metrics.counter("fleet.datasource.rows_read")
+
+#: the key column every table row must carry
+KEY = "run"
+
+
+def _canonical(row: Dict[str, Any]) -> str:
+    """One row as canonical JSON (sorted keys, no whitespace games)."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+class DataSource:
+    """Abstract table store: dict rows keyed by the ``run`` column."""
+
+    #: short backend tag ("jsonl" / "sqlite"), set by subclasses
+    kind = "abstract"
+
+    def read_table(self, table: str) -> List[Dict[str, Any]]:
+        """Every row of ``table`` in ascending key order ([] if absent)."""
+        raise NotImplementedError
+
+    def upsert(self, table: str, rows: Iterable[Dict[str, Any]]) -> int:
+        """Insert or replace rows by key; returns the row count written."""
+        raise NotImplementedError
+
+    def delete(self, table: str, keys: Iterable[str]) -> int:
+        """Drop rows by key; returns how many existed."""
+        raise NotImplementedError
+
+    def tables(self) -> List[str]:
+        """Sorted names of the tables that currently hold rows."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any backend handles (idempotent)."""
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "DataSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def dump_canonical(self) -> str:
+        """Every table as canonical JSON lines — the cross-backend diff.
+
+        Two datasources holding identical logical content produce
+        byte-identical dumps regardless of backend, which is exactly
+        what CI's JSONL-vs-SQLite equality gate compares.
+        """
+        lines: List[str] = []
+        for table in self.tables():
+            for row in self.read_table(table):
+                lines.append(f"{table}\t{_canonical(row)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _validated(rows: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    out = []
+    for row in rows:
+        key = row.get(KEY)
+        if not isinstance(key, str) or not key:
+            raise ValueError(
+                f"datasource rows need a non-empty string {KEY!r} "
+                f"column, got {row!r}")
+        out.append(row)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# JSONL directory backend
+# ---------------------------------------------------------------------------
+class JsonlDataSource(DataSource):
+    """A directory of ``<table>.jsonl`` files, one canonical row per line.
+
+    Writes are atomic (temp file + ``os.replace``, the
+    :mod:`repro.checkpoint` idiom) so a crash mid-upsert can never leave
+    a half-written table that a later incremental scan would trust.
+    """
+
+    kind = "jsonl"
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, table: str) -> str:
+        if "/" in table or os.sep in table:
+            raise ValueError(f"table name must be flat, got {table!r}")
+        return os.path.join(self.directory, f"{table}.jsonl")
+
+    def _load(self, table: str) -> Dict[str, Dict[str, Any]]:
+        path = self._path(table)
+        rows: Dict[str, Dict[str, Any]] = {}
+        try:
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        row = json.loads(line)
+                        rows[row[KEY]] = row
+        except FileNotFoundError:
+            pass
+        return rows
+
+    def _store(self, table: str, rows: Dict[str, Dict[str, Any]]) -> None:
+        path = self._path(table)
+        if not rows:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            return
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                for key in sorted(rows):
+                    fh.write(_canonical(rows[key]) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def read_table(self, table: str) -> List[Dict[str, Any]]:
+        rows = self._load(table)
+        _ROWS_READ.inc(len(rows))
+        return [rows[key] for key in sorted(rows)]
+
+    def upsert(self, table: str, rows: Iterable[Dict[str, Any]]) -> int:
+        fresh = _validated(rows)
+        if not fresh:
+            return 0
+        existing = self._load(table)
+        for row in fresh:
+            existing[row[KEY]] = row
+        self._store(table, existing)
+        _ROWS_WRITTEN.inc(len(fresh))
+        return len(fresh)
+
+    def delete(self, table: str, keys: Iterable[str]) -> int:
+        existing = self._load(table)
+        dropped = 0
+        for key in keys:
+            if existing.pop(key, None) is not None:
+                dropped += 1
+        if dropped:
+            self._store(table, existing)
+        return dropped
+
+    def tables(self) -> List[str]:
+        return sorted(
+            name[:-len(".jsonl")]
+            for name in os.listdir(self.directory)
+            if name.endswith(".jsonl"))
+
+
+# ---------------------------------------------------------------------------
+# SQLite backend
+# ---------------------------------------------------------------------------
+class SqliteDataSource(DataSource):
+    """Every table in one SQLite file.
+
+    Rows are stored as canonical JSON payloads in a single
+    ``fleet_rows (tbl, key, payload)`` relation — logical tables are a
+    column, not DDL, so table names never meet SQL identifier quoting
+    and the payload round-trips exactly like the JSONL backend's.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS fleet_rows ("
+            " tbl TEXT NOT NULL, key TEXT NOT NULL, payload TEXT NOT NULL,"
+            " PRIMARY KEY (tbl, key))")
+        self._conn.commit()
+
+    def read_table(self, table: str) -> List[Dict[str, Any]]:
+        cursor = self._conn.execute(
+            "SELECT payload FROM fleet_rows WHERE tbl = ? ORDER BY key",
+            (table,))
+        rows = [json.loads(payload) for (payload,) in cursor]
+        _ROWS_READ.inc(len(rows))
+        return rows
+
+    def upsert(self, table: str, rows: Iterable[Dict[str, Any]]) -> int:
+        fresh = _validated(rows)
+        if not fresh:
+            return 0
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO fleet_rows (tbl, key, payload) "
+            "VALUES (?, ?, ?)",
+            [(table, row[KEY], _canonical(row)) for row in fresh])
+        self._conn.commit()
+        _ROWS_WRITTEN.inc(len(fresh))
+        return len(fresh)
+
+    def delete(self, table: str, keys: Iterable[str]) -> int:
+        keys = list(keys)
+        if not keys:
+            return 0
+        cursor = self._conn.executemany(
+            "DELETE FROM fleet_rows WHERE tbl = ? AND key = ?",
+            [(table, key) for key in keys])
+        self._conn.commit()
+        return cursor.rowcount if cursor.rowcount >= 0 else 0
+
+    def tables(self) -> List[str]:
+        cursor = self._conn.execute(
+            "SELECT DISTINCT tbl FROM fleet_rows ORDER BY tbl")
+        return [name for (name,) in cursor]
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+# ---------------------------------------------------------------------------
+# factory
+# ---------------------------------------------------------------------------
+def create_datasource(spec: Optional[str] = None,
+                      base: Optional[str] = None) -> DataSource:
+    """Open a datasource from a ``--datasource`` spec string.
+
+    Accepted forms (``base`` is the fleet root, used for defaults)::
+
+        None / ""          JSONL under <base>/.fleet/tables
+        "jsonl"            JSONL under <base>/.fleet/tables
+        "sqlite"           SQLite at  <base>/.fleet/fleet.sqlite
+        "jsonl:DIR"        JSONL under DIR
+        "sqlite:PATH"      SQLite at PATH
+        "some/dir"         JSONL under some/dir
+        "file.sqlite|.db"  SQLite at that path
+    """
+    spec = (spec or "jsonl").strip()
+    scheme, sep, rest = spec.partition(":")
+    if sep and scheme in ("jsonl", "sqlite"):
+        path = rest
+    elif sep and scheme.isalpha() and len(scheme) > 1:
+        # "postgres:..." must fail loudly, not become a directory
+        # literally named "postgres:..."
+        raise ValueError(
+            f"unknown datasource scheme {scheme!r} in {spec!r}; "
+            "use jsonl[:DIR] or sqlite[:PATH]")
+    elif spec in ("jsonl", "sqlite"):
+        scheme, path = spec, ""
+    elif spec.endswith((".sqlite", ".db")):
+        scheme, path = "sqlite", spec
+    else:
+        scheme, path = "jsonl", spec
+    if not path:
+        if base is None:
+            raise ValueError(
+                f"datasource spec {spec!r} has no path and no fleet "
+                "root to default under")
+        path = os.path.join(
+            base, ".fleet",
+            "tables" if scheme == "jsonl" else "fleet.sqlite")
+    if scheme == "sqlite":
+        source: DataSource = SqliteDataSource(path)
+    else:
+        source = JsonlDataSource(path)
+    _log.debug(kv("fleet.datasource", kind=source.kind, path=path))
+    return source

@@ -1,0 +1,203 @@
+"""Cross-run fleet report: percentile bands and outlier-run flagging.
+
+The single-run report answers "what did this run do"; the fleet report
+answers "which runs are *unlike the others*".  For every numeric
+column of every summarizer table it computes percentile bands
+(min/p10/p50/p90/max) across the corpus and flags outlier runs with a
+robust band test: a value is an outlier when it falls outside
+``[p10 - 1.5*(p90-p10), p90 + 1.5*(p90-p10)]``.  Percentile-based
+fences (rather than mean/stddev) keep one broken run from widening its
+own acceptance band — the same reasoning as the timeline pipeline's
+percentile bands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+STATUS_OK = "ok"
+
+#: fence width in (p90 - p10) units for the outlier test
+FENCE_FACTOR = 1.5
+
+
+def _percentile(ordered: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (non-empty)."""
+    rank = max(1, -(-pct * len(ordered) // 100))  # ceil
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def column_stats(rows: Sequence[Dict[str, Any]],
+                 column: str) -> Optional[Dict[str, Any]]:
+    """Percentile-band stats of one numeric column over OK rows."""
+    values = sorted(
+        float(row[column]) for row in rows
+        if row.get("status") == STATUS_OK
+        and isinstance(row.get(column), (int, float))
+        and not isinstance(row.get(column), bool))
+    if not values:
+        return None
+    return {
+        "count": len(values),
+        "min": values[0],
+        "p10": _percentile(values, 10),
+        "p50": _percentile(values, 50),
+        "p90": _percentile(values, 90),
+        "max": values[-1],
+        "mean": sum(values) / len(values),
+    }
+
+
+def flag_outliers(rows: Sequence[Dict[str, Any]], column: str,
+                  stats: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Runs whose ``column`` value falls outside the robust fences."""
+    band = stats["p90"] - stats["p10"]
+    if band <= 0 or stats["count"] < 4:
+        # a degenerate band (constant column, or too few runs for the
+        # percentiles to mean anything) flags nothing rather than
+        # everything
+        return []
+    low = stats["p10"] - FENCE_FACTOR * band
+    high = stats["p90"] + FENCE_FACTOR * band
+    out = []
+    for row in rows:
+        value = row.get(column)
+        if (row.get("status") != STATUS_OK
+                or not isinstance(value, (int, float))
+                or isinstance(value, bool)):
+            continue
+        if value < low or value > high:
+            out.append({"run": row["run"], "column": column,
+                        "value": value,
+                        "fence": "low" if value < low else "high",
+                        "p50": stats["p50"]})
+    return out
+
+
+def _numeric_columns(rows: Sequence[Dict[str, Any]]) -> List[str]:
+    names: List[str] = []
+    for row in rows:
+        for name, value in row.items():
+            if name in ("run", "status", "schema"):
+                continue
+            if (isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and name not in names):
+                names.append(name)
+    return sorted(names)
+
+
+def build_fleet_report(catalog_rows: Sequence[Dict[str, Any]],
+                       tables: Dict[str, List[Dict[str, Any]]]
+                       ) -> Dict[str, Any]:
+    """Assemble the machine-readable fleet report."""
+    workloads: Dict[str, int] = {}
+    partial = []
+    for row in catalog_rows:
+        workloads[row.get("workload") or "?"] = (
+            workloads.get(row.get("workload") or "?", 0) + 1)
+        if row.get("partial"):
+            partial.append(row["run"])
+    report: Dict[str, Any] = {
+        "runs": len(catalog_rows),
+        "workloads": dict(sorted(workloads.items())),
+        "partial_runs": sorted(partial),
+        "plugins": {},
+    }
+    for name in sorted(tables):
+        rows = tables[name]
+        ok = [row for row in rows if row.get("status") == STATUS_OK]
+        skipped = [{"run": row["run"], "status": row.get("status", "")}
+                   for row in rows if row.get("status") != STATUS_OK]
+        columns: Dict[str, Any] = {}
+        outliers: List[Dict[str, Any]] = []
+        for column in _numeric_columns(ok):
+            stats = column_stats(rows, column)
+            if stats is None:
+                continue
+            columns[column] = stats
+            outliers.extend(flag_outliers(rows, column, stats))
+        outliers.sort(key=lambda o: (o["run"], o["column"]))
+        report["plugins"][name] = {
+            "runs": len(rows),
+            "ok": len(ok),
+            "skipped": sorted(skipped, key=lambda s: s["run"]),
+            "columns": columns,
+            "outliers": outliers,
+        }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# markdown rendering
+# ---------------------------------------------------------------------------
+def _md_table(headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> str:
+    out = ["| " + " | ".join(str(h) for h in headers) + " |",
+           "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value and abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_fleet_markdown(report: Dict[str, Any]) -> str:
+    """The fleet report as a human-readable markdown document."""
+    lines: List[str] = ["# Fleet report", ""]
+    lines += [f"{report['runs']} indexed run(s); workloads: "
+              + ", ".join(f"{name} x{count}" for name, count in
+                          report["workloads"].items()), ""]
+    if report["partial_runs"]:
+        lines += ["Partial runs (missing/truncated artifacts): "
+                  + ", ".join(f"`{run}`"
+                              for run in report["partial_runs"]), ""]
+    for name, section in report["plugins"].items():
+        lines += [f"## {name}", ""]
+        lines += [f"{section['ok']}/{section['runs']} run(s) "
+                  "summarized", ""]
+        if section["columns"]:
+            rows = [[column, stats["count"], _fmt(stats["min"]),
+                     _fmt(stats["p10"]), _fmt(stats["p50"]),
+                     _fmt(stats["p90"]), _fmt(stats["max"])]
+                    for column, stats in section["columns"].items()]
+            lines.append(_md_table(
+                ["metric", "runs", "min", "p10", "p50", "p90", "max"],
+                rows))
+            lines.append("")
+        if section["outliers"]:
+            lines += ["### Outlier runs", ""]
+            rows = [[f"`{o['run']}`", o["column"], _fmt(o["value"]),
+                     o["fence"], _fmt(o["p50"])]
+                    for o in section["outliers"]]
+            lines.append(_md_table(
+                ["run", "metric", "value", "fence", "fleet p50"], rows))
+            lines.append("")
+        if section["skipped"]:
+            rows = [[f"`{s['run']}`", s["status"]]
+                    for s in section["skipped"]]
+            lines += ["### Skipped runs", "",
+                      _md_table(["run", "reason"], rows), ""]
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_fleet_report(report: Dict[str, Any],
+                       out_dir: str) -> Dict[str, str]:
+    """Write ``fleet_report.md`` + ``fleet_report.json``."""
+    os.makedirs(out_dir, exist_ok=True)
+    json_path = os.path.join(out_dir, "fleet_report.json")
+    with open(json_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    md_path = os.path.join(out_dir, "fleet_report.md")
+    with open(md_path, "w") as fh:
+        fh.write(render_fleet_markdown(report))
+    return {"json": json_path, "markdown": md_path}

@@ -1,0 +1,226 @@
+"""Built-in derived-metric summarizers.
+
+Each plugin reduces one archived run to a flat row of derived metrics
+— the paper's methodology (raw counter dumps -> derived metrics ->
+cross-workload characterization) applied at fleet scale.  The raw
+material is the run's sampled telemetry: per-node whole-run event
+totals from ``timeline.jsonl`` plus the RAS event log, reusing the
+exact metric formulas of :mod:`repro.core.metrics` so a fleet row for
+one run agrees with the single-run report for that run.
+
+Every row keeps its inputs (cycles, instruction counts, line counts)
+next to the derived ratio, so fleet-level re-aggregation can weight by
+work instead of averaging averages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..core.metrics import (
+    ddr_traffic_bytes,
+    instruction_total,
+    total_flops,
+)
+from ..isa.latency import CORE_CLOCK_HZ
+from .plugin import SkipRun, SummarizerPlugin, register
+
+
+def _round(value: Any, digits: int = 6) -> Any:
+    """Stable row values: floats rounded, None preserved.
+
+    Both storage backends round-trip rows through JSON; rounding here
+    keeps the tables byte-comparable across platforms and spares the
+    report renderer 17-digit noise.
+    """
+    if isinstance(value, float):
+        return round(value, digits)
+    return value
+
+
+def _row(**fields: Any) -> Dict[str, Any]:
+    return {name: _round(value) for name, value in fields.items()}
+
+
+@register
+class CpiSummarizer(SummarizerPlugin):
+    """Cycles per instruction over the run's monitored cores."""
+
+    name = "cpi"
+    requires_artifacts = ("timeline.jsonl",)
+    requires_event_prefixes = ("BGP_PU",)
+
+    def process(self, run, artifacts) -> Dict[str, Any]:
+        self.check_requirements(run, artifacts)
+        totals = self.machine_totals(artifacts)
+        cycles = sum(v for k, v in totals.items()
+                     if k.endswith("_CYCLES") and k.startswith("BGP_PU"))
+        instructions = instruction_total(totals)
+        if not instructions:
+            raise SkipRun("no completed instructions sampled")
+        return _row(cycles=cycles, instructions=instructions,
+                    cpi=cycles / instructions)
+
+
+@register
+class FlopsSummarizer(SummarizerPlugin):
+    """Delivered floating-point throughput (flops/cycle, MFLOPS)."""
+
+    name = "flops"
+    requires_artifacts = ("timeline.jsonl",)
+    requires_event_prefixes = ("BGP_PU",)
+
+    def process(self, run, artifacts) -> Dict[str, Any]:
+        self.check_requirements(run, artifacts)
+        totals = self.machine_totals(artifacts)
+        flops = total_flops(totals)
+        elapsed = self.elapsed_cycles(artifacts)
+        if elapsed <= 0:
+            raise SkipRun("no elapsed cycles recorded")
+        seconds = elapsed / CORE_CLOCK_HZ
+        return _row(flops=flops, elapsed_cycles=elapsed,
+                    flops_per_cycle=flops / elapsed,
+                    mflops=flops / seconds / 1e6)
+
+
+@register
+class L3Summarizer(SummarizerPlugin):
+    """Shared-L3 hit rate from the L3 read/miss counters."""
+
+    name = "l3"
+    requires_artifacts = ("timeline.jsonl",)
+    requires_events = ("BGP_L3_READ",)
+
+    def process(self, run, artifacts) -> Dict[str, Any]:
+        self.check_requirements(run, artifacts)
+        totals = self.machine_totals(artifacts)
+        reads = totals.get("BGP_L3_READ", 0)
+        misses = totals.get("BGP_L3_MISS", 0)
+        if not reads:
+            raise SkipRun("no L3 reads sampled")
+        return _row(l3_reads=reads, l3_misses=misses,
+                    l3_hit_rate=1.0 - misses / reads)
+
+
+@register
+class DdrSummarizer(SummarizerPlugin):
+    """L3<->DDR traffic and average DDR bandwidth."""
+
+    name = "ddr"
+    requires_artifacts = ("timeline.jsonl",)
+    requires_event_prefixes = ("BGP_DDR",)
+
+    def process(self, run, artifacts) -> Dict[str, Any]:
+        self.check_requirements(run, artifacts)
+        totals = self.machine_totals(artifacts)
+        traffic = ddr_traffic_bytes(totals)
+        elapsed = self.elapsed_cycles(artifacts)
+        if elapsed <= 0:
+            raise SkipRun("no elapsed cycles recorded")
+        seconds = elapsed / CORE_CLOCK_HZ
+        return _row(ddr_bytes=traffic,
+                    ddr_bytes_per_sec=traffic / seconds,
+                    ddr_bytes_per_kcycle=traffic / elapsed * 1e3)
+
+
+@register
+class TorusSummarizer(SummarizerPlugin):
+    """Torus link utilization: traffic volume and per-link balance.
+
+    Needs a run sampled with the mode-3 network counter set
+    (``counter_modes=(0, 3)``); runs monitored with the default
+    ``(0, 2)`` split skip with a clear reason.
+    """
+
+    name = "torus"
+    requires_artifacts = ("timeline.jsonl",)
+    requires_event_prefixes = ("BGP_TORUS_",)
+
+    LINKS = ("XP", "XM", "YP", "YM", "ZP", "ZM")
+
+    def process(self, run, artifacts) -> Dict[str, Any]:
+        self.check_requirements(run, artifacts)
+        totals = self.machine_totals(artifacts)
+        per_link = {link: totals.get(f"BGP_TORUS_{link}_PACKETS", 0)
+                    for link in self.LINKS}
+        sent = sum(per_link.values())
+        if not sent:
+            raise SkipRun("no torus packets sampled")
+        elapsed = self.elapsed_cycles(artifacts)
+        busiest = max(per_link, key=per_link.get)
+        mean = sent / len(self.LINKS)
+        return _row(
+            torus_packets=sent,
+            torus_recv=totals.get("BGP_TORUS_RECV_PACKETS", 0),
+            packets_per_kcycle=(sent / elapsed * 1e3 if elapsed else None),
+            busiest_link=busiest,
+            # >1: traffic concentrates on few links; 1: perfectly even
+            link_utilization_ratio=per_link[busiest] / mean,
+        )
+
+
+@register
+class ImbalanceSummarizer(SummarizerPlugin):
+    """Cross-node load imbalance over whole-run event totals."""
+
+    name = "imbalance"
+    requires_artifacts = ("timeline.jsonl",)
+
+    def process(self, run, artifacts) -> Dict[str, Any]:
+        self.check_requirements(run, artifacts)
+        per_node = self.node_totals(artifacts)
+        per_event: Dict[str, list] = {}
+        for totals in per_node.values():
+            for name, value in totals.items():
+                per_event.setdefault(name, []).append(value)
+        worst_event, worst = "", 0.0
+        accumulated, measured = 0.0, 0
+        for name, values in per_event.items():
+            if len(values) < 2:
+                continue
+            mean = sum(values) / len(values)
+            if mean <= 0:
+                continue
+            imbalance = (max(values) - min(values)) / mean
+            accumulated += imbalance
+            measured += 1
+            if imbalance > worst:
+                worst_event, worst = name, imbalance
+        if not measured:
+            raise SkipRun("fewer than two nodes sampled any event")
+        return _row(sampled_nodes=len(per_node),
+                    events_measured=measured,
+                    max_imbalance=worst,
+                    max_imbalance_event=worst_event,
+                    mean_imbalance=accumulated / measured)
+
+
+@register
+class RasSummarizer(SummarizerPlugin):
+    """RAS/fault event counts from the injected-fault log.
+
+    Runs without a ``ras.jsonl`` are healthy, not skippable: they
+    produce an all-zero row, so fleet percentiles over fault counts
+    mean something and a single faulty run stands out as the outlier.
+    """
+
+    name = "ras"
+    requires_artifacts = ("timeline.jsonl",)
+
+    KINDS = ("node_failure", "sram_bit_flip", "wrap_storm",
+             "ddr_correctable", "link_stall")
+
+    def process(self, run, artifacts) -> Dict[str, Any]:
+        self.check_requirements(run, artifacts)
+        events = artifacts.get("ras") or []
+        by_kind = dict.fromkeys(self.KINDS, 0)
+        fatal = 0
+        for event in events:
+            kind = event.get("kind", "")
+            if kind in by_kind:
+                by_kind[kind] += 1
+            if event.get("severity") == "fatal":
+                fatal += 1
+        return _row(ras_events=len(events), fatal=fatal,
+                    **{f"ras_{kind}": count
+                       for kind, count in by_kind.items()})

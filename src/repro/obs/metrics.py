@@ -97,10 +97,16 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def percentile(self, pct: float) -> float:
-        """Nearest-rank percentile over the retained reservoir."""
+    def percentile(self, pct: float) -> Optional[float]:
+        """Nearest-rank percentile over the retained reservoir.
+
+        An empty reservoir has no tails to report: the query returns
+        ``None`` (not a fabricated 0.0, which callers would mistake for
+        a real observation) — fleet summarizers and report renderers
+        show the absence explicitly.
+        """
         if not self._samples:
-            return 0.0
+            return None
         ordered = sorted(self._samples)
         rank = max(1, -(-pct * len(ordered) // 100))  # ceil
         return ordered[int(min(rank, len(ordered))) - 1]

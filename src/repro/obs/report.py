@@ -20,47 +20,123 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Sequence
 
+from .logging import get_logger, kv
+
+_log = get_logger("obs.report")
+
 TIMELINE_FILE = "timeline.jsonl"
 SPANS_FILE = "spans.jsonl"
 METRICS_FILE = "metrics.json"
 RAS_FILE = "ras.jsonl"
+REPORT_FILE = "report.json"
 
 
-def load_artifacts(directory: str) -> Dict[str, Any]:
+def _read_jsonl(path: str,
+                warnings: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Parse a JSONL artifact, surviving truncated or corrupt lines.
+
+    A run killed mid-export leaves a half-written last line (and a
+    crashed exporter can leave garbage mid-file); both are skipped with
+    one structured warning per file instead of poisoning the whole
+    load — fleet scans must survive partial runs.
+    """
+    records: List[Dict[str, Any]] = []
+    bad = 0
+    first_bad: Optional[int] = None
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                if first_bad is None:
+                    first_bad = lineno
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                bad += 1
+                if first_bad is None:
+                    first_bad = lineno
+    if bad:
+        warning = {"artifact": os.path.basename(path),
+                   "problem": "truncated",
+                   "bad_lines": bad, "first_bad_line": first_bad,
+                   "kept_records": len(records)}
+        warnings.append(warning)
+        _log.warning(kv("artifact.truncated", path=path, **{
+            k: v for k, v in warning.items() if k != "artifact"}))
+    return records
+
+
+def _read_json(path: str, warnings: List[Dict[str, Any]],
+               default: Any) -> Any:
+    """Parse a JSON artifact; corrupt files degrade to ``default``."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        warnings.append({"artifact": os.path.basename(path),
+                         "problem": "unreadable",
+                         "error": type(exc).__name__})
+        _log.warning(kv("artifact.unreadable", path=path,
+                        error=type(exc).__name__))
+        return default
+
+
+def load_artifacts(directory: str, *,
+                   require_timeline: bool = True) -> Dict[str, Any]:
     """Read whatever run artifacts ``directory`` holds.
 
-    ``timeline.jsonl`` is required (a report without telemetry would be
-    empty); ``spans.jsonl`` and ``metrics.json`` enrich the report when
-    present.
+    ``timeline.jsonl`` is required by default (a report without
+    telemetry would be empty); ``spans.jsonl``, ``metrics.json``,
+    ``ras.jsonl`` and ``report.json`` enrich the result when present.
+
+    Partial runs degrade gracefully rather than raising: a truncated
+    JSONL artifact keeps its parseable lines, a corrupt JSON artifact
+    is treated as absent, and every such problem is recorded as a
+    structured entry in the returned ``"warnings"`` list (and logged).
+    With ``require_timeline=False`` even a missing ``timeline.jsonl``
+    only warns — the mode fleet scans over archived corpora use.
     """
+    warnings: List[Dict[str, Any]] = []
     timeline_path = os.path.join(directory, TIMELINE_FILE)
-    if not os.path.exists(timeline_path):
+    records: List[Dict[str, Any]] = []
+    if os.path.exists(timeline_path):
+        records = _read_jsonl(timeline_path, warnings)
+    elif require_timeline:
         raise FileNotFoundError(
             f"{timeline_path} not found — run with --sample-every N "
             "(and --trace/--json DIR) to export job telemetry first")
-    records: List[Dict[str, Any]] = []
-    with open(timeline_path) as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    else:
+        warnings.append({"artifact": TIMELINE_FILE,
+                         "problem": "missing"})
     spans: List[Dict[str, Any]] = []
     spans_path = os.path.join(directory, SPANS_FILE)
     if os.path.exists(spans_path):
-        with open(spans_path) as fh:
-            spans = [json.loads(line) for line in fh if line.strip()]
+        spans = _read_jsonl(spans_path, warnings)
     metrics: Dict[str, Any] = {}
     metrics_path = os.path.join(directory, METRICS_FILE)
     if os.path.exists(metrics_path):
-        with open(metrics_path) as fh:
-            metrics = json.load(fh)
+        metrics = _read_json(metrics_path, warnings, {})
+        if not isinstance(metrics, dict):
+            metrics = {}
     ras: List[Dict[str, Any]] = []
     ras_path = os.path.join(directory, RAS_FILE)
     if os.path.exists(ras_path):
-        with open(ras_path) as fh:
-            ras = [json.loads(line) for line in fh if line.strip()]
+        ras = _read_jsonl(ras_path, warnings)
+    report: Dict[str, Any] = {}
+    report_path = os.path.join(directory, REPORT_FILE)
+    if os.path.exists(report_path):
+        report = _read_json(report_path, warnings, {})
+        if not isinstance(report, dict):
+            report = {}
     return {"records": records, "spans": spans, "metrics": metrics,
-            "ras": ras, "directory": directory}
+            "ras": ras, "report": report, "warnings": warnings,
+            "directory": directory}
 
 
 # ---------------------------------------------------------------------------
@@ -71,11 +147,11 @@ def _job_section(job: Dict[str, Any],
     """Summarise one job's telemetry records."""
     label = job["job"]
     samples = [r for r in records
-               if r["kind"] == "sample" and r["job"] == label]
+               if r.get("kind") == "sample" and r.get("job") == label]
     nodes = [r for r in records
-             if r["kind"] == "node" and r["job"] == label]
+             if r.get("kind") == "node" and r.get("job") == label]
     alerts = [r for r in records
-              if r["kind"] == "alert" and r["job"] == label]
+              if r.get("kind") == "alert" and r.get("job") == label]
 
     # derived-metric envelope over the sampled intervals
     derived = [r["derived"] for r in samples if "derived" in r]
@@ -160,7 +236,7 @@ def _job_section(job: Dict[str, Any],
 def build_report(artifacts: Dict[str, Any]) -> Dict[str, Any]:
     """Assemble the machine-readable report dict."""
     records = artifacts["records"]
-    jobs = [r for r in records if r["kind"] == "job"]
+    jobs = [r for r in records if r.get("kind") == "job"]
     report: Dict[str, Any] = {
         "source": artifacts.get("directory"),
         "jobs": [_job_section(job, records) for job in jobs],

@@ -1,0 +1,50 @@
+"""Shared helper: synthesize archived run directories for fleet tests.
+
+Catalog/incrementality tests need many runs whose *contents* are fully
+controlled and cheap to produce; simulating real jobs for those would
+be slow and would couple catalog assertions to simulator numerics.
+This writes the same artifact shapes the timeline exporter produces —
+a ``job`` record plus per-node ``node`` records with whole-run
+``totals`` — from explicit numbers.
+"""
+
+import json
+import os
+
+
+def write_synthetic_run(root, run_id, *, program="EP", ranks=8,
+                        cycles=2_000_000, instructions=1_000_000,
+                        flops=400_000, l3_reads=10_000, l3_misses=500,
+                        ddr_bursts=300, ras=(), sample_every=50_000):
+    """Create ``root/run_id`` with a plausible ``timeline.jsonl``.
+
+    Node 0 carries the mode-0 processor totals, node 1 the mode-2
+    L3/DDR totals — the VNM node-card split the real exporter records.
+    Returns the run directory.
+    """
+    run_dir = os.path.join(root, run_id)
+    os.makedirs(run_dir, exist_ok=True)
+    label = f"{program} -O3 #0"
+    records = [
+        {"kind": "job", "job": label, "program": program,
+         "flags": "-O3", "mode": "VNM", "nodes": 2, "sampled_nodes": 2,
+         "ranks": ranks, "sample_every": sample_every,
+         "elapsed_cycles": float(cycles)},
+        {"kind": "node", "job": label, "node": 0, "counter_mode": 0,
+         "totals": {"BGP_PU0_CYCLES": cycles,
+                    "BGP_PU0_INST_COMPLETED": instructions,
+                    "BGP_PU0_FPU_ADDSUB": flops},
+         "phase_changes": {}, "phases": []},
+        {"kind": "node", "job": label, "node": 1, "counter_mode": 2,
+         "totals": {"BGP_L3_READ": l3_reads, "BGP_L3_MISS": l3_misses,
+                    "BGP_DDR0_READ": ddr_bursts},
+         "phase_changes": {}, "phases": []},
+    ]
+    with open(os.path.join(run_dir, "timeline.jsonl"), "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    if ras:
+        with open(os.path.join(run_dir, "ras.jsonl"), "w") as fh:
+            for event in ras:
+                fh.write(json.dumps(event) + "\n")
+    return run_dir

@@ -1,0 +1,94 @@
+"""Tests for the pluggable fleet storage backends (repro.fleet.datasource)."""
+
+import os
+
+import pytest
+
+from repro.fleet.datasource import (
+    JsonlDataSource,
+    SqliteDataSource,
+    create_datasource,
+)
+
+
+@pytest.fixture(params=["jsonl", "sqlite"])
+def source(request, tmp_path):
+    if request.param == "jsonl":
+        src = JsonlDataSource(str(tmp_path / "tables"))
+    else:
+        src = SqliteDataSource(str(tmp_path / "fleet.sqlite"))
+    yield src
+    src.close()
+
+
+ROWS = [
+    {"run": "run-b", "cpi": 1.25, "cycles": 1000},
+    {"run": "run-a", "cpi": 0.75, "cycles": 2000},
+]
+
+
+def test_round_trip_orders_by_key(source):
+    source.upsert("summary.cpi", ROWS)
+    got = source.read_table("summary.cpi")
+    assert [row["run"] for row in got] == ["run-a", "run-b"]
+    assert got[1] == ROWS[0]
+
+
+def test_upsert_replaces_and_delete_removes(source):
+    source.upsert("summary.cpi", ROWS)
+    source.upsert("summary.cpi", [{"run": "run-b", "cpi": 9.0}])
+    got = {row["run"]: row for row in source.read_table("summary.cpi")}
+    assert got["run-b"] == {"run": "run-b", "cpi": 9.0}
+    source.delete("summary.cpi", ["run-a", "run-missing"])
+    assert [row["run"] for row in source.read_table("summary.cpi")] \
+        == ["run-b"]
+
+
+def test_missing_table_reads_empty(source):
+    assert source.read_table("summary.nope") == []
+    assert source.tables() == []
+
+
+def test_rows_must_carry_a_run_key(source):
+    with pytest.raises(ValueError, match="run"):
+        source.upsert("summary.cpi", [{"cpi": 1.0}])
+    with pytest.raises(ValueError, match="run"):
+        source.upsert("summary.cpi", [{"run": ""}])
+
+
+def test_backends_dump_identical_canonical_text(tmp_path):
+    tables = {"catalog": [{"run": "r1", "workload": "MG"}],
+              "summary.cpi": ROWS}
+    with JsonlDataSource(str(tmp_path / "j")) as a, \
+            SqliteDataSource(str(tmp_path / "s.sqlite")) as b:
+        for name, rows in tables.items():
+            a.upsert(name, rows)
+            b.upsert(name, rows)
+        assert a.dump_canonical() == b.dump_canonical()
+        assert sorted(a.tables()) == sorted(b.tables())
+
+
+def test_jsonl_files_are_atomic_and_pruned(tmp_path):
+    with JsonlDataSource(str(tmp_path / "t")) as src:
+        src.upsert("summary.cpi", ROWS)
+        assert os.path.exists(str(tmp_path / "t" / "summary.cpi.jsonl"))
+        src.delete("summary.cpi", ["run-a", "run-b"])
+        # an empty table's file is removed, not left as a stub
+        assert not os.path.exists(
+            str(tmp_path / "t" / "summary.cpi.jsonl"))
+
+
+def test_factory_specs(tmp_path):
+    base = str(tmp_path / "corpus")
+    os.makedirs(base)
+    with create_datasource(None, base=base) as src:
+        assert src.kind == "jsonl"
+        assert str(tmp_path / "corpus" / ".fleet") in src.directory
+    with create_datasource("sqlite", base=base) as src:
+        assert src.kind == "sqlite"
+    explicit = str(tmp_path / "elsewhere.sqlite")
+    with create_datasource(f"sqlite:{explicit}", base=base) as src:
+        src.upsert("catalog", [{"run": "r"}])
+    assert os.path.exists(explicit)
+    with pytest.raises(ValueError, match="datasource"):
+        create_datasource("mongodb://nope", base=base)

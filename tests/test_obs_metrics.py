@@ -86,7 +86,30 @@ def test_histogram_reset_clears_reservoir():
         h.observe(float(v))
     r.reset()
     assert h._samples == [] and h._stride == 1
-    assert h.percentile(50) == 0.0
+    assert h.percentile(50) is None
+
+
+def test_histogram_percentiles_on_empty_reservoir_return_none():
+    h = MetricsRegistry().histogram("x")
+    assert h.count == 0
+    for pct in (50, 90, 99):
+        assert h.percentile(pct) is None
+    # the snapshot form stays numeric (JSON consumers expect floats)
+    assert h.to_dict() == {"count": 0, "total": 0.0, "mean": 0.0,
+                           "min": 0.0, "max": 0.0,
+                           "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+
+def test_histogram_percentiles_with_one_sample():
+    h = MetricsRegistry().histogram("x")
+    h.observe(7.5)
+    # every tail collapses onto the single observation
+    assert h.percentile(50) == 7.5
+    assert h.percentile(90) == 7.5
+    assert h.percentile(99) == 7.5
+    d = h.to_dict()
+    assert d["p50"] == d["p90"] == d["p99"] == 7.5
+    assert d["count"] == 1 and d["min"] == d["max"] == 7.5
 
 
 # ---------------------------------------------------------------------------

@@ -96,3 +96,50 @@ def test_report_without_spans_or_metrics(tmp_path, artifact_dir):
         obs_report.load_artifacts(str(bare)))
     assert "span_summary" not in report
     assert report["jobs"][0]["samples"] > 0
+
+
+def test_load_artifacts_survives_truncated_timeline(tmp_path,
+                                                    artifact_dir):
+    """A run killed mid-export keeps its parseable telemetry."""
+    partial = tmp_path / "partial"
+    partial.mkdir()
+    data = (artifact_dir / "timeline.jsonl").read_text()
+    lines = data.splitlines()
+    # a half-written last line, exactly what a killed exporter leaves
+    (partial / "timeline.jsonl").write_text(
+        "\n".join(lines[:-1]) + "\n" + lines[-1][:25])
+    artifacts = obs_report.load_artifacts(str(partial))
+    assert len(artifacts["records"]) == len(lines) - 1
+    (warning,) = artifacts["warnings"]
+    assert warning["artifact"] == "timeline.jsonl"
+    assert warning["problem"] == "truncated"
+    assert warning["bad_lines"] == 1
+    assert warning["first_bad_line"] == len(lines)
+    # the surviving records still build a report
+    report = obs_report.build_report(artifacts)
+    assert report["jobs"]
+
+
+def test_load_artifacts_survives_corrupt_report_json(tmp_path,
+                                                     artifact_dir):
+    """A corrupt report.json degrades to absent, with a warning."""
+    run = tmp_path / "corrupt"
+    run.mkdir()
+    (run / "timeline.jsonl").write_text(
+        (artifact_dir / "timeline.jsonl").read_text())
+    (run / "report.json").write_text('{"jobs": [{"job": "')
+    artifacts = obs_report.load_artifacts(str(run))
+    assert artifacts["report"] == {}
+    (warning,) = artifacts["warnings"]
+    assert warning == {"artifact": "report.json",
+                       "problem": "unreadable",
+                       "error": "JSONDecodeError"}
+
+
+def test_load_artifacts_missing_timeline_can_degrade(tmp_path):
+    """Fleet scans opt out of the hard timeline requirement."""
+    artifacts = obs_report.load_artifacts(str(tmp_path),
+                                          require_timeline=False)
+    assert artifacts["records"] == []
+    assert {"artifact": "timeline.jsonl", "problem": "missing"} \
+        in artifacts["warnings"]
