@@ -58,7 +58,7 @@ from .harness import (
 )
 from .obs import kv, metrics, setup_logging, tracer
 from .obs import timeline as obs_timeline
-from .parallel import set_jobs
+from .parallel import set_jobs, set_vectorize
 
 
 def main(argv=None) -> int:
@@ -104,6 +104,12 @@ def main(argv=None) -> int:
                              "cycles; writes timeline.jsonl into the "
                              "--trace/--json/--csv directory and merges "
                              "Perfetto counter tracks into trace.json")
+    parser.add_argument("--no-vectorize", action="store_true",
+                        help="run the scalar (per-stream / per-message "
+                             "/ per-thread) model engines instead of "
+                             "the batched NumPy passes; results are "
+                             "byte-identical either way (also: "
+                             "REPRO_VECTORIZE=0)")
     parser.add_argument("--profile", action="store_true",
                         help="print a hot-span summary table after the "
                              "run (implies span recording)")
@@ -129,6 +135,8 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     set_jobs(args.jobs)
+    if args.no_vectorize:
+        set_vectorize(False)
     if args.resume and args.faults:
         parser.error("--resume cannot be combined with --faults: "
                      "fault-perturbed results must never seed a resume "

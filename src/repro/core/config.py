@@ -80,16 +80,22 @@ class CounterConfig:
 
     @classmethod
     def decode(cls, nibble: int) -> "CounterConfig":
-        """Unpack a 4-bit config nibble."""
+        """Unpack a 4-bit config nibble (memoized: 16 possible values)."""
         if not 0 <= nibble <= 0xF:
             raise ValueError(f"config nibble out of range: {nibble:#x}")
-        return cls(
-            signal_mode=SignalMode((nibble >> SIGNAL_MODE_SHIFT)
-                                   & SIGNAL_MODE_MASK),
-            interrupt_enable=bool(nibble & INTERRUPT_ENABLE_BIT),
-            enabled=bool(nibble & COUNTER_ENABLE_BIT),
-        )
+        return _DECODED[nibble]
 
+
+#: All 16 decoded nibbles (CounterConfig is frozen, so sharing is safe).
+_DECODED = tuple(
+    CounterConfig(
+        signal_mode=SignalMode((nibble >> SIGNAL_MODE_SHIFT)
+                               & SIGNAL_MODE_MASK),
+        interrupt_enable=bool(nibble & INTERRUPT_ENABLE_BIT),
+        enabled=bool(nibble & COUNTER_ENABLE_BIT),
+    )
+    for nibble in range(16)
+)
 
 #: Default configuration: enabled, rising-edge counting, no interrupt.
 DEFAULT_CONFIG = CounterConfig()

@@ -157,6 +157,41 @@ class UPCUnit:
             return
         self._increment(ev, count, cfg)
 
+    def pulse_many(self, events: Dict[str, int]) -> None:
+        """Deliver many named pulse trains in one batched register pass.
+
+        Leaves the unit in exactly the state a :meth:`pulse` per entry
+        would (counter increments are integer adds modulo 2**64, so
+        they commute).  Unknown event names are ignored — this is the
+        bulk port the node model drives with its already-filtered event
+        dict.  Counters with interrupts enabled take the scalar path so
+        thresholding observes each event's own increment.
+        """
+        regs = self.registers
+        if not regs.global_enable:
+            return
+        mode = regs.mode
+        acc: Dict[int, int] = {}
+        for name, count in events.items():
+            if count < 0:
+                raise ValueError(f"negative pulse count: {count}")
+            if count == 0:
+                continue
+            ev = EVENTS_BY_NAME.get(name)
+            if ev is None or ev.mode != mode:
+                continue
+            cfg = regs.config(ev.counter)
+            if not cfg.enabled:
+                continue
+            if cfg.signal_mode is SignalMode.LEVEL_LOW:
+                continue
+            if cfg.interrupt_enable:
+                self._increment(ev, count, cfg)
+            else:
+                acc[ev.counter] = acc.get(ev.counter, 0) + count
+        if acc:
+            regs.add_to_counters(list(acc.keys()), list(acc.values()))
+
     def level(self, event: Union[str, Event], high_cycles: int,
               total_cycles: int, bursts: Optional[int] = None) -> None:
         """Deliver a level signal observed over ``total_cycles``.

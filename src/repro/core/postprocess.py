@@ -18,6 +18,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..parallel import get_vectorize
 from .dump import DumpFormatError, NodeDump, read_dump
 from .events import COUNTERS_PER_MODE, EVENTS_BY_ID, EVENTS_BY_NAME, Event
 
@@ -102,15 +103,24 @@ class Aggregation:
             validate_dumps(dumps)
         self.set_id = set_id
         self.nodes_by_mode: Dict[int, List[int]] = {}
-        per_event_values: Dict[int, List[int]] = {}
+        by_mode: Dict[int, List[NodeDump]] = {}
         for d in dumps:
             self.nodes_by_mode.setdefault(d.mode, []).append(d.node_id)
+            by_mode.setdefault(d.mode, []).append(d)
+        self.stats: Dict[str, CounterStats] = {}
+        if get_vectorize():
+            # first-seen mode order, counters ascending: the same stats
+            # insertion order the per-value loop produces
+            for mode, group in by_mode.items():
+                self._stats_for_mode_vector(mode, group, set_id)
+            return
+        per_event_values: Dict[int, List[int]] = {}
+        for d in dumps:
             arr = d.deltas(set_id)
             base = d.mode * COUNTERS_PER_MODE
             for counter in range(COUNTERS_PER_MODE):
                 per_event_values.setdefault(base + counter, []).append(
                     int(arr[counter]))
-        self.stats: Dict[str, CounterStats] = {}
         for event_id, values in per_event_values.items():
             ev = EVENTS_BY_ID[event_id]
             self.stats[ev.name] = CounterStats(
@@ -120,6 +130,48 @@ class Aggregation:
                 mean=float(np.mean(values)),
                 total=int(sum(values)),
                 node_count=len(values),
+            )
+
+    #: exact-integer ceiling for float64: column means can be computed
+    #: as total / n only while the exact total is below this
+    _MEAN_EXACT_LIMIT = 1 << 53
+
+    def _stats_for_mode_vector(self, mode: int, group: Sequence[NodeDump],
+                               set_id: int) -> None:
+        """Batched per-mode statistics; byte-identical to the scalar loop.
+
+        Mins/maxes/totals are integer-exact axis reductions (totals via
+        a 32-bit split so uint64 column sums cannot wrap).  A column
+        mean equals ``total / n`` in float64 whenever the exact total is
+        below 2**53 — every addend and partial sum is then an exactly
+        representable integer, so any summation order (including
+        np.mean's pairwise one) yields the same value.  Columns at or
+        above that limit fall back to np.mean over the same value list
+        the scalar path builds.
+        """
+        matrix = np.stack([d.deltas(set_id) for d in group])
+        n = matrix.shape[0]
+        mins = matrix.min(axis=0)
+        maxs = matrix.max(axis=0)
+        lo = (matrix & np.uint64(0xFFFFFFFF)).astype(np.int64)
+        hi = (matrix >> np.uint64(32)).astype(np.int64)
+        lo_sum = lo.sum(axis=0, dtype=np.int64)
+        hi_sum = hi.sum(axis=0, dtype=np.int64)
+        base = mode * COUNTERS_PER_MODE
+        for counter in range(COUNTERS_PER_MODE):
+            total = (int(hi_sum[counter]) << 32) + int(lo_sum[counter])
+            if total < self._MEAN_EXACT_LIMIT:
+                mean = float(total) / n
+            else:
+                mean = float(np.mean(matrix[:, counter].tolist()))
+            ev = EVENTS_BY_ID[base + counter]
+            self.stats[ev.name] = CounterStats(
+                event=ev,
+                minimum=int(mins[counter]),
+                maximum=int(maxs[counter]),
+                mean=mean,
+                total=total,
+                node_count=n,
             )
 
     @classmethod

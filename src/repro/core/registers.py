@@ -111,6 +111,29 @@ class UPCRegisterFile:
         self.set_counter(index, new)
         return new
 
+    def add_to_counters(self, indices, deltas) -> None:
+        """Batched :meth:`add_to_counter` over *distinct* counter indices.
+
+        One vectorized read-modify-write over the backing words — the
+        counters end up exactly where a loop of scalar adds would leave
+        them (integer adds modulo 2**64).  Indices must be distinct
+        within one call: duplicates would read stale values.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if int(idx.min()) < 0 or int(idx.max()) >= COUNTERS_PER_MODE:
+            raise IndexError(
+                f"counter index must be 0..{COUNTERS_PER_MODE - 1}")
+        amt = np.array([int(d) & COUNTER_MASK for d in deltas],
+                       dtype=np.uint64)
+        hi_off = COUNTER_BASE // _WORD + idx * 2
+        hi = self._words[hi_off]
+        lo = self._words[hi_off + 1]
+        new = ((hi << np.uint64(32)) | lo) + amt  # wraps modulo 2**64
+        self._words[hi_off] = new >> np.uint64(32)
+        self._words[hi_off + 1] = new & np.uint64(_U32)
+
     def threshold(self, index: int) -> int:
         """Threshold register of counter ``index``."""
         self._check_counter(index)

@@ -17,7 +17,9 @@ top by the core (:mod:`repro.cpu.core`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Sequence
+
+import numpy as np
 
 from ..isa import ISSUE_WIDTH, TIMING, InstructionMix, OpClass, Unit
 
@@ -97,3 +99,44 @@ class PipelineModel:
                serial_fraction: float = 0.05) -> float:
         """Shortcut for ``compute_cycles(...).total``."""
         return self.compute_cycles(mix, serial_fraction).total
+
+    def compute_cycles_batch(self, mix_matrix: np.ndarray,
+                             serial_fractions: Sequence[float]
+                             ) -> np.ndarray:
+        """Total compute cycles for a whole (classes × opclass) matrix.
+
+        Row ``i`` of ``mix_matrix`` is one mix vector
+        (:meth:`InstructionMix.as_vector`); the result is the array of
+        ``compute_cycles(mix_i, sf_i).total`` values, byte-identical to
+        the scalar loop (enforced by ``tests/test_machine_vec.py``).
+        The accumulations walk op classes in the scalar iteration order;
+        rows a scalar run would skip (zero counts) contribute exact 0.0
+        terms instead.
+        """
+        matrix = np.asarray(mix_matrix, dtype=np.float64)
+        sf = np.asarray(serial_fractions, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != len(sf):
+            raise ValueError(
+                f"mix matrix {matrix.shape} does not match "
+                f"{len(sf)} serial fractions")
+        if np.any((sf < 0.0) | (sf > 1.0)):
+            raise ValueError("serial_fraction must be in [0, 1]")
+        issue = matrix.sum(axis=1) / self.config.issue_width
+        busy: Dict[Unit, np.ndarray] = {
+            u: np.zeros(len(sf)) for u in Unit}
+        dependence = np.zeros(len(sf))
+        for op in OpClass:
+            timing = TIMING[op]
+            col = matrix[:, int(op)]
+            busy[timing.unit] = (busy[timing.unit]
+                                 + timing.issue_cycles * col)
+            dependence = dependence + timing.latency * col * sf
+            if op is OpClass.BRANCH:
+                busy[timing.unit] = (
+                    busy[timing.unit]
+                    + col * self.config.mispredict_rate
+                    * self.config.branch_penalty)
+        total = np.maximum(issue, dependence)
+        for unit_cycles in busy.values():
+            total = np.maximum(total, unit_cycles)
+        return total

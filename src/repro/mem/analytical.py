@@ -26,9 +26,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..obs import metrics as _metrics
+from ..parallel import get_vectorize
 from .address import AccessKind, AccessPattern, StreamAccess
 from .cache import CacheConfig
 from .prefetch import PrefetcherConfig, analytical_coverage
@@ -215,20 +218,36 @@ def _capacity_shares(streams: Sequence[_LevelStream], capacity: float,
     still helps RANDOM streams (partial residency) but not cyclic
     sweeps (LRU retains nothing below full residency).
     """
-    usable = capacity * EFFECTIVE_FRACTION
     footprints = [s.distinct_lines * line_bytes for s in streams]
-    if sum(footprints) <= usable:
-        return footprints
+    accesses = [s.accesses_per_traversal for s in streams]
+    return _shares_from_values(accesses, footprints, capacity, policy)
+
+
+def _shares_from_values(accesses: Sequence[float],
+                        footprints: Sequence[float], capacity: float,
+                        policy: str) -> List[float]:
+    """:func:`_capacity_shares` on plain values (shared with the batch
+    engine, so both paths run literally the same allocation code).
+
+    Zero-footprint streams (a degenerate descriptor touching no lines)
+    are assigned a 0.0 share upfront by *both* policies and excluded
+    from the greedy ordering and the proportional total, so the two
+    policies agree on them by construction.
+    """
+    usable = capacity * EFFECTIVE_FRACTION
+    shares = [0.0] * len(footprints)
+    live = [i for i, fp in enumerate(footprints) if fp > 0]
+    if sum(footprints[i] for i in live) <= usable:
+        for i in live:
+            shares[i] = footprints[i]
+        return shares
     if policy == "proportional":
-        total = sum(footprints) or 1.0
-        return [usable * fp / total for fp in footprints]
-    density = [
-        (s.accesses_per_traversal / fp if fp > 0 else 0.0)
-        for s, fp in zip(streams, footprints)
-    ]
-    order = sorted(range(len(streams)),
-                   key=lambda i: (-density[i], footprints[i], i))
-    shares = [0.0] * len(streams)
+        total = sum(footprints[i] for i in live) or 1.0
+        for i in live:
+            shares[i] = usable * footprints[i] / total
+        return shares
+    density = {i: accesses[i] / footprints[i] for i in live}
+    order = sorted(live, key=lambda i: (-density[i], footprints[i], i))
     remaining = usable
     # pass 1: streams that can be *fully* resident claim their
     # footprint, densest first — a partial share is worthless to a
@@ -412,13 +431,294 @@ def analyze_loop(streams: Sequence[StreamAccess], traversals: int,
     return result
 
 
-def analyze_loops(loops: Sequence[tuple], config: HierarchyConfig
-                  ) -> LoopMemoryResult:
-    """Aggregate :func:`analyze_loop` over ``(streams, traversals)`` pairs."""
+def analyze_loops(loops: Sequence[tuple], config: HierarchyConfig,
+                  engine: Optional[str] = None) -> LoopMemoryResult:
+    """Aggregate :func:`analyze_loop` over ``(streams, traversals)`` pairs.
+
+    ``engine`` forces ``"scalar"`` (the per-stream oracle) or
+    ``"vector"`` (:func:`analyze_loops_batch`); the default follows
+    :func:`repro.parallel.get_vectorize`.  Both engines are
+    byte-identical (see ``tests/test_machine_vec.py``).
+    """
+    if engine is None:
+        engine = "vector" if get_vectorize() else "scalar"
+    if engine not in ("scalar", "vector"):
+        raise ValueError(f"unknown analysis engine {engine!r}")
+    if engine == "vector":
+        return analyze_loops_batch([(loops, config)])[0]
     total = LoopMemoryResult()
     for streams, traversals in loops:
         total.add(analyze_loop(streams, traversals, config))
     return total
+
+
+# ---------------------------------------------------------------------------
+# the batched (vectorized) engine
+# ---------------------------------------------------------------------------
+# Every (stream, loop, analysis) triple of a batch becomes one row of a
+# flat array; the per-stream formulas of analyze_loop then run as
+# elementwise array passes over all rows at once.  Byte-identity with
+# the scalar oracle rests on three facts, each enforced by the
+# randomized identity suite in tests/test_machine_vec.py:
+#
+# * elementwise float64 NumPy ops round identically to the equivalent
+#   Python-float expressions (same libm, same evaluation order — the
+#   array expressions below mirror the scalar source term by term);
+# * the few order-sensitive reductions (the per-loop `+=` accumulations
+#   and `sum(...)` calls of the scalar path) are replayed with
+#   sequential left-to-right Python sums (`_seq_sum`), never with
+#   NumPy's pairwise `ndarray.sum`;
+# * adding a 0.0 term is exact, so rows the scalar loop *skips* (e.g.
+#   non-write streams in the writeback pass) can contribute masked
+#   zeros instead of being filtered out.
+#
+# The deliberately non-vectorized formulas are the RANDOM-stream
+# coupon-collector expressions: `(1 - 1/L) ** A` in distinct_lines
+# (np.power fast-paths small exponents, e.g. `x ** 2 -> x * x`, while
+# CPython defers to libm pow) and `-f * expm1(A * log1p(-1/f))` in
+# _level_behaviour (numpy ships its own npy_expm1, which can round
+# differently from libm's expm1 in the last ulp) — those (rare) rows
+# are computed with the scalar formulas instead.
+
+#: AccessPattern -> row code (np.where-friendly).
+_PAT_CODE = {AccessPattern.SEQUENTIAL: 0, AccessPattern.STRIDED: 1,
+             AccessPattern.RANDOM: 2}
+_PAT_RANDOM = _PAT_CODE[AccessPattern.RANDOM]
+_PAT_SEQ = _PAT_CODE[AccessPattern.SEQUENTIAL]
+
+#: A batch item: one ``analyze_loops`` call worth of work.
+AnalysisTask = Tuple[Sequence[tuple], HierarchyConfig]
+
+
+def _seq_sum(arr: np.ndarray) -> float:
+    """Left-to-right sum, bit-identical to a scalar ``+=`` loop."""
+    return float(sum(arr.tolist()))
+
+
+def _distinct_lines_arrays(a: np.ndarray, fp: np.ndarray,
+                           stride: np.ndarray, pat: np.ndarray,
+                           wraps: np.ndarray,
+                           line: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`StreamAccess.distinct_lines` over rows."""
+    wrap_d = np.maximum(1, np.minimum(a, -(-fp // line)))
+    span = np.minimum(fp, a * stride)
+    divisor = np.maximum(line, stride)
+    sweep_d = np.maximum(1, np.ceil(span / divisor).astype(np.int64))
+    out = np.where(wraps, wrap_d, sweep_d)
+    # RANDOM rows: scalar pow (see the module-level exactness note)
+    for i in np.nonzero(pat == _PAT_RANDOM)[0].tolist():
+        lines = max(1, int(fp[i]) // int(line[i]))
+        out[i] = int(round(lines * (1.0 - (1.0 - 1.0 / lines)
+                                    ** int(a[i]))))
+    return out
+
+
+def _level_behaviour_arrays(a, u, f, pat, trav, share, line, exists):
+    """Vectorized :func:`_level_behaviour`: (hits, misses) row arrays."""
+    total = a * trav
+    # RANDOM branch (term-by-term mirror of the scalar source)
+    fr = np.maximum(f, 1.0)
+    resident = np.minimum(1.0, np.maximum(share, 0.0) / (fr * line))
+    steady = total * (1.0 - resident)
+    # the coupon-collector expectation must go through libm: numpy's
+    # own npy_expm1 can differ from math.expm1 in the last ulp, so the
+    # (rare) RANDOM rows use the scalar formula verbatim
+    distinct_total = np.ones_like(total)
+    for i in np.nonzero((pat == _PAT_RANDOM) & (fr > 1.0))[0].tolist():
+        distinct_total[i] = -fr[i] * math.expm1(
+            float(total[i]) * math.log1p(-1.0 / float(fr[i])))
+    random_misses = np.minimum(np.maximum(steady, distinct_total), total)
+    # fits / thrash branch
+    fits = u * line <= share
+    cyclic_misses = np.minimum(np.where(fits, u, u * trav), total)
+    misses = np.where(pat == _PAT_RANDOM, random_misses, cyclic_misses)
+    misses = np.where(exists, misses, total)
+    hits = np.where(exists, total - misses, 0.0)
+    return hits, misses
+
+
+def _effective_traversals_arrays(total: np.ndarray, lines: np.ndarray,
+                                 max_trav: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_effective_traversals` over rows."""
+    safe = np.where(lines > 0, lines, 1.0)
+    eff = np.minimum(np.maximum(total / safe, 1.0),
+                     np.maximum(max_trav, 1.0))
+    return np.where(lines > 0, eff, 1.0)
+
+
+def _coverage_arrays(pat: np.ndarray, stride: np.ndarray,
+                     depth: np.ndarray, line: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`~repro.mem.prefetch.analytical_coverage`."""
+    cov = np.where(
+        pat == _PAT_RANDOM, 0.0,
+        np.where(pat == _PAT_SEQ, 0.85,
+                 np.where(stride <= line, 0.85,
+                          np.where(stride <= line * (depth + 1),
+                                   0.5, 0.0))))
+    return np.where(depth == 0, 0.0, cov)
+
+
+def analyze_loops_batch(tasks: Sequence[AnalysisTask]
+                        ) -> List[LoopMemoryResult]:
+    """Run many :func:`analyze_loops` calls as one flat array pass.
+
+    ``tasks`` is a sequence of ``(loops, config)`` pairs; the return
+    value is byte-identical to
+    ``[analyze_loops(loops, cfg, engine="scalar") for loops, cfg in
+    tasks]``.  Configs may differ between tasks (the node model batches
+    every process's fair-share, unbounded and final analyses together).
+    """
+    results = [LoopMemoryResult() for _ in tasks]
+    # ---- flatten: one row per (stream, loop, task) --------------------
+    loop_task: List[int] = []
+    loop_cfg: List[HierarchyConfig] = []
+    loop_trav: List[int] = []
+    bounds: List[int] = [0]
+    a_l: List[int] = []
+    fp_l: List[int] = []
+    stride_l: List[int] = []
+    pat_l: List[int] = []
+    wraps_l: List[bool] = []
+    reads_l: List[bool] = []
+    writes_l: List[bool] = []
+    for t_idx, (loops, cfg) in enumerate(tasks):
+        for streams, traversals in loops:
+            if traversals < 0:
+                raise ValueError("traversals must be >= 0")
+            if traversals == 0 or not streams:
+                continue
+            loop_task.append(t_idx)
+            loop_cfg.append(cfg)
+            loop_trav.append(traversals)
+            bounds.append(bounds[-1] + len(streams))
+            for s in streams:
+                a_l.append(s.accesses_per_traversal)
+                fp_l.append(s.footprint_bytes)
+                stride_l.append(s.stride_bytes)
+                pat_l.append(_PAT_CODE[s.pattern])
+                wraps_l.append(s.wraps)
+                reads_l.append(s.kind.reads)
+                writes_l.append(s.kind.writes)
+    if not loop_task:
+        return results
+    _LOOP_EVALS.inc(len(loop_task))
+    _STREAM_EVALS.inc(bounds[-1])
+
+    counts = np.diff(np.asarray(bounds, dtype=np.int64))
+
+    def per_loop(values) -> np.ndarray:
+        return np.repeat(np.asarray(values), counts)
+
+    a = np.asarray(a_l, dtype=np.int64)
+    fp = np.asarray(fp_l, dtype=np.int64)
+    stride = np.asarray(stride_l, dtype=np.int64)
+    pat = np.asarray(pat_l, dtype=np.int64)
+    wraps = np.asarray(wraps_l, dtype=bool)
+    reads = np.asarray(reads_l, dtype=bool)
+    writes = np.asarray(writes_l, dtype=bool)
+    trav = per_loop(np.asarray(loop_trav, dtype=np.float64))
+    l1_line = per_loop([c.l1.line_bytes for c in loop_cfg])
+    l2_line = per_loop([c.l2.line_bytes for c in loop_cfg])
+    l3_line = per_loop([c.l3_line_bytes for c in loop_cfg])
+    l3_cap = per_loop([c.l3_capacity_bytes for c in loop_cfg])
+    l2_lat = per_loop([c.l2.hit_latency for c in loop_cfg])
+    l3_lat = per_loop([c.l3_hit_latency for c in loop_cfg])
+    ddr_lat = per_loop([c.ddr_latency for c in loop_cfg])
+    pf_depth = per_loop([c.prefetcher.depth for c in loop_cfg])
+    pf_line = per_loop([c.prefetcher.line_bytes for c in loop_cfg])
+    wsf = per_loop([c.write_stall_factor for c in loop_cfg])
+
+    def shares_per_loop(accesses: np.ndarray, footprints: np.ndarray,
+                        capacities: List[float]) -> np.ndarray:
+        out = np.empty(len(footprints), dtype=np.float64)
+        acc_list = accesses.tolist()
+        fp_list = footprints.tolist()
+        for k, cfg in enumerate(loop_cfg):
+            lo, hi = bounds[k], bounds[k + 1]
+            out[lo:hi] = _shares_from_values(
+                acc_list[lo:hi], fp_list[lo:hi], capacities[k],
+                cfg.capacity_sharing)
+        return out
+
+    # ---- L1 -----------------------------------------------------------
+    pat_eff = np.where(wraps, _PAT_RANDOM, pat)
+    d1 = _distinct_lines_arrays(a, fp, stride, pat, wraps, l1_line)
+    fp1 = np.maximum(1.0, fp / l1_line)
+    share1 = shares_per_loop(a, d1 * l1_line,
+                             [c.l1.size_bytes for c in loop_cfg])
+    h1, m1 = _level_behaviour_arrays(a, d1, fp1, pat_eff, trav, share1,
+                                     l1_line, True)
+    acc1 = a * trav
+    wt = np.where(writes, a * trav, 0.0)
+
+    # ---- L2 (+ stream prefetcher) -------------------------------------
+    ratio12 = l2_line / l1_line
+    d1f = d1.astype(np.float64)
+    eff2 = _effective_traversals_arrays(m1, d1f, trav)
+    a2 = m1 / eff2
+    d2 = np.where(pat_eff == _PAT_RANDOM,
+                  np.minimum(d1f, np.maximum(1.0, fp1 / ratio12)),
+                  np.maximum(1.0, d1f / ratio12))
+    fp2 = np.maximum(1.0, fp1 / ratio12)
+    stride2 = np.maximum(stride, l1_line)
+    share2 = shares_per_loop(a2, d2 * l2_line,
+                             [c.l2.size_bytes for c in loop_cfg])
+    h2, m2 = _level_behaviour_arrays(a2, d2, fp2, pat_eff, eff2, share2,
+                                     l2_line, True)
+    cov = _coverage_arrays(pat_eff, stride2, pf_depth, pf_line)
+    pf_hits = m2 * cov
+    demand = m2 - pf_hits
+    issued = pf_hits * (1.0 + PREFETCH_WASTE)
+    l3_acc = demand + issued
+    acc2 = a2 * eff2
+
+    # ---- L3 (per-process share) ---------------------------------------
+    ratio23 = l3_line / l2_line
+    eff3 = _effective_traversals_arrays(l3_acc, d2 / ratio23, eff2)
+    a3 = l3_acc / eff3
+    d3 = np.maximum(1.0, d2 / ratio23)
+    fp3 = np.maximum(1.0, fp2 / ratio23)
+    share3 = shares_per_loop(a3, d3 * l3_line,
+                             [c.l3_capacity_bytes for c in loop_cfg])
+    h3, m3 = _level_behaviour_arrays(a3, d3, fp3, pat_eff, eff3, share3,
+                                     l3_line, l3_cap > 0)
+    acc3 = a3 * eff3
+    nonseq = np.where(pat_eff != _PAT_SEQ, m3, 0.0)
+
+    # ---- DDR + stalls --------------------------------------------------
+    thrash = d3 * l3_line > share3
+    ddr_w = np.where(writes, d3 * np.where(thrash, trav, 1.0), 0.0)
+    weight = np.where(reads, 1.0, wsf)
+    acc_pos = l3_acc > 0
+    demand_share = np.where(acc_pos,
+                            demand / np.where(acc_pos, l3_acc, 1.0), 1.0)
+    stall = weight * (m1 * l2_lat + demand * l3_lat
+                      + m3 * demand_share * ddr_lat)
+
+    # ---- per-loop subtotals, folded in scalar order --------------------
+    for k, t_idx in enumerate(loop_task):
+        lo, hi = bounds[k], bounds[k + 1]
+        sub = LoopMemoryResult()
+        sub.l1.accesses = _seq_sum(acc1[lo:hi])
+        sub.l1.hits = _seq_sum(h1[lo:hi])
+        sub.l1.misses = _seq_sum(m1[lo:hi])
+        sub.l1.writethroughs = _seq_sum(wt[lo:hi])
+        sub.l2.accesses = _seq_sum(acc2[lo:hi])
+        sub.l2.hits = _seq_sum((h2 + pf_hits)[lo:hi])
+        sub.l2.misses = _seq_sum(demand[lo:hi])
+        sub.l2.prefetch_hits = _seq_sum(pf_hits[lo:hi])
+        sub.l2.prefetch_issued = _seq_sum(issued[lo:hi])
+        sub.l3.accesses = _seq_sum(acc3[lo:hi])
+        sub.l3.hits = _seq_sum(h3[lo:hi])
+        sub.l3.misses = _seq_sum(m3[lo:hi])
+        sub.l3.writebacks = _seq_sum(ddr_w[lo:hi])
+        sub.l3_nonseq_misses = _seq_sum(nonseq[lo:hi])
+        sub.ddr_reads = _seq_sum(m3[lo:hi])
+        sub.ddr_writes = _seq_sum(ddr_w[lo:hi])
+        sub.stall_cycles = (_seq_sum(stall[lo:hi])
+                            * (1.0 - loop_cfg[k].overlap))
+        results[t_idx].add(sub)
+    return results
 
 
 def counts_to_events(result: LoopMemoryResult, core: int

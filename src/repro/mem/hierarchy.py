@@ -19,11 +19,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs import metrics as _metrics
 from ..obs.tracer import span as _span
+from ..parallel import get_vectorize
 from .address import AccessPattern, StreamAccess
 from .analytical import (
     HierarchyConfig,
     LoopMemoryResult,
     analyze_loops,
+    analyze_loops_batch,
 )
 
 _NODE_ANALYSES = _metrics.counter("mem.node_analyses")
@@ -118,7 +120,14 @@ class NodeMemoryModel:
                        fair_share: float) -> ProcessMemoryProfile:
         """Intensity + thrash pressure of one process at a fair share."""
         result = analyze_loops(loops, self._hierarchy_config(fair_share))
-        intensity = result.l3.accesses
+        return self._profile_from(loops, result)
+
+    def _profile_from(self, loops: ProcessLoops,
+                      fair_result: LoopMemoryResult,
+                      unbounded: Optional[LoopMemoryResult] = None
+                      ) -> ProcessMemoryProfile:
+        """The profile formula, given the fair-share analysis result."""
+        intensity = fair_result.l3.accesses
         if intensity == 0:
             return ProcessMemoryProfile(intensity=0.0, thrash_fraction=0.0)
         # thrash pressure = *non-sequential capacity misses* only: the
@@ -127,28 +136,66 @@ class NodeMemoryModel:
         # repeatedly evict neighbours' lines, and sequential streams'
         # one-touch lines age out quickly; random/strided re-reference
         # patterns are what genuinely pollute a shared cache.
-        unbounded = analyze_loops(loops, self._hierarchy_config(1 << 40))
-        capacity_misses = max(0.0, result.l3_nonseq_misses
+        if unbounded is None:
+            unbounded = analyze_loops(loops,
+                                      self._hierarchy_config(1 << 40))
+        capacity_misses = max(0.0, fair_result.l3_nonseq_misses
                               - unbounded.l3_nonseq_misses)
         thrash = min(1.0, capacity_misses / intensity)
         return ProcessMemoryProfile(intensity=intensity,
                                     thrash_fraction=thrash)
 
+    def _profiles_vector(self, processes: Sequence[ProcessLoops],
+                         fair: float) -> List[ProcessMemoryProfile]:
+        """All processes' profiles in two batched analysis passes."""
+        fair_cfg = self._hierarchy_config(fair)
+        fair_results = analyze_loops_batch(
+            [(p, fair_cfg) for p in processes])
+        # the unbounded pass only runs for processes with L3 traffic —
+        # the scalar path skips it when intensity == 0, and the metric
+        # counters (mem.loop_evals) must agree between engines
+        active = [i for i, r in enumerate(fair_results)
+                  if r.l3.accesses != 0]
+        unb_cfg = self._hierarchy_config(1 << 40)
+        unb_results = dict(zip(active, analyze_loops_batch(
+            [(processes[i], unb_cfg) for i in active]))) if active else {}
+        return [
+            self._profile_from(p, fair_results[i],
+                               unbounded=unb_results.get(i))
+            for i, p in enumerate(processes)
+        ]
+
     def analyze(self, processes: Sequence[ProcessLoops]
                 ) -> NodeMemoryResult:
-        """Full node analysis of the co-resident processes' loop sets."""
+        """Full node analysis of the co-resident processes' loop sets.
+
+        With the vectorized engine on (:func:`repro.parallel.
+        get_vectorize`), the per-process fair-share, unbounded and
+        final-share analyses each run as one batched array pass over
+        every process at once; results are byte-identical to the scalar
+        per-process path.
+        """
         if not processes:
             raise ValueError("no processes on the node")
         _NODE_ANALYSES.inc()
         n = len(processes)
+        vector = get_vectorize()
         with _span("mem.analyze", processes=n):
             fair = (self.config.l3.size_bytes / n) if n else 0.0
-            profiles = [self.derive_profile(p, fair) for p in processes]
+            if vector:
+                profiles = self._profiles_vector(processes, fair)
+            else:
+                profiles = [self.derive_profile(p, fair)
+                            for p in processes]
             shares = self.l3_model.capacity_shares(profiles)
             out = NodeMemoryResult(shares=shares)
-            for i, (loops, share) in enumerate(zip(processes, shares)):
-                cfg = self._hierarchy_config(share)
-                result = analyze_loops(loops, cfg)
+            cfgs = [self._hierarchy_config(share) for share in shares]
+            if vector:
+                finals = analyze_loops_batch(list(zip(processes, cfgs)))
+            else:
+                finals = [analyze_loops(loops, cfg, engine="scalar")
+                          for loops, cfg in zip(processes, cfgs)]
+            for i, (result, cfg) in enumerate(zip(finals, cfgs)):
                 inflation = self.l3_model.miss_inflation(i, profiles)
                 self._apply_inflation(result, inflation, cfg)
                 out.per_process.append(result)

@@ -9,20 +9,43 @@ together, which is how BSP applications drive the network):
 * every directed link serialises the bytes of all messages routed over
   it; the phase completes when the most-loaded link drains;
 * per-node packet counts per direction feed the mode-3 UPC events.
+
+Bytes on the wire are *packetised*: a message occupies its links for
+``packets * packet_bytes`` (header-padded) bytes, not for its raw
+payload size — sub-packet messages still burn a whole packet slot.
+
+Two phase engines are provided.  :meth:`TorusNetwork.run_phase_scalar`
+is the per-message Python loop — the oracle.  The vectorized engine
+expands every route of the phase at once (``repro.net.topology.
+TorusTopology.route_arrays``) and accumulates link/packet/hop counts
+with ``np.add.at``/``np.bincount`` array passes; it is byte-identical
+to the oracle (every accumulated quantity is an exact integer, and the
+few float reductions replay the scalar accumulation order), enforced by
+the randomized identity suite in ``tests/test_machine_vec.py``.
+:meth:`TorusNetwork.run_phase` dispatches on the process-wide engine
+switch (:func:`repro.parallel.get_vectorize`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..obs import metrics as _metrics
 from ..obs.tracer import span as _span
-from .topology import TorusTopology
+from ..parallel import get_vectorize
+from .topology import DIRECTION_NAMES, TorusTopology
 
 _PHASES = _metrics.counter("net.torus_phases")
 _PACKETS = _metrics.counter("net.torus_packets")
 _PHASE_CYCLES = _metrics.histogram("net.torus_phase_cycles")
+
+#: Below this many messages the scalar loop beats the array passes'
+#: fixed setup cost; identity between the engines makes the threshold a
+#: pure performance knob.
+_VECTOR_MIN_MESSAGES = 16
 
 
 @dataclass(frozen=True)
@@ -92,12 +115,16 @@ class TorusNetwork:
         if msg.src == msg.dst:
             return 0.0  # intra-node: handled by shared memory, not torus
         hops = self.topology.hop_distance(msg.src, msg.dst)
-        wire = msg.size_bytes / self.config.bytes_per_cycle
+        # packetised wire time: the link serialises whole (header-padded)
+        # packets, consistent with packets() and the link-bytes charge
+        wire = (self.packets(msg.size_bytes) * self.config.packet_bytes
+                / self.config.bytes_per_cycle)
         return (self.config.software_overhead_cycles
                 + hops * self.config.hop_latency_cycles + wire)
 
     def run_phase(self, messages: Sequence[Message],
-                  balanced: bool = False) -> PhaseResult:
+                  balanced: bool = False,
+                  engine: Optional[str] = None) -> PhaseResult:
         """Cost and events of a set of messages injected together.
 
         ``balanced=True`` models BG/P's optimised dense collectives
@@ -105,10 +132,71 @@ class TorusNetwork:
         every node instead of following deterministic dimension-order
         routes: the phase then drains at node-aggregate bandwidth, with
         per-link hotspots averaged away.
+
+        ``engine`` forces ``"scalar"`` or ``"vector"``; the default
+        picks the vectorized engine for phases large enough to amortise
+        its setup when :func:`repro.parallel.get_vectorize` is on.
+        Both engines return byte-identical results.
         """
+        if engine is None:
+            engine = ("vector" if get_vectorize()
+                      and len(messages) >= _VECTOR_MIN_MESSAGES
+                      else "scalar")
+        if engine not in ("scalar", "vector"):
+            raise ValueError(f"unknown phase engine {engine!r}")
         _PHASES.inc()
         charge_span = _span("net.torus.phase", messages=len(messages),
-                            balanced=balanced)
+                            balanced=balanced, engine=engine)
+        if engine == "vector":
+            result = self._phase_vector(messages, balanced)
+        else:
+            result = self._phase_scalar(messages, balanced)
+        _PACKETS.inc(result.total_packets)
+        _PHASE_CYCLES.observe(result.cycles)
+        charge_span.set("cycles", result.cycles)
+        charge_span.set("packets", result.total_packets)
+        charge_span.end()
+        return result
+
+    def run_phase_scalar(self, messages: Sequence[Message],
+                         balanced: bool = False) -> PhaseResult:
+        """The per-message reference engine (the oracle)."""
+        return self.run_phase(messages, balanced, engine="scalar")
+
+    def run_phase_vector(self, messages: Sequence[Message],
+                         balanced: bool = False) -> PhaseResult:
+        """The batched engine; byte-identical to the oracle."""
+        return self.run_phase(messages, balanced, engine="vector")
+
+    def run_phase_arrays(self, src: np.ndarray, dst: np.ndarray,
+                         size: np.ndarray,
+                         balanced: bool = False) -> PhaseResult:
+        """The batched engine fed (src, dst, size_bytes) arrays directly.
+
+        Equivalent to ``run_phase([Message(s, d, b) ...], balanced)``
+        without materialising the Message objects — the entry point the
+        MPI layer's vectorized lowering uses for large phases.  Sizes
+        must be >= 0 (Message enforces this for the object path).
+        """
+        size = np.asarray(size, dtype=np.int64)
+        if size.size and int(size.min()) < 0:
+            raise ValueError("message size must be >= 0")
+        _PHASES.inc()
+        charge_span = _span("net.torus.phase", messages=int(size.size),
+                            balanced=balanced, engine="vector")
+        result = self._phase_vector_arrays(
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64), size, balanced)
+        _PACKETS.inc(result.total_packets)
+        _PHASE_CYCLES.observe(result.cycles)
+        charge_span.set("cycles", result.cycles)
+        charge_span.set("packets", result.total_packets)
+        charge_span.end()
+        return result
+
+    # ------------------------------------------------------------------
+    def _phase_scalar(self, messages: Sequence[Message],
+                      balanced: bool) -> PhaseResult:
         result = PhaseResult()
         link_bytes: Dict[Tuple[int, int], int] = {}
         worst_message = 0.0
@@ -122,19 +210,99 @@ class TorusNetwork:
             result.hop_cycles += (len(route) * pkts
                                   * self.config.hop_latency_cycles)
             worst_message = max(worst_message, self.message_cost(msg))
+            # links serialise whole packets: header padding occupies the
+            # wire exactly like payload (sub-packet messages burn a full
+            # packet slot per link)
+            wire_bytes = pkts * self.config.packet_bytes
             for link in route:
-                link_bytes[link] = link_bytes.get(link, 0) + msg.size_bytes
+                link_bytes[link] = link_bytes.get(link, 0) + wire_bytes
             # the injecting node's directional counter
             first = route[0]
             direction = self.topology.link_direction(*first)
             node_sent = result.sent.setdefault(msg.src, {})
             node_sent[direction] = node_sent.get(direction, 0) + pkts
-        if link_bytes:
-            result.max_link_bytes = max(link_bytes.values())
-        if balanced and link_bytes:
+        max_link = max(link_bytes.values()) if link_bytes else 0
+        total_link = sum(link_bytes.values())
+        self._finish_phase(result, max_link, total_link, worst_message,
+                           balanced)
+        return result
+
+    def _phase_vector(self, messages: Sequence[Message],
+                      balanced: bool) -> PhaseResult:
+        n = len(messages)
+        src = np.fromiter((m.src for m in messages), dtype=np.int64,
+                          count=n)
+        dst = np.fromiter((m.dst for m in messages), dtype=np.int64,
+                          count=n)
+        size = np.fromiter((m.size_bytes for m in messages),
+                           dtype=np.int64, count=n)
+        return self._phase_vector_arrays(src, dst, size, balanced)
+
+    def _phase_vector_arrays(self, src: np.ndarray, dst: np.ndarray,
+                             size: np.ndarray,
+                             balanced: bool) -> PhaseResult:
+        result = PhaseResult()
+        live = (src != dst) & (size > 0)
+        src, dst, size = src[live], dst[live], size[live]
+        if len(src) == 0:
+            self._finish_phase(result, 0, 0, 0.0, balanced)
+            return result
+
+        cfg = self.config
+        pkts = -(-size // cfg.packet_bytes)
+        routes = self.topology.route_arrays(src, dst)
+        hops = routes["hops"]
+
+        result.total_packets = int(pkts.sum())
+        # hop_cycles: the per-message terms are bit-identical to the
+        # scalar loop's (int * int, one float rounding); Python's sum()
+        # replays the same left-to-right accumulation order
+        hop_terms = (hops * pkts) * cfg.hop_latency_cycles
+        result.hop_cycles = sum(hop_terms.tolist())
+        # message_cost, elementwise in the scalar evaluation order
+        wire = (pkts * cfg.packet_bytes) / cfg.bytes_per_cycle
+        costs = (cfg.software_overhead_cycles
+                 + hops * cfg.hop_latency_cycles + wire)
+        worst_message = float(costs.max(initial=0.0))
+
+        # per-directed-link serialised bytes: an exact-integer np.add.at
+        # scatter over (node, direction) slots
+        wire_bytes = pkts * cfg.packet_bytes
+        link_acc = np.zeros(self.topology.num_nodes * 6, dtype=np.int64)
+        np.add.at(link_acc, routes["link_node"] * 6 + routes["link_dir"],
+                  wire_bytes[routes["link_msg"]])
+        max_link = int(link_acc.max(initial=0))
+        total_link = int(link_acc.sum())
+
+        # received/sent dicts, rebuilt in the scalar loop's insertion
+        # order (first occurrence in message order)
+        recv_acc = np.zeros(self.topology.num_nodes, dtype=np.int64)
+        np.add.at(recv_acc, dst, pkts)
+        uniq_dst, first_seen = np.unique(dst, return_index=True)
+        for node in uniq_dst[np.argsort(first_seen, kind="stable")]:
+            result.received[int(node)] = int(recv_acc[node])
+
+        sent_key = src * 6 + routes["first_dir"]
+        sent_acc = np.zeros(self.topology.num_nodes * 6, dtype=np.int64)
+        np.add.at(sent_acc, sent_key, pkts)
+        uniq_key, first_seen = np.unique(sent_key, return_index=True)
+        for key in uniq_key[np.argsort(first_seen, kind="stable")]:
+            node, direction = int(key) // 6, int(key) % 6
+            node_sent = result.sent.setdefault(node, {})
+            node_sent[DIRECTION_NAMES[direction]] = int(sent_acc[key])
+
+        self._finish_phase(result, max_link, total_link, worst_message,
+                           balanced)
+        return result
+
+    def _finish_phase(self, result: PhaseResult, max_link_bytes: int,
+                      total_link_bytes: int, worst_message: float,
+                      balanced: bool) -> None:
+        """Common tail: serialisation + phase cycles from link loads."""
+        result.max_link_bytes = max_link_bytes
+        if balanced and max_link_bytes:
             # node-aggregate drain: total link traffic spread over every
             # directed link actually available
-            total_link_bytes = sum(link_bytes.values())
             links = 6 * self.topology.num_nodes
             serialization = (total_link_bytes / links
                              / self.config.bytes_per_cycle)
@@ -146,12 +314,6 @@ class TorusNetwork:
             serialization = (result.max_link_bytes
                              / self.config.bytes_per_cycle)
         result.cycles = max(worst_message, serialization)
-        _PACKETS.inc(result.total_packets)
-        _PHASE_CYCLES.observe(result.cycles)
-        charge_span.set("cycles", result.cycles)
-        charge_span.set("packets", result.total_packets)
-        charge_span.end()
-        return result
 
     # ------------------------------------------------------------------
     def phase_events(self, result: PhaseResult) -> Dict[int, Dict[str, int]]:

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..core.counters import UPCUnit
 from ..core.events import EVENTS_BY_NAME
 from ..cpu import CoreExecution, PPC450Core, PipelineModel
@@ -21,6 +23,7 @@ from ..mem import NodeMemoryConfig, NodeMemoryModel, StreamAccess
 from ..mem.analytical import LoopMemoryResult, analyze_loop
 from ..obs import metrics as _metrics
 from ..obs.tracer import span as _span
+from ..parallel import get_vectorize
 from .modes import OperatingMode
 
 _NODE_RUNS = _metrics.counter("node.runs")
@@ -124,17 +127,18 @@ class ComputeNode:
         non_empty = [ml if ml else [((), 0)] for ml in mem_loops]
         mem_result = self.mem_model.analyze(non_empty)
 
-        # 2) per-core pipeline timing
+        # 2) per-core pipeline timing: plan every (process, thread)
+        # slice first, so the vectorized engine can time the whole node
+        # as one (threads × opclass) matrix pass
         assignment = self.mode.core_assignment()
         executions: Dict[int, CoreExecution] = {
             core.core_id: core.idle_execution() for core in self.cores}
-        process_cycles: List[float] = []
+        plans: List[tuple] = []
         for p_index, work in enumerate(processes):
             cores = assignment[p_index]
             threads = len(cores)
             proc_mem = mem_result.per_process[p_index]
-            proc_cycles = 0.0
-            for t_index, core_id in enumerate(cores):
+            for core_id in cores:
                 # split each loop's instructions across the threads
                 thread_mix = InstructionMix()
                 serial_weight = 0.0
@@ -145,14 +149,36 @@ class ComputeNode:
                 total_insts = max(work.total_mix().total(), 1.0)
                 serial_fraction = min(1.0, serial_weight / total_insts)
                 mem_share = _scale_memory(proc_mem, 1.0 / threads)
-                execution = self.cores[core_id].execute(
-                    thread_mix, mem_share, serial_fraction)
-                if threads > 1:
-                    execution.compute_cycles /= THREAD_EFFICIENCY
-                executions[core_id].add(execution)
-                proc_cycles = max(proc_cycles,
-                                  executions[core_id].cycles)
-            process_cycles.append(proc_cycles)
+                plans.append((p_index, core_id, threads, thread_mix,
+                              serial_fraction, mem_share))
+        if get_vectorize() and len(plans) > 1:
+            # ComputeNode builds its cores with one shared pipeline
+            # configuration, so a single batched call covers them all
+            matrix = np.stack([plan[3].as_vector() for plan in plans])
+            totals = self.cores[0].pipeline.compute_cycles_batch(
+                matrix, [plan[4] for plan in plans])
+            compute = [float(t) for t in totals.tolist()]
+        else:
+            compute = [
+                self.cores[core_id].pipeline.compute_cycles(
+                    thread_mix, serial_fraction).total
+                for _, core_id, _, thread_mix, serial_fraction, _
+                in plans]
+        process_cycles = [0.0] * len(processes)
+        for plan, compute_cycles in zip(plans, compute):
+            p_index, core_id, threads, thread_mix, _, mem_share = plan
+            execution = CoreExecution(
+                core_id=core_id,
+                compute_cycles=compute_cycles,
+                memory_stall_cycles=mem_share.stall_cycles,
+                mix=thread_mix.copy(),
+                memory=mem_share,
+            )
+            if threads > 1:
+                execution.compute_cycles /= THREAD_EFFICIENCY
+            executions[core_id].add(execution)
+            process_cycles[p_index] = max(process_cycles[p_index],
+                                          executions[core_id].cycles)
 
         # 3) DDR port contention over the first-pass window
         window = max((e.cycles for e in executions.values()), default=0.0)
@@ -214,6 +240,11 @@ class ComputeNode:
     # ------------------------------------------------------------------
     def pulse_events(self, events: Dict[str, int]) -> None:
         """Deliver named event pulses to the UPC unit (mode-gated)."""
+        if get_vectorize():
+            self.upc.pulse_many({name: count
+                                 for name, count in events.items()
+                                 if count > 0})
+            return
         for name, count in events.items():
             if count <= 0:
                 continue

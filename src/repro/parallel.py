@@ -120,6 +120,32 @@ def get_jobs() -> int:
     return _jobs
 
 
+def _vectorize_from_env() -> bool:
+    """The ``REPRO_VECTORIZE`` default (on unless explicitly disabled)."""
+    raw = os.environ.get("REPRO_VECTORIZE", "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+#: Process-wide model-engine switch: True routes the analytical memory
+#: hierarchy, torus phase accounting and pipeline timing through their
+#: batched NumPy implementations; False keeps the scalar oracles (the
+#: pre-vectorization behaviour, used for baselines and identity tests).
+#: Both engines are byte-identical by construction — the identity
+#: suites in ``tests/test_machine_vec.py`` enforce it.
+_vectorize = _vectorize_from_env()
+
+
+def set_vectorize(on: bool) -> None:
+    """Select the model engine: vectorized (True) or scalar oracle."""
+    global _vectorize
+    _vectorize = bool(on)
+
+
+def get_vectorize() -> bool:
+    """Whether the vectorized model engines are active."""
+    return _vectorize
+
+
 # ---------------------------------------------------------------------------
 # resilience policy
 # ---------------------------------------------------------------------------

@@ -45,7 +45,7 @@ from ..node import ComputeNode, LoopWork, OperatingMode, ProcessWork
 from ..obs import metrics as _metrics
 from ..obs import timeline as _timeline
 from ..obs.tracer import span as _span
-from ..parallel import get_jobs, parallel_map
+from ..parallel import get_jobs, get_vectorize, parallel_map, set_vectorize
 from .mpi import SimMPI
 from .process import JobPlacement, place_ranks
 
@@ -124,14 +124,18 @@ def _program_to_work(program: Program) -> ProcessWork:
 def _simulate_node_class(mode: OperatingMode,
                          mem_config: NodeMemoryConfig,
                          work: ProcessWork,
-                         residents: int) -> Tuple[List[float], Dict[str, int]]:
+                         residents: int,
+                         vectorize: bool = True
+                         ) -> Tuple[List[float], Dict[str, int]]:
     """Pool target: simulate one node equivalence class from scratch.
 
     Builds a throwaway node with the class's configuration, runs the
     class's work, and returns only what the job engine replicates to the
     class members: the per-slot compute cycles and the named counter
-    pulses.
+    pulses.  ``vectorize`` carries the parent's engine switch across
+    the process-pool boundary (workers inherit only the env default).
     """
+    set_vectorize(vectorize)
     node = ComputeNode(node_id=0, mode=mode, mem_config=mem_config)
     result = node.run([work] * residents)
     return result.process_cycles, result.events
@@ -374,7 +378,8 @@ class Job:
                 # replicated deltas afterwards
                 outs = parallel_map(
                     _simulate_node_class,
-                    [(machine.mode, machine.mem_config, work, key[0])
+                    [(machine.mode, machine.mem_config, work, key[0],
+                      get_vectorize())
                      for key in keys],
                     label="node_classes")
                 class_results = dict(zip(keys, outs))
@@ -524,10 +529,13 @@ class Job:
         if comm_int > 0:
             for node in nodes:
                 residents = placement.ranks_on_node(node.node_id)
-                for slot in range(len(residents)):
-                    for core in assignment[slot]:
-                        node.pulse_events(
-                            {f"BGP_PU{core}_CYCLES": comm_int})
+                # one merged delivery per node: the per-slot cores are
+                # disjoint, so the counter state is identical to a
+                # pulse per core
+                node.pulse_events(
+                    {f"BGP_PU{core}_CYCLES": comm_int
+                     for slot in range(len(residents))
+                     for core in assignment[slot]})
 
         with _span("phase.dump", files=len(session.dump_paths)
                    ) as dump_span:

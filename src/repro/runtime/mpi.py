@@ -24,7 +24,9 @@ benchmarks in VNM (Figure 12).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..compiler.ir import CommKind, CommOp
 from ..net import (
@@ -35,6 +37,7 @@ from ..net import (
     TorusTopology,
 )
 from ..net.topology import partition_shape
+from ..parallel import get_vectorize
 from .process import JobPlacement
 
 #: Cycles of software overhead for an intra-node (shared-memory) message.
@@ -46,6 +49,9 @@ SHM_BYTES_PER_CYCLE = 4.0
 COMM_DDR_FRACTION = 0.5
 #: L3 line size for converting comm bytes to DDR line transfers.
 _LINE = 128
+#: Below this many messages the vectorized lowering isn't worth its
+#: array setup (mirrors the torus phase-engine threshold).
+_VECTOR_MIN_TRIPLES = 16
 
 
 @dataclass
@@ -73,6 +79,7 @@ class SimMPI:
         self.collective = collective
         self.barrier = barrier
         self._rank_grid = partition_shape(placement.num_ranks)
+        self._node_by_rank: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # rank-grid neighbours for halo exchanges
@@ -136,25 +143,43 @@ class SimMPI:
             return out
         raise ValueError(f"{op.kind} is not a point-to-point pattern")
 
-    def run(self, op: CommOp) -> CommResult:
-        """Cost one CommOp (including its ``repeats``)."""
-        result = CommResult()
-        if op.kind in (CommKind.ALLREDUCE, CommKind.BROADCAST):
-            coll = (self.collective.allreduce(op.bytes_per_rank)
-                    if op.kind is CommKind.ALLREDUCE
-                    else self.collective.broadcast(op.bytes_per_rank))
-            result.cycles_per_rank = coll.cycles * op.repeats
-            result.collective_events = {
-                name: count * op.repeats
-                for name, count in self.collective.events(coll).items()}
-            return result
-        if op.kind is CommKind.BARRIER:
-            # symmetric BSP ranks arrive together: pure hardware latency
-            result.cycles_per_rank = (self.barrier.hardware_latency
-                                      * op.repeats)
-            return result
+    def _message_arrays(self, op: CommOp):
+        """(src, dst, bytes) int64 arrays for one repeat of ``op``.
 
-        triples = self._messages_for(op)
+        The array twin of :meth:`_messages_for`, in the identical
+        message order.  ALLTOALL — the only pattern whose message count
+        is quadratic in ranks — is built directly as arrays; the others
+        are converted from the scalar lowering.
+        """
+        if op.kind is CommKind.ALLTOALL:
+            n = self.placement.num_ranks
+            if n == 1:
+                empty = np.zeros(0, dtype=np.int64)
+                return empty, empty, empty.copy()
+            slice_bytes = op.bytes_per_rank // (n - 1)
+            ranks = np.arange(n, dtype=np.int64)
+            src = np.repeat(ranks, n - 1)
+            # row-major with the diagonal removed: for each r, every
+            # q != r in ascending order — the scalar loop's order
+            dst = np.broadcast_to(ranks, (n, n))[~np.eye(n, dtype=bool)]
+            size = np.full(src.shape, slice_bytes, dtype=np.int64)
+            return src, dst, size
+        arr = np.asarray(self._messages_for(op),
+                         dtype=np.int64).reshape(-1, 3)
+        return arr[:, 0], arr[:, 1], arr[:, 2]
+
+    def _rank_to_node(self) -> np.ndarray:
+        """Per-rank home node, cached (placement is fixed per job)."""
+        if self._node_by_rank is None:
+            p = self.placement
+            self._node_by_rank = np.fromiter(
+                (p.node_of(r) for r in range(p.num_ranks)),
+                dtype=np.int64, count=p.num_ranks)
+        return self._node_by_rank
+
+    def _cost_triples(self, triples: List[Tuple[int, int, int]],
+                      balanced: bool, result: CommResult):
+        """Per-message reference lowering (the oracle engine)."""
         torus_messages: List[Message] = []
         intra_cycles_per_rank: Dict[int, float] = {}
         for src, dst, size in triples:
@@ -175,10 +200,94 @@ class SimMPI:
                 for node in (src_node, dst_node):
                     result.ddr_lines_per_node[node] = (
                         result.ddr_lines_per_node.get(node, 0) + lines)
-
-        phase = self.torus.run_phase(
-            torus_messages, balanced=(op.kind is CommKind.ALLTOALL))
+        phase = self.torus.run_phase(torus_messages, balanced=balanced)
         intra_max = max(intra_cycles_per_rank.values(), default=0.0)
+        return phase, intra_max
+
+    def _cost_arrays(self, src_r: np.ndarray, dst_r: np.ndarray,
+                     size: np.ndarray, balanced: bool,
+                     result: CommResult):
+        """Batched lowering; byte-identical to :meth:`_cost_triples`.
+
+        Integer accounting (bytes, DDR lines) commutes exactly; the
+        only float accumulation — per-rank shared-memory cycles — is
+        replayed as a loop over just the intra-node messages, in the
+        scalar message order, so every intermediate rounding matches.
+        """
+        live = size > 0
+        src_r, dst_r, size = src_r[live], dst_r[live], size[live]
+        node_of = self._rank_to_node()
+        src_node = node_of[src_r]
+        dst_node = node_of[dst_r]
+        intra = src_node == dst_node
+
+        # shared-memory path: exact float replay (few messages — only
+        # co-resident pairs land here)
+        intra_cycles_per_rank: Dict[int, float] = {}
+        for src, sz in zip(src_r[intra].tolist(), size[intra].tolist()):
+            intra_cycles_per_rank[src] = (
+                intra_cycles_per_rank.get(src, 0.0)
+                + SHM_OVERHEAD_CYCLES + sz / SHM_BYTES_PER_CYCLE)
+        result.intra_node_bytes += int(size[intra].sum())
+
+        inter = ~intra
+        isrc, idst = src_node[inter], dst_node[inter]
+        isize = size[inter]
+        result.inter_node_bytes += int(isize.sum())
+        # DDR staging lines, charged to both endpoints.  int(size *
+        # fraction) truncates toward zero; astype(int64) of the same
+        # float64 product truncates identically for non-negative sizes.
+        lines = (isize * COMM_DDR_FRACTION).astype(np.int64) // _LINE
+        ids = np.empty(2 * isrc.size, dtype=np.int64)
+        ids[0::2] = isrc
+        ids[1::2] = idst
+        vals = np.repeat(lines, 2)
+        if ids.size:
+            acc = np.zeros(int(node_of.max()) + 1, dtype=np.int64)
+            np.add.at(acc, ids, vals)
+            uniq, first_seen = np.unique(ids, return_index=True)
+            for node in uniq[np.argsort(first_seen, kind="stable")]:
+                node = int(node)
+                result.ddr_lines_per_node[node] = (
+                    result.ddr_lines_per_node.get(node, 0)
+                    + int(acc[node]))
+        phase = self.torus.run_phase_arrays(isrc, idst, isize,
+                                            balanced=balanced)
+        intra_max = max(intra_cycles_per_rank.values(), default=0.0)
+        return phase, intra_max
+
+    def run(self, op: CommOp) -> CommResult:
+        """Cost one CommOp (including its ``repeats``)."""
+        result = CommResult()
+        if op.kind in (CommKind.ALLREDUCE, CommKind.BROADCAST):
+            coll = (self.collective.allreduce(op.bytes_per_rank)
+                    if op.kind is CommKind.ALLREDUCE
+                    else self.collective.broadcast(op.bytes_per_rank))
+            result.cycles_per_rank = coll.cycles * op.repeats
+            result.collective_events = {
+                name: count * op.repeats
+                for name, count in self.collective.events(coll).items()}
+            return result
+        if op.kind is CommKind.BARRIER:
+            # symmetric BSP ranks arrive together: pure hardware latency
+            result.cycles_per_rank = (self.barrier.hardware_latency
+                                      * op.repeats)
+            return result
+
+        balanced = op.kind is CommKind.ALLTOALL
+        if get_vectorize():
+            src_r, dst_r, size = self._message_arrays(op)
+            if src_r.size >= _VECTOR_MIN_TRIPLES:
+                phase, intra_max = self._cost_arrays(
+                    src_r, dst_r, size, balanced, result)
+            else:
+                triples = list(zip(src_r.tolist(), dst_r.tolist(),
+                                   size.tolist()))
+                phase, intra_max = self._cost_triples(
+                    triples, balanced, result)
+        else:
+            phase, intra_max = self._cost_triples(
+                self._messages_for(op), balanced, result)
         result.cycles_per_rank = (max(phase.cycles, intra_max)
                                   * op.repeats)
         result.torus_events = {

@@ -42,7 +42,11 @@ class JobPlacement:
 
     def ranks_on_node(self, node: int) -> List[int]:
         """Ranks resident on ``node``, in slot order."""
-        return [r.rank for r in self.ranks if r.node == node]
+        by_node = self.__dict__.get("_by_node")
+        if by_node is None:
+            by_node = self.slots_by_node()
+            self.__dict__["_by_node"] = by_node
+        return by_node.get(node, [])
 
     def is_intra_node(self, a: int, b: int) -> bool:
         """True when two ranks share a node (their messages skip the torus)."""

@@ -161,3 +161,43 @@ def test_counts_to_events_attributes_core():
     assert ev["BGP_PU2_L1D_READ_MISS"] == int(round(r.l1.misses))
     assert ev["L3_MISS"] == int(round(r.l3.misses))
     assert all(isinstance(v, int) for v in ev.values())
+
+
+# ---------------------------------------------------------------------------
+# capacity allocation edge cases
+# ---------------------------------------------------------------------------
+def test_capacity_shares_zero_footprint_streams():
+    """Degenerate zero-footprint streams get a 0.0 share in BOTH policies.
+
+    Regression: the greedy policy used to divide by the footprint when
+    ranking streams by reuse density, while the proportional policy
+    folded the zeros into its total — the two disagreed on degenerate
+    mixes.  Now both assign 0.0 upfront and allocate the rest as if the
+    degenerate streams were absent.
+    """
+    from repro.mem.analytical import _shares_from_values
+
+    accesses = [100.0, 0.0, 50.0]
+    footprints = [1024.0, 0.0, 0.0]
+    for policy in ("greedy", "proportional"):
+        shares = _shares_from_values(accesses, footprints, 512.0, policy)
+        assert shares[1] == 0.0 and shares[2] == 0.0
+        solo = _shares_from_values([100.0], [1024.0], 512.0, policy)
+        assert shares[0] == solo[0]
+
+
+def test_capacity_shares_empty_mix():
+    from repro.mem.analytical import _shares_from_values
+
+    for policy in ("greedy", "proportional"):
+        assert _shares_from_values([], [], 4096.0, policy) == []
+        assert _shares_from_values([0.0], [0.0], 4096.0, policy) == [0.0]
+
+
+def test_capacity_shares_all_zero_footprints_over_capacity_zero():
+    """fp==0 streams with zero capacity: no division by zero, all 0.0."""
+    from repro.mem.analytical import _shares_from_values
+
+    for policy in ("greedy", "proportional"):
+        shares = _shares_from_values([5.0, 7.0], [0.0, 0.0], 0.0, policy)
+        assert shares == [0.0, 0.0]

@@ -91,6 +91,54 @@ def test_hop_cycles_accumulate(net):
         hops * net.config.hop_latency_cycles)
 
 
+def test_sub_packet_message_charges_whole_packet(net):
+    """Links carry whole packets: a 1-byte message still pads to 256B.
+
+    Regression: link bytes used to be charged as raw ``msg.size_bytes``,
+    undercounting the wire occupancy of every non-packet-aligned
+    message.
+    """
+    packet = net.config.packet_bytes
+    for engine in ("scalar", "vector"):
+        result = net.run_phase([Message(0, 1, 1)], engine=engine)
+        assert result.max_link_bytes == packet
+        # 300 bytes -> 2 packets -> 512 link bytes on every hop
+        result = net.run_phase([Message(0, 1, packet + 44)],
+                               engine=engine)
+        assert result.max_link_bytes == 2 * packet
+
+
+def test_message_cost_wire_term_is_packet_padded(net):
+    """``message_cost`` serialises ``packets() * packet_bytes``.
+
+    Regression: the wire term used to divide the *unpadded* size by the
+    link bandwidth, disagreeing with the packet counts ``run_phase``
+    charges to links.
+    """
+    msg = Message(0, 1, 1)
+    cfg = net.config
+    expected = (cfg.software_overhead_cycles + cfg.hop_latency_cycles
+                + net.packets(1) * cfg.packet_bytes / cfg.bytes_per_cycle)
+    assert net.message_cost(msg) == expected
+
+
+def test_phase_cycles_match_hand_computed_single_message(net):
+    """One message: phase cycles == its hand-computed end-to-end cost."""
+    dst = net.topology.node((2, 1, 0))
+    msg = Message(0, dst, 700)  # 3 packets, 3 hops
+    hops = net.topology.hop_distance(0, dst)
+    pkts = net.packets(700)
+    cfg = net.config
+    wire = pkts * cfg.packet_bytes / cfg.bytes_per_cycle
+    cost = cfg.software_overhead_cycles + hops * cfg.hop_latency_cycles + wire
+    assert net.message_cost(msg) == cost
+    for engine in ("scalar", "vector"):
+        result = net.run_phase([msg], engine=engine)
+        # a single message is never serialisation-bound, so the phase
+        # finishes exactly when its worst (only) message does
+        assert result.cycles == cost
+
+
 # ---------------------------------------------------------------------------
 # collective
 # ---------------------------------------------------------------------------
