@@ -11,6 +11,7 @@ within noise.
 
 import time
 
+from repro import markers
 from repro.compiler import O5
 from repro.harness import clear_caches
 from repro.harness.sweep import run_vnm
@@ -101,3 +102,40 @@ def test_sampling_off_job_run_overhead_under_5_percent(fresh_caches):
     assert sampling_bill < 0.05 * wall, (
         f"disabled sampling would cost {sampling_bill * 1e6:.1f} us "
         f"against a {wall * 1e3:.1f} ms run ({sampling_bill / wall:.1%})")
+
+
+def _markers_off_check_cost_s() -> float:
+    """Per-call wall cost of the no-open-region gate in Job.run."""
+    assert not markers.active()
+    active = markers.active
+    start = time.perf_counter()
+    for _ in range(CALIBRATION_CALLS):
+        active()
+    return (time.perf_counter() - start) / CALIBRATION_CALLS
+
+
+def test_markers_off_job_run_overhead_under_5_percent(fresh_caches):
+    """Job.run with no open region pays one bool check, nothing more.
+
+    The marker hook in ``Job.run`` is a single ``markers.active()``
+    call; crediting only happens inside an open region.  Bill that
+    check per job (generously: per job *and* per node) and require the
+    total to stay under 5% of a real run — in practice it is orders of
+    magnitude below.
+    """
+    markers.clear()
+    timeline.uninstall_sampling()
+    tracer.uninstall()
+
+    clear_caches()
+    start = time.perf_counter()
+    result = run_vnm("EP", O5())
+    wall = time.perf_counter() - start
+    assert not markers.recorded()  # the off path really was taken
+
+    per_call = _markers_off_check_cost_s()
+    checks = 1 + result.placement.num_nodes  # one is real; over-bill
+    markers_bill = checks * per_call
+    assert markers_bill < 0.05 * wall, (
+        f"disabled markers would cost {markers_bill * 1e6:.2f} us "
+        f"against a {wall * 1e3:.1f} ms run ({markers_bill / wall:.1%})")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Marker regions: LIKWID-style per-phase derived metrics.
+
+LIKWID's marker API lets application code bracket interesting phases
+(``LIKWID_MARKER_START("solve")``) and get per-region derived metrics
+without touching how the counters run.  ``repro.markers`` is that for
+the simulated machine: regions are named, nest freely, and accumulate
+the machine-wide counter view of every job that finishes while they
+are open.  Derived metrics come from a performance group
+(:mod:`repro.groups`) — formula documents, not Python — so the same
+region books can be read through any group.
+
+This example runs two small kernels inside nested regions, prints the
+per-region metric table, and shows the region spans that land in an
+exported trace.
+
+Run:  python examples/marker_regions.py
+"""
+
+from repro import markers
+from repro.compiler import O5
+from repro.groups import get_group
+from repro.harness.sweep import run_small_vnm
+from repro.obs import tracer
+
+
+def main() -> None:
+    markers.clear()
+    recording = tracer.install()
+
+    # nest regions around the work: "app" covers both kernels,
+    # "app/mg" and "app/ep" each cover one
+    with markers.region("app"):
+        for code in ("MG", "EP"):
+            with markers.region(code.lower()):
+                run_small_vnm(code, O5(), problem_class="S")
+
+    tracer.uninstall()
+    recording.close_open_spans()
+
+    print("--- per-region books ---")
+    for reg in markers.recorded():
+        indent = "  " * reg.depth
+        print(f"  {indent}{reg.path}: {reg.jobs} job(s), "
+              f"{reg.cycles:,} cycles, "
+              f"{len(reg.events)} event counters")
+
+    print()
+    print("--- derived metrics (BGP_BASE group) ---")
+    group = get_group("BGP_BASE")
+    for rec in markers.export_records(group=group):
+        indent = "  " * rec["depth"]
+        derived = ", ".join(f"{name}={value:,.1f}"
+                            for name, value in rec["derived"].items())
+        print(f"  {indent}{rec['region']}: {derived}")
+
+    print()
+    print("--- region spans on the tracer ---")
+    for span in recording.spans:
+        if span.name.startswith("region:"):
+            print(f"  {span.name}: {span.dur_us:.1f} us wall")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,13 @@ Usage::
                                     # counter tracks in trace.json)
     python -m repro report out/     # render report.md + report.json
                                     # from an exported artifact dir
+    python -m repro groups list     # the performance-group registry
+    python -m repro groups show BGP_MEM
+    python -m repro groups validate my_group.toml
+    python -m repro smoke --group BGP_MEM --sample-every 50000 --json out
+                                    # sample/derive through a named
+                                    # performance group instead of the
+                                    # default BGP_BASE
     python -m repro summarize-fleet runs/ --datasource sqlite -j 4
                                     # index an archive of runs and
                                     # build the cross-run fleet report
@@ -42,6 +49,7 @@ import sys
 import time
 
 from . import faults as faults_mod
+from . import markers as _markers
 from .harness import (
     ABLATION_EXPERIMENTS,
     ALL_EXPERIMENTS,
@@ -54,6 +62,7 @@ from .harness import (
     fault_audit,
     format_table,
     model_validation,
+    smoke_markers,
     smoke_telemetry,
 )
 from .obs import kv, metrics, setup_logging, tracer
@@ -69,6 +78,8 @@ def main(argv=None) -> int:
         return _fleet_main(argv[1:])
     if argv[:1] == ["gen-corpus"]:
         return _gen_corpus_main(argv[1:])
+    if argv[:1] == ["groups"]:
+        return _groups_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables/figures of Ganesan et al., "
@@ -104,6 +115,12 @@ def main(argv=None) -> int:
                              "cycles; writes timeline.jsonl into the "
                              "--trace/--json/--csv directory and merges "
                              "Perfetto counter tracks into trace.json")
+    parser.add_argument("--group", metavar="NAME", default=None,
+                        help="evaluate derived metrics through this "
+                             "performance group (see 'python -m repro "
+                             "groups list'); with --sample-every the "
+                             "group's event list is what gets sampled "
+                             "(default: BGP_BASE)")
     parser.add_argument("--no-vectorize", action="store_true",
                         help="run the scalar (per-stream / per-message "
                              "/ per-thread) model engines instead of "
@@ -148,12 +165,25 @@ def main(argv=None) -> int:
                 faults_mod.FaultConfig.parse(args.faults))
         except ValueError as exc:
             parser.error(f"--faults: {exc}")
+    group = None
+    if args.group:
+        from . import groups as groups_mod
+        try:
+            group = groups_mod.set_active_group(args.group)
+        except (KeyError, groups_mod.GroupError) as exc:
+            parser.error(f"--group: {exc}")
+    _markers.clear()
     if args.sample_every is not None:
         if args.sample_every < 1:
             parser.error(f"--sample-every must be >= 1 cycle, "
                          f"got {args.sample_every}")
         obs_timeline.clear_recorded()
-        obs_timeline.install_sampling(args.sample_every)
+        if group is not None:
+            obs_timeline.install_sampling(obs_timeline.TimelineConfig(
+                sample_every=args.sample_every,
+                events=tuple(group.events)))
+        else:
+            obs_timeline.install_sampling(args.sample_every)
 
     catalog = dict(ALL_EXPERIMENTS)
     catalog.update(ABLATION_EXPERIMENTS)
@@ -162,6 +192,7 @@ def main(argv=None) -> int:
     catalog["ext-scaling"] = ext_scaling
     catalog["ext-microbench"] = ext_microbench
     catalog["smoke"] = smoke_telemetry
+    catalog["smoke-markers"] = smoke_markers
     catalog["fault-audit"] = fault_audit
 
     if args.list:
@@ -269,6 +300,17 @@ def main(argv=None) -> int:
         elif not out_dir:
             log.warning(kv("timeline.discarded",
                            reason="no --trace/--json/--csv directory"))
+    if _markers.recorded():
+        out_dir = args.trace or args.json or args.csv
+        if out_dir:
+            path = _markers.append_jsonl(
+                os.path.join(out_dir, "timeline.jsonl"))
+            log.info(kv("markers.artifact", path=path,
+                        regions=len(_markers.recorded())))
+        else:
+            log.warning(kv("markers.discarded",
+                           reason="no --trace/--json/--csv directory",
+                           regions=len(_markers.recorded())))
     if injector is not None and injector.events:
         out_dir = args.trace or args.json or args.csv
         if out_dir:
@@ -414,6 +456,95 @@ def _gen_corpus_main(argv) -> int:
                               problem_class=args.problem_class)
     print(f"[corpus] {len(created)} run(s) under {args.directory}")
     return 0
+
+
+def _groups_main(argv) -> int:
+    """The ``python -m repro groups`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro groups",
+        description="Inspect the performance-group registry: the "
+                    "built-in group documents plus any directories on "
+                    "REPRO_GROUPS_PATH.")
+    sub = parser.add_subparsers(dest="action")
+    sub.add_parser("list", help="one line per available group")
+    show = sub.add_parser("show",
+                          help="a group's events, constants and "
+                               "metric formulas")
+    show.add_argument("name", help="group name (see 'groups list')")
+    validate = sub.add_parser(
+        "validate",
+        help="load + validate every registered group document "
+             "(and any extra files given); non-zero exit on the "
+             "first broken one")
+    validate.add_argument("paths", nargs="*", metavar="FILE",
+                          help="extra group files to validate")
+    args = parser.parse_args(argv)
+    if not args.action:
+        parser.error("choose an action: list, show or validate")
+    from . import groups as groups_mod
+
+    try:
+        index = groups_mod.available_groups()
+    except groups_mod.GroupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.action == "list":
+        for name in index:
+            group = groups_mod.get_group(name)
+            modes = ",".join(str(m) for m in group.modes())
+            print(f"{name:12s} {len(group.events):3d} events  "
+                  f"{len(group.metrics):3d} metrics  modes {modes:7s} "
+                  f"{group.description}")
+        return 0
+
+    if args.action == "show":
+        try:
+            group = groups_mod.get_group(args.name)
+        except (KeyError, groups_mod.GroupError) as exc:
+            parser.error(str(exc))
+        print(f"group {group.name}: {group.description}")
+        print(f"source: {group.source}")
+        print(f"modes:  {list(group.modes())}")
+        print(f"events ({len(group.events)}):")
+        for name in group.events:
+            print(f"  {name}")
+        if group.constants:
+            print("constants:")
+            for cname, value in group.constants.items():
+                print(f"  {cname} = {value}")
+        print(f"metrics ({len(group.metrics)}):")
+        for mdef in group.metrics:
+            unit = f" [{mdef.unit}]" if mdef.unit else ""
+            flags = "".join(
+                f" <{flag}>" for flag, on in
+                (("timeline", mdef.timeline), ("track", mdef.track))
+                if on)
+            print(f"  {mdef.name}{unit} = {mdef.formula}{flags}")
+            if mdef.description:
+                print(f"      {mdef.description}")
+        return 0
+
+    failures = 0
+    for name, source in index.items():
+        try:
+            group = groups_mod.get_group(name)
+        except groups_mod.GroupError as exc:
+            print(f"FAIL {name}: {exc}")
+            failures += 1
+            continue
+        print(f"ok   {name} ({len(group.events)} events, "
+              f"{len(group.metrics)} metrics) {source}")
+    for path in args.paths:
+        try:
+            group = groups_mod.load_group_file(path)
+        except (OSError, groups_mod.GroupError) as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+            continue
+        print(f"ok   {group.name} ({len(group.events)} events, "
+              f"{len(group.metrics)} metrics) {path}")
+    return 1 if failures else 0
 
 
 def _write_csv(result, directory: str) -> str:

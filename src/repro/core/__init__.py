@@ -62,7 +62,11 @@ from .metrics import (
     total_flops,
 )
 from .monitor import CounterMonitor, EventSeries, Sample
-from .multiplex import ModeObservation, MultiplexedSession
+from .multiplex import (
+    AdaptiveMultiplexedSession,
+    ModeObservation,
+    MultiplexedSession,
+)
 from .mpi_hooks import CounterSession
 from .postprocess import (
     Aggregation,
@@ -117,6 +121,7 @@ __all__ = [
     "CounterMonitor",
     "EventSeries",
     "Sample",
+    "AdaptiveMultiplexedSession",
     "MultiplexedSession",
     "ModeObservation",
     "Aggregation",

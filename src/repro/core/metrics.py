@@ -5,15 +5,21 @@ the data of all the floating point counters like the counter for
 FPAdd-Sub, FPMult, FPDiv, FPFMA, FPSIMDAdd-Sub, and FPSIMDFMA" and "a
 metric for the traffic between the L3 and the DDR (DDR Bandwidth) ...
 based on the different counters associated with L3 and DDR" (Section
-IV).  This module implements those metrics plus the dynamic-instruction
--mix profile of Figure 6, all as pure functions over name->count
-mappings so they compose with :class:`~repro.core.postprocess.Aggregation`
-totals, per-node named deltas, or hand-built dictionaries in tests.
+IV).
+
+Since the performance-group refactor the formulas themselves live in
+the built-in ``BGP_BASE`` group document
+(``repro/groups/builtin/BGP_BASE.toml``) and are evaluated through
+:mod:`repro.groups`; the functions here are thin, signature-stable
+wrappers kept for the callers (and tests) that predate groups.  They
+remain pure functions over name->count mappings so they compose with
+:class:`~repro.core.postprocess.Aggregation` totals, per-node named
+deltas, or hand-built dictionaries in tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from ..isa.latency import CORE_CLOCK_HZ
 from .events import CORES_PER_NODE
@@ -45,6 +51,34 @@ PROFILE_LABELS: Dict[str, str] = {
     "FPU_SIMD_DIV": "SIMD div",
 }
 
+#: BGP_BASE metric name for each FPU event suffix.
+_FP_METRICS: Dict[str, str] = {
+    "FPU_ADDSUB": "fp_addsub",
+    "FPU_MUL": "fp_mul",
+    "FPU_DIV": "fp_div",
+    "FPU_FMA": "fp_fma",
+    "FPU_SIMD_ADDSUB": "fp_simd_addsub",
+    "FPU_SIMD_MUL": "fp_simd_mul",
+    "FPU_SIMD_DIV": "fp_simd_div",
+    "FPU_SIMD_FMA": "fp_simd_fma",
+}
+
+_BASE = None
+
+
+def _base():
+    """The BGP_BASE group (imported lazily: groups imports core)."""
+    global _BASE
+    if _BASE is None:
+        from ..groups import get_group
+        _BASE = get_group("BGP_BASE")
+    return _BASE
+
+
+def _one(named: Mapping[str, int], metric: str,
+         params: Optional[Mapping[str, float]] = None):
+    return _base().evaluate(named, params=params, only=(metric,))[metric]
+
 
 def _core_sum(named: Mapping[str, int], suffix: str) -> int:
     """Sum a per-core counter across all four cores (missing -> 0)."""
@@ -57,13 +91,14 @@ def fp_instruction_counts(named: Mapping[str, int]) -> Dict[str, int]:
 
     Keys are the FPU event suffixes of :data:`FLOP_WEIGHTS`.
     """
-    return {suffix: _core_sum(named, suffix) for suffix in FLOP_WEIGHTS}
+    vals = _base().evaluate(named, only=tuple(_FP_METRICS.values()))
+    return {suffix: vals[metric]
+            for suffix, metric in _FP_METRICS.items()}
 
 
 def total_flops(named: Mapping[str, int]) -> float:
     """Floating point operations completed (FMA = 2 ops, SIMD two-wide)."""
-    counts = fp_instruction_counts(named)
-    return float(sum(counts[s] * w for s, w in FLOP_WEIGHTS.items()))
+    return _one(named, "flops")
 
 
 def elapsed_cycles(named: Mapping[str, int]) -> int:
@@ -72,19 +107,13 @@ def elapsed_cycles(named: Mapping[str, int]) -> int:
     Cores run concurrently, so the slowest core's cycle counter is the
     region's duration (matching the paper's CYCLE_COUNT usage).
     """
-    cycles = [int(named.get(f"BGP_PU{c}_CYCLES", 0))
-              for c in range(CORES_PER_NODE)]
-    return max(cycles)
+    return _one(named, "elapsed_cycles")
 
 
 def mflops(named: Mapping[str, int],
            clock_hz: float = CORE_CLOCK_HZ) -> float:
     """MFLOPS of the monitored region from FPU + cycle counters."""
-    cycles = elapsed_cycles(named)
-    if cycles == 0:
-        return 0.0
-    seconds = cycles / clock_hz
-    return total_flops(named) / seconds / 1e6
+    return _one(named, "mflops", params={"clock_hz": clock_hz})
 
 
 def fp_profile(named: Mapping[str, int]) -> Dict[str, float]:
@@ -93,17 +122,16 @@ def fp_profile(named: Mapping[str, int]) -> Dict[str, float]:
     Fractions are of FP *instructions* (not flops) and sum to 1 when any
     FP instruction was counted.  Keys are Figure 6 legend labels.
     """
-    counts = fp_instruction_counts(named)
-    fp_total = sum(counts.values())
-    if fp_total == 0:
-        return {label: 0.0 for label in PROFILE_LABELS.values()}
-    return {PROFILE_LABELS[s]: counts[s] / fp_total for s in PROFILE_LABELS}
+    vals = _base().evaluate(
+        named, only=tuple(f"fp_frac_{_FP_METRICS[s][3:]}"
+                          for s in PROFILE_LABELS))
+    return {PROFILE_LABELS[s]: vals[f"fp_frac_{_FP_METRICS[s][3:]}"]
+            for s in PROFILE_LABELS}
 
 
 def simd_instructions(named: Mapping[str, int]) -> int:
     """Total two-wide SIMD FP instructions (Figures 7/8 series)."""
-    counts = fp_instruction_counts(named)
-    return sum(v for s, v in counts.items() if "SIMD" in s)
+    return _one(named, "simd_instructions")
 
 
 def ddr_traffic_bytes(named: Mapping[str, int]) -> int:
@@ -112,49 +140,34 @@ def ddr_traffic_bytes(named: Mapping[str, int]) -> int:
     This is the paper's "L3-DDR Traffic" metric: every read or write
     burst on either memory controller moves one 128-byte L3 line.
     """
-    bursts = (int(named.get("BGP_DDR0_READ", 0))
-              + int(named.get("BGP_DDR0_WRITE", 0))
-              + int(named.get("BGP_DDR1_READ", 0))
-              + int(named.get("BGP_DDR1_WRITE", 0)))
-    return bursts * L3_LINE_BYTES
+    return _one(named, "ddr_bytes")
 
 
 def ddr_bandwidth_bytes_per_sec(named: Mapping[str, int],
                                 clock_hz: float = CORE_CLOCK_HZ) -> float:
     """Average DDR bandwidth over the monitored region."""
-    cycles = elapsed_cycles(named)
-    if cycles == 0:
-        return 0.0
-    return ddr_traffic_bytes(named) / (cycles / clock_hz)
+    return _one(named, "ddr_bytes_per_sec",
+                params={"clock_hz": clock_hz})
 
 
 def l1_hit_rate(named: Mapping[str, int]) -> float:
     """Node-wide L1 data hit rate (reads + writes)."""
-    hits = _core_sum(named, "L1D_READ_HIT") + _core_sum(named,
-                                                        "L1D_WRITE_HIT")
-    misses = (_core_sum(named, "L1D_READ_MISS")
-              + _core_sum(named, "L1D_WRITE_MISS"))
-    total = hits + misses
-    return hits / total if total else 0.0
+    return _one(named, "l1_hit_rate")
 
 
 def l2_prefetch_coverage(named: Mapping[str, int]) -> float:
     """Fraction of L2 demand reads satisfied by a prefetched line."""
-    reads = _core_sum(named, "L2_READ")
-    pf_hits = _core_sum(named, "L2_PREFETCH_HIT")
-    return pf_hits / reads if reads else 0.0
+    return _one(named, "l2_prefetch_coverage")
 
 
 def l3_miss_rate(named: Mapping[str, int]) -> float:
     """Shared-L3 miss rate (misses / reads arriving at the L3)."""
-    reads = int(named.get("BGP_L3_READ", 0))
-    misses = int(named.get("BGP_L3_MISS", 0))
-    return misses / reads if reads else 0.0
+    return _one(named, "l3_miss_rate")
 
 
 def instruction_total(named: Mapping[str, int]) -> int:
     """Completed instructions summed over all cores."""
-    return _core_sum(named, "INST_COMPLETED")
+    return _one(named, "instructions")
 
 
 def merge_named(*mappings: Mapping[str, int]) -> Dict[str, int]:

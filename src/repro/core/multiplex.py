@@ -14,14 +14,25 @@ every mode on *one* node but loses the events that fire while the unit
 is rotated away, so its extrapolation is exact only for stationary
 workloads — phase-structured applications (i.e., real ones) bias it.
 
+Two schedulers are provided.  :class:`MultiplexedSession` rotates with
+a fixed slice length.  :class:`AdaptiveMultiplexedSession` additionally
+watches per-slice event *rates* and, ScALPEL-style, halves the slice
+length when consecutive same-mode slices disagree (a phase boundary —
+shorter slices alias bursts less) and doubles it back after a quiet
+streak (longer slices cost fewer rotations).  Both keep Welford
+statistics of the per-slice rates so callers can annotate extrapolated
+counts with a stationarity-based confidence (see
+:meth:`MultiplexedSession.confidence`).
+
 Like :class:`~repro.core.monitor.CounterMonitor`, the session is
 *driven*: interleave ``advance(cycles)`` with the simulated work.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -39,6 +50,30 @@ class ModeObservation:
     deltas: np.ndarray = field(
         default_factory=lambda: np.zeros(COUNTERS_PER_MODE,
                                          dtype=np.uint64))
+    # Welford running stats of per-slice event rates (counts/cycle),
+    # one lane per counter; feed the stationarity estimate
+    rate_count: int = 0
+    rate_mean: np.ndarray = field(
+        default_factory=lambda: np.zeros(COUNTERS_PER_MODE))
+    rate_m2: np.ndarray = field(
+        default_factory=lambda: np.zeros(COUNTERS_PER_MODE))
+
+    def fold_rates(self, delta: np.ndarray, width: int) -> None:
+        rates = delta.astype(np.float64) / width
+        self.rate_count += 1
+        d1 = rates - self.rate_mean
+        self.rate_mean = self.rate_mean + d1 / self.rate_count
+        self.rate_m2 = self.rate_m2 + d1 * (rates - self.rate_mean)
+
+    def rate_cv(self, counter: int) -> float:
+        """Coefficient of variation of this counter's slice rates."""
+        if self.rate_count < 2:
+            return 0.0
+        mean = float(self.rate_mean[counter])
+        if mean <= 0.0:
+            return 0.0
+        var = float(self.rate_m2[counter]) / (self.rate_count - 1)
+        return math.sqrt(max(var, 0.0)) / mean
 
 
 class MultiplexedSession:
@@ -103,14 +138,35 @@ class MultiplexedSession:
             if self._slice_used >= self.slice_cycles:
                 self._rotate()
 
-    def _rotate(self) -> None:
-        obs = self.observations[self.current_mode]
+    def _fold_slice(self) -> None:
+        """Fold the open slice into the live mode's books.
+
+        The single bookkeeping path shared by :meth:`_rotate` and
+        :meth:`finish`: accumulate the counter delta, credit the
+        observed cycles and slice count, update the rate statistics,
+        and re-arm the snapshot so the folded span can never be
+        counted twice.
+        """
+        mode = self.current_mode
+        obs = self.observations[mode]
         now = self.upc.snapshot()
-        delta = (now - self._snapshot)  # uint64 wraps correctly
+        delta = now - self._snapshot  # uint64 wraps correctly
+        width = self._slice_used
         obs.deltas = obs.deltas + delta
-        obs.observed_cycles += self._slice_used
+        obs.observed_cycles += width
         obs.slices += 1
+        if width > 0:
+            obs.fold_rates(delta, width)
+        self._snapshot = now
         self._slice_used = 0
+        self._slice_folded(mode, delta, width)
+
+    def _slice_folded(self, mode: int, delta: np.ndarray,
+                      width: int) -> None:
+        """Hook invoked after every fold (adaptive schedulers)."""
+
+    def _rotate(self) -> None:
+        self._fold_slice()
         self._schedule_index = ((self._schedule_index + 1)
                                 % len(self.modes))
         self._rotations += 1
@@ -118,17 +174,9 @@ class MultiplexedSession:
         self._snapshot = self.upc.snapshot()
 
     def finish(self) -> None:
-        """Close the final partial slice."""
+        """Close the final partial slice (idempotent)."""
         if self._slice_used > 0:
-            # fold the partial slice into the live mode's books without
-            # rotating onward
-            obs = self.observations[self.current_mode]
-            now = self.upc.snapshot()
-            obs.deltas = obs.deltas + (now - self._snapshot)
-            obs.observed_cycles += self._slice_used
-            obs.slices += 1
-            self._snapshot = now
-            self._slice_used = 0
+            self._fold_slice()
 
     # ------------------------------------------------------------------
     # results
@@ -164,6 +212,27 @@ class MultiplexedSession:
             out[name] = observed / cov if cov > 0 else 0.0
         return out
 
+    def stationarity(self, name: str) -> float:
+        """How steady an event's slice rates were, in ``(0, 1]``.
+
+        ``1 / (1 + cv)`` over the observed per-slice rates: 1.0 for a
+        perfectly stationary event, approaching 0 as the rate swings —
+        exactly the workloads where ``observed / coverage`` misleads.
+        Events in unobserved modes report 0.0.
+        """
+        ev = EVENTS_BY_NAME[name]
+        obs = self.observations.get(ev.mode)
+        if obs is None:
+            return 0.0
+        return 1.0 / (1.0 + obs.rate_cv(ev.counter))
+
+    def confidence(self, name: str) -> float:
+        """Extrapolation confidence for one event: coverage x stationarity."""
+        ev = EVENTS_BY_NAME[name]
+        if ev.mode not in self.observations:
+            return 0.0
+        return self.coverage(ev.mode) * self.stationarity(name)
+
     def mode_report(self) -> List[str]:
         """Human-readable per-mode coverage lines."""
         return [
@@ -171,3 +240,90 @@ class MultiplexedSession:
             f"{self.observations[m].slices} slices"
             for m in sorted(self.observations)
         ]
+
+
+class AdaptiveMultiplexedSession(MultiplexedSession):
+    """Multiplexing with ScALPEL-style adaptive slice lengths.
+
+    After every fold the just-observed per-event rates are compared
+    with the *previous slice of the same mode*.  A significant jump
+    (ratio beyond ``jump_factor``, including 0 <-> busy transitions,
+    on any counter that accumulated at least ``min_jump_count`` events)
+    marks a phase boundary: the slice length is halved so each mode
+    revisits the new phase sooner and bursts alias less into the
+    extrapolation.  Growth is hysteretic: doubling back up requires a
+    streak of ``quiet_slices`` calm folds *per halving below the
+    configured slice length* (one halving down needs one streak, two
+    need a doubled streak, ...), so a periodically bursty workload
+    cannot ratchet the schedule back into the resonant slice length
+    it just escaped.  Both directions clamp to ``[min_slice_cycles,
+    max_slice_cycles]``.
+    """
+
+    def __init__(self, upc: UPCUnit, modes: Sequence[int] = (0, 1, 2, 3),
+                 slice_cycles: int = 100_000,
+                 min_slice_cycles: Optional[int] = None,
+                 max_slice_cycles: Optional[int] = None,
+                 jump_factor: float = 4.0,
+                 min_jump_count: int = 16,
+                 quiet_slices: int = 4):
+        if jump_factor <= 1.0:
+            raise ValueError("jump_factor must exceed 1.0")
+        if quiet_slices <= 0:
+            raise ValueError("quiet_slices must be positive")
+        self.min_slice_cycles = (max(1, slice_cycles // 8)
+                                 if min_slice_cycles is None
+                                 else min_slice_cycles)
+        self.max_slice_cycles = (slice_cycles * 8
+                                 if max_slice_cycles is None
+                                 else max_slice_cycles)
+        if not (0 < self.min_slice_cycles <= slice_cycles
+                <= self.max_slice_cycles):
+            raise ValueError(
+                f"need 0 < min {self.min_slice_cycles} <= slice "
+                f"{slice_cycles} <= max {self.max_slice_cycles}")
+        self.jump_factor = jump_factor
+        self.min_jump_count = min_jump_count
+        self.quiet_slices = quiet_slices
+        self._configured_slice_cycles = slice_cycles
+        self.shrinks = 0
+        self.grows = 0
+        self._quiet = 0
+        self._last_rates: Dict[int, Optional[np.ndarray]] = {}
+        super().__init__(upc, modes=modes, slice_cycles=slice_cycles)
+
+    def _slice_folded(self, mode: int, delta: np.ndarray,
+                      width: int) -> None:
+        if width <= 0:
+            return
+        rates = delta.astype(np.float64) / width
+        prev = self._last_rates.get(mode)
+        self._last_rates[mode] = rates
+        if prev is None:
+            return
+        hi = np.maximum(prev, rates)
+        lo = np.minimum(prev, rates)
+        significant = hi * width >= self.min_jump_count
+        jumped = bool(np.any(significant
+                             & (lo * self.jump_factor < hi)))
+        if jumped:
+            self._quiet = 0
+            shrunk = max(self.min_slice_cycles, self.slice_cycles // 2)
+            if shrunk < self.slice_cycles:
+                self.slice_cycles = shrunk
+                self.shrinks += 1
+            return
+        self._quiet += 1
+        # hysteresis: the deeper below the configured slice length we
+        # shrank, the longer the calm streak a grow step demands
+        depth = 0
+        width = self.slice_cycles
+        while width < self._configured_slice_cycles:
+            width *= 2
+            depth += 1
+        if self._quiet >= self.quiet_slices * (1 << depth):
+            self._quiet = 0
+            grown = min(self.max_slice_cycles, self.slice_cycles * 2)
+            if grown > self.slice_cycles:
+                self.slice_cycles = grown
+                self.grows += 1

@@ -4,9 +4,12 @@ Each plugin reduces one archived run to a flat row of derived metrics
 — the paper's methodology (raw counter dumps -> derived metrics ->
 cross-workload characterization) applied at fleet scale.  The raw
 material is the run's sampled telemetry: per-node whole-run event
-totals from ``timeline.jsonl`` plus the RAS event log, reusing the
-exact metric formulas of :mod:`repro.core.metrics` so a fleet row for
-one run agrees with the single-run report for that run.
+totals from ``timeline.jsonl`` plus the RAS event log.  The cpi /
+flops / l3 / ddr rows evaluate the built-in ``BGP_BASE`` performance
+group (:mod:`repro.groups`) — the same formula documents behind
+:mod:`repro.core.metrics` and the single-run report — so a fleet row
+for one run agrees with the single-run report for that run by
+construction.
 
 Every row keeps its inputs (cycles, instruction counts, line counts)
 next to the derived ratio, so fleet-level re-aggregation can weight by
@@ -17,12 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
-from ..core.metrics import (
-    ddr_traffic_bytes,
-    instruction_total,
-    total_flops,
-)
-from ..isa.latency import CORE_CLOCK_HZ
+from ..groups import get_group
 from .plugin import SkipRun, SummarizerPlugin, register
 
 
@@ -53,13 +51,13 @@ class CpiSummarizer(SummarizerPlugin):
     def process(self, run, artifacts) -> Dict[str, Any]:
         self.check_requirements(run, artifacts)
         totals = self.machine_totals(artifacts)
-        cycles = sum(v for k, v in totals.items()
-                     if k.endswith("_CYCLES") and k.startswith("BGP_PU"))
-        instructions = instruction_total(totals)
-        if not instructions:
+        vals = get_group("BGP_BASE").evaluate(
+            totals, only=("total_cycles", "instructions", "cpi"))
+        if not vals["instructions"]:
             raise SkipRun("no completed instructions sampled")
-        return _row(cycles=cycles, instructions=instructions,
-                    cpi=cycles / instructions)
+        return _row(cycles=vals["total_cycles"],
+                    instructions=vals["instructions"],
+                    cpi=vals["cpi"])
 
 
 @register
@@ -73,14 +71,15 @@ class FlopsSummarizer(SummarizerPlugin):
     def process(self, run, artifacts) -> Dict[str, Any]:
         self.check_requirements(run, artifacts)
         totals = self.machine_totals(artifacts)
-        flops = total_flops(totals)
         elapsed = self.elapsed_cycles(artifacts)
         if elapsed <= 0:
             raise SkipRun("no elapsed cycles recorded")
-        seconds = elapsed / CORE_CLOCK_HZ
-        return _row(flops=flops, elapsed_cycles=elapsed,
-                    flops_per_cycle=flops / elapsed,
-                    mflops=flops / seconds / 1e6)
+        vals = get_group("BGP_BASE").evaluate(
+            totals, params={"cycles": elapsed},
+            only=("flops", "flops_per_cycle", "mflops"))
+        return _row(flops=vals["flops"], elapsed_cycles=elapsed,
+                    flops_per_cycle=vals["flops_per_cycle"],
+                    mflops=vals["mflops"])
 
 
 @register
@@ -94,12 +93,13 @@ class L3Summarizer(SummarizerPlugin):
     def process(self, run, artifacts) -> Dict[str, Any]:
         self.check_requirements(run, artifacts)
         totals = self.machine_totals(artifacts)
-        reads = totals.get("BGP_L3_READ", 0)
-        misses = totals.get("BGP_L3_MISS", 0)
-        if not reads:
+        vals = get_group("BGP_BASE").evaluate(
+            totals, only=("l3_reads", "l3_misses", "l3_hit_rate"))
+        if not vals["l3_reads"]:
             raise SkipRun("no L3 reads sampled")
-        return _row(l3_reads=reads, l3_misses=misses,
-                    l3_hit_rate=1.0 - misses / reads)
+        return _row(l3_reads=vals["l3_reads"],
+                    l3_misses=vals["l3_misses"],
+                    l3_hit_rate=vals["l3_hit_rate"])
 
 
 @register
@@ -113,14 +113,16 @@ class DdrSummarizer(SummarizerPlugin):
     def process(self, run, artifacts) -> Dict[str, Any]:
         self.check_requirements(run, artifacts)
         totals = self.machine_totals(artifacts)
-        traffic = ddr_traffic_bytes(totals)
         elapsed = self.elapsed_cycles(artifacts)
         if elapsed <= 0:
             raise SkipRun("no elapsed cycles recorded")
-        seconds = elapsed / CORE_CLOCK_HZ
-        return _row(ddr_bytes=traffic,
-                    ddr_bytes_per_sec=traffic / seconds,
-                    ddr_bytes_per_kcycle=traffic / elapsed * 1e3)
+        vals = get_group("BGP_BASE").evaluate(
+            totals, params={"cycles": elapsed},
+            only=("ddr_bytes", "ddr_bytes_per_sec",
+                  "ddr_bytes_per_kcycle"))
+        return _row(ddr_bytes=vals["ddr_bytes"],
+                    ddr_bytes_per_sec=vals["ddr_bytes_per_sec"],
+                    ddr_bytes_per_kcycle=vals["ddr_bytes_per_kcycle"])
 
 
 @register

@@ -1,0 +1,548 @@
+"""Performance groups: event sets + derived-metric formulas as data.
+
+A *performance group* (the LIKWID concept) bundles the counter events
+a measurement needs with the derived-metric formulas computed from
+them — MFLOPS, CPI, hit rates, DDR bandwidth — as a declarative
+document instead of hand-written Python.  Groups ship as TOML files in
+``repro/groups/builtin/`` and users add their own directories through
+the ``REPRO_GROUPS_PATH`` environment variable (``os.pathsep``
+separated; ``*.toml`` and ``*.json`` files, one group per file, file
+stem == group name).
+
+Every document is validated against the :mod:`repro.core.events`
+catalog at load time: events must exist, metric formulas must pass the
+AST whitelist in :mod:`repro.groups.expr`, and formulas may reference
+only catalog events, group constants, the ambient parameters
+(``clock_hz``, ``cores``), and *previously defined* metrics of the
+same group.  The built-in ``BGP_BASE`` group is the single source of
+truth for the formulas that :mod:`repro.core.metrics`,
+:mod:`repro.obs.timeline`, :mod:`repro.obs.report`, and
+:mod:`repro.fleet.summarizers` expose.
+
+When a group needs events from more counter modes than the UPC can
+expose at once, :mod:`repro.groups.schedule` runs it through
+:mod:`repro.core.multiplex` and annotates every metric with coverage
+and extrapolation confidence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.events import CORES_PER_NODE, EVENTS_BY_NAME
+from ..isa.latency import CORE_CLOCK_HZ
+from .expr import CompiledExpr, ExpressionError, compile_expr
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 CI
+    tomllib = None
+
+__all__ = [
+    "AMBIENT_PARAMS",
+    "GROUPS_PATH_ENV",
+    "GroupError",
+    "MetricDef",
+    "PerformanceGroup",
+    "available_groups",
+    "clear_group_cache",
+    "get_active_group",
+    "get_group",
+    "load_group_file",
+    "set_active_group",
+]
+
+#: directory of groups shipped with the package
+BUILTIN_DIR = os.path.join(os.path.dirname(__file__), "builtin")
+
+#: environment variable naming extra group directories
+GROUPS_PATH_ENV = "REPRO_GROUPS_PATH"
+
+#: names formulas may reference that are injected by the evaluator,
+#: not defined in the document: the core clock and the core count
+AMBIENT_PARAMS = ("clock_hz", "cores")
+
+_METRIC_TYPES = ("auto", "int", "float")
+
+
+class GroupError(ValueError):
+    """A group document is malformed or references unknown names."""
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """One derived metric of a group."""
+
+    name: str
+    formula: str
+    expr: CompiledExpr = field(repr=False, compare=False)
+    unit: str = ""
+    description: str = ""
+    #: "int"/"float" coerce the result; "auto" leaves it untouched
+    type: str = "auto"
+    #: include in per-sample derived timelines (obs.timeline)
+    timeline: bool = False
+    #: export as a Perfetto counter track
+    track: bool = False
+
+
+@dataclass(frozen=True)
+class PerformanceGroup:
+    """A validated performance group document."""
+
+    name: str
+    description: str
+    events: Tuple[str, ...]
+    constants: Mapping[str, float]
+    metrics: Tuple[MetricDef, ...]
+    source: str = "<inline>"
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def metric(self, name: str) -> MetricDef:
+        for mdef in self.metrics:
+            if mdef.name == name:
+                return mdef
+        raise KeyError(f"group {self.name!r} has no metric {name!r}")
+
+    def metric_names(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.metrics)
+
+    def timeline_metrics(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.metrics if m.timeline)
+
+    def track_metrics(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.metrics if m.track)
+
+    def modes(self) -> Tuple[int, ...]:
+        """Counter modes the group's event list spans, ascending."""
+        return tuple(sorted({EVENTS_BY_NAME[name].mode
+                             for name in self.events}))
+
+    def metric_events(self, name: str) -> FrozenSet[str]:
+        """Catalog events a metric depends on, metric refs expanded."""
+        defs = {m.name: m for m in self.metrics}
+        seen: set = set()
+        events: set = set()
+
+        def walk(metric: str) -> None:
+            if metric in seen:
+                return
+            seen.add(metric)
+            expr = defs[metric].expr
+            for _, suffix in expr.core_refs:
+                events.update(f"BGP_PU{c}_{suffix}"
+                              for c in range(CORES_PER_NODE))
+            for ref in expr.names:
+                if ref in defs:
+                    walk(ref)
+                elif ref in EVENTS_BY_NAME:
+                    events.add(ref)
+
+        walk(defs[name].name if name in defs else self.metric(name).name)
+        return frozenset(events)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, named: Mapping[str, float],
+                 params: Optional[Mapping[str, float]] = None,
+                 only: Optional[Iterable[str]] = None,
+                 coerce: bool = True) -> Dict[str, float]:
+        """Evaluate metrics against a named counter snapshot.
+
+        ``named`` maps catalog event names to counts (missing events
+        read as 0, matching ``dict.get`` in the legacy formulas).
+        ``params`` overrides any name — most importantly ``cycles``,
+        which rate metrics divide by, so callers can evaluate over a
+        sample window instead of the run total.  ``only`` restricts
+        (and orders) the result keys; the default is every metric in
+        definition order.  ``coerce=False`` skips int/float coercion
+        so extrapolated (fractional) counter estimates survive.
+
+        A metric whose evaluation divides by zero is reported as
+        ``0.0`` — the guard every hand-written formula had.
+        """
+        params = dict(params) if params else {}
+        defs = {m.name: m for m in self.metrics}
+        cache: Dict[str, float] = {}
+        in_progress: set = set()
+
+        def event_value(name: str) -> float:
+            value = named.get(name, 0)
+            if isinstance(value, float):
+                return value
+            return int(value)
+
+        def core_values(suffix: str) -> List[float]:
+            return [event_value(f"BGP_PU{c}_{suffix}")
+                    for c in range(CORES_PER_NODE)]
+
+        def lookup(name: str) -> float:
+            if name in params:
+                return params[name]
+            if name in cache:
+                return cache[name]
+            if name in defs:
+                return metric_value(name)
+            if name in self.constants:
+                return self.constants[name]
+            if name == "clock_hz":
+                return CORE_CLOCK_HZ
+            if name == "cores":
+                return CORES_PER_NODE
+            if name in EVENTS_BY_NAME:
+                return event_value(name)
+            raise GroupError(f"group {self.name!r}: formula references "
+                             f"unknown name {name!r}")
+
+        def metric_value(name: str) -> float:
+            if name in in_progress:  # pragma: no cover - load-gated
+                raise GroupError(f"group {self.name!r}: metric cycle "
+                                 f"through {name!r}")
+            in_progress.add(name)
+            mdef = defs[name]
+            try:
+                value = mdef.expr.evaluate(lookup, core_values)
+            except ZeroDivisionError:
+                value = 0.0
+            finally:
+                in_progress.discard(name)
+            if coerce:
+                if mdef.type == "int":
+                    value = int(value)
+                elif mdef.type == "float":
+                    value = float(value)
+            cache[name] = value
+            return value
+
+        wanted = tuple(only) if only is not None else self.metric_names()
+        out: Dict[str, float] = {}
+        for name in wanted:
+            if name not in defs:
+                raise KeyError(f"group {self.name!r} has no metric "
+                               f"{name!r}")
+            out[name] = lookup(name)
+        return out
+
+
+# ----------------------------------------------------------------------
+# document parsing + validation
+# ----------------------------------------------------------------------
+
+def _require(cond: bool, source: str, msg: str) -> None:
+    if not cond:
+        raise GroupError(f"{source}: {msg}")
+
+
+def _group_from_dict(data: Mapping, source: str) -> PerformanceGroup:
+    _require(isinstance(data, Mapping), source,
+             "group document must be a table/object")
+    name = data.get("name")
+    _require(isinstance(name, str) and name.isidentifier(), source,
+             f"'name' must be an identifier string, got {name!r}")
+    description = data.get("description", "")
+    _require(isinstance(description, str), source,
+             "'description' must be a string")
+
+    events = data.get("events")
+    _require(isinstance(events, (list, tuple)) and events, source,
+             "'events' must be a non-empty array of event names")
+    seen_events: set = set()
+    for ev in events:
+        _require(isinstance(ev, str), source,
+                 f"event names must be strings, got {ev!r}")
+        _require(ev in EVENTS_BY_NAME, source,
+                 f"unknown event {ev!r} (not in the BG/P catalog)")
+        _require(ev not in seen_events, source,
+                 f"duplicate event {ev!r}")
+        seen_events.add(ev)
+
+    constants = data.get("constants", {})
+    _require(isinstance(constants, Mapping), source,
+             "'constants' must be a table of numbers")
+    for cname, cval in constants.items():
+        _require(isinstance(cname, str) and cname.isidentifier(), source,
+                 f"constant name {cname!r} must be an identifier")
+        _require(isinstance(cval, (int, float))
+                 and not isinstance(cval, bool), source,
+                 f"constant {cname!r} must be a number, got {cval!r}")
+        _require(cname not in EVENTS_BY_NAME, source,
+                 f"constant {cname!r} shadows a catalog event")
+        _require(cname not in AMBIENT_PARAMS, source,
+                 f"constant {cname!r} shadows an ambient parameter")
+
+    raw_metrics = data.get("metrics")
+    _require(isinstance(raw_metrics, (list, tuple)) and raw_metrics,
+             source, "'metrics' must be a non-empty array of tables")
+
+    metric_names: set = set()
+    metrics: List[MetricDef] = []
+    for raw in raw_metrics:
+        _require(isinstance(raw, Mapping), source,
+                 "each metric must be a table")
+        mname = raw.get("name")
+        _require(isinstance(mname, str) and mname.isidentifier(), source,
+                 f"metric name must be an identifier, got {mname!r}")
+        where = f"{source}: metric {mname!r}"
+        _require(mname not in metric_names, source,
+                 f"duplicate metric {mname!r}")
+        _require(mname not in EVENTS_BY_NAME, where,
+                 "shadows a catalog event")
+        _require(mname not in constants, where, "shadows a constant")
+        _require(mname not in AMBIENT_PARAMS, where,
+                 "shadows an ambient parameter")
+        formula = raw.get("formula")
+        try:
+            expr = compile_expr(formula)
+        except ExpressionError as exc:
+            raise GroupError(f"{where}: {exc}") from None
+        for ref in expr.names:
+            _require(ref in metric_names or ref in constants
+                     or ref in AMBIENT_PARAMS or ref in EVENTS_BY_NAME,
+                     where,
+                     f"formula references {ref!r}, which is not a "
+                     "catalog event, constant, ambient parameter, or "
+                     "previously defined metric")
+        for _, suffix in expr.core_refs:
+            for core in range(CORES_PER_NODE):
+                _require(f"BGP_PU{core}_{suffix}" in EVENTS_BY_NAME,
+                         where,
+                         f"{suffix!r} is not a per-core event suffix")
+        mtype = raw.get("type", "auto")
+        _require(mtype in _METRIC_TYPES, where,
+                 f"'type' must be one of {_METRIC_TYPES}, got {mtype!r}")
+        unit = raw.get("unit", "")
+        mdesc = raw.get("description", "")
+        _require(isinstance(unit, str) and isinstance(mdesc, str), where,
+                 "'unit' and 'description' must be strings")
+        timeline = raw.get("timeline", False)
+        track = raw.get("track", False)
+        _require(isinstance(timeline, bool) and isinstance(track, bool),
+                 where, "'timeline' and 'track' must be booleans")
+        metrics.append(MetricDef(name=mname, formula=formula, expr=expr,
+                                 unit=unit, description=mdesc,
+                                 type=mtype, timeline=timeline,
+                                 track=track))
+        metric_names.add(mname)
+
+    return PerformanceGroup(name=name, description=description,
+                            events=tuple(events),
+                            constants=dict(constants),
+                            metrics=tuple(metrics), source=source)
+
+
+# ----------------------------------------------------------------------
+# TOML parsing (tomllib when available, subset fallback for 3.10)
+# ----------------------------------------------------------------------
+
+def _parse_toml(text: str, source: str) -> Mapping:
+    if tomllib is not None:
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise GroupError(f"{source}: invalid TOML: {exc}") from None
+    return _parse_toml_subset(text, source)
+
+
+def _strip_comment(line: str, source: str) -> str:
+    """Drop a ``#`` comment, respecting double-quoted strings."""
+    out = []
+    in_str = False
+    for ch in line:
+        if ch == '"':
+            in_str = not in_str
+        elif ch == "#" and not in_str:
+            break
+        out.append(ch)
+    if in_str:
+        raise GroupError(f"{source}: unterminated string in "
+                         f"{line.strip()!r}")
+    return "".join(out)
+
+
+def _split_commas(text: str) -> List[str]:
+    """Split on commas outside double-quoted strings."""
+    parts: List[str] = []
+    buf: List[str] = []
+    in_str = False
+    for ch in text:
+        if ch == '"':
+            in_str = not in_str
+        if ch == "," and not in_str:
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    parts.append("".join(buf))
+    return parts
+
+
+def _parse_scalar(token: str, source: str):
+    token = token.strip()
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    number = token.replace("_", "")
+    try:
+        return int(number, 0)
+    except ValueError:
+        pass
+    try:
+        return float(number)
+    except ValueError:
+        raise GroupError(f"{source}: cannot parse value {token!r} "
+                         "(fallback TOML parser: strings, numbers, "
+                         "booleans, arrays only)") from None
+
+
+def _parse_toml_subset(text: str, source: str) -> Mapping:
+    """Minimal TOML-subset parser for Pythons without :mod:`tomllib`.
+
+    Understands exactly the subset the group documents use: comments,
+    ``[table]``, ``[[array-of-tables]]``, ``key = scalar`` and
+    ``key = [ ... ]`` arrays (possibly spanning lines).  Equivalence
+    with :mod:`tomllib` is pinned by tests on new Pythons.
+    """
+    root: Dict = {}
+    current: Dict = root
+    pending = ""
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line, source).strip()
+        if pending:
+            line = pending + " " + line
+            pending = ""
+        if not line:
+            continue
+        if line.startswith("[["):
+            _require(line.endswith("]]"), source,
+                     f"malformed table header {line!r}")
+            key = line[2:-2].strip()
+            current = {}
+            root.setdefault(key, []).append(current)
+            continue
+        if line.startswith("["):
+            _require(line.endswith("]"), source,
+                     f"malformed table header {line!r}")
+            key = line[1:-1].strip()
+            current = root.setdefault(key, {})
+            continue
+        _require("=" in line, source, f"expected key = value, got "
+                 f"{line!r}")
+        key, _, value = line.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if value.startswith("[") and not value.endswith("]"):
+            pending = line  # multiline array: keep accumulating
+            continue
+        if value.startswith("["):
+            items = _split_commas(value[1:-1])
+            current[key] = [_parse_scalar(item, source)
+                            for item in items if item.strip()]
+        else:
+            current[key] = _parse_scalar(value, source)
+    _require(not pending, source, "unterminated array")
+    return root
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_index: Optional[Dict[str, str]] = None
+_cache: Dict[str, PerformanceGroup] = {}
+_active: Optional[str] = None
+
+
+def load_group_file(path: str) -> PerformanceGroup:
+    """Load + validate one group document (bypassing the registry)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if path.endswith(".json"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise GroupError(f"{path}: invalid JSON: {exc}") from None
+    else:
+        data = _parse_toml(text, path)
+    group = _group_from_dict(data, path)
+    stem = os.path.splitext(os.path.basename(path))[0]
+    _require(group.name == stem, path,
+             f"group name {group.name!r} must match the file stem "
+             f"{stem!r}")
+    return group
+
+
+def _scan_dirs() -> Dict[str, str]:
+    index: Dict[str, str] = {}
+    dirs = [BUILTIN_DIR]
+    env = os.environ.get(GROUPS_PATH_ENV, "")
+    dirs.extend(d for d in env.split(os.pathsep) if d)
+    for directory in dirs:
+        if not os.path.isdir(directory):
+            continue
+        for entry in sorted(os.listdir(directory)):
+            if not entry.endswith((".toml", ".json")):
+                continue
+            stem = os.path.splitext(entry)[0]
+            path = os.path.join(directory, entry)
+            if directory != BUILTIN_DIR and stem == "BGP_BASE":
+                raise GroupError(
+                    f"{path}: BGP_BASE is the byte-identity baseline "
+                    "and cannot be overridden; pick another name")
+            index[stem] = path  # later (user) dirs override builtins
+    return index
+
+
+def _get_index() -> Dict[str, str]:
+    global _index
+    if _index is None:
+        _index = _scan_dirs()
+    return _index
+
+
+def available_groups() -> Dict[str, str]:
+    """Mapping of group name -> source path, sorted by name."""
+    return dict(sorted(_get_index().items()))
+
+
+def get_group(name: str) -> PerformanceGroup:
+    """Load a group by name (cached)."""
+    if name in _cache:
+        return _cache[name]
+    index = _get_index()
+    if name not in index:
+        known = ", ".join(sorted(index)) or "<none>"
+        raise KeyError(f"unknown performance group {name!r}; "
+                       f"available: {known}")
+    group = load_group_file(index[name])
+    _cache[name] = group
+    return group
+
+
+def set_active_group(name: str) -> PerformanceGroup:
+    """Select the group timeline/report/CLI evaluation resolves to."""
+    global _active
+    group = get_group(name)
+    _active = name
+    return group
+
+
+def get_active_group() -> PerformanceGroup:
+    """The selected group, defaulting to ``BGP_BASE``."""
+    return get_group(_active if _active is not None else "BGP_BASE")
+
+
+def clear_group_cache() -> None:
+    """Forget loaded groups + the directory index (tests, env changes)."""
+    global _index, _active
+    _index = None
+    _active = None
+    _cache.clear()

@@ -1,0 +1,184 @@
+"""The performance-group formula language: safe arithmetic, no eval.
+
+LIKWID performance groups express derived metrics as small arithmetic
+formulas over counter names (``flops / seconds / 1e6``).  Group files
+are *data* — possibly user-supplied via ``REPRO_GROUPS_PATH`` — so the
+formulas must never reach ``eval()``.  This module compiles a formula
+to a Python AST once, validates every node against a whitelist, and
+interprets the tree with caller-supplied name resolution.
+
+Whitelisted surface:
+
+* binary ``+ - * /`` and unary ``+ -``
+* int/float literals (``128``, ``1e6``, ``100_000``)
+* bare names, resolved by the evaluator (counter events, constants,
+  earlier metrics, or evaluation-time parameters)
+* calls to the per-core folds ``sum_cores(SUFFIX)`` /
+  ``max_cores(SUFFIX)`` / ``min_cores(SUFFIX)``, whose single argument
+  is a per-core event *suffix* (``CYCLES`` -> ``BGP_PU0_CYCLES`` ..
+  ``BGP_PU3_CYCLES``)
+
+Everything else — attributes, subscripts, comparisons, power (a DoS
+vector: ``9**9**9``), lambdas, comprehensions, keywords — is rejected
+at compile time with the offending fragment named.  Division by zero
+is *not* an expression error: the group evaluator catches it per
+metric and reports the metric as ``0.0``, matching the guard clauses
+the hand-written :mod:`repro.core.metrics` formulas always had.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, List, Sequence, Tuple
+
+#: the only callables a formula may invoke, all per-core folds
+CORE_FOLDS = ("sum_cores", "max_cores", "min_cores")
+
+
+class ExpressionError(ValueError):
+    """A formula failed the whitelist or referenced the unresolvable."""
+
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+}
+
+_UNARYOPS = {
+    ast.UAdd: lambda a: +a,
+    ast.USub: lambda a: -a,
+}
+
+
+class CompiledExpr:
+    """One validated formula, ready to interpret.
+
+    Attributes
+    ----------
+    text:
+        The source formula.
+    names:
+        Bare names the formula references (events, constants, metrics,
+        parameters) — the validation surface for group loading.
+    core_refs:
+        ``(fold, suffix)`` pairs used via the per-core fold calls.
+    """
+
+    __slots__ = ("text", "names", "core_refs", "_tree")
+
+    def __init__(self, text: str, tree: ast.expression,
+                 names: Tuple[str, ...],
+                 core_refs: Tuple[Tuple[str, str], ...]):
+        self.text = text
+        self._tree = tree
+        self.names = names
+        self.core_refs = core_refs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledExpr({self.text!r})"
+
+    # ------------------------------------------------------------------
+    def evaluate(self, lookup: Callable[[str], float],
+                 core_values: Callable[[str], Sequence[float]]) -> float:
+        """Interpret the tree.
+
+        ``lookup(name)`` resolves a bare name to a number;
+        ``core_values(suffix)`` returns the four per-core values a fold
+        call reduces.  ``ZeroDivisionError`` propagates to the caller
+        (the group evaluator turns it into a ``0.0`` metric).
+        """
+        def ev(node: ast.AST):
+            if isinstance(node, ast.Constant):
+                return node.value
+            if isinstance(node, ast.Name):
+                return lookup(node.id)
+            if isinstance(node, ast.BinOp):
+                return _BINOPS[type(node.op)](ev(node.left),
+                                              ev(node.right))
+            if isinstance(node, ast.UnaryOp):
+                return _UNARYOPS[type(node.op)](ev(node.operand))
+            if isinstance(node, ast.Call):
+                values = core_values(node.args[0].id)
+                fold = node.func.id
+                if fold == "sum_cores":
+                    return sum(values)
+                if fold == "max_cores":
+                    return max(values)
+                return min(values)
+            raise ExpressionError(  # pragma: no cover - compile-gated
+                f"unexpected node {type(node).__name__}")
+
+        return ev(self._tree)
+
+
+def _reject(text: str, node: ast.AST, why: str) -> ExpressionError:
+    fragment = ast.get_source_segment(text, node) or type(node).__name__
+    return ExpressionError(f"in formula {text!r}: {why} ({fragment!r})")
+
+
+def compile_expr(text: str) -> CompiledExpr:
+    """Parse + whitelist-validate one formula."""
+    if not isinstance(text, str) or not text.strip():
+        raise ExpressionError(f"formula must be a non-empty string, "
+                              f"got {text!r}")
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError as exc:
+        raise ExpressionError(
+            f"in formula {text!r}: {exc.msg}") from None
+
+    names: List[str] = []
+    core_refs: List[Tuple[str, str]] = []
+
+    def check(node: ast.AST) -> None:
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, (int, float)) \
+                    or isinstance(node.value, bool):
+                raise _reject(text, node,
+                              "only numeric literals are allowed")
+            return
+        if isinstance(node, ast.Name):
+            if node.id in CORE_FOLDS:
+                raise _reject(text, node,
+                              "core folds must be called, not referenced")
+            if node.id not in names:
+                names.append(node.id)
+            return
+        if isinstance(node, ast.BinOp):
+            if type(node.op) not in _BINOPS:
+                raise _reject(text, node,
+                              f"operator {type(node.op).__name__} is "
+                              "not whitelisted")
+            check(node.left)
+            check(node.right)
+            return
+        if isinstance(node, ast.UnaryOp):
+            if type(node.op) not in _UNARYOPS:
+                raise _reject(text, node,
+                              f"operator {type(node.op).__name__} is "
+                              "not whitelisted")
+            check(node.operand)
+            return
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name) \
+                    or node.func.id not in CORE_FOLDS:
+                raise _reject(text, node,
+                              "only the per-core folds "
+                              f"{CORE_FOLDS} may be called")
+            if node.keywords or len(node.args) != 1 \
+                    or not isinstance(node.args[0], ast.Name):
+                raise _reject(text, node,
+                              "core folds take exactly one bare event "
+                              "suffix")
+            ref = (node.func.id, node.args[0].id)
+            if ref not in core_refs:
+                core_refs.append(ref)
+            return
+        raise _reject(text, node,
+                      f"{type(node).__name__} is not allowed in "
+                      "group formulas")
+
+    check(tree.body)
+    return CompiledExpr(text, tree.body, tuple(names), tuple(core_refs))

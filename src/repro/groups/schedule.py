@@ -1,0 +1,124 @@
+"""Running over-subscribed performance groups via multiplexing.
+
+A group whose event list spans more counter modes than ``Job.run``
+samples at once (``BGP_MEM`` needs modes 0+1+2) cannot be observed
+whole: the UPC exposes one mode at a time.  :class:`GroupSchedule`
+drives the group through :mod:`repro.core.multiplex` — by default the
+ScALPEL-style :class:`~repro.core.multiplex.AdaptiveMultiplexedSession`
+— and reports every derived metric together with the honesty labels
+multiplexed data needs:
+
+``coverage``
+    the smallest fraction of the run any of the metric's input events
+    was actually observed for (1.0 for metrics with no counter inputs,
+    < 1.0 whenever the group rotated through several modes);
+``confidence``
+    coverage further discounted by how *stationary* the input events'
+    slice rates were (``1 / (1 + cv)``), since ``observed / coverage``
+    extrapolation is exact only for stationary workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.counters import UPCUnit
+from ..core.events import EVENTS_BY_NAME
+from ..core.multiplex import (
+    AdaptiveMultiplexedSession,
+    MultiplexedSession,
+)
+from . import PerformanceGroup
+
+__all__ = ["GroupSchedule"]
+
+
+class GroupSchedule:
+    """Observe one performance group through mode multiplexing."""
+
+    def __init__(self, group: PerformanceGroup, upc: UPCUnit,
+                 slice_cycles: int = 100_000, adaptive: bool = True,
+                 modes: Optional[Sequence[int]] = None, **session_kwargs):
+        self.group = group
+        self.modes = tuple(modes) if modes is not None else group.modes()
+        cls = AdaptiveMultiplexedSession if adaptive \
+            else MultiplexedSession
+        self.session = cls(upc, modes=self.modes,
+                           slice_cycles=slice_cycles, **session_kwargs)
+
+    # ------------------------------------------------------------------
+    # driving (delegates to the multiplexed session)
+    # ------------------------------------------------------------------
+    def advance(self, cycles: int) -> None:
+        self.session.advance(cycles)
+
+    def finish(self) -> None:
+        self.session.finish()
+
+    @property
+    def elapsed_cycles(self) -> int:
+        return self.session.elapsed_cycles
+
+    # ------------------------------------------------------------------
+    # per-metric honesty labels
+    # ------------------------------------------------------------------
+    def metric_coverage(self, name: str) -> float:
+        """Worst-case observed fraction over the metric's input events."""
+        events = self.group.metric_events(name)
+        if not events:
+            return 1.0
+        coverage = 1.0
+        for ev_name in events:
+            mode = EVENTS_BY_NAME[ev_name].mode
+            if mode not in self.session.observations:
+                return 0.0
+            coverage = min(coverage, self.session.coverage(mode))
+        return coverage
+
+    def metric_confidence(self, name: str) -> float:
+        """Worst-case extrapolation confidence over the input events."""
+        events = self.group.metric_events(name)
+        if not events:
+            return 1.0
+        return min(self.session.confidence(ev) for ev in events)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def results(self) -> Dict[str, Dict[str, float]]:
+        """Every group metric from the extrapolated counts.
+
+        Values are computed with ``coerce=False`` so fractional
+        extrapolated counts survive, and with the session's true
+        elapsed cycles as the rate base (the one quantity multiplexing
+        measures exactly).
+        """
+        estimates = self.session.estimates()
+        values = self.group.evaluate(
+            estimates,
+            params={"cycles": float(self.session.elapsed_cycles)},
+            coerce=False)
+        return {
+            name: {
+                "value": values[name],
+                "coverage": self.metric_coverage(name),
+                "confidence": self.metric_confidence(name),
+            }
+            for name in self.group.metric_names()
+        }
+
+    def report_lines(self) -> List[str]:
+        """Human-readable results + per-mode coverage (CLI output)."""
+        lines = [f"group {self.group.name} over modes "
+                 f"{list(self.modes)} "
+                 f"({self.session.elapsed_cycles} cycles, "
+                 f"{self.session.rotations} rotations)"]
+        lines.extend(self.session.mode_report())
+        for name, res in self.results().items():
+            mdef = self.group.metric(name)
+            unit = f" {mdef.unit}" if mdef.unit else ""
+            lines.append(
+                f"  {name:>24} = {res['value']:>16.4f}{unit}"
+                f"  (coverage {res['coverage']:6.1%},"
+                f" confidence {res['confidence']:6.1%})")
+        return lines

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..compiler import O5
-from ..isa.latency import CORE_CLOCK_HZ, PEAK_NODE_GFLOPS
+from ..groups import get_group
+from ..isa.latency import PEAK_NODE_GFLOPS
 from ..npb import BENCHMARK_ORDER
 from .report import ExperimentResult, format_table
 from .sweep import run_vnm
@@ -53,23 +54,18 @@ def characterize(code: str, problem_class: str = "C"
     def core_sum(suffix: str) -> int:
         return sum(totals.get(f"BGP_PU{c}_{suffix}", 0) for c in range(4))
 
-    instructions = core_sum("INST_COMPLETED")
-    cycles = sum(totals.get(f"BGP_PU{c}_CYCLES", 0) for c in range(4))
-    fp = sum(core_sum(s) for s in (
-        "FPU_ADDSUB", "FPU_MUL", "FPU_DIV", "FPU_FMA",
-        "FPU_SIMD_ADDSUB", "FPU_SIMD_MUL", "FPU_SIMD_DIV",
-        "FPU_SIMD_FMA"))
-    simd = sum(core_sum(s) for s in (
-        "FPU_SIMD_ADDSUB", "FPU_SIMD_MUL", "FPU_SIMD_DIV",
-        "FPU_SIMD_FMA"))
+    # every derived formula evaluates through the BGP_BASE group; only
+    # characterization-specific shares are composed here
+    vals = get_group("BGP_BASE").evaluate(totals, only=(
+        "instructions", "total_cycles", "cpi", "fp_instructions",
+        "simd_instructions", "l1d_read_miss_rate",
+        "l2_prefetch_coverage", "l3_miss_rate"))
+    instructions = vals["instructions"]
+    cycles = vals["total_cycles"]
+    fp = vals["fp_instructions"]
+    simd = vals["simd_instructions"]
     memory_ops = sum(core_sum(s) for s in ("LOAD", "STORE", "QUADLOAD",
                                            "QUADSTORE"))
-    l1_hits = core_sum("L1D_READ_HIT")
-    l1_misses = core_sum("L1D_READ_MISS")
-    l2_reads = core_sum("L2_READ")
-    l2_pf = core_sum("L2_PREFETCH_HIT")
-    l3_reads = totals.get("BGP_L3_READ", 0)
-    l3_misses = totals.get("BGP_L3_MISS", 0)
 
     mflops = job.mflops_per_node()
     stall = core_sum("STALL_MEM")
@@ -90,14 +86,13 @@ def characterize(code: str, problem_class: str = "C"
         benchmark=code,
         mflops_per_node=mflops,
         peak_fraction=mflops / (PEAK_NODE_GFLOPS * 1e3),
-        cpi=(cycles / instructions) if instructions else 0.0,
+        cpi=vals["cpi"],
         fp_share=fp / instructions if instructions else 0.0,
         simd_share=simd / fp if fp else 0.0,
         memory_share=memory_ops / instructions if instructions else 0.0,
-        l1_miss_rate=(l1_misses / (l1_hits + l1_misses)
-                      if (l1_hits + l1_misses) else 0.0),
-        l2_prefetch_coverage=l2_pf / l2_reads if l2_reads else 0.0,
-        l3_miss_ratio=l3_misses / l3_reads if l3_reads else 0.0,
+        l1_miss_rate=vals["l1d_read_miss_rate"],
+        l2_prefetch_coverage=vals["l2_prefetch_coverage"],
+        l3_miss_ratio=vals["l3_miss_rate"],
         ddr_gb_per_sec=(ddr_bytes / elapsed_seconds / 1e9
                         if elapsed_seconds else 0.0),
         comm_fraction=comm_fraction,

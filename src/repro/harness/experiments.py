@@ -384,6 +384,50 @@ def smoke_telemetry(benchmarks: Sequence[str] = ("MG", "EP")
     return result
 
 
+def smoke_markers(benchmarks: Sequence[str] = ("MG", "EP")
+                  ) -> ExperimentResult:
+    """Marker-region smoke run: per-region derived metrics.
+
+    Wraps each kernel run in a named :func:`repro.markers.region`
+    (all inside one enclosing ``smoke`` region), then reports every
+    region's accumulated counter view through the active performance
+    group.  With an artifact directory the region records also land in
+    ``timeline.jsonl``, so the run report gains a "Marker regions"
+    table and the trace gains ``region:<path>`` tracks.
+    """
+    from .. import markers
+    from ..groups import get_active_group
+    from .sweep import run_small_vnm
+
+    result = ExperimentResult(
+        experiment_id="smoke-markers",
+        title="Marker-region smoke run (class A, 16 ranks, 4 nodes "
+              "VNM)",
+        headers=["region", "visits", "jobs", "Mcycles", "MFLOPS",
+                 "DDR MB/s"],
+    )
+    with markers.region("smoke"):
+        for code in benchmarks:
+            with markers.region(code.lower()):
+                run_small_vnm(code, O5())
+    group = get_active_group()
+    for rec in markers.export_records(group=group):
+        derived = rec["derived"]
+        result.rows.append([
+            rec["region"],
+            rec["visits"],
+            rec["jobs"],
+            round(rec["cycles"] / 1e6, 2),
+            round(derived.get("mflops", 0.0), 1),
+            round(derived.get("ddr_bytes_per_sec", 0.0) / 1e6, 1),
+        ])
+    result.notes.append(
+        f"derived metrics via performance group {group.name}; region "
+        "records are appended to timeline.jsonl when an artifact "
+        "directory is given")
+    return result
+
+
 # ---------------------------------------------------------------------------
 # everything
 # ---------------------------------------------------------------------------

@@ -1,0 +1,159 @@
+"""Named, nestable measurement regions (the LIKWID marker API).
+
+LIKWID lets application code bracket interesting phases with
+``LIKWID_MARKER_START("solve")`` and get per-region derived metrics
+without changing how the counters run.  This is that, for the
+simulated machine::
+
+    from repro import markers
+
+    with markers.region("solve"):
+        job_a.run()
+        with markers.region("exchange"):   # nests: solve/exchange
+            job_b.run()
+
+Regions accumulate the counter activity of every :meth:`Job.run
+<repro.runtime.machine.Job>` that completes while they are open
+(nesting is *inclusive*: an inner region's jobs also credit the outer
+one).  The runtime credits each finished job's scaled named totals and
+elapsed cycles to every open region, so a region's books are exactly
+the machine-wide counter view of the jobs it covered; derived metrics
+come from evaluating a performance group (:mod:`repro.groups`) over
+those totals.  Each visit also opens a ``region:<path>`` marker span
+on the installed tracer, which shows up as its own track in the
+exported Chrome/Perfetto trace.
+
+The disabled path is one module-global truthiness check per job
+(:func:`active`), gated in ``Job.run`` exactly like the tracer's and
+sampler's no-op paths; the overhead budget is pinned by
+``benchmarks/test_overhead_obs.py``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from .obs import tracer as _tracer
+
+__all__ = ["Region", "active", "append_jsonl", "clear", "credit",
+           "current", "export_records", "recorded", "region"]
+
+
+@dataclass
+class Region:
+    """Accumulated counter view of one named region path."""
+
+    path: str
+    name: str
+    depth: int
+    visits: int = 0
+    jobs: int = 0
+    cycles: int = 0
+    events: Dict[str, int] = field(default_factory=dict)
+
+
+_stack: List[Region] = []
+_regions: Dict[str, Region] = {}
+
+
+def active() -> bool:
+    """True while at least one region is open (the Job.run gate)."""
+    return bool(_stack)
+
+
+def current() -> Optional[Region]:
+    """The innermost open region, or None."""
+    return _stack[-1] if _stack else None
+
+
+@contextmanager
+def region(name: str, **attrs) -> Iterator[Region]:
+    """Open a named region; nest freely (paths join with ``/``)."""
+    if not isinstance(name, str) or not name or "/" in name:
+        raise ValueError(f"region name must be a non-empty string "
+                         f"without '/', got {name!r}")
+    parent = _stack[-1].path if _stack else ""
+    path = f"{parent}/{name}" if parent else name
+    reg = _regions.get(path)
+    if reg is None:
+        reg = Region(path=path, name=name, depth=len(_stack))
+        _regions[path] = reg
+    reg.visits += 1
+    span = _tracer.marker(f"region:{path}", kind="region", **attrs)
+    _stack.append(reg)
+    try:
+        yield reg
+    finally:
+        _stack.pop()
+        span.end()
+
+
+def credit(named_totals: Mapping[str, int], cycles: int) -> None:
+    """Fold one finished job's counters into every open region.
+
+    Called by the runtime at the end of ``Job.run``; ``named_totals``
+    is the job's machine-wide scaled named counter view and ``cycles``
+    its elapsed cycles.
+    """
+    for reg in _stack:
+        reg.jobs += 1
+        reg.cycles += int(cycles)
+        events = reg.events
+        for name, value in named_totals.items():
+            events[name] = events.get(name, 0) + int(value)
+
+
+def recorded() -> List[Region]:
+    """All regions seen since the last :func:`clear`, in entry order."""
+    return list(_regions.values())
+
+
+def clear() -> None:
+    """Forget all regions (between runs, in tests)."""
+    _stack.clear()
+    _regions.clear()
+
+
+def export_records(group=None) -> List[dict]:
+    """Region records for timeline.jsonl / report building.
+
+    Each record carries the raw books plus the derived metrics the
+    given performance group flags for timelines (``group`` defaults to
+    the active group).
+    """
+    if group is None:
+        from .groups import get_active_group
+        group = get_active_group()
+    metrics = group.timeline_metrics()
+    records = []
+    for reg in recorded():
+        derived = group.evaluate(reg.events,
+                                 params={"cycles": reg.cycles},
+                                 only=metrics)
+        records.append({
+            "kind": "region",
+            "region": reg.path,
+            "depth": reg.depth,
+            "visits": reg.visits,
+            "jobs": reg.jobs,
+            "cycles": reg.cycles,
+            "group": group.name,
+            "derived": derived,
+        })
+    return records
+
+
+def append_jsonl(path: str, group=None) -> str:
+    """Append region records to a ``timeline.jsonl`` file.
+
+    Creates the file when no sampled timelines were exported, so a
+    markers-only run still produces a report-readable artifact.
+    """
+    import json
+
+    with open(path, "a") as fh:
+        for rec in export_records(group=group):
+            fh.write(json.dumps(rec) + "\n")
+    return path

@@ -153,10 +153,17 @@ def _job_section(job: Dict[str, Any],
     alerts = [r for r in records
               if r.get("kind") == "alert" and r.get("job") == label]
 
-    # derived-metric envelope over the sampled intervals
+    # derived-metric envelope over the sampled intervals; the metric
+    # set follows whatever performance group produced the samples
+    # (first-seen key order, i.e. the group's declaration order)
     derived = [r["derived"] for r in samples if "derived" in r]
+    metric_names: List[str] = []
+    for row in derived:
+        for metric in row:
+            if metric not in metric_names:
+                metric_names.append(metric)
     derived_summary: Dict[str, Dict[str, float]] = {}
-    for metric in ("mflops", "ddr_bytes_per_sec", "simd_fraction"):
+    for metric in metric_names:
         values = [d[metric] for d in derived if metric in d]
         if values:
             derived_summary[metric] = {
@@ -241,6 +248,17 @@ def build_report(artifacts: Dict[str, Any]) -> Dict[str, Any]:
         "source": artifacts.get("directory"),
         "jobs": [_job_section(job, records) for job in jobs],
     }
+    regions = [r for r in records if r.get("kind") == "region"]
+    if regions:
+        report["regions"] = [
+            {"region": r.get("region"),
+             "depth": r.get("depth", 0),
+             "visits": r.get("visits", 0),
+             "jobs": r.get("jobs", 0),
+             "cycles": r.get("cycles", 0),
+             "group": r.get("group"),
+             "derived": r.get("derived", {})}
+            for r in regions]
     if artifacts.get("spans"):
         summary: Dict[str, Dict[str, float]] = {}
         for span in artifacts["spans"]:
@@ -347,6 +365,26 @@ def render_markdown(report: Dict[str, Any]) -> str:
         if not (job["alerts"] or job["anomalies"]):
             lines += ["No threshold interrupts or anomaly flags fired.",
                       ""]
+    if report.get("regions"):
+        regions = report["regions"]
+        lines += ["## Marker regions", ""]
+        metric_names: List[str] = []
+        for reg in regions:
+            for metric in reg.get("derived", {}):
+                if metric not in metric_names:
+                    metric_names.append(metric)
+        rows = []
+        for reg in regions:
+            derived = reg.get("derived", {})
+            rows.append(
+                ["&nbsp;&nbsp;" * reg.get("depth", 0) + reg["region"],
+                 reg["visits"], reg["jobs"], _fmt(reg["cycles"], 0)]
+                + [(_fmt(derived[m], 3) if m in derived else "-")
+                   for m in metric_names])
+        lines.append(_md_table(
+            ["region", "visits", "jobs", "cycles"] + metric_names,
+            rows))
+        lines.append("")
     if report.get("ras"):
         ras = report["ras"]
         lines += ["## RAS events (injected faults)", ""]

@@ -47,37 +47,21 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.counters import UPCUnit
 from ..core.events import EVENTS_BY_NAME, event_by_name
-from ..core.metrics import (
-    fp_profile,
-    total_flops,
-    ddr_traffic_bytes,
-)
 from ..core.monitor import CounterMonitor
-from ..isa.latency import CORE_CLOCK_HZ
 
 
 def _default_sample_events() -> Tuple[str, ...]:
     """The default sampled event set, spanning counter modes 0 and 2.
 
-    Mode 0 (even node cards): the per-core cycle, instruction, FPU and
-    L1-miss counters every derived metric needs; mode 2 (odd cards): the
-    L3/DDR counters behind the bandwidth timeline.  Each node samples
-    only the subset belonging to its own counter mode — all a real
-    monitoring thread could observe.
+    This is the event list of the built-in ``BGP_BASE`` performance
+    group: mode 0 (even node cards) carries the per-core cycle,
+    instruction, FPU and L1-miss counters every derived metric needs;
+    mode 2 (odd cards) the L3/DDR counters behind the bandwidth
+    timeline.  Each node samples only the subset belonging to its own
+    counter mode — all a real monitoring thread could observe.
     """
-    fpu = ("FPU_ADDSUB", "FPU_MUL", "FPU_DIV", "FPU_FMA",
-           "FPU_SIMD_ADDSUB", "FPU_SIMD_MUL", "FPU_SIMD_DIV",
-           "FPU_SIMD_FMA")
-    names: List[str] = []
-    for core in range(4):
-        names.append(f"BGP_PU{core}_CYCLES")
-        names.append(f"BGP_PU{core}_INST_COMPLETED")
-        names.append(f"BGP_PU{core}_L1D_READ_MISS")
-        names.extend(f"BGP_PU{core}_{suffix}" for suffix in fpu)
-    names.extend(("BGP_L3_READ", "BGP_L3_MISS",
-                  "BGP_DDR0_READ", "BGP_DDR0_WRITE",
-                  "BGP_DDR1_READ", "BGP_DDR1_WRITE"))
-    return tuple(names)
+    from ..groups import get_group
+    return tuple(get_group("BGP_BASE").events)
 
 
 DEFAULT_SAMPLE_EVENTS: Tuple[str, ...] = _default_sample_events()
@@ -401,13 +385,19 @@ class JobTimeline:
         return [(cycle, merged[cycle]) for cycle in sorted(merged)]
 
     def derived_timeline(self) -> List[Dict[str, float]]:
-        """MFLOPS / DDR bandwidth / FP-mix per sample interval.
+        """The active group's timeline metrics per sample interval.
 
-        Reuses :mod:`repro.core.metrics` on the per-sample machine-wide
-        deltas; rates use the interval width (the metric helpers' own
-        cycle counters only see one interval's worth of CYCLES deltas,
-        which is not the interval width under SMP modes).
+        Evaluates the timeline-flagged formulas of the active
+        performance group (:func:`repro.groups.get_active_group`;
+        ``mflops``/``ddr_bytes_per_sec``/``simd_fraction`` under the
+        default ``BGP_BASE``) on the per-sample machine-wide deltas.
+        Rates use the interval width as the cycle base (the sampled
+        CYCLES deltas only see one interval's worth per core, which is
+        not the interval width under SMP modes).
         """
+        from ..groups import get_active_group
+        group = get_active_group()
+        metrics = group.timeline_metrics()
         rows: List[Dict[str, float]] = []
         prev_cycle = 0
         for cycle, named in self.merged_deltas():
@@ -415,17 +405,10 @@ class JobTimeline:
             prev_cycle = cycle
             if width <= 0:
                 continue
-            seconds = width / CORE_CLOCK_HZ
-            flops = total_flops(named)
-            profile = fp_profile(named)
-            simd_share = sum(v for k, v in profile.items()
-                             if k.startswith("SIMD"))
-            rows.append({
-                "cycle": cycle,
-                "mflops": flops / seconds / 1e6,
-                "ddr_bytes_per_sec": ddr_traffic_bytes(named) / seconds,
-                "simd_fraction": simd_share,
-            })
+            row: Dict[str, float] = {"cycle": cycle}
+            row.update(group.evaluate(named, params={"cycles": width},
+                                      only=metrics))
+            rows.append(row)
         return rows
 
     def imbalance(self) -> Dict[str, Dict[str, float]]:
@@ -551,10 +534,12 @@ class JobTimeline:
                              + self.wall_dur_us * cycle / span_cycles, 3)
             return round(cycle / 1000.0, 3)
 
+        from ..groups import get_active_group
+        track_metrics = get_active_group().track_metrics()
         events: List[Dict[str, Any]] = []
         for row in self.derived_timeline():
             cycle = int(row["cycle"])
-            for metric in ("mflops", "ddr_bytes_per_sec"):
+            for metric in track_metrics:
                 events.append({
                     "name": f"{self.label} {metric}",
                     "cat": "timeline", "ph": "C",

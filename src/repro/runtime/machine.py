@@ -23,7 +23,6 @@ from typing import Dict, List, Optional, Tuple
 
 from ..compiler.ir import Program
 from ..core.metrics import (
-    L3_LINE_BYTES,
     fp_profile,
     total_flops,
 )
@@ -42,6 +41,7 @@ from ..net import (
     TorusTopology,
 )
 from ..node import ComputeNode, LoopWork, OperatingMode, ProcessWork
+from .. import markers as _markers
 from ..obs import metrics as _metrics
 from ..obs import timeline as _timeline
 from ..obs.tracer import span as _span
@@ -180,15 +180,22 @@ class JobResult:
     def elapsed_seconds(self) -> float:
         return self.elapsed_cycles / CORE_CLOCK_HZ
 
+    def _group_metric(self, metric: str) -> float:
+        """Evaluate one BGP_BASE metric over the machine-wide totals,
+        with the job's elapsed cycles as the rate base."""
+        from ..groups import get_group
+        return get_group("BGP_BASE").evaluate(
+            self.scaled_totals(),
+            params={"cycles": self.elapsed_cycles},
+            only=(metric,))[metric]
+
     def total_flops(self) -> float:
         """Machine-wide floating point operations."""
         return total_flops(self.scaled_totals())
 
     def mflops_total(self) -> float:
         """Machine-wide MFLOPS over the elapsed time."""
-        if self.elapsed_cycles == 0:
-            return 0.0
-        return self.total_flops() / self.elapsed_seconds / 1e6
+        return self._group_metric("mflops")
 
     def mflops_per_node(self) -> float:
         """Delivered MFLOPS per chip (the Figure 14 metric)."""
@@ -196,14 +203,10 @@ class JobResult:
 
     def ddr_traffic_lines(self) -> float:
         """Machine-wide L3<->DDR line transfers (Figures 11/12)."""
-        totals = self.scaled_totals()
-        return (totals.get("BGP_DDR0_READ", 0)
-                + totals.get("BGP_DDR0_WRITE", 0)
-                + totals.get("BGP_DDR1_READ", 0)
-                + totals.get("BGP_DDR1_WRITE", 0))
+        return self._group_metric("ddr_lines")
 
     def ddr_traffic_bytes(self) -> float:
-        return self.ddr_traffic_lines() * L3_LINE_BYTES
+        return self._group_metric("ddr_bytes")
 
     def ddr_traffic_lines_per_node(self) -> float:
         return self.ddr_traffic_lines() / self.placement.num_nodes
@@ -213,13 +216,10 @@ class JobResult:
         return fp_profile(self.scaled_totals())
 
     def simd_instructions(self) -> int:
-        totals = self.scaled_totals()
-        return sum(v for k, v in totals.items() if "FPU_SIMD" in k)
+        return self._group_metric("simd_instructions")
 
     def l3_miss_ratio(self) -> float:
-        totals = self.scaled_totals()
-        reads = totals.get("BGP_L3_READ", 0)
-        return totals.get("BGP_L3_MISS", 0) / reads if reads else 0.0
+        return self._group_metric("l3_miss_rate")
 
     # ------------------------------------------------------------------
     # JSON round trip (the checkpoint/--resume layer)
@@ -575,7 +575,7 @@ class Job:
                 # CLI-installed sampling: register with the recorder so
                 # --trace/--json runs export timeline.jsonl at exit
                 _timeline.record(timeline)
-        return JobResult(
+        result = JobResult(
             program_name=self.program.name,
             flags_label=self.program.flags_label,
             mode=machine.mode,
@@ -588,6 +588,11 @@ class Job:
             dump_io_cycles=dump_io,
             timeline=timeline,
         )
+        if _markers.active():
+            # credit this job's machine-wide counter view to every open
+            # marker region; the disabled path is this one bool check
+            _markers.credit(result.scaled_totals(), elapsed)
+        return result
 
 
 def run_job(program: Program, num_ranks: int, num_nodes: int,

@@ -98,6 +98,7 @@ def test_cli_report_requires_timeline(tmp_path):
     ("quickstart.py", "interface overhead"),
     ("custom_counters.py", "events monitored in one run: 512"),
     ("online_monitoring.py", "threshold interrupts fired"),
+    ("marker_regions.py", "derived metrics (BGP_BASE group)"),
 ])
 def test_example_runs(script, needle):
     proc = subprocess.run(

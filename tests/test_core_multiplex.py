@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import MultiplexedSession, UPCUnit
+from repro.core import AdaptiveMultiplexedSession, MultiplexedSession, UPCUnit
 
 
 @pytest.fixture
@@ -119,3 +119,179 @@ def test_mode_report_lines(upc):
     lines = s.mode_report()
     assert len(lines) == 2
     assert "mode 0" in lines[0]
+
+
+# ---------------------------------------------------------------------------
+# fold bookkeeping (the _rotate/finish dedup)
+# ---------------------------------------------------------------------------
+def test_finish_then_advance_cannot_double_count(upc):
+    """Regression: finish() folds the open partial slice and re-arms
+    the snapshot, so pulses folded once must never be folded again by
+    a later advance()/finish()."""
+    s = MultiplexedSession(upc, modes=(0,), slice_cycles=1000)
+    upc.pulse("BGP_PU0_FPU_FMA", 100)
+    s.advance(500)
+    s.finish()
+    assert s.raw_counts()["BGP_PU0_FPU_FMA"] == 100
+    assert s.observations[0].observed_cycles == 500
+    # keep running after the early finish
+    upc.pulse("BGP_PU0_FPU_FMA", 50)
+    s.advance(500)
+    s.finish()
+    # 150 total -- a double-fold of the first partial slice would
+    # report 250 and 1500 observed cycles
+    assert s.raw_counts()["BGP_PU0_FPU_FMA"] == 150
+    assert s.observations[0].observed_cycles == 1000
+    assert s.elapsed_cycles == 1000
+    assert s.coverage(0) == pytest.approx(1.0)
+
+
+def test_finish_is_idempotent(upc):
+    s = MultiplexedSession(upc, modes=(0, 2), slice_cycles=1000)
+    upc.pulse("BGP_PU0_FPU_FMA", 10)
+    s.advance(400)
+    s.finish()
+    s.finish()
+    assert s.raw_counts()["BGP_PU0_FPU_FMA"] == 10
+    assert s.observations[0].slices == 1
+
+
+def test_rotate_and_finish_share_slice_accounting(upc):
+    """A full slice (via rotate) and a partial one (via finish) land
+    in the same books."""
+    s = MultiplexedSession(upc, modes=(0, 2), slice_cycles=1000)
+    s.advance(2500)   # slices: mode0 full, mode2 full, mode0 partial
+    s.finish()
+    assert s.observations[0].slices == 2
+    assert s.observations[0].observed_cycles == 1500
+    assert s.observations[2].slices == 1
+    assert s.observations[2].observed_cycles == 1000
+
+
+# ---------------------------------------------------------------------------
+# stationarity / confidence annotations
+# ---------------------------------------------------------------------------
+def test_stationary_event_has_high_confidence(upc):
+    s = MultiplexedSession(upc, modes=(0, 2), slice_cycles=10_000)
+    drive_uniform(s, upc, total_cycles=1_000_000, rate=0.01,
+                  chunk=5_000)
+    assert s.stationarity("BGP_PU0_FPU_FMA") > 0.9
+    # confidence = coverage (~0.5) x stationarity (~1.0)
+    assert 0.4 < s.confidence("BGP_PU0_FPU_FMA") <= 0.55
+
+
+def test_bursty_event_has_low_stationarity(upc):
+    s = MultiplexedSession(upc, modes=(0,), slice_cycles=1000)
+    for burst in range(20):
+        upc.pulse("BGP_PU0_FPU_FMA", 1000 if burst % 2 == 0 else 0)
+        s.advance(1000)
+    s.finish()
+    assert s.stationarity("BGP_PU0_FPU_FMA") < 0.6
+    # an event in an unobserved mode has no confidence at all
+    assert s.confidence("BGP_L3_MISS") == 0.0
+
+
+# ---------------------------------------------------------------------------
+# adaptive slice scheduling
+# ---------------------------------------------------------------------------
+def test_adaptive_shrinks_on_rate_jump(upc):
+    s = AdaptiveMultiplexedSession(upc, modes=(0,), slice_cycles=1000,
+                                   min_slice_cycles=125,
+                                   quiet_slices=1000)
+    # two same-rate slices arm the comparison, then a burst
+    s.advance(1000)
+    s.advance(1000)
+    upc.pulse("BGP_PU0_FPU_FMA", 800)
+    s.advance(1000)
+    assert s.shrinks >= 1
+    assert s.slice_cycles < 1000
+    assert s.slice_cycles >= 125
+
+
+def test_adaptive_grows_back_in_quiet_phases(upc):
+    s = AdaptiveMultiplexedSession(upc, modes=(0,), slice_cycles=1000,
+                                   max_slice_cycles=4000,
+                                   quiet_slices=2)
+    for _ in range(12):
+        upc.pulse("BGP_PU0_FPU_FMA", 10)  # steady trickle
+        s.advance(1000)
+    assert s.grows >= 1
+    assert s.slice_cycles == 4000  # clamped at the ceiling
+
+
+def test_adaptive_validation(upc):
+    with pytest.raises(ValueError):
+        AdaptiveMultiplexedSession(upc, jump_factor=1.0)
+    with pytest.raises(ValueError):
+        AdaptiveMultiplexedSession(upc, quiet_slices=0)
+    with pytest.raises(ValueError):
+        AdaptiveMultiplexedSession(upc, slice_cycles=100,
+                                   min_slice_cycles=200)
+
+
+# ---------------------------------------------------------------------------
+# the bias experiment: fixed vs adaptive vs space-division truth
+# ---------------------------------------------------------------------------
+BURST_PERIOD = 8_000      # cycles between burst starts
+BURST_LEN = 1_000         # burst duration
+BURST_RATE = 0.5          # FMA pulses per cycle inside a burst
+STEADY_L3_RATE = 0.01     # stationary mode-2 load
+
+
+def drive_bursty(session, upc, total_cycles, chunk=100):
+    """Phase-structured workload: periodic FMA bursts + steady L3
+    misses.  Returns the space-division ground truth (every pulse
+    counted, because injection is exact)."""
+    truth_fma = 0
+    t = 0
+    while t < total_cycles:
+        step = min(chunk, total_cycles - t)
+        if (t % BURST_PERIOD) < BURST_LEN:
+            pulses = int(step * BURST_RATE)
+            upc.pulse("BGP_PU0_FPU_FMA", pulses)
+            truth_fma += pulses
+        upc.pulse("BGP_L3_MISS", int(step * STEADY_L3_RATE))
+        session.advance(step)
+        t += step
+    session.finish()
+    return truth_fma
+
+
+def test_fixed_slices_misestimate_bursty_events(upc):
+    """slice=3000 over modes (0,2) resonates with the 8000-cycle burst
+    period: mode 0's windows repeat every lcm(6000, 8000) = 24000
+    cycles and catch 2 of every 3 bursts while covering half the run,
+    so extrapolation provably overestimates by ~4/3."""
+    s = MultiplexedSession(upc, modes=(0, 2), slice_cycles=3000)
+    truth = drive_bursty(s, upc, total_cycles=480_000)
+    est = s.estimates()["BGP_PU0_FPU_FMA"]
+    rel_err = abs(est - truth) / truth
+    assert rel_err > 0.25  # the fixed schedule is badly biased
+    # the bias is the predicted (2/3)/(1/2) = 4/3 overestimate
+    assert est == pytest.approx(truth * 4 / 3, rel=0.05)
+    # and the stationarity annotation flags the burstiness
+    assert s.stationarity("BGP_PU0_FPU_FMA") < 0.7
+    assert s.stationarity("BGP_L3_MISS") > 0.9
+
+
+def test_adaptive_slices_tighten_the_bursty_estimate(upc):
+    """Same workload, same starting slice: rate jumps between
+    consecutive mode-0 slices shrink the slice length, the mode-0
+    windows stop aliasing the burst period, and the extrapolation
+    lands far closer to the space-division ground truth."""
+    fixed = MultiplexedSession(upc, modes=(0, 2), slice_cycles=3000)
+    truth = drive_bursty(fixed, upc, total_cycles=480_000)
+    fixed_err = abs(fixed.estimates()["BGP_PU0_FPU_FMA"]
+                    - truth) / truth
+
+    upc2 = UPCUnit(node_id=1)
+    adaptive = AdaptiveMultiplexedSession(upc2, modes=(0, 2),
+                                          slice_cycles=3000)
+    truth2 = drive_bursty(adaptive, upc2, total_cycles=480_000)
+    assert truth2 == truth  # same deterministic workload
+    adaptive_err = abs(adaptive.estimates()["BGP_PU0_FPU_FMA"]
+                       - truth) / truth
+
+    assert adaptive.shrinks >= 1          # it reacted to the bursts
+    assert adaptive_err < fixed_err / 2   # and tightened the error
+    assert adaptive_err < 0.10

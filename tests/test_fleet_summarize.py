@@ -76,6 +76,88 @@ def test_summarize_fleet_full_pass(corpus, tmp_path):
     assert on_disk == report
 
 
+def test_group_rows_match_legacy_formulas(corpus, tmp_path):
+    """cpi/flops/l3/ddr rows through BGP_BASE == the old arithmetic.
+
+    The summarizers now evaluate the BGP_BASE performance group; this
+    pins their rows, byte for byte after the shared rounding, to the
+    closed-form formulas they computed before the group engine
+    existed.
+    """
+    from repro.core.metrics import FLOP_WEIGHTS, L3_LINE_BYTES
+    from repro.isa import CORE_CLOCK_HZ
+
+    summary = summarize_fleet(
+        str(corpus), datasource=f"jsonl:{tmp_path / 'ds'}", jobs=1,
+        write_report=False)
+
+    def load(run):
+        totals, elapsed = {}, 0.0
+        for line in open(str(corpus / run / "timeline.jsonl")):
+            rec = json.loads(line)
+            if rec.get("kind") == "job":
+                elapsed += float(rec.get("elapsed_cycles", 0.0) or 0.0)
+            elif rec.get("kind") == "node":
+                for name, value in (rec.get("totals") or {}).items():
+                    totals[name] = totals.get(name, 0) + int(value)
+        return totals, elapsed
+
+    def rnd(value):
+        return round(value, 6)
+
+    checked = 0
+    for row in summary.tables["cpi"]:
+        if row["status"] != "ok":
+            continue
+        totals, _ = load(row["run"])
+        cycles = sum(v for k, v in totals.items()
+                     if k.startswith("BGP_PU") and k.endswith("_CYCLES"))
+        instructions = sum(v for k, v in totals.items()
+                           if k.endswith("_INST_COMPLETED"))
+        assert row["cycles"] == cycles
+        assert row["instructions"] == instructions
+        assert row["cpi"] == rnd(cycles / instructions)
+        checked += 1
+    for row in summary.tables["flops"]:
+        if row["status"] != "ok":
+            continue
+        totals, elapsed = load(row["run"])
+        flops = float(sum(
+            weight * sum(totals.get(f"BGP_PU{c}_{sfx}", 0)
+                         for c in range(4))
+            for sfx, weight in FLOP_WEIGHTS.items()))
+        seconds = elapsed / CORE_CLOCK_HZ
+        assert row["flops"] == rnd(flops)
+        assert row["flops_per_cycle"] == rnd(flops / elapsed)
+        assert row["mflops"] == rnd(flops / seconds / 1e6)
+        checked += 1
+    for row in summary.tables["l3"]:
+        if row["status"] != "ok":
+            continue
+        totals, _ = load(row["run"])
+        reads, misses = totals["BGP_L3_READ"], totals.get(
+            "BGP_L3_MISS", 0)
+        assert row["l3_reads"] == reads
+        assert row["l3_misses"] == misses
+        assert row["l3_hit_rate"] == rnd(1.0 - misses / reads)
+        checked += 1
+    for row in summary.tables["ddr"]:
+        if row["status"] != "ok":
+            continue
+        totals, elapsed = load(row["run"])
+        lines = sum(totals.get(f"BGP_DDR{p}_{d}", 0)
+                    for p in (0, 1) for d in ("READ", "WRITE"))
+        ddr_bytes = lines * L3_LINE_BYTES
+        seconds = elapsed / CORE_CLOCK_HZ
+        assert row["ddr_bytes"] == ddr_bytes
+        assert row["ddr_bytes_per_sec"] == rnd(ddr_bytes / seconds)
+        assert row["ddr_bytes_per_kcycle"] == rnd(
+            ddr_bytes / elapsed * 1e3)
+        checked += 1
+    # interrupted run skips everywhere; mode-(0,3) runs skip l3/ddr
+    assert checked >= 2 * (RUNS - 1) + 2 * (RUNS - 3)
+
+
 def test_backends_agree_byte_for_byte(corpus, tmp_path):
     jsonl_dir = str(tmp_path / "jsonl")
     sqlite_path = str(tmp_path / "fleet.sqlite")

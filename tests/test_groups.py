@@ -1,0 +1,430 @@
+"""Performance groups: expression safety, loading, evaluation parity.
+
+The groups engine is the single source of truth for every derived
+metric in the repo, so these tests pin (1) the AST whitelist that
+keeps formula documents from being an eval() hole, (2) the TOML
+fallback parser against the stdlib one, (3) the built-in ``BGP_BASE``
+group against the legacy closed-form arithmetic it replaced, and (4)
+the registry semantics (user directories, overrides, the active
+group) plus multiplexed scheduling of over-subscribed groups.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.counters import UPCUnit
+from repro.core.events import EVENTS_BY_NAME
+from repro.groups import (
+    GROUPS_PATH_ENV,
+    GroupError,
+    available_groups,
+    clear_group_cache,
+    get_active_group,
+    get_group,
+    load_group_file,
+    set_active_group,
+)
+from repro.groups.expr import ExpressionError, compile_expr
+from repro.groups.schedule import GroupSchedule
+from repro.isa import CORE_CLOCK_HZ
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Each test sees a pristine registry (and leaves one behind)."""
+    clear_group_cache()
+    yield
+    clear_group_cache()
+
+
+# ---------------------------------------------------------------------------
+# expression engine: the whitelist IS the security boundary
+# ---------------------------------------------------------------------------
+def test_compile_collects_names_and_core_refs():
+    expr = compile_expr("sum_cores(FPU_FMA) * 2 + flops / clock_hz")
+    assert set(expr.names) == {"flops", "clock_hz"}
+    assert set(expr.core_refs) == {("sum_cores", "FPU_FMA")}
+
+
+def test_arithmetic_evaluates_like_python():
+    expr = compile_expr("(a + b) * 2 - -c / 4")
+    value = expr.evaluate({"a": 3, "b": 5, "c": 2}.__getitem__,
+                          lambda suffix: [])
+    assert value == (3 + 5) * 2 - -2 / 4
+
+
+def test_core_folds_evaluate_over_per_core_values():
+    values = {"CYCLES": [10, 40, 30, 20]}
+    lookup = {}.__getitem__
+    assert compile_expr("max_cores(CYCLES)").evaluate(
+        lookup, values.__getitem__) == 40
+    assert compile_expr("sum_cores(CYCLES)").evaluate(
+        lookup, values.__getitem__) == 100
+    assert compile_expr("min_cores(CYCLES)").evaluate(
+        lookup, values.__getitem__) == 10
+
+
+@pytest.mark.parametrize("bad", [
+    "9 ** 9 ** 9",                     # Pow: the classic parse-bomb
+    "__import__('os').system('id')",   # arbitrary call
+    "().__class__",                    # attribute access
+    "(lambda: 0)()",                   # lambda
+    "[1, 2][0]",                       # subscript / containers
+    "a if b else c",                   # conditional
+    "a < b",                           # comparison
+    "a; b",                            # statements
+    "f'{a}'",                          # f-string
+    "sum_cores(1 + 1)",                # fold over non-name
+    "sum_cores(CYCLES, CYCLES)",       # fold arity
+    "other(CYCLES)",                   # non-whitelisted call
+    "sum_cores",                       # bare fold reference
+    "True + 1",                        # bools are not numbers here
+    "",                                # empty document field
+])
+def test_whitelist_rejects_everything_else(bad):
+    with pytest.raises(ExpressionError):
+        compile_expr(bad)
+
+
+def test_no_eval_anywhere_in_the_groups_engine(monkeypatch):
+    """The engine interprets ASTs; it must never reach for eval()."""
+    import builtins
+
+    def boom(*args, **kwargs):  # pragma: no cover - must not fire
+        raise AssertionError("group formulas reached eval()/exec()")
+
+    monkeypatch.setattr(builtins, "eval", boom)
+    monkeypatch.setattr(builtins, "exec", boom)
+    expr = compile_expr("a / b * 1e6")
+    value = expr.evaluate({"a": 4.0, "b": 2.0}.__getitem__,
+                          lambda suffix: [])
+    assert value == 2e6
+    assert get_group("BGP_BASE").evaluate(
+        {"BGP_PU0_FPU_FMA": 5})["fp_fma"] == 5
+
+
+# ---------------------------------------------------------------------------
+# TOML loading: fallback parser == stdlib tomllib on shipped documents
+# ---------------------------------------------------------------------------
+def test_fallback_toml_parser_matches_tomllib_on_builtins():
+    tomllib = pytest.importorskip("tomllib")
+    from repro.groups import BUILTIN_DIR, _parse_toml_subset
+
+    for name in sorted(os.listdir(BUILTIN_DIR)):
+        if not name.endswith(".toml"):
+            continue
+        text = open(os.path.join(BUILTIN_DIR, name)).read()
+        assert _parse_toml_subset(text, name) == tomllib.loads(text), \
+            f"fallback parser diverges from tomllib on {name}"
+
+
+def test_builtin_groups_all_load_and_validate():
+    index = available_groups()
+    assert {"BGP_BASE", "BGP_MEM", "BGP_NET"} <= set(index)
+    for name in index:
+        group = get_group(name)
+        assert group.name == name
+        assert group.events and group.metrics
+        for event in group.events:
+            assert event in EVENTS_BY_NAME
+
+
+def test_bgp_base_events_are_the_default_sample_set():
+    from repro.obs.timeline import DEFAULT_SAMPLE_EVENTS
+
+    assert tuple(get_group("BGP_BASE").events) == DEFAULT_SAMPLE_EVENTS
+
+
+def test_bgp_mem_is_over_subscribed():
+    assert len(get_group("BGP_MEM").modes()) == 3
+
+
+# ---------------------------------------------------------------------------
+# BGP_BASE == the legacy closed-form arithmetic, bit for bit
+# ---------------------------------------------------------------------------
+def _random_snapshot(rng):
+    named = {}
+    for core in range(4):
+        named[f"BGP_PU{core}_CYCLES"] = int(rng.integers(1, 10**7))
+        named[f"BGP_PU{core}_INST_COMPLETED"] = int(
+            rng.integers(1, 10**7))
+        named[f"BGP_PU{core}_L1D_READ_MISS"] = int(
+            rng.integers(0, 10**5))
+        for suffix in ("ADDSUB", "MUL", "DIV", "FMA", "SIMD_ADDSUB",
+                       "SIMD_MUL", "SIMD_DIV", "SIMD_FMA"):
+            named[f"BGP_PU{core}_FPU_{suffix}"] = int(
+                rng.integers(0, 10**6))
+    for shared in ("BGP_L3_READ", "BGP_L3_MISS", "BGP_DDR0_READ",
+                   "BGP_DDR0_WRITE", "BGP_DDR1_READ",
+                   "BGP_DDR1_WRITE"):
+        named[shared] = int(rng.integers(0, 10**6))
+    return named
+
+
+def test_bgp_base_equals_legacy_formulas_bit_for_bit():
+    """The oracle: group evaluation vs the pre-groups arithmetic."""
+    import numpy as np
+
+    from repro.core.metrics import FLOP_WEIGHTS, L3_LINE_BYTES
+
+    rng = np.random.default_rng(2008)
+    group = get_group("BGP_BASE")
+    for _ in range(50):
+        named = _random_snapshot(rng)
+        vals = group.evaluate(named)
+
+        flops = float(sum(
+            weight * sum(named[f"BGP_PU{c}_{sfx}"]
+                         for c in range(4))
+            for sfx, weight in FLOP_WEIGHTS.items()))
+        elapsed = max(named[f"BGP_PU{c}_CYCLES"] for c in range(4))
+        seconds = elapsed / CORE_CLOCK_HZ
+        assert vals["flops"] == flops
+        assert vals["elapsed_cycles"] == elapsed
+        assert vals["mflops"] == flops / seconds / 1e6
+        assert vals["cpi"] == (
+            sum(named[f"BGP_PU{c}_CYCLES"] for c in range(4))
+            / sum(named[f"BGP_PU{c}_INST_COMPLETED"]
+                  for c in range(4)))
+        lines = (named["BGP_DDR0_READ"] + named["BGP_DDR0_WRITE"]
+                 + named["BGP_DDR1_READ"] + named["BGP_DDR1_WRITE"])
+        assert vals["ddr_lines"] == lines
+        assert vals["ddr_bytes"] == lines * L3_LINE_BYTES
+        assert vals["ddr_bytes_per_sec"] == \
+            lines * L3_LINE_BYTES / seconds
+        assert vals["l3_miss_rate"] == \
+            named["BGP_L3_MISS"] / named["BGP_L3_READ"]
+
+
+def test_metrics_wrappers_delegate_to_the_group():
+    """core.metrics answers must be the group's answers."""
+    import numpy as np
+
+    from repro.core import metrics
+
+    rng = np.random.default_rng(7)
+    named = _random_snapshot(rng)
+    group = get_group("BGP_BASE")
+    vals = group.evaluate(named)
+    assert metrics.total_flops(named) == vals["flops"]
+    assert metrics.mflops(named) == vals["mflops"]
+    assert metrics.elapsed_cycles(named) == vals["elapsed_cycles"]
+    assert metrics.ddr_traffic_bytes(named) == vals["ddr_bytes"]
+    assert metrics.l3_miss_rate(named) == vals["l3_miss_rate"]
+    assert metrics.simd_instructions(named) == \
+        vals["simd_instructions"]
+
+
+def test_division_by_zero_reports_zero_not_crash():
+    vals = get_group("BGP_BASE").evaluate({})
+    assert vals["cpi"] == 0.0
+    assert vals["l3_miss_rate"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# registry: user directories, overrides, the active group
+# ---------------------------------------------------------------------------
+def _custom_toml(name="MY_GROUP"):
+    return f'name = "{name}"\n' + CUSTOM_TOML
+
+
+CUSTOM_TOML = """\
+description = "Two-metric test group"
+events = ["BGP_PU0_CYCLES", "BGP_PU1_CYCLES", "BGP_PU2_CYCLES",
+          "BGP_PU3_CYCLES"]
+
+[[metrics]]
+name = "elapsed_cycles"
+formula = "max_cores(CYCLES)"
+type = "int"
+
+[[metrics]]
+name = "seconds"
+formula = "elapsed_cycles / clock_hz"
+unit = "s"
+"""
+
+
+def test_user_directory_via_env(tmp_path, monkeypatch):
+    (tmp_path / "MY_GROUP.toml").write_text(_custom_toml())
+    monkeypatch.setenv(GROUPS_PATH_ENV, str(tmp_path))
+    clear_group_cache()
+    assert "MY_GROUP" in available_groups()
+    group = get_group("MY_GROUP")
+    named = {f"BGP_PU{c}_CYCLES": 100 * (c + 1) for c in range(4)}
+    vals = group.evaluate(named)
+    assert vals["elapsed_cycles"] == 400
+    assert vals["seconds"] == 400 / CORE_CLOCK_HZ
+
+
+def test_json_documents_load_too(tmp_path):
+    doc = {
+        "name": "JSON_GROUP",
+        "description": "JSON flavor",
+        "events": ["BGP_PU0_CYCLES", "BGP_PU1_CYCLES",
+                   "BGP_PU2_CYCLES", "BGP_PU3_CYCLES"],
+        "metrics": [{"name": "elapsed_cycles",
+                     "formula": "max_cores(CYCLES)", "type": "int"}],
+    }
+    path = tmp_path / "JSON_GROUP.json"
+    path.write_text(json.dumps(doc))
+    group = load_group_file(str(path))
+    assert group.name == "JSON_GROUP"
+    assert group.evaluate({"BGP_PU0_CYCLES": 9})["elapsed_cycles"] == 9
+
+
+def test_bgp_base_cannot_be_shadowed(tmp_path, monkeypatch):
+    (tmp_path / "BGP_BASE.toml").write_text(
+        _custom_toml("BGP_BASE"))
+    monkeypatch.setenv(GROUPS_PATH_ENV, str(tmp_path))
+    clear_group_cache()
+    with pytest.raises(GroupError, match="BGP_BASE"):
+        available_groups()
+
+
+@pytest.mark.parametrize("mutation,match", [
+    (("events", '"BGP_PU0_CYCLES"', '"NO_SUCH_EVENT"'), "NO_SUCH"),
+    (("formula", '"max_cores(CYCLES)"', '"seconds * 2"'), "seconds"),
+    (("formula", '"max_cores(CYCLES)"', '"9 ** 9"'), "\\*\\*"),
+])
+def test_broken_documents_are_rejected_at_load(tmp_path, mutation,
+                                               match):
+    _, old, new = mutation
+    (tmp_path / "BAD.toml").write_text(
+        _custom_toml("BAD").replace(old, new, 1))
+    with pytest.raises(GroupError, match=match):
+        load_group_file(str(tmp_path / "BAD.toml"))
+
+
+def test_file_stem_must_match_group_name(tmp_path):
+    (tmp_path / "WRONG_STEM.toml").write_text(
+        _custom_toml("OTHER"))
+    with pytest.raises(GroupError, match="stem"):
+        load_group_file(str(tmp_path / "WRONG_STEM.toml"))
+
+
+def test_active_group_defaults_to_bgp_base_and_switches():
+    assert get_active_group().name == "BGP_BASE"
+    assert set_active_group("BGP_NET").name == "BGP_NET"
+    assert get_active_group().name == "BGP_NET"
+    with pytest.raises(KeyError, match="NOPE"):
+        set_active_group("NOPE")
+    clear_group_cache()
+    assert get_active_group().name == "BGP_BASE"
+
+
+# ---------------------------------------------------------------------------
+# multiplexed scheduling of over-subscribed groups
+# ---------------------------------------------------------------------------
+def test_group_schedule_reports_partial_coverage():
+    group = get_group("BGP_MEM")
+    schedule = GroupSchedule(group, UPCUnit(node_id=0),
+                             slice_cycles=1_000)
+    upc = schedule.session.upc
+    for _ in range(30):
+        for name in ("BGP_PU0_CYCLES", "BGP_PU0_L1D_READ_HIT",
+                     "BGP_PU0_L2_READ", "BGP_L3_READ"):
+            event = EVENTS_BY_NAME[name]
+            if upc.mode == event.mode:
+                upc.pulse(event, 100)
+        schedule.advance(500)
+    schedule.finish()
+    results = schedule.results()
+    assert set(results) == set(group.metric_names())
+    # three modes share the run: nothing can be fully observed
+    l1 = results["l1_hit_rate"]
+    assert 0.0 < l1["coverage"] < 1.0
+    assert 0.0 < l1["confidence"] <= l1["coverage"]
+    lines = schedule.report_lines()
+    assert any("l1_hit_rate" in line for line in lines)
+
+
+# ---------------------------------------------------------------------------
+# CLI round trip
+# ---------------------------------------------------------------------------
+def run_cli(*args):
+    import contextlib
+    import io
+
+    from repro.__main__ import main as cli_main
+
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = cli_main(list(args))
+    return code, buf.getvalue()
+
+
+def test_cli_groups_list_show_validate(tmp_path):
+    code, out = run_cli("groups", "list")
+    assert code == 0
+    for name in ("BGP_BASE", "BGP_MEM", "BGP_NET"):
+        assert name in out
+
+    code, out = run_cli("groups", "show", "BGP_BASE")
+    assert code == 0
+    assert "mflops" in out and "BGP_PU0_CYCLES" in out
+
+    code, out = run_cli("groups", "validate")
+    assert code == 0
+    assert out.count("ok  ") >= 3
+
+    good = tmp_path / "MY_GROUP.toml"
+    good.write_text(_custom_toml())
+    code, out = run_cli("groups", "validate", str(good))
+    assert code == 0 and "MY_GROUP" in out
+
+    bad = tmp_path / "BAD.toml"
+    bad.write_text(_custom_toml("BAD").replace(
+        "max_cores(CYCLES)", "eval(CYCLES)", 1))
+    code, out = run_cli("groups", "validate", str(bad))
+    assert code == 1
+    assert "FAIL" in out
+
+
+def test_cli_rejects_unknown_group():
+    with pytest.raises(SystemExit):
+        run_cli("smoke", "--group", "NO_SUCH_GROUP")
+
+
+# ---------------------------------------------------------------------------
+# acceptance: --group BGP_BASE is byte-identical to the default path
+# ---------------------------------------------------------------------------
+def _sampled_ep_run(out_dir, group_name=None):
+    from repro.compiler import O5
+    from repro.harness.sweep import run_small_vnm
+    from repro.obs import report as obs_report
+    from repro.obs import timeline as obs_timeline
+
+    clear_group_cache()
+    obs_timeline.clear_recorded()
+    if group_name is None:
+        obs_timeline.install_sampling(50_000)
+    else:
+        group = set_active_group(group_name)
+        obs_timeline.install_sampling(obs_timeline.TimelineConfig(
+            sample_every=50_000, events=tuple(group.events)))
+    try:
+        run_small_vnm("EP", O5(), problem_class="S")
+    finally:
+        obs_timeline.uninstall_sampling()
+    os.makedirs(out_dir, exist_ok=True)
+    obs_timeline.export_jsonl(os.path.join(out_dir, "timeline.jsonl"))
+    obs_timeline.clear_recorded()
+    return obs_report.write_report(out_dir)
+
+
+def test_group_bgp_base_is_byte_identical_to_default(tmp_path):
+    default_paths = _sampled_ep_run(str(tmp_path / "default"))
+    grouped_paths = _sampled_ep_run(str(tmp_path / "grouped"),
+                                    group_name="BGP_BASE")
+    a = open(os.path.join(str(tmp_path / "default"),
+                          "timeline.jsonl"), "rb").read()
+    b = open(os.path.join(str(tmp_path / "grouped"),
+                          "timeline.jsonl"), "rb").read()
+    assert a == b  # the sampled telemetry itself
+    ra = json.load(open(default_paths["json"]))
+    rb = json.load(open(grouped_paths["json"]))
+    ra.pop("source"), rb.pop("source")
+    assert ra == rb  # and everything derived from it

@@ -1,0 +1,154 @@
+"""Marker regions: nesting, crediting, and artifact export."""
+
+import json
+
+import pytest
+
+from repro import markers
+from repro.compiler import O5
+from repro.groups import clear_group_cache, get_group
+from repro.harness.sweep import run_small_vnm
+from repro.obs import report as obs_report
+from repro.obs import tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    markers.clear()
+    clear_group_cache()
+    yield
+    markers.clear()
+    clear_group_cache()
+
+
+def test_region_names_are_validated():
+    for bad in ("", "a/b", None, 7):
+        with pytest.raises(ValueError):
+            with markers.region(bad):
+                pass
+
+
+def test_active_and_current_track_the_stack():
+    assert not markers.active()
+    assert markers.current() is None
+    with markers.region("outer") as outer:
+        assert markers.active()
+        assert markers.current() is outer
+        with markers.region("inner") as inner:
+            assert markers.current() is inner
+            assert inner.path == "outer/inner"
+            assert inner.depth == 1
+        assert markers.current() is outer
+    assert not markers.active()
+
+
+def test_credit_folds_into_every_open_region():
+    with markers.region("outer"):
+        markers.credit({"BGP_PU0_CYCLES": 100}, 100)
+        with markers.region("inner"):
+            markers.credit({"BGP_PU0_CYCLES": 40, "BGP_L3_READ": 7}, 40)
+    regions = {r.path: r for r in markers.recorded()}
+    outer, inner = regions["outer"], regions["outer/inner"]
+    assert outer.jobs == 2 and inner.jobs == 1
+    assert outer.cycles == 140 and inner.cycles == 40
+    assert outer.events == {"BGP_PU0_CYCLES": 140, "BGP_L3_READ": 7}
+    assert inner.events == {"BGP_PU0_CYCLES": 40, "BGP_L3_READ": 7}
+
+
+def test_revisiting_a_region_accumulates():
+    for _ in range(3):
+        with markers.region("solve"):
+            markers.credit({"BGP_PU0_CYCLES": 10}, 10)
+    (solve,) = markers.recorded()
+    assert solve.visits == 3 and solve.jobs == 3
+    assert solve.cycles == 30
+
+
+def test_jobs_credit_open_regions_with_machine_totals():
+    """Job.run inside a region == the job's scaled machine-wide view."""
+    with tracer.recording() as recording:
+        with markers.region("outer"):
+            r1 = run_small_vnm("EP", O5(), problem_class="S")
+            with markers.region("ep2"):
+                r2 = run_small_vnm("EP", O5(), problem_class="S")
+    regions = {r.path: r for r in markers.recorded()}
+    outer, inner = regions["outer"], regions["outer/ep2"]
+    assert outer.jobs == 2 and inner.jobs == 1
+    assert outer.cycles == int(r1.elapsed_cycles) + int(
+        r2.elapsed_cycles)
+    expected = {name: int(value)
+                for name, value in r2.scaled_totals().items()}
+    assert inner.events == expected
+    # each visit opened a region:<path> span on the tracer
+    names = [s.name for s in recording.spans]
+    assert "region:outer" in names and "region:outer/ep2" in names
+
+
+def test_jobs_outside_any_region_cost_one_bool_check():
+    assert not markers.active()
+    run_small_vnm("EP", O5(), problem_class="S")
+    assert markers.recorded() == []
+
+
+def test_export_records_carry_group_derived_metrics():
+    with markers.region("solve"):
+        markers.credit(
+            {"BGP_PU0_CYCLES": 1000, "BGP_PU0_FPU_FMA": 100,
+             "BGP_DDR0_READ": 10}, 1000)
+    group = get_group("BGP_BASE")
+    (rec,) = markers.export_records(group=group)
+    assert rec["kind"] == "region"
+    assert rec["region"] == "solve"
+    assert rec["group"] == "BGP_BASE"
+    assert set(rec["derived"]) == set(group.timeline_metrics())
+    expected = group.evaluate(
+        {"BGP_PU0_CYCLES": 1000, "BGP_PU0_FPU_FMA": 100,
+         "BGP_DDR0_READ": 10},
+        params={"cycles": 1000}, only=group.timeline_metrics())
+    assert rec["derived"] == expected
+
+
+def test_append_jsonl_creates_the_artifact(tmp_path):
+    with markers.region("solve"):
+        markers.credit({"BGP_PU0_CYCLES": 10}, 10)
+    path = markers.append_jsonl(str(tmp_path / "timeline.jsonl"))
+    lines = [json.loads(line) for line in open(path)]
+    assert [r["region"] for r in lines] == ["solve"]
+
+
+def test_report_renders_marker_regions_section(tmp_path):
+    with markers.region("app"):
+        markers.credit({"BGP_PU0_CYCLES": 500,
+                        "BGP_PU0_FPU_FMA": 100}, 500)
+        with markers.region("solve"):
+            markers.credit({"BGP_PU0_CYCLES": 200}, 200)
+    markers.append_jsonl(str(tmp_path / "timeline.jsonl"))
+    artifacts = obs_report.load_artifacts(str(tmp_path))
+    report = obs_report.build_report(artifacts)
+    assert [r["region"] for r in report["regions"]] == ["app",
+                                                       "app/solve"]
+    assert report["regions"][0]["jobs"] == 2
+    markdown = obs_report.render_markdown(report)
+    assert "## Marker regions" in markdown
+    assert "app/solve" in markdown
+    assert "mflops" in markdown
+
+
+def test_clear_forgets_everything():
+    with markers.region("a"):
+        markers.credit({"BGP_PU0_CYCLES": 1}, 1)
+    assert markers.recorded()
+    markers.clear()
+    assert markers.recorded() == []
+    assert not markers.active()
+
+
+def test_smoke_markers_experiment_reports_per_region_rows():
+    from repro.harness import smoke_markers
+
+    result = smoke_markers(benchmarks=("EP",))
+    regions = [row[0] for row in result.rows]
+    assert regions == ["smoke", "smoke/ep"]
+    for row in result.rows:
+        mcycles, mflops = row[3], row[4]
+        assert mcycles > 0 and mflops > 0
