@@ -36,6 +36,15 @@ Usage::
     python -m repro fault-audit --faults seed=7,link_stall_rate=0.1
                                     # seeded fault injection (RAS log
                                     # exported as ras.jsonl)
+    python -m repro serve --port 8423 --cache .repro-cache -j 4
+                                    # always-on simulation service with
+                                    # the shared cross-request cache
+                                    # tier (POST /v1/sweep,
+                                    # /v1/experiment; GET /healthz,
+                                    # /stats)
+    python -m repro --shared-cache .repro-cache fig11
+                                    # offline run through the same
+                                    # shared tier a service uses
 
 Experiment tables go to stdout; progress/telemetry goes to the
 structured log on stderr (``-v`` for timings, ``-vv`` for debug,
@@ -55,15 +64,9 @@ from .harness import (
     ALL_EXPERIMENTS,
     ExperimentResult,
     attach_resume,
-    characterization_table,
     detach_resume,
-    ext_microbench,
-    ext_scaling,
-    fault_audit,
+    experiment_catalog,
     format_table,
-    model_validation,
-    smoke_markers,
-    smoke_telemetry,
 )
 from .obs import kv, metrics, setup_logging, tracer
 from .obs import timeline as obs_timeline
@@ -80,6 +83,8 @@ def main(argv=None) -> int:
         return _gen_corpus_main(argv[1:])
     if argv[:1] == ["groups"]:
         return _groups_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables/figures of Ganesan et al., "
@@ -135,6 +140,12 @@ def main(argv=None) -> int:
                              "and experiment into DIR (atomic JSON); "
                              "rerunning with the same DIR resumes an "
                              "interrupted run from the finished work")
+    parser.add_argument("--shared-cache", metavar="DIR", default=None,
+                        help="consult/fill the LRU-bounded shared "
+                             "cache tier in DIR (the directory a "
+                             "'python -m repro serve' instance uses); "
+                             "sweep points, comm phases and node "
+                             "classes are reused across processes")
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="enable seeded fault injection, e.g. "
                              "'seed=7,sram_flip_rate=0.1,"
@@ -158,6 +169,13 @@ def main(argv=None) -> int:
         parser.error("--resume cannot be combined with --faults: "
                      "fault-perturbed results must never seed a resume "
                      "checkpoint")
+    if args.shared_cache and args.faults:
+        parser.error("--shared-cache cannot be combined with --faults: "
+                     "fault-perturbed results must never seed the "
+                     "shared tier")
+    if args.shared_cache and args.resume:
+        parser.error("--shared-cache and --resume both attach a store "
+                     "to the sweep runners; pick one")
     injector = None
     if args.faults:
         try:
@@ -185,15 +203,11 @@ def main(argv=None) -> int:
         else:
             obs_timeline.install_sampling(args.sample_every)
 
-    catalog = dict(ALL_EXPERIMENTS)
+    catalog = experiment_catalog()
+    # the module-level tables stay authoritative so tests can
+    # monkeypatch repro.__main__.ALL_EXPERIMENTS with a fake catalog
     catalog.update(ABLATION_EXPERIMENTS)
-    catalog["characterize"] = characterization_table
-    catalog["validate"] = model_validation
-    catalog["ext-scaling"] = ext_scaling
-    catalog["ext-microbench"] = ext_microbench
-    catalog["smoke"] = smoke_telemetry
-    catalog["smoke-markers"] = smoke_markers
-    catalog["fault-audit"] = fault_audit
+    catalog.update(ALL_EXPERIMENTS)
 
     if args.list:
         for name, fn in catalog.items():
@@ -227,6 +241,16 @@ def main(argv=None) -> int:
             store = attach_resume(args.resume)
         except OSError as exc:
             parser.error(f"--resume {args.resume!r}: {exc}")
+    shared_tier = None
+    if args.shared_cache:
+        from . import checkpoint as checkpoint_mod
+        from .harness import attach_runner_store
+        try:
+            shared_tier = checkpoint_mod.install_shared_tier(
+                args.shared_cache)
+        except (OSError, ValueError) as exc:
+            parser.error(f"--shared-cache {args.shared_cache!r}: {exc}")
+        attach_runner_store(shared_tier)
 
     def emit(result) -> None:
         print(result.render())
@@ -275,6 +299,10 @@ def main(argv=None) -> int:
             obs_timeline.uninstall_sampling()
         if store is not None:
             detach_resume()
+        if shared_tier is not None:
+            from . import checkpoint as checkpoint_mod
+            detach_resume()
+            checkpoint_mod.uninstall_shared_tier()
         if injector is not None:
             faults_mod.uninstall()
 
@@ -322,6 +350,85 @@ def main(argv=None) -> int:
                            reason="no --trace/--json/--csv directory",
                            events=len(injector.events)))
     return 130 if interrupted else 0
+
+
+def _serve_main(argv) -> int:
+    """The ``python -m repro serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the always-on simulation service: an asyncio "
+                    "HTTP server accepting sweep/experiment requests "
+                    "(thin JSON protocol) backed by a persistent, "
+                    "LRU-bounded, content-addressed shared cache tier "
+                    "— repeated requests are answered from disk.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8423, metavar="N",
+                        help="listen port (default 8423; 0 picks an "
+                             "ephemeral port, printed at startup)")
+    parser.add_argument("--cache", metavar="DIR",
+                        default=".repro-cache",
+                        help="shared cache tier directory (default "
+                             ".repro-cache); safe to share with other "
+                             "service instances and --shared-cache "
+                             "offline runs")
+    parser.add_argument("--max-records", type=int, default=4096,
+                        metavar="N",
+                        help="LRU bound: max cached records "
+                             "(default 4096)")
+    parser.add_argument("--max-bytes", type=int,
+                        default=512 * 1024 * 1024, metavar="N",
+                        help="LRU bound: max cache directory size "
+                             "(default 512 MiB)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        metavar="N",
+                        help="worker processes per request for "
+                             "independent sweep points (default 1)")
+    parser.add_argument("--max-active", type=int, default=4,
+                        metavar="N",
+                        help="requests simulating concurrently; "
+                             "beyond this they queue (default 4)")
+    parser.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="append one JSONL record per request to "
+                             "DIR/requests.jsonl and export "
+                             "metrics.json at shutdown")
+    parser.add_argument("--group", metavar="NAME", default=None,
+                        help="serve under this performance group "
+                             "(part of every cache key; default "
+                             "BGP_BASE)")
+    parser.add_argument("--no-vectorize", action="store_true",
+                        help="serve with the scalar model engines "
+                             "(also part of every cache key)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress at INFO (-v) or DEBUG (-vv)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="log errors only")
+    args = parser.parse_args(argv)
+    setup_logging(-1 if args.quiet else max(1, args.verbose))
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if not 0 <= args.port <= 65535:
+        parser.error(f"--port must be in [0, 65535], got {args.port}")
+    if args.no_vectorize:
+        set_vectorize(False)
+    if args.group:
+        from . import groups as groups_mod
+        try:
+            groups_mod.set_active_group(args.group)
+        except (KeyError, groups_mod.GroupError) as exc:
+            parser.error(f"--group: {exc}")
+    from .serve import ServeConfig, SimulationService
+
+    config = ServeConfig(host=args.host, port=args.port,
+                         cache_dir=args.cache,
+                         max_records=args.max_records,
+                         max_bytes=args.max_bytes, jobs=args.jobs,
+                         max_active=args.max_active,
+                         telemetry_dir=args.telemetry)
+    try:
+        return SimulationService(config).run()
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
 
 
 def _report_main(argv) -> int:

@@ -1,4 +1,5 @@
-"""Atomic on-disk checkpoints for interrupted runs (``--resume DIR``).
+"""Atomic on-disk checkpoints for interrupted runs (``--resume DIR``)
+and the always-on service's shared cross-request cache tier.
 
 A sweep over class-C NPB kernels is minutes of simulation; a SIGINT,
 a dead worker or a batch-system preemption at minute nine should not
@@ -13,6 +14,30 @@ holding ``{"key": repr(key), "payload": ...}``.  The recorded ``repr``
 guards against digest collisions and makes the files self-describing;
 a file whose recorded key disagrees, or that fails to parse, is treated
 as absent (with a logged warning) rather than poisoning the resume.
+
+Concurrency: the store is shared by *processes*, not just threads —
+``python -m repro serve`` points every worker at one directory.  Two
+protections make that safe:
+
+* :meth:`CheckpointStore.save` serialises same-record writers through a
+  per-record ``O_CREAT|O_EXCL`` lockfile (stale locks left by killed
+  writers are stolen after a grace period), so concurrent writers to
+  one ``(category, key)`` cannot interleave their temp-file renames;
+* :meth:`CheckpointStore.load` treats a corrupt or truncated record —
+  the droppings of a killed writer — as absent: it logs a structured
+  warning, *quarantines* the file (renamed to ``*.corrupt``) so it is
+  preserved for debugging but never re-read, and returns ``None`` so
+  the caller recomputes.
+
+:class:`SharedCacheTier` builds the service's cache on top: an
+LRU-bounded (record-count and byte caps, hits refresh recency) store
+whose keys are expected to be *context-qualified* — the memo layer in
+:mod:`repro.parallel` folds the active performance group, the
+``set_vectorize`` engine switch and :data:`CACHE_SCHEMA_VERSION` into
+every persisted key, so a schema bump or an engine toggle can never
+serve a stale payload.  One process-wide tier can be installed
+(:func:`install_shared_tier`); the job engine consults it for comm
+phases and node classes, and the serve layer for whole responses.
 """
 
 from __future__ import annotations
@@ -21,8 +46,9 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 from .obs import metrics as _metrics
 from .obs.logging import get_logger, kv
@@ -31,6 +57,25 @@ _log = get_logger("checkpoint")
 
 _SAVES = _metrics.counter("checkpoint.saves")
 _LOADS = _metrics.counter("checkpoint.loads")
+_QUARANTINED = _metrics.counter("checkpoint.quarantined")
+_LOCK_WAITS = _metrics.counter("checkpoint.lock_waits")
+_LOCK_STEALS = _metrics.counter("checkpoint.lock_steals")
+_TIER_HITS = _metrics.counter("checkpoint.tier.hits")
+_TIER_MISSES = _metrics.counter("checkpoint.tier.misses")
+_TIER_EVICTIONS = _metrics.counter("checkpoint.tier.evictions")
+
+#: Version of the persisted-record key schema.  Folded into every
+#: context-qualified cache key (see ``repro.parallel.cache_context``),
+#: so changing what a payload means only requires bumping this — old
+#: records simply stop matching instead of being misread.
+CACHE_SCHEMA_VERSION = 1
+
+#: Seconds a writer waits for a contended per-record lock before
+#: giving up (a record write is milliseconds; this is ~1000x slack).
+LOCK_TIMEOUT_SECONDS = 10.0
+#: Seconds after which a lockfile is presumed abandoned (its holder
+#: was killed between acquire and release) and may be stolen.
+LOCK_STALE_SECONDS = 30.0
 
 
 def digest(key: Any) -> str:
@@ -53,37 +98,125 @@ class CheckpointStore:
     def path(self, category: str, key: Any) -> Path:
         return self.directory / category / f"{digest(key)}.json"
 
+    # ------------------------------------------------------------------
+    # per-record cross-process locking
+    # ------------------------------------------------------------------
+    def _acquire_lock(self, target: Path,
+                      timeout: float = LOCK_TIMEOUT_SECONDS) -> Path:
+        """Take the per-record writer lock (``O_CREAT|O_EXCL``).
+
+        Writers to *different* records never contend (one lockfile per
+        record); same-record writers serialise, so a reader can never
+        observe two writers' temp-file renames interleaving.  A lock
+        whose mtime is older than :data:`LOCK_STALE_SECONDS` belonged
+        to a killed writer and is stolen with a logged warning.
+        """
+        lock = target.with_name(target.name + ".lock")
+        deadline = time.monotonic() + timeout
+        waited = False
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # released between open and stat: retry now
+                if age > LOCK_STALE_SECONDS:
+                    _LOCK_STEALS.inc()
+                    _log.warning(kv("checkpoint.lock_stolen",
+                                    path=str(lock), age_seconds=age))
+                    try:
+                        lock.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"checkpoint record lock {lock} held for more "
+                        f"than {timeout}s by another writer")
+                if not waited:
+                    waited = True
+                    _LOCK_WAITS.inc()
+                time.sleep(0.002)
+            else:
+                try:
+                    os.write(fd, str(os.getpid()).encode("ascii"))
+                finally:
+                    os.close(fd)
+                return lock
+
+    @staticmethod
+    def _release_lock(lock: Path) -> None:
+        try:
+            lock.unlink()
+        except OSError:  # pragma: no cover - stolen or FS hiccup
+            pass
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
     def save(self, category: str, key: Any, payload: Any) -> Path:
-        """Persist one record; atomic even against a crash mid-write."""
+        """Persist one record; atomic even against a crash mid-write,
+        and serialised against concurrent same-record writers."""
         target = self.path(category, key)
         target.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+        lock = self._acquire_lock(target)
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump({"key": repr(key), "payload": payload}, handle)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, target)
-        except BaseException:
+            fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    json.dump({"key": repr(key), "payload": payload},
+                              handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        finally:
+            self._release_lock(lock)
         _SAVES.inc()
         return target
 
+    def _quarantine(self, target: Path, reason: str) -> None:
+        """Move a broken record aside so it is kept but never re-read."""
+        quarantined = target.with_name(target.name + ".corrupt")
+        try:
+            os.replace(target, quarantined)
+        except OSError:  # pragma: no cover - already gone or read-only
+            quarantined = None
+        _QUARANTINED.inc()
+        _log.warning(kv("checkpoint.quarantined", path=str(target),
+                        moved_to=str(quarantined), reason=reason))
+
     def load(self, category: str, key: Any) -> Optional[Any]:
-        """The saved payload, or None if absent/corrupt/mismatched."""
+        """The saved payload, or None if absent/corrupt/mismatched.
+
+        A corrupt or truncated record — a writer killed mid-write on a
+        filesystem without atomic rename, or plain disk rot — is
+        quarantined (renamed to ``*.corrupt``) and reported as absent,
+        so the caller recomputes instead of crashing and the next load
+        does not re-parse the same garbage.
+        """
         target = self.path(category, key)
         try:
             with open(target) as handle:
                 record = json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError) as exc:
+        except json.JSONDecodeError as exc:
+            self._quarantine(target, type(exc).__name__)
+            return None
+        except OSError as exc:
             _log.warning(kv("checkpoint.unreadable", path=str(target),
                             error=type(exc).__name__))
+            return None
+        if not isinstance(record, dict):
+            self._quarantine(target, "not_a_record")
             return None
         if record.get("key") != repr(key):
             _log.warning(kv("checkpoint.key_mismatch", path=str(target),
@@ -98,3 +231,137 @@ class CheckpointStore:
         if not root.is_dir():
             return 0
         return sum(1 for _ in root.rglob("*.json"))
+
+
+class SharedCacheTier(CheckpointStore):
+    """A cross-request, cross-process cache: bounded, recency-evicting.
+
+    The persistent tier behind ``python -m repro serve`` (and the
+    ``--shared-cache DIR`` offline flag): comm phases, node-class
+    simulations, memoized sweep points and whole serve responses all
+    land here, so the second identical request — from any process —
+    is a disk read instead of a simulation.
+
+    Bounds: at most ``max_records`` records / ``max_bytes`` payload
+    bytes; when either is exceeded, the least-recently-*used* records
+    go first (:meth:`get` refreshes a record's mtime, making the scan
+    order true LRU rather than FIFO).  The eviction sweep runs every
+    ``sweep_every`` puts, so its directory walk amortises away.
+    """
+
+    def __init__(self, directory, max_records: int = 4096,
+                 max_bytes: int = 512 * 1024 * 1024,
+                 sweep_every: int = 16):
+        super().__init__(directory)
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, "
+                             f"got {max_records}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if sweep_every < 1:
+            raise ValueError(f"sweep_every must be >= 1, "
+                             f"got {sweep_every}")
+        self.max_records = max_records
+        self.max_bytes = max_bytes
+        self.sweep_every = sweep_every
+        self._puts_since_sweep = 0
+
+    # ------------------------------------------------------------------
+    def get(self, category: str, key: Any) -> Optional[Any]:
+        """Load one cached payload; a hit refreshes its LRU recency."""
+        payload = self.load(category, key)
+        if payload is None:
+            _TIER_MISSES.inc()
+            return None
+        try:
+            os.utime(self.path(category, key))
+        except OSError:  # pragma: no cover - evicted under our feet
+            pass
+        _TIER_HITS.inc()
+        return payload
+
+    def put(self, category: str, key: Any, payload: Any) -> Path:
+        """Persist one payload, then enforce the LRU bounds."""
+        target = self.save(category, key, payload)
+        self._puts_since_sweep += 1
+        if self._puts_since_sweep >= self.sweep_every:
+            self.evict()
+        return target
+
+    # ------------------------------------------------------------------
+    def usage(self) -> Dict[str, int]:
+        """Current record count and payload bytes on disk."""
+        records = 0
+        total = 0
+        for path in self.directory.rglob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            records += 1
+        return {"records": records, "bytes": total}
+
+    def evict(self) -> int:
+        """Drop least-recently-used records until within bounds."""
+        self._puts_since_sweep = 0
+        entries = []
+        records = 0
+        total = 0
+        for path in self.directory.rglob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            records += 1
+            total += stat.st_size
+        evicted = 0
+        entries.sort()  # oldest mtime first == least recently used
+        for _, size, path in entries:
+            if records <= self.max_records and total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            records -= 1
+            total -= size
+            evicted += 1
+        if evicted:
+            _TIER_EVICTIONS.inc(evicted)
+            _log.info(kv("checkpoint.tier_evicted", records=evicted,
+                         kept=records, bytes=total))
+        return evicted
+
+
+# ---------------------------------------------------------------------------
+# process-wide shared tier (installed by `serve` / --shared-cache)
+# ---------------------------------------------------------------------------
+_shared_tier: Optional[SharedCacheTier] = None
+
+
+def install_shared_tier(directory, max_records: int = 4096,
+                        max_bytes: int = 512 * 1024 * 1024,
+                        sweep_every: int = 16) -> SharedCacheTier:
+    """Install the process-wide shared cache tier (idempotent per dir).
+
+    Once installed, the job engine persists/reuses comm phases and
+    node-class simulations through it (``repro.runtime.machine``), and
+    the serve layer keys whole responses on it.  Returns the tier.
+    """
+    global _shared_tier
+    _shared_tier = SharedCacheTier(directory, max_records=max_records,
+                                   max_bytes=max_bytes,
+                                   sweep_every=sweep_every)
+    return _shared_tier
+
+
+def get_shared_tier() -> Optional[SharedCacheTier]:
+    """The installed process-wide tier, or None (the default)."""
+    return _shared_tier
+
+
+def uninstall_shared_tier() -> None:
+    """Remove the process-wide tier (tests and server shutdown)."""
+    global _shared_tier
+    _shared_tier = None

@@ -50,6 +50,7 @@ __all__ = [
     "available_groups",
     "clear_group_cache",
     "get_active_group",
+    "get_active_group_name",
     "get_group",
     "load_group_file",
     "set_active_group",
@@ -538,6 +539,15 @@ def set_active_group(name: str) -> PerformanceGroup:
 def get_active_group() -> PerformanceGroup:
     """The selected group, defaulting to ``BGP_BASE``."""
     return get_group(_active if _active is not None else "BGP_BASE")
+
+
+def get_active_group_name() -> str:
+    """The selected group's *name*, without loading its document.
+
+    The cache-key path (``repro.parallel.cache_context``) calls this on
+    every persisted record; it must stay a plain attribute read.
+    """
+    return _active if _active is not None else "BGP_BASE"
 
 
 def clear_group_cache() -> None:

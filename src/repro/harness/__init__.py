@@ -45,6 +45,7 @@ from .validate import fault_audit, model_validation
 from .sweep import (
     PAPER_L3_SIZES_MB,
     attach_resume,
+    attach_runner_store,
     clear_caches,
     compiled_benchmark,
     detach_resume,
@@ -101,8 +102,29 @@ __all__ = [
     "compiled_benchmark",
     "clear_caches",
     "attach_resume",
+    "attach_runner_store",
     "detach_resume",
     "warm_runs",
     "warm_pairs",
     "PAPER_L3_SIZES_MB",
+    "experiment_catalog",
 ]
+
+
+def experiment_catalog():
+    """Every runnable experiment id -> runner, CLI and service alike.
+
+    The paper figures plus the ablations and the extension/validation
+    runners — the single catalog ``python -m repro`` dispatches on and
+    ``python -m repro serve`` validates request ids against.
+    """
+    catalog = dict(ALL_EXPERIMENTS)
+    catalog.update(ABLATION_EXPERIMENTS)
+    catalog["characterize"] = characterization_table
+    catalog["validate"] = model_validation
+    catalog["ext-scaling"] = ext_scaling
+    catalog["ext-microbench"] = ext_microbench
+    catalog["smoke"] = smoke_telemetry
+    catalog["smoke-markers"] = smoke_markers
+    catalog["fault-audit"] = fault_audit
+    return catalog

@@ -156,6 +156,21 @@ def clear_caches() -> None:
 _RESUMABLE = (run_vnm, run_smp1, run_scaled_vnm)
 
 
+def attach_runner_store(store) -> None:
+    """Back every memoised sweep runner with ``store``.
+
+    ``store`` is any :class:`~repro.checkpoint.CheckpointStore`
+    (including the service's LRU-bounded
+    :class:`~repro.checkpoint.SharedCacheTier`).  Persisted keys are
+    context-qualified by the memo layer — active performance group,
+    ``set_vectorize`` state, cache schema version — so one directory
+    can safely serve many processes and configurations at once.
+    """
+    for runner in _RESUMABLE:
+        runner.attach_store(store, encode=lambda r: r.to_dict(),
+                            decode=JobResult.from_dict)
+
+
 def attach_resume(directory) -> CheckpointStore:
     """Back every memoised sweep runner with an on-disk store.
 
@@ -166,9 +181,7 @@ def attach_resume(directory) -> CheckpointStore:
     (the CLI also checkpoints whole experiment results into it).
     """
     store = CheckpointStore(directory)
-    for runner in _RESUMABLE:
-        runner.attach_store(store, encode=lambda r: r.to_dict(),
-                            decode=JobResult.from_dict)
+    attach_runner_store(store)
     return store
 
 

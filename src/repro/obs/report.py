@@ -28,6 +28,7 @@ TIMELINE_FILE = "timeline.jsonl"
 SPANS_FILE = "spans.jsonl"
 METRICS_FILE = "metrics.json"
 RAS_FILE = "ras.jsonl"
+REQUESTS_FILE = "requests.jsonl"
 REPORT_FILE = "report.json"
 
 
@@ -103,11 +104,17 @@ def load_artifacts(directory: str, *,
     only warns — the mode fleet scans over archived corpora use.
     """
     warnings: List[Dict[str, Any]] = []
+    requests: List[Dict[str, Any]] = []
+    requests_path = os.path.join(directory, REQUESTS_FILE)
+    if os.path.exists(requests_path):
+        requests = _read_jsonl(requests_path, warnings)
     timeline_path = os.path.join(directory, TIMELINE_FILE)
     records: List[Dict[str, Any]] = []
     if os.path.exists(timeline_path):
         records = _read_jsonl(timeline_path, warnings)
-    elif require_timeline:
+    elif require_timeline and not requests:
+        # a service telemetry directory (requests.jsonl only) is a
+        # valid report source even without sampled job timelines
         raise FileNotFoundError(
             f"{timeline_path} not found — run with --sample-every N "
             "(and --trace/--json DIR) to export job telemetry first")
@@ -135,8 +142,8 @@ def load_artifacts(directory: str, *,
         if not isinstance(report, dict):
             report = {}
     return {"records": records, "spans": spans, "metrics": metrics,
-            "ras": ras, "report": report, "warnings": warnings,
-            "directory": directory}
+            "ras": ras, "requests": requests, "report": report,
+            "warnings": warnings, "directory": directory}
 
 
 # ---------------------------------------------------------------------------
@@ -270,6 +277,29 @@ def build_report(artifacts: Dict[str, Any]) -> Dict[str, Any]:
             summary.items(), key=lambda kv: -kv[1]["total_us"]))
     if artifacts.get("metrics"):
         report["sim_counters"] = artifacts["metrics"].get("counters", {})
+    if artifacts.get("requests"):
+        requests = [r for r in artifacts["requests"]
+                    if r.get("kind") == "request"]
+        if requests:
+            by_path: Dict[str, Dict[str, Any]] = {}
+            for req in requests:
+                agg = by_path.setdefault(req.get("path", "?"), {
+                    "count": 0, "errors": 0, "hits": 0, "misses": 0,
+                    "total_seconds": 0.0, "max_seconds": 0.0})
+                agg["count"] += 1
+                if req.get("status", 200) >= 400:
+                    agg["errors"] += 1
+                if req.get("cache") == "hit":
+                    agg["hits"] += 1
+                elif req.get("cache") == "miss":
+                    agg["misses"] += 1
+                seconds = float(req.get("seconds") or 0.0)
+                agg["total_seconds"] += seconds
+                agg["max_seconds"] = max(agg["max_seconds"], seconds)
+            report["service_requests"] = {
+                "total": len(requests),
+                "by_path": dict(sorted(by_path.items())),
+            }
     if artifacts.get("ras"):
         ras = artifacts["ras"]
         by_kind: Dict[str, int] = {}
@@ -404,6 +434,22 @@ def render_markdown(report: Dict[str, Any]) -> str:
         if ras["total"] > 20:
             lines.append(f"... and {ras['total'] - 20} more "
                          "(see ras.jsonl)")
+        lines.append("")
+    if report.get("service_requests"):
+        service = report["service_requests"]
+        lines += ["## Service requests", "",
+                  f"{service['total']} request(s) served.", ""]
+        rows = []
+        for path, agg in service["by_path"].items():
+            mean = (agg["total_seconds"] / agg["count"]
+                    if agg["count"] else 0.0)
+            rows.append([path, agg["count"], agg["errors"],
+                         agg["hits"], agg["misses"],
+                         _fmt(mean * 1000, 1),
+                         _fmt(agg["max_seconds"] * 1000, 1)])
+        lines.append(_md_table(
+            ["path", "count", "errors", "cache hits", "cache misses",
+             "mean ms", "max ms"], rows))
         lines.append("")
     if report.get("span_summary"):
         lines += ["## Simulator span summary", ""]

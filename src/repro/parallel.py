@@ -146,6 +146,26 @@ def get_vectorize() -> bool:
     return _vectorize
 
 
+def cache_context() -> Tuple:
+    """Fingerprint of the process state that shapes simulation output.
+
+    Folded into every key persisted to a checkpoint store or the
+    shared cache tier, so a record written under one configuration can
+    never be served under another: the cache-record schema version
+    (bumped when payload semantics change), the active performance
+    group (``--group`` changes what a sampled run produces), and the
+    model-engine switch (``set_vectorize`` / ``REPRO_VECTORIZE``).
+    In-memory memo dicts stay keyed by plain argument tuples — they
+    die with the process, where the context cannot silently change
+    between writer and reader.
+    """
+    from .checkpoint import CACHE_SCHEMA_VERSION
+    from .groups import get_active_group_name
+    return (("schema", CACHE_SCHEMA_VERSION),
+            ("group", get_active_group_name()),
+            ("vectorize", _vectorize))
+
+
 # ---------------------------------------------------------------------------
 # resilience policy
 # ---------------------------------------------------------------------------
@@ -578,13 +598,27 @@ class MemoizedFunction:
     def _category(self) -> str:
         return f"memo.{self.__name__}"
 
+    def _store_key(self, key: Tuple) -> Tuple:
+        """The on-disk record key: context-qualified.
+
+        The persisted key folds in :func:`cache_context` — the active
+        performance group, the ``set_vectorize`` engine state and the
+        cache schema version — so a disk-seeded cache can never serve
+        a record written under ``--group BGP_MEM`` or a different
+        engine toggle to a run that would produce something else.
+        """
+        return (cache_context(), key)
+
     def load_cached(self, key: Tuple) -> bool:
         """True when ``key`` is resident (pulled from disk if needed)."""
         if key in self.cache:
             return True
         if self._store is None:
             return False
-        payload = self._store.load(self._category(), key)
+        # an LRU tier exposes get/put (hit counters + recency touch);
+        # a plain checkpoint store only load/save
+        loader = getattr(self._store, "get", self._store.load)
+        payload = loader(self._category(), self._store_key(key))
         if payload is None:
             return False
         self.disk_hits.inc()
@@ -593,7 +627,9 @@ class MemoizedFunction:
 
     def _persist(self, key: Tuple, value: Any) -> None:
         if self._store is not None:
-            self._store.save(self._category(), key, self._encode(value))
+            writer = getattr(self._store, "put", self._store.save)
+            writer(self._category(), self._store_key(key),
+                   self._encode(value))
 
 
 def memoized(fn: Callable) -> MemoizedFunction:

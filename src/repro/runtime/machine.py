@@ -41,12 +41,19 @@ from ..net import (
     TorusTopology,
 )
 from ..node import ComputeNode, LoopWork, OperatingMode, ProcessWork
+from .. import checkpoint as _checkpoint
 from .. import markers as _markers
 from ..obs import metrics as _metrics
 from ..obs import timeline as _timeline
 from ..obs.tracer import span as _span
-from ..parallel import get_jobs, get_vectorize, parallel_map, set_vectorize
-from .mpi import SimMPI
+from ..parallel import (
+    cache_context,
+    get_jobs,
+    get_vectorize,
+    parallel_map,
+    set_vectorize,
+)
+from .mpi import CommResult, SimMPI
 from .process import JobPlacement, place_ranks
 
 _JOBS = _metrics.counter("runtime.jobs")
@@ -56,6 +63,8 @@ _NODE_CLASS_HITS = _metrics.counter("runtime.node_class_hits")
 _COMM_HITS = _metrics.counter("runtime.comm_cache_hits")
 _COMM_MISSES = _metrics.counter("runtime.comm_cache_misses")
 _SAMPLED_NODES = _metrics.counter("runtime.sampled_nodes")
+_CLASS_TIER_HITS = _metrics.counter("runtime.node_class_tier_hits")
+_COMM_TIER_HITS = _metrics.counter("runtime.comm_tier_hits")
 
 #: Cross-job cache of costed communication phases.  A comm phase is a
 #: pure function of (comm ops, rank count, mode, partition size) — the
@@ -372,7 +381,27 @@ class Job:
                 classes.setdefault(key, []).append(node)
             keys = list(classes)
             simulated: Dict[int, bool] = {}
-            if get_jobs() > 1 and len(keys) > 1:
+            # the shared tier (when installed) persists node-class
+            # results across processes; fault-injected runs bypass it
+            # in both directions so perturbed state never poisons it
+            tier = (_checkpoint.get_shared_tier()
+                    if self.memoize and fault_ctx is None else None)
+            tier_ctx = cache_context() if tier is not None else None
+            class_results: Dict[Tuple, Tuple[List[float],
+                                             Dict[str, int]]] = {}
+            pending = keys
+            if tier is not None:
+                pending = []
+                for key in keys:
+                    payload = tier.get("machine.node_class",
+                                       (tier_ctx, key))
+                    if payload is not None:
+                        class_results[key] = (payload["cycles"],
+                                              payload["events"])
+                        _CLASS_TIER_HITS.inc()
+                    else:
+                        pending.append(key)
+            if get_jobs() > 1 and len(pending) > 1:
                 # fan the distinct classes out over the process pool;
                 # every member (including the representative) gets the
                 # replicated deltas afterwards
@@ -380,17 +409,22 @@ class Job:
                     _simulate_node_class,
                     [(machine.mode, machine.mem_config, work, key[0],
                       get_vectorize())
-                     for key in keys],
+                     for key in pending],
                     label="node_classes")
-                class_results = dict(zip(keys, outs))
+                class_results.update(zip(pending, outs))
             else:
-                class_results = {}
-                for key in keys:
+                for key in pending:
                     representative = classes[key][0]
                     result = representative.run([work] * key[0])
                     class_results[key] = (result.process_cycles,
                                           result.events)
                     simulated[representative.node_id] = True
+            if tier is not None:
+                for key in pending:
+                    cycles, events = class_results[key]
+                    tier.put("machine.node_class", (tier_ctx, key),
+                             {"cycles": list(cycles),
+                              "events": dict(events)})
             _NODE_CLASSES.inc(len(keys))
             _NODE_CLASS_HITS.inc(len(nodes) - len(keys))
             rep_samplers: Dict[Tuple, _timeline.NodeTimelineSampler] = {}
@@ -444,6 +478,18 @@ class Job:
             comm_key = (tuple(comm_ops), self.num_ranks,
                         machine.mode.name, machine.num_nodes)
             cached_phases = _COMM_CACHE.get(comm_key)
+            if cached_phases is None and tier is not None:
+                payload = tier.get("machine.comm_phase",
+                                   (tier_ctx, comm_key))
+                if payload is not None:
+                    cached_phases = [CommResult.from_dict(d)
+                                     for d in payload]
+                    _COMM_TIER_HITS.inc()
+                    # seed the in-process cache so sibling sweep
+                    # points skip even the disk read
+                    while len(_COMM_CACHE) >= _COMM_CACHE_MAX:
+                        _COMM_CACHE.pop(next(iter(_COMM_CACHE)))
+                    _COMM_CACHE[comm_key] = cached_phases
             (_COMM_HITS if cached_phases is not None
              else _COMM_MISSES).inc()
         computed_phases: List = []
@@ -516,6 +562,9 @@ class Job:
             while len(_COMM_CACHE) >= _COMM_CACHE_MAX:
                 _COMM_CACHE.pop(next(iter(_COMM_CACHE)))
             _COMM_CACHE[comm_key] = computed_phases
+            if tier is not None:
+                tier.put("machine.comm_phase", (tier_ctx, comm_key),
+                         [phase.to_dict() for phase in computed_phases])
 
         # message staging traffic: split lines across the controllers
         for node_id, lines in comm_ddr.items():

@@ -66,6 +66,37 @@ class CommResult:
     intra_node_bytes: int = 0
     inter_node_bytes: int = 0
 
+    # ------------------------------------------------------------------
+    # JSON round trip (the shared cache tier persists costed phases)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form; exact (floats survive json)."""
+        return {
+            "cycles_per_rank": self.cycles_per_rank,
+            "torus_events": {str(node): dict(events) for node, events
+                             in self.torus_events.items()},
+            "collective_events": dict(self.collective_events),
+            "ddr_lines_per_node": {str(node): lines for node, lines
+                                   in self.ddr_lines_per_node.items()},
+            "intra_node_bytes": self.intra_node_bytes,
+            "inter_node_bytes": self.inter_node_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CommResult":
+        """Rebuild a phase saved by :meth:`to_dict` (node ids re-int'd
+        after JSON stringified the dict keys)."""
+        return cls(
+            cycles_per_rank=data["cycles_per_rank"],
+            torus_events={int(node): dict(events) for node, events
+                          in data["torus_events"].items()},
+            collective_events=dict(data["collective_events"]),
+            ddr_lines_per_node={int(node): lines for node, lines
+                                in data["ddr_lines_per_node"].items()},
+            intra_node_bytes=data["intra_node_bytes"],
+            inter_node_bytes=data["inter_node_bytes"],
+        )
+
 
 class SimMPI:
     """Lower CommOps to messages and cost them on the networks."""

@@ -1,0 +1,44 @@
+"""Always-on simulation service: asyncio server, protocol, client.
+
+``python -m repro serve`` keeps one process resident with the shared
+cross-request cache tier installed, so repeated sweep and experiment
+requests — from any number of clients — are answered from disk instead
+of re-simulated.  See :mod:`repro.serve.protocol` for the wire format
+and caching contract, :mod:`repro.serve.server` for the service, and
+:mod:`repro.serve.client` for the blocking stdlib client.
+"""
+
+from .client import ServeClient, ServiceError, sweep_point
+from .protocol import (
+    FLAG_SETS,
+    MAX_POINTS,
+    POINT_KINDS,
+    PROTOCOL_VERSION,
+    ExperimentRequest,
+    RequestError,
+    SweepPoint,
+    SweepRequest,
+    canonical_json,
+    request_cache_key,
+    request_hash,
+)
+from .server import ServeConfig, SimulationService
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FLAG_SETS",
+    "POINT_KINDS",
+    "MAX_POINTS",
+    "SweepPoint",
+    "SweepRequest",
+    "ExperimentRequest",
+    "RequestError",
+    "canonical_json",
+    "request_cache_key",
+    "request_hash",
+    "ServeConfig",
+    "SimulationService",
+    "ServeClient",
+    "ServiceError",
+    "sweep_point",
+]

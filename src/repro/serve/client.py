@@ -1,0 +1,87 @@
+"""A small blocking client for the simulation service.
+
+Stdlib-only (:mod:`http.client`), suitable for tests, scripts and the
+CI burst driver.  Every method returns the decoded JSON payload;
+non-2xx responses raise :class:`ServiceError` carrying the status and
+the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+
+class ServiceError(RuntimeError):
+    """The service answered with a non-2xx status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Blocking JSON client for one service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8423,
+                 timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str,
+              body: Optional[Mapping] = None) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = (json.dumps(body).encode()
+                       if body is not None else None)
+            headers = {"Content-Type": "application/json"} if payload \
+                else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read().decode() or "{}"
+            try:
+                doc = json.loads(raw)
+            except json.JSONDecodeError:
+                doc = {"error": raw.strip()[:200]}
+            if response.status >= 300:
+                raise ServiceError(response.status,
+                                   doc.get("error", "unknown error"))
+            return doc
+        finally:
+            conn.close()
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("GET", "/stats")
+
+    def sweep(self, points: Sequence[Mapping]) -> Dict[str, Any]:
+        """Run a sweep: ``points`` is a list of point dicts (see
+        :class:`repro.serve.protocol.SweepPoint`)."""
+        return self._call("POST", "/v1/sweep",
+                          {"points": list(points)})
+
+    def experiment(self, experiment_id: str) -> Dict[str, Any]:
+        """Run one catalog experiment by id."""
+        return self._call("POST", "/v1/experiment",
+                          {"id": experiment_id})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._call("POST", "/v1/shutdown")
+
+
+def sweep_point(code: str, *, kind: str = "vnm", flags: str = "O5",
+                l3_mb: int = 8, problem_class: str = "C",
+                num_ranks: Optional[int] = None) -> Dict[str, Any]:
+    """Convenience constructor for one request point dict."""
+    point: Dict[str, Any] = {"kind": kind, "code": code, "flags": flags,
+                             "l3_mb": l3_mb,
+                             "problem_class": problem_class}
+    if num_ranks is not None:
+        point["num_ranks"] = num_ranks
+    return point

@@ -9,6 +9,7 @@ produce byte-identical CSVs without recomputing finished work.
 
 import json
 import os
+import time
 
 import pytest
 
@@ -207,3 +208,197 @@ def test_cli_rejects_resume_with_faults(tmp_path):
     with pytest.raises(SystemExit):
         _run_cli("smoke", "--resume", str(tmp_path),
                  "--faults", "seed=1,link_stall_rate=1")
+
+
+# ---------------------------------------------------------------------------
+# concurrent same-record writers (the serve-era contract)
+# ---------------------------------------------------------------------------
+_WRITER_SCRIPT = """
+import sys
+from repro.checkpoint import CheckpointStore
+
+store = CheckpointStore(sys.argv[1])
+tag = sys.argv[2]
+for i in range(40):
+    store.save("memo.run", ("MG", 8), {"writer": tag, "i": i})
+"""
+
+
+def test_concurrent_writers_never_corrupt_a_record(tmp_path):
+    """N processes hammering one (category, key): every interleaving
+    must leave a parseable, self-consistent record and no droppings."""
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), os.pardir, "src"),
+         env.get("PYTHONPATH", "")])
+    procs = [subprocess.Popen(
+        [sys.executable, "-c", _WRITER_SCRIPT, str(tmp_path), str(n)],
+        env=env) for n in range(4)]
+    for proc in procs:
+        assert proc.wait(timeout=120) == 0
+
+    store = CheckpointStore(tmp_path)
+    payload = store.load("memo.run", ("MG", 8))
+    assert payload is not None, "record corrupted by concurrent writers"
+    assert payload["writer"] in {"0", "1", "2", "3"}
+    assert payload["i"] == 39  # the last write of some writer won
+    droppings = [p for p in (tmp_path / "memo.run").iterdir()
+                 if p.suffix not in (".json",)]
+    assert droppings == [], f"temp/lock files left behind: {droppings}"
+
+
+def test_lock_serialises_same_record_writers(tmp_path):
+    store = CheckpointStore(tmp_path)
+    target = store.path("c", "k")
+    target.parent.mkdir(parents=True)
+    lock = store._acquire_lock(target)
+    assert lock.exists()
+    # a second writer times out rather than proceeding unserialised
+    with pytest.raises(TimeoutError):
+        store._acquire_lock(target, timeout=0.05)
+    store._release_lock(lock)
+    assert not lock.exists()
+    # and once released, acquisition succeeds again
+    store._release_lock(store._acquire_lock(target))
+
+
+def test_stale_lock_is_stolen(tmp_path):
+    from repro.checkpoint import LOCK_STALE_SECONDS
+
+    store = CheckpointStore(tmp_path)
+    target = store.path("c", "k")
+    target.parent.mkdir(parents=True)
+    lock = target.with_name(target.name + ".lock")
+    lock.write_text("99999")  # a writer that died mid-save
+    stale = time.time() - LOCK_STALE_SECONDS - 5
+    os.utime(lock, (stale, stale))
+    steals = metrics.counter("checkpoint.lock_steals").value
+    store.save("c", "k", {"ok": 1})
+    assert store.load("c", "k") == {"ok": 1}
+    assert metrics.counter("checkpoint.lock_steals").value == steals + 1
+    assert not lock.exists()
+
+
+# ---------------------------------------------------------------------------
+# corrupt-record quarantine
+# ---------------------------------------------------------------------------
+def test_corrupt_record_is_quarantined_not_reread(tmp_path):
+    store = CheckpointStore(tmp_path)
+    key = ("MG",)
+    store.save("c", key, {"ok": True})
+    target = store.path("c", key)
+    target.write_text('{"key": "(\'MG\',)", "payl')  # killed mid-write
+    quarantined = metrics.counter("checkpoint.quarantined").value
+    assert store.load("c", key) is None
+    assert metrics.counter("checkpoint.quarantined").value \
+        == quarantined + 1
+    # moved aside for debugging, never re-parsed
+    assert not target.exists()
+    assert target.with_name(target.name + ".corrupt").exists()
+    assert store.load("c", key) is None  # and the second load is clean
+    assert metrics.counter("checkpoint.quarantined").value \
+        == quarantined + 1
+
+
+def test_non_object_record_is_quarantined(tmp_path):
+    store = CheckpointStore(tmp_path)
+    key = ("MG",)
+    store.save("c", key, 1)
+    store.path("c", key).write_text("[1, 2, 3]")  # valid JSON, not a record
+    assert store.load("c", key) is None
+    assert store.path("c", key).with_name(
+        store.path("c", key).name + ".corrupt").exists()
+
+
+def test_quarantined_record_recovers_on_next_save(tmp_path):
+    store = CheckpointStore(tmp_path)
+    key = ("MG",)
+    store.save("c", key, {"v": 1})
+    store.path("c", key).write_text("garbage")
+    assert store.load("c", key) is None
+    store.save("c", key, {"v": 2})
+    assert store.load("c", key) == {"v": 2}
+
+
+# ---------------------------------------------------------------------------
+# SharedCacheTier: LRU bounds
+# ---------------------------------------------------------------------------
+def test_tier_validates_bounds(tmp_path):
+    from repro.checkpoint import SharedCacheTier
+
+    with pytest.raises(ValueError):
+        SharedCacheTier(tmp_path, max_records=0)
+    with pytest.raises(ValueError):
+        SharedCacheTier(tmp_path, max_bytes=0)
+    with pytest.raises(ValueError):
+        SharedCacheTier(tmp_path, sweep_every=0)
+
+
+def test_tier_evicts_least_recently_used_first(tmp_path):
+    from repro.checkpoint import SharedCacheTier
+
+    tier = SharedCacheTier(tmp_path, max_records=3, sweep_every=1000)
+    now = time.time()
+    for i in range(5):
+        path = tier.put("c", f"k{i}", {"i": i})
+        # deterministic distinct mtimes regardless of FS resolution
+        os.utime(path, (now + i, now + i))
+    # touch k0 (the oldest) so recency, not insertion order, decides
+    os.utime(tier.path("c", "k0"), (now + 10, now + 10))
+    assert tier.evict() == 2
+    kept = {f"k{i}" for i in range(5)
+            if tier.path("c", f"k{i}").exists()}
+    assert kept == {"k0", "k3", "k4"}
+
+
+def test_tier_evicts_to_byte_bound(tmp_path):
+    from repro.checkpoint import SharedCacheTier
+
+    tier = SharedCacheTier(tmp_path, max_bytes=1, sweep_every=1000)
+    now = time.time()
+    for i in range(3):
+        path = tier.put("c", f"k{i}", {"i": i})
+        os.utime(path, (now + i, now + i))
+    tier.evict()
+    # the single-byte budget can hold nothing: everything goes
+    assert tier.usage() == {"records": 0, "bytes": 0}
+
+
+def test_tier_sweeps_every_n_puts(tmp_path):
+    from repro.checkpoint import SharedCacheTier
+
+    tier = SharedCacheTier(tmp_path, max_records=2, sweep_every=4)
+    for i in range(3):
+        tier.put("c", f"k{i}", {"i": i})
+    assert tier.usage()["records"] == 3  # over bound, sweep not due yet
+    tier.put("c", "k3", {"i": 3})
+    # the 4th put triggered the amortised sweep
+    assert tier.usage()["records"] == 2
+
+
+def test_tier_get_counts_hits_and_misses(tmp_path):
+    from repro.checkpoint import SharedCacheTier
+
+    tier = SharedCacheTier(tmp_path)
+    hits = metrics.counter("checkpoint.tier.hits").value
+    misses = metrics.counter("checkpoint.tier.misses").value
+    assert tier.get("c", "absent") is None
+    tier.put("c", "present", {"x": 1})
+    assert tier.get("c", "present") == {"x": 1}
+    assert metrics.counter("checkpoint.tier.hits").value == hits + 1
+    assert metrics.counter("checkpoint.tier.misses").value == misses + 1
+
+
+def test_install_shared_tier_lifecycle(tmp_path):
+    from repro import checkpoint as checkpoint_mod
+
+    assert checkpoint_mod.get_shared_tier() is None
+    tier = checkpoint_mod.install_shared_tier(tmp_path)
+    try:
+        assert checkpoint_mod.get_shared_tier() is tier
+    finally:
+        checkpoint_mod.uninstall_shared_tier()
+    assert checkpoint_mod.get_shared_tier() is None

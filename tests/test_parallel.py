@@ -487,3 +487,89 @@ def test_memoized_rejects_unhashable_with_clear_error():
         probe([1, 2])
     with pytest.raises(TypeError, match=r"b \(dict\)"):
         probe(1, b={"x": 1})
+
+
+# ---------------------------------------------------------------------------
+# context-qualified persisted keys (the stale-hit regression)
+# ---------------------------------------------------------------------------
+def test_cache_context_reflects_group_vectorize_and_schema():
+    from repro import groups
+    from repro.checkpoint import CACHE_SCHEMA_VERSION
+    from repro.parallel import cache_context, get_vectorize, set_vectorize
+
+    base = dict(cache_context())
+    assert base["schema"] == CACHE_SCHEMA_VERSION
+    assert base["group"] == "BGP_BASE"
+    assert base["vectorize"] is get_vectorize()
+
+    original = get_vectorize()
+    try:
+        set_vectorize(not original)
+        assert dict(cache_context())["vectorize"] is not original
+    finally:
+        set_vectorize(original)
+
+    groups.set_active_group("BGP_MEM")
+    try:
+        assert dict(cache_context())["group"] == "BGP_MEM"
+    finally:
+        groups.set_active_group("BGP_BASE")
+
+
+def _attach_probe(store):
+    calls = []
+
+    @memoized
+    def probe(a):
+        calls.append(a)
+        return {"value": a * 2}
+
+    probe.attach_store(store, encode=dict, decode=dict)
+    return probe, calls
+
+
+def test_disk_record_invisible_after_vectorize_toggle(tmp_path):
+    """A payload persisted under one engine toggle must be a *miss*
+    under the other — the stale-hit bug this PR fixes."""
+    from repro.checkpoint import CheckpointStore
+    from repro.parallel import get_vectorize, set_vectorize
+
+    store = CheckpointStore(tmp_path)
+    probe, calls = _attach_probe(store)
+    original = get_vectorize()
+    try:
+        assert probe(3) == {"value": 6}
+        probe.cache.clear()  # "new process", same disk
+        assert probe(3) == {"value": 6}
+        assert calls == [3]  # disk hit, not recomputed
+
+        set_vectorize(not original)
+        probe.cache.clear()
+        assert probe(3) == {"value": 6}
+        assert calls == [3, 3]  # other context: recomputed
+
+        # and flipping back finds the original record again
+        set_vectorize(original)
+        probe.cache.clear()
+        assert probe(3) == {"value": 6}
+        assert calls == [3, 3]
+    finally:
+        set_vectorize(original)
+        probe.detach_store()
+
+
+def test_disk_record_invisible_under_other_group(tmp_path):
+    from repro import groups
+    from repro.checkpoint import CheckpointStore
+
+    store = CheckpointStore(tmp_path)
+    probe, calls = _attach_probe(store)
+    try:
+        assert probe(5) == {"value": 10}
+        groups.set_active_group("BGP_MEM")
+        probe.cache.clear()
+        assert probe(5) == {"value": 10}
+        assert calls == [5, 5]  # BGP_MEM never sees the BGP_BASE record
+    finally:
+        groups.set_active_group("BGP_BASE")
+        probe.detach_store()

@@ -1,0 +1,324 @@
+"""Tests for the always-on simulation service (``repro.serve``).
+
+Three strata: protocol validation (bad requests must die before any
+simulation is scheduled), the live server contract (cold/warm caching,
+byte identity with the offline path, concurrent clients, clean
+shutdown), and the telemetry it leaves behind (requests.jsonl and its
+rendering in ``python -m repro report``).
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import checkpoint as checkpoint_mod
+from repro.compiler import O5
+from repro.harness.sweep import clear_caches, detach_resume, run_vnm
+from repro.obs import metrics
+from repro.parallel import set_jobs
+from repro.serve import (
+    RequestError,
+    ServeClient,
+    ServeConfig,
+    ServiceError,
+    SimulationService,
+    SweepRequest,
+    canonical_json,
+    request_hash,
+    sweep_point,
+)
+from repro.serve.protocol import ExperimentRequest
+
+
+@pytest.fixture(autouse=True)
+def isolated_state():
+    """Cold caches, no stores, serial jobs, before and after."""
+    detach_resume()
+    clear_caches()
+    checkpoint_mod.uninstall_shared_tier()
+    set_jobs(1)
+    yield
+    detach_resume()
+    clear_caches()
+    checkpoint_mod.uninstall_shared_tier()
+    set_jobs(1)
+
+
+# ---------------------------------------------------------------------------
+# protocol validation
+# ---------------------------------------------------------------------------
+def test_sweep_request_materialises_defaults():
+    request = SweepRequest.from_dict({"points": [{"code": "mg"}]})
+    point = request.points[0]
+    assert (point.kind, point.code, point.flags) == ("vnm", "MG", "O5")
+    assert (point.l3_mb, point.problem_class) == (8, "C")
+    assert point.num_ranks is None
+
+
+@pytest.mark.parametrize("body, fragment", [
+    (None, "must be an object"),
+    ({}, "non-empty array"),
+    ({"points": []}, "non-empty array"),
+    ({"points": [{}]}, "missing required field 'code'"),
+    ({"points": [{"code": "NOPE"}]}, "points[0].code"),
+    ({"points": [{"code": "MG", "flags": "O9"}]}, "points[0].flags"),
+    ({"points": [{"code": "MG", "kind": "dual"}]}, "points[0].kind"),
+    ({"points": [{"code": "MG", "l3_mb": 128}]}, "points[0].l3_mb"),
+    ({"points": [{"code": "MG", "l3_mb": True}]}, "points[0].l3_mb"),
+    ({"points": [{"code": "MG", "problem_class": "Z"}]},
+     "points[0].problem_class"),
+    ({"points": [{"code": "MG", "kind": "scaled"}]},
+     "points[0].num_ranks"),
+    ({"points": [{"code": "MG", "num_ranks": 8}]},
+     "only valid for kind 'scaled'"),
+    ({"points": [{"code": "MG"}] * 257}, "at most 256 points"),
+])
+def test_sweep_request_rejects_bad_bodies(body, fragment):
+    with pytest.raises(RequestError) as excinfo:
+        SweepRequest.from_dict(body)
+    assert fragment in str(excinfo.value)
+
+
+def test_experiment_request_validates_ids():
+    known = ("fig11", "fault-audit")
+    assert ExperimentRequest.from_dict(
+        {"id": "fig11"}, known).experiment_id == "fig11"
+    with pytest.raises(RequestError, match="unknown experiment"):
+        ExperimentRequest.from_dict({"id": "fig99"}, known)
+    with pytest.raises(RequestError, match="cannot be served"):
+        ExperimentRequest.from_dict({"id": "fault-audit"}, known)
+
+
+def test_request_hash_is_stable_and_context_sensitive():
+    from repro.parallel import get_vectorize, set_vectorize
+
+    canonical = SweepRequest.from_dict(
+        {"points": [{"code": "MG"}]}).canonical()
+    assert request_hash(canonical) == request_hash(canonical)
+    assert canonical_json(canonical) == canonical_json(json.loads(
+        canonical_json(canonical)))  # canonical form is a fixpoint
+    original = get_vectorize()
+    try:
+        before = request_hash(canonical)
+        set_vectorize(not original)
+        assert request_hash(canonical) != before
+    finally:
+        set_vectorize(original)
+
+
+# ---------------------------------------------------------------------------
+# live server
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def live_service(tmp_path):
+    service = SimulationService(ServeConfig(
+        port=0, cache_dir=str(tmp_path / "cache"),
+        telemetry_dir=str(tmp_path / "telemetry")))
+    thread = service.start_in_thread()
+    client = ServeClient(port=service.bound_port)
+    yield service, client, tmp_path
+    if thread.is_alive():
+        service.request_stop()
+        thread.join(timeout=30)
+    assert not thread.is_alive(), "service thread failed to shut down"
+
+
+def test_healthz_and_routing(live_service):
+    _, client, _ = live_service
+    health = client.healthz()
+    assert health["ok"] and health["protocol"] == 1
+    assert health["group"] == "BGP_BASE"
+    with pytest.raises(ServiceError) as excinfo:
+        client._call("GET", "/nowhere")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client._call("GET", "/v1/sweep")
+    assert excinfo.value.status == 405
+    with pytest.raises(ServiceError) as excinfo:
+        client._call("POST", "/v1/sweep", {"points": [{"code": "X"}]})
+    assert excinfo.value.status == 400
+    assert "points[0].code" in excinfo.value.message
+
+
+def test_second_identical_request_hits_tier_10x_faster(live_service):
+    """The PR's headline contract: a warm identical sweep is answered
+    from the shared tier — byte-identical and >= 10x faster."""
+    _, client, _ = live_service
+    points = [sweep_point(code, l3_mb=l3)
+              for code in ("MG", "FT", "CG", "LU", "SP", "BT", "EP",
+                           "IS")
+              for l3 in (0, 2, 4, 6, 8)]
+    start = time.perf_counter()
+    cold = client.sweep(points)
+    cold_seconds = time.perf_counter() - start
+    assert cold["cache"] == "miss"
+
+    clear_caches()  # even the in-process memo layer is gone
+    hits = metrics.counter("serve.cache_hits").value
+    start = time.perf_counter()
+    warm = client.sweep(points)
+    warm_seconds = time.perf_counter() - start
+    assert warm["cache"] == "hit"
+    assert metrics.counter("serve.cache_hits").value == hits + 1
+    assert warm["request_id"] == cold["request_id"]
+    assert json.dumps(warm["points"], sort_keys=True) == \
+        json.dumps(cold["points"], sort_keys=True)
+    assert cold_seconds >= 10 * warm_seconds, (
+        f"warm {warm_seconds:.4f}s vs cold {cold_seconds:.4f}s: "
+        f"only {cold_seconds / warm_seconds:.1f}x")
+
+
+def test_served_sweep_matches_offline_run(live_service):
+    """A served point must be byte-identical to what the offline
+    ``python -m repro`` path (the memoized sweep runners) computes."""
+    _, client, _ = live_service
+    served = client.sweep([sweep_point("MG", l3_mb=4)])
+    clear_caches()
+    offline = run_vnm("MG", O5(), 4, "C")
+    assert json.dumps(served["points"][0]["result"], sort_keys=True) \
+        == json.dumps(offline.to_dict(), sort_keys=True)
+
+
+def test_concurrent_clients_get_identical_results(live_service):
+    """N clients with overlapping sweeps: every response must equal
+    the cold single-process reference, and the overlap must be served
+    from the shared tier (cache-hit counter > 0)."""
+    service, client, _ = live_service
+    overlap = [sweep_point("MG"), sweep_point("FT")]
+    requests = [overlap, overlap, overlap + [sweep_point("CG")],
+                [sweep_point("FT")], overlap]
+
+    # the cold reference, computed before any server traffic
+    clear_caches()
+    reference = {}
+    for points in requests:
+        key = canonical_json(SweepRequest.from_dict(
+            {"points": points}).canonical())
+        if key not in reference:
+            reference[key] = [
+                {"point": p, "result": run_vnm(
+                    p["code"], O5(), p["l3_mb"],
+                    p["problem_class"]).to_dict()}
+                for p in points]
+    clear_caches()
+
+    hits = metrics.counter("serve.cache_hits").value
+    results = [None] * len(requests)
+    errors = []
+
+    def issue(slot, points):
+        try:
+            results[slot] = ServeClient(
+                port=service.bound_port).sweep(points)
+        except Exception as exc:  # noqa: BLE001 - collected for assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=issue, args=(i, pts))
+               for i, pts in enumerate(requests)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert errors == []
+    assert all(r is not None for r in results)
+
+    for points, response in zip(requests, results):
+        key = canonical_json(SweepRequest.from_dict(
+            {"points": points}).canonical())
+        assert json.dumps(response["points"], sort_keys=True) == \
+            json.dumps(reference[key], sort_keys=True)
+    # identical in-flight requests may race to the first store, but
+    # once the burst has drained the next identical request must be
+    # served from the shared tier
+    settled = client.sweep(overlap)
+    assert settled["cache"] == "hit"
+    assert json.dumps(settled["points"], sort_keys=True) == \
+        json.dumps(reference[canonical_json(SweepRequest.from_dict(
+            {"points": overlap}).canonical())], sort_keys=True)
+    assert metrics.counter("serve.cache_hits").value > hits
+
+
+def test_shutdown_is_clean_and_exports_telemetry(live_service):
+    service, client, tmp_path = live_service
+    client.sweep([sweep_point("MG")])
+    stats = client.stats()
+    assert stats["requests"] >= 1
+    assert stats["tier"]["records"] > 0
+    client.shutdown()
+    deadline = time.time() + 30
+    while service._ready.is_set() and time.time() < deadline:
+        time.sleep(0.01)
+    assert not service._ready.is_set(), "service did not stop"
+
+    telemetry = tmp_path / "telemetry"
+    requests_log = [json.loads(line) for line in
+                    (telemetry / "requests.jsonl").read_text()
+                    .splitlines()]
+    assert any(r["path"] == "/v1/sweep" for r in requests_log)
+    assert all(r["kind"] == "request" for r in requests_log)
+    exported = json.loads((telemetry / "metrics.json").read_text())
+    assert exported["counters"]["serve.requests"] >= 2
+
+
+def test_report_renders_service_requests_section(live_service):
+    from repro.obs.report import write_report
+
+    service, client, tmp_path = live_service
+    client.sweep([sweep_point("MG")])
+    client.sweep([sweep_point("MG")])  # the warm one
+    client.shutdown()
+    deadline = time.time() + 30
+    while service._ready.is_set() and time.time() < deadline:
+        time.sleep(0.01)
+
+    paths = write_report(str(tmp_path / "telemetry"))
+    rendered = open(paths["markdown"]).read()
+    assert "## Service requests" in rendered
+    assert "/v1/sweep" in rendered
+    report = json.load(open(paths["json"]))
+    by_path = report["service_requests"]["by_path"]["/v1/sweep"]
+    assert by_path["count"] == 2
+    assert by_path["hits"] == 1 and by_path["misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# offline --shared-cache path
+# ---------------------------------------------------------------------------
+def _run_cli(*args):
+    import contextlib
+    import io
+
+    import repro.__main__ as main_mod
+
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = main_mod.main(list(args))
+    return code, buf.getvalue()
+
+
+def test_offline_shared_cache_reuses_sweep_points(tmp_path):
+    cache = str(tmp_path / "cache")
+    code, first = _run_cli("fig11", "--shared-cache", cache, "-q")
+    assert code == 0
+    clear_caches()
+    hits = metrics.counter("checkpoint.tier.hits").value
+    code, second = _run_cli("fig11", "--shared-cache", cache, "-q")
+    assert code == 0
+    assert second == first
+    assert metrics.counter("checkpoint.tier.hits").value > hits
+    # the CLI detached cleanly: no tier bleeds into later runs
+    assert checkpoint_mod.get_shared_tier() is None
+
+
+def test_cli_rejects_shared_cache_with_faults(tmp_path):
+    with pytest.raises(SystemExit):
+        _run_cli("smoke", "--shared-cache", str(tmp_path),
+                 "--faults", "seed=1,link_stall_rate=1")
+
+
+def test_cli_rejects_shared_cache_with_resume(tmp_path):
+    with pytest.raises(SystemExit):
+        _run_cli("smoke", "--shared-cache", str(tmp_path / "a"),
+                 "--resume", str(tmp_path / "b"))
