@@ -26,11 +26,11 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 
-import numpy as np
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import benchlib  # noqa: E402
 
 from repro.compiler import O5
 from repro.harness.sweep import PAPER_L3_SIZES_MB, compiled_benchmark
@@ -95,34 +95,22 @@ def main() -> int:
         print("FAIL: engine legs disagree", file=sys.stderr)
         return 1
 
-    speedup = baseline_s / vector_s if vector_s else 0.0
-    record = {
-        "benchmark": "64-node figure sweep "
-                     "(8 NPB kernels x 5 L3 sizes, 256 ranks, VNM)",
-        "nodes": NODES,
-        "ranks": RANKS,
-        "sweep_points": points,
-        "cpus": os.cpu_count(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "baseline_seconds": round(baseline_s, 3),
-        "engine_seconds": round(engine_s, 3),
-        "vector_seconds": round(vector_s, 3),
-        "engine_speedup": round(baseline_s / engine_s, 2),
-        "vector_speedup": round(speedup, 2),
-        "vector_over_engine": round(engine_s / vector_s, 2),
-        "byte_identical": identical,
-    }
-    out = os.path.abspath(args.out)
-    with open(out, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {out}")
-    if args.gate is not None and speedup < args.gate:
-        print(f"FAIL: speedup {speedup:.2f}x below gate {args.gate}x",
-              file=sys.stderr)
-        return 1
-    return 0
+    record = benchlib.make_record(
+        benchmark="64-node figure sweep "
+                  "(8 NPB kernels x 5 L3 sizes, 256 ranks, VNM)",
+        legs={"baseline": baseline_s, "engine": engine_s,
+              "vector": vector_s},
+        headline=("baseline", "vector"),
+        identical=identical,
+        details={
+            "nodes": NODES,
+            "ranks": RANKS,
+            "sweep_points": points,
+            "engine_speedup": round(baseline_s / engine_s, 2),
+            "vector_over_engine": round(engine_s / vector_s, 2),
+        })
+    benchlib.write_record(record, args.out)
+    return 0 if benchlib.check_gate(record, args.gate) else 1
 
 
 if __name__ == "__main__":

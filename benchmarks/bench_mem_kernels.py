@@ -27,13 +27,14 @@ Run with::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
 import time
 
 import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import benchlib  # noqa: E402
 
 from repro.mem import CacheConfig, CacheSim
 
@@ -120,34 +121,24 @@ def main(argv=None) -> int:
     ]
     headline = cases[0]
 
-    record = {
-        "benchmark": f"exact LRU cache replay, {n} accesses "
-                     "(fig11 L3 geometry, 2048 sets)",
-        "trace_accesses": n,
-        "num_sets": headline["num_sets"],
-        "cpus": os.cpu_count(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "baseline_seconds": headline["scalar_seconds"],
-        "engine_seconds": headline["vectorized_seconds"],
-        "speedup": headline["speedup"],
-        "identical": all(c["identical"] for c in cases),
-        "cases": cases,
-    }
-    out = os.path.abspath(args.out)
-    with open(out, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {out}")
+    record = benchlib.make_record(
+        benchmark=f"exact LRU cache replay, {n} accesses "
+                  "(fig11 L3 geometry, 2048 sets)",
+        legs={"baseline": headline["scalar_seconds"],
+              "engine": headline["vectorized_seconds"]},
+        headline=("baseline", "engine"),
+        identical=all(c["identical"] for c in cases),
+        details={
+            "trace_accesses": n,
+            "num_sets": headline["num_sets"],
+            "cases": cases,
+        })
+    benchlib.write_record(record, args.out)
 
     if not record["identical"]:
         print("FAIL: engines disagree", file=sys.stderr)
         return 1
-    if args.gate is not None and headline["speedup"] < args.gate:
-        print(f"FAIL: headline speedup {headline['speedup']}x "
-              f"below gate {args.gate}x", file=sys.stderr)
-        return 1
-    return 0
+    return 0 if benchlib.check_gate(record, args.gate) else 1
 
 
 if __name__ == "__main__":

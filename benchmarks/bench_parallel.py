@@ -20,10 +20,12 @@ Run with::
 
 from __future__ import annotations
 
-import json
 import os
-import platform
+import sys
 import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import benchlib  # noqa: E402
 
 from repro.compiler import O5
 from repro.harness.sweep import PAPER_L3_SIZES_MB, compiled_benchmark
@@ -78,27 +80,24 @@ def main() -> int:
     print(f"engine (memoized, --jobs {JOBS}): {engine:.2f}s "
           f"-> {speedup:.2f}x")
 
-    record = {
-        "benchmark": "64-node figure sweep "
-                     "(8 NPB kernels x 5 L3 sizes, 256 ranks, VNM)",
-        "nodes": NODES,
-        "ranks": RANKS,
-        "sweep_points": points,
-        "jobs": JOBS,
-        "cpus": os.cpu_count(),
-        "python": platform.python_version(),
-        "baseline_seconds": round(baseline, 3),
-        "engine_seconds": round(engine, 3),
-        "speedup": round(speedup, 2),
-        "engine_stats": stats,
-    }
-    out = os.path.join(os.path.dirname(os.path.dirname(
-        os.path.abspath(__file__))), "BENCH_parallel.json")
-    with open(out, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {out}")
-    return 0 if speedup >= 2.0 else 1
+    record = benchlib.make_record(
+        benchmark="64-node figure sweep "
+                  "(8 NPB kernels x 5 L3 sizes, 256 ranks, VNM), "
+                  f"--jobs {JOBS}",
+        legs={"baseline": baseline, "engine": engine},
+        headline=("baseline", "engine"),
+        identical=True,  # asserted layer by layer in tests/
+        details={
+            "nodes": NODES,
+            "ranks": RANKS,
+            "sweep_points": points,
+            "jobs": JOBS,
+            "engine_stats": stats,
+        })
+    benchlib.write_record(record, os.path.join(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_parallel.json"))
+    return 0 if benchlib.check_gate(record, 2.0) else 1
 
 
 if __name__ == "__main__":

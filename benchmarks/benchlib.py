@@ -1,0 +1,141 @@
+"""The shared ``BENCH_*.json`` envelope all repo benchmarks emit.
+
+Every benchmark records the same top-level shape, so CI gates, the
+regression check and a human diffing two runs never have to learn a
+per-benchmark schema::
+
+    {
+      "bench_schema": 1,
+      "benchmark": "<one-line description>",
+      "host": {"cpus": N, "python": "3.11.7", "numpy": "1.26.4"},
+      "legs": {"baseline": 10.70, "vector": 0.93, ...},
+      "headline": ["baseline", "vector"],
+      "speedup": 11.52,
+      "identical": true,
+      "details": {...}          # benchmark-specific extras
+    }
+
+``legs`` maps leg name -> wall seconds; ``speedup`` is always
+``legs[headline[0]] / legs[headline[1]]``.  ``identical`` asserts the
+byte-identity contract every engine in this repo keeps with its
+oracle.  Anything else a benchmark wants to persist (cache statistics,
+per-case tables, payload sizes) goes under ``details``.
+
+Helpers:
+
+* :func:`make_record` — build + validate one envelope;
+* :func:`write_record` — pretty-print it to a path, atomically;
+* :func:`check_gate` — absolute floor on the headline speedup;
+* :func:`check_regression` — relative floor against the committed
+  record (fails on a >``tolerance`` drop, default 10%).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+BENCH_SCHEMA = 1
+
+
+def host_info() -> Dict[str, Any]:
+    info: Dict[str, Any] = {
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+    try:
+        import numpy
+        info["numpy"] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        pass
+    return info
+
+
+def make_record(benchmark: str, legs: Dict[str, float],
+                headline: Tuple[str, str], identical: bool,
+                details: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+    """One schema-versioned benchmark record, ready to serialize."""
+    slow, fast = headline
+    for name in headline:
+        if name not in legs:
+            raise ValueError(f"headline leg {name!r} not in legs "
+                             f"{sorted(legs)}")
+    speedup = legs[slow] / legs[fast] if legs[fast] else 0.0
+    return {
+        "bench_schema": BENCH_SCHEMA,
+        "benchmark": benchmark,
+        "host": host_info(),
+        "legs": {name: round(seconds, 3)
+                 for name, seconds in legs.items()},
+        "headline": list(headline),
+        "speedup": round(speedup, 2),
+        "identical": bool(identical),
+        "details": details or {},
+    }
+
+
+def write_record(record: Dict[str, Any], path: str) -> str:
+    """Pretty-print one record; write-then-rename keeps readers safe."""
+    path = os.path.abspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    os.replace(tmp, path)
+    print(f"wrote {path}")
+    return path
+
+
+def check_gate(record: Dict[str, Any], gate: Optional[float]) -> bool:
+    """Absolute floor: the headline speedup must reach ``gate``."""
+    if gate is None:
+        return True
+    if record["speedup"] < gate:
+        print(f"FAIL: speedup {record['speedup']}x below gate {gate}x",
+              file=sys.stderr)
+        return False
+    return True
+
+
+def check_regression(record: Dict[str, Any], committed_path: str,
+                     tolerance: float = 0.10) -> bool:
+    """Relative floor: no >``tolerance`` drop vs the committed record.
+
+    The committed file may predate the schema (a bare ``speedup`` key
+    at top level still works); a missing file passes, so first runs on
+    a fresh branch don't fail before the record exists.
+    """
+    try:
+        with open(committed_path) as fh:
+            committed = json.load(fh)
+    except FileNotFoundError:
+        print(f"no committed record at {committed_path}; "
+              "skipping regression check")
+        return True
+    reference = committed.get("speedup")
+    if not isinstance(reference, (int, float)) or reference <= 0:
+        print(f"committed record {committed_path} has no usable "
+              "speedup; skipping regression check")
+        return True
+    floor = reference * (1.0 - tolerance)
+    if record["speedup"] < floor:
+        print(f"FAIL: speedup {record['speedup']}x regressed more than "
+              f"{tolerance:.0%} vs committed {reference}x "
+              f"(floor {floor:.2f}x)", file=sys.stderr)
+        return False
+    print(f"regression check: {record['speedup']}x vs committed "
+          f"{reference}x (floor {floor:.2f}x) ok")
+    return True
+
+
+def sweep_identity(results: Sequence) -> bool:
+    """True when every aligned pair of JobResults is byte-identical."""
+    fingerprints = []
+    for leg in results:
+        fingerprints.append([json.dumps(r.to_dict(), sort_keys=True)
+                             for r in leg])
+    return all(fp == fingerprints[0] for fp in fingerprints[1:])

@@ -70,7 +70,7 @@ from .harness import (
 )
 from .obs import kv, metrics, setup_logging, tracer
 from .obs import timeline as obs_timeline
-from .parallel import set_jobs, set_vectorize
+from .parallel import set_batch_sweep, set_jobs, set_vectorize
 
 
 def main(argv=None) -> int:
@@ -132,6 +132,18 @@ def main(argv=None) -> int:
                              "the batched NumPy passes; results are "
                              "byte-identical either way (also: "
                              "REPRO_VECTORIZE=0)")
+    parser.add_argument("--batch-sweep", action="store_true",
+                        help="evaluate whole sweeps as one cross-point "
+                             "batched pass: node equivalence classes "
+                             "dedupe across points and the per-class "
+                             "model stages run as stacked matrix "
+                             "kernels; byte-identical to the per-point "
+                             "path (also: REPRO_BATCH_SWEEP=1)")
+    parser.add_argument("--pin-figures", action="store_true",
+                        help="with --shared-cache: pin the paper-figure "
+                             "working set in the shared tier (never "
+                             "LRU-evicted) and pre-fill any missing "
+                             "records")
     parser.add_argument("--profile", action="store_true",
                         help="print a hot-span summary table after the "
                              "run (implies span recording)")
@@ -165,6 +177,11 @@ def main(argv=None) -> int:
     set_jobs(args.jobs)
     if args.no_vectorize:
         set_vectorize(False)
+    if args.batch_sweep:
+        set_batch_sweep(True)
+    if args.pin_figures and not args.shared_cache:
+        parser.error("--pin-figures needs --shared-cache: pinning is a "
+                     "shared-tier retention policy")
     if args.resume and args.faults:
         parser.error("--resume cannot be combined with --faults: "
                      "fault-perturbed results must never seed a resume "
@@ -251,6 +268,15 @@ def main(argv=None) -> int:
         except (OSError, ValueError) as exc:
             parser.error(f"--shared-cache {args.shared_cache!r}: {exc}")
         attach_runner_store(shared_tier)
+        if args.pin_figures:
+            from .harness import (
+                pin_figure_working_set,
+                prefill_figure_working_set,
+            )
+            pinned = pin_figure_working_set(shared_tier)
+            filled = prefill_figure_working_set()
+            log.info(kv("figures.pinned", records=pinned,
+                        prefilled=filled))
 
     def emit(result) -> None:
         print(result.render())
@@ -399,6 +425,15 @@ def _serve_main(argv) -> int:
     parser.add_argument("--no-vectorize", action="store_true",
                         help="serve with the scalar model engines "
                              "(also part of every cache key)")
+    parser.add_argument("--batch-sweep", action="store_true",
+                        help="serve sweep requests through the "
+                             "cross-point batched engine (byte-"
+                             "identical responses, one stacked pass "
+                             "per request)")
+    parser.add_argument("--pin-figures", action="store_true",
+                        help="pin + pre-fill the paper-figure working "
+                             "set in the shared tier at startup so LRU "
+                             "eviction never drops it")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="log progress at INFO (-v) or DEBUG (-vv)")
     parser.add_argument("-q", "--quiet", action="store_true",
@@ -424,7 +459,9 @@ def _serve_main(argv) -> int:
                          max_records=args.max_records,
                          max_bytes=args.max_bytes, jobs=args.jobs,
                          max_active=args.max_active,
-                         telemetry_dir=args.telemetry)
+                         telemetry_dir=args.telemetry,
+                         batch_sweep=args.batch_sweep,
+                         pin_figures=args.pin_figures)
     try:
         return SimulationService(config).run()
     except (OSError, ValueError) as exc:

@@ -63,6 +63,7 @@ _LOCK_STEALS = _metrics.counter("checkpoint.lock_steals")
 _TIER_HITS = _metrics.counter("checkpoint.tier.hits")
 _TIER_MISSES = _metrics.counter("checkpoint.tier.misses")
 _TIER_EVICTIONS = _metrics.counter("checkpoint.tier.evictions")
+_TIER_PINNED = _metrics.counter("checkpoint.tier.pins")
 
 #: Version of the persisted-record key schema.  Folded into every
 #: context-qualified cache key (see ``repro.parallel.cache_context``),
@@ -289,6 +290,88 @@ class SharedCacheTier(CheckpointStore):
         return target
 
     # ------------------------------------------------------------------
+    # pin policy: the paper-figure working set must never be evicted
+    # ------------------------------------------------------------------
+    def _pins_path(self) -> Path:
+        # deliberately NOT *.json: the rglob scans in usage()/evict()
+        # must never mistake the index for a cache record
+        return self.directory / "pins.index"
+
+    def _load_pins(self) -> set:
+        """The pinned record paths (relative), re-read on every call.
+
+        Never cached in memory: several service processes share one
+        directory, and a pin written by any of them must bind the
+        others' next eviction sweep.
+        """
+        try:
+            with open(self._pins_path()) as handle:
+                return {line.strip() for line in handle if line.strip()}
+        except FileNotFoundError:
+            return set()
+        except OSError:  # pragma: no cover - unreadable index
+            return set()
+
+    def _write_pins(self, pins: set) -> None:
+        target = self._pins_path()
+        lock = self._acquire_lock(target)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write("\n".join(sorted(pins)))
+                    if pins:
+                        handle.write("\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        finally:
+            self._release_lock(lock)
+
+    def _relative(self, category: str, key: Any) -> str:
+        return str(self.path(category, key).relative_to(self.directory))
+
+    def pin(self, category: str, key: Any) -> None:
+        """Exempt one record from LRU eviction (idempotent).
+
+        Pinned records still count toward the usage bounds — pinning
+        shrinks the budget the unpinned records compete for — but the
+        eviction sweep will never delete them.  The pin is persisted to
+        ``pins.index`` in the cache directory, so it binds every
+        process sharing the tier and survives restarts.
+        """
+        self.pin_many([(category, key)])
+
+    def pin_many(self, records) -> int:
+        """Pin a batch of ``(category, key)`` records in one index write."""
+        pins = self._load_pins()
+        added = {self._relative(category, key)
+                 for category, key in records} - pins
+        if added:
+            self._write_pins(pins | added)
+            _TIER_PINNED.inc(len(added))
+        return len(added)
+
+    def unpin(self, category: str, key: Any) -> bool:
+        """Remove one pin; True when it existed."""
+        pins = self._load_pins()
+        relative = self._relative(category, key)
+        if relative not in pins:
+            return False
+        self._write_pins(pins - {relative})
+        return True
+
+    def pinned(self) -> set:
+        """The current pinned record paths, relative to the directory."""
+        return self._load_pins()
+
+    # ------------------------------------------------------------------
     def usage(self) -> Dict[str, int]:
         """Current record count and payload bytes on disk."""
         records = 0
@@ -302,8 +385,15 @@ class SharedCacheTier(CheckpointStore):
         return {"records": records, "bytes": total}
 
     def evict(self) -> int:
-        """Drop least-recently-used records until within bounds."""
+        """Drop least-recently-used records until within bounds.
+
+        Pinned records (:meth:`pin`) are skipped: they keep counting
+        toward the record/byte totals, but never enter the eviction
+        candidate list — the paper-figure working set stays resident
+        no matter how much churn the service sees.
+        """
         self._puts_since_sweep = 0
+        pins = self._load_pins()
         entries = []
         records = 0
         total = 0
@@ -312,9 +402,11 @@ class SharedCacheTier(CheckpointStore):
                 stat = path.stat()
             except OSError:
                 continue
-            entries.append((stat.st_mtime, stat.st_size, path))
             records += 1
             total += stat.st_size
+            if str(path.relative_to(self.directory)) in pins:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
         evicted = 0
         entries.sort()  # oldest mtime first == least recently used
         for _, size, path in entries:
@@ -365,3 +457,12 @@ def uninstall_shared_tier() -> None:
     """Remove the process-wide tier (tests and server shutdown)."""
     global _shared_tier
     _shared_tier = None
+
+
+def pin(category: str, key: Any) -> bool:
+    """Pin one record on the installed tier; False when none installed."""
+    tier = get_shared_tier()
+    if tier is None:
+        return False
+    tier.pin(category, key)
+    return True

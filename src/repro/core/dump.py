@@ -48,6 +48,19 @@ class DumpFormatError(ValueError):
     """Raised when a dump file fails validation."""
 
 
+def dump_file_size(num_sets: int = 1) -> int:
+    """The exact on-disk size of a dump holding ``num_sets`` sets.
+
+    The format is fixed-width (header + per-set records + checksum),
+    so the size is a pure function of the set count — which lets the
+    batched sweep engine account the Ethernet dump-I/O phase without
+    materialising any files (``os.path.getsize`` on a real dump and
+    this formula agree by construction).
+    """
+    record = _SET_HEADER.size + COUNTERS_PER_MODE * 8
+    return _HEADER.size + num_sets * record + _CHECKSUM.size
+
+
 @dataclass
 class NodeDump:
     """Parsed contents of one per-node dump file."""

@@ -39,6 +39,12 @@ from .report import (
     horizontal_bar,
     normalize_rows,
 )
+from .batch import (
+    PointSpec,
+    pin_figure_working_set,
+    prefill_figure_working_set,
+    run_points,
+)
 from .microbench import ext_microbench
 from .scaling import ext_scaling
 from .validate import fault_audit, model_validation
@@ -107,6 +113,10 @@ __all__ = [
     "warm_runs",
     "warm_pairs",
     "PAPER_L3_SIZES_MB",
+    "PointSpec",
+    "run_points",
+    "pin_figure_working_set",
+    "prefill_figure_working_set",
     "experiment_catalog",
 ]
 

@@ -189,3 +189,17 @@ def detach_resume() -> None:
     """Disconnect the sweep runners from any attached store."""
     for runner in _RESUMABLE:
         runner.detach_store()
+
+
+# ---------------------------------------------------------------------------
+# cross-point batched engine (the --batch-sweep layer)
+# ---------------------------------------------------------------------------
+# each runner's warm() fan-out can be replaced by one stacked pass over
+# all missing points; the handlers decline (and warm falls back to the
+# per-point path) whenever fault injection, sampling or marker regions
+# make the batched clean-run semantics inapplicable
+from . import batch as _batch  # noqa: E402  (import cycle: batch uses us lazily)
+
+run_vnm.attach_batch(_batch.vnm_batch)
+run_smp1.attach_batch(_batch.smp1_batch)
+run_scaled_vnm.attach_batch(_batch.scaled_vnm_batch)

@@ -272,3 +272,78 @@ class NodeMemoryModel:
     def total(result: NodeMemoryResult, attr: str) -> float:
         """Sum a LoopMemoryResult attribute over the node's processes."""
         return sum(getattr(r, attr) for r in result.per_process)
+
+
+def analyze_nodes_batch(models: Sequence[NodeMemoryModel],
+                        node_processes: Sequence[Sequence[ProcessLoops]]
+                        ) -> List[NodeMemoryResult]:
+    """Analyze many nodes' memory systems in three concatenated passes.
+
+    Each ``(model, processes)`` pair gets exactly the result
+    ``model.analyze(processes)`` would produce under the vectorized
+    engine, but the fair-share, unbounded and final-share analyses run
+    as *one* ``analyze_loops_batch`` call each over every process of
+    every node — the batched sweep engine stacks whole sweep points
+    here instead of paying three array-pass launches per node.  Per-row
+    results of ``analyze_loops_batch`` are independent of batch
+    composition (the PR 5/7 identity suites pin this), so the
+    concatenation is exactness-preserving.
+    """
+    if len(models) != len(node_processes):
+        raise ValueError(f"{len(models)} models for "
+                         f"{len(node_processes)} process lists")
+    for processes in node_processes:
+        if not processes:
+            raise ValueError("no processes on the node")
+    _NODE_ANALYSES.inc(len(models))
+    with _span("mem.analyze_nodes", nodes=len(models)):
+        rows: List[Tuple[int, ProcessLoops]] = []
+        fair_pairs = []
+        for m, (model, processes) in enumerate(zip(models,
+                                                   node_processes)):
+            fair = model.config.l3.size_bytes / len(processes)
+            fair_cfg = model._hierarchy_config(fair)
+            for loops in processes:
+                rows.append((m, loops))
+                fair_pairs.append((loops, fair_cfg))
+        fair_results = analyze_loops_batch(fair_pairs)
+        # unbounded pass only for rows with L3 traffic (the scalar and
+        # per-node vector paths skip it when intensity == 0)
+        active = [i for i, r in enumerate(fair_results)
+                  if r.l3.accesses != 0]
+        unb_results: Dict[int, LoopMemoryResult] = {}
+        if active:
+            unb_results = dict(zip(active, analyze_loops_batch(
+                [(rows[i][1],
+                  models[rows[i][0]]._hierarchy_config(1 << 40))
+                 for i in active])))
+        # per-node capacity reallocation from the stacked profiles
+        out: List[NodeMemoryResult] = []
+        final_pairs = []
+        node_cfgs: List[List[HierarchyConfig]] = []
+        cursor = 0
+        for model, processes in zip(models, node_processes):
+            n = len(processes)
+            profiles = [
+                model._profile_from(rows[cursor + j][1],
+                                    fair_results[cursor + j],
+                                    unbounded=unb_results.get(cursor + j))
+                for j in range(n)]
+            shares = model.l3_model.capacity_shares(profiles)
+            cfgs = [model._hierarchy_config(share) for share in shares]
+            out.append(NodeMemoryResult(shares=shares))
+            out[-1].inflations = [
+                model.l3_model.miss_inflation(j, profiles)
+                for j in range(n)]
+            node_cfgs.append(cfgs)
+            final_pairs.extend(zip(processes, cfgs))
+            cursor += n
+        finals = analyze_loops_batch(final_pairs)
+        cursor = 0
+        for model, result, cfgs in zip(models, out, node_cfgs):
+            for j, cfg in enumerate(cfgs):
+                final = finals[cursor + j]
+                model._apply_inflation(final, result.inflations[j], cfg)
+                result.per_process.append(final)
+            cursor += len(cfgs)
+    return out

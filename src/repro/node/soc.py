@@ -126,13 +126,24 @@ class ComputeNode:
         mem_loops = [p.memory_loops() for p in processes]
         non_empty = [ml if ml else [((), 0)] for ml in mem_loops]
         mem_result = self.mem_model.analyze(non_empty)
+        # 2) per-core pipeline timing, 3) DDR contention, 4) UPC pulses
+        plans = self._plan(processes, mem_result)
+        compute = self._compute_totals(plans)
+        result = self._assemble(processes, mem_result, plans, compute)
+        self.pulse_events(result.events)
+        return result
 
-        # 2) per-core pipeline timing: plan every (process, thread)
-        # slice first, so the vectorized engine can time the whole node
-        # as one (threads × opclass) matrix pass
+    def _plan(self, processes: Sequence[ProcessWork],
+              mem_result) -> List[tuple]:
+        """Plan every (process, thread) slice of a node run.
+
+        Planning is split out from timing so the batched sweep engine
+        can stack many nodes' plans into one
+        ``compute_cycles_batch`` matrix; each plan row is
+        ``(p_index, core_id, threads, thread_mix, serial_fraction,
+        mem_share)``.
+        """
         assignment = self.mode.core_assignment()
-        executions: Dict[int, CoreExecution] = {
-            core.core_id: core.idle_execution() for core in self.cores}
         plans: List[tuple] = []
         for p_index, work in enumerate(processes):
             cores = assignment[p_index]
@@ -151,19 +162,35 @@ class ComputeNode:
                 mem_share = _scale_memory(proc_mem, 1.0 / threads)
                 plans.append((p_index, core_id, threads, thread_mix,
                               serial_fraction, mem_share))
+        return plans
+
+    def _compute_totals(self, plans: Sequence[tuple]) -> List[float]:
+        """Raw compute cycles for each plan row (pipeline timing only)."""
         if get_vectorize() and len(plans) > 1:
             # ComputeNode builds its cores with one shared pipeline
             # configuration, so a single batched call covers them all
             matrix = np.stack([plan[3].as_vector() for plan in plans])
             totals = self.cores[0].pipeline.compute_cycles_batch(
                 matrix, [plan[4] for plan in plans])
-            compute = [float(t) for t in totals.tolist()]
-        else:
-            compute = [
-                self.cores[core_id].pipeline.compute_cycles(
-                    thread_mix, serial_fraction).total
-                for _, core_id, _, thread_mix, serial_fraction, _
-                in plans]
+            return [float(t) for t in totals.tolist()]
+        return [
+            self.cores[core_id].pipeline.compute_cycles(
+                thread_mix, serial_fraction).total
+            for _, core_id, _, thread_mix, serial_fraction, _
+            in plans]
+
+    def _assemble(self, processes: Sequence[ProcessWork], mem_result,
+                  plans: Sequence[tuple],
+                  compute: Sequence[float]) -> NodeRunResult:
+        """Fold timed plans into a result — no UPC side effects.
+
+        The caller pulses ``result.events`` itself (``_run`` does so
+        immediately; the batched engine instead converts them into
+        counter rows analytically).
+        """
+        assignment = self.mode.core_assignment()
+        executions: Dict[int, CoreExecution] = {
+            core.core_id: core.idle_execution() for core in self.cores}
         process_cycles = [0.0] * len(processes)
         for plan, compute_cycles in zip(plans, compute):
             p_index, core_id, threads, thread_mix, _, mem_share = plan
@@ -192,7 +219,7 @@ class ComputeNode:
                         extra[p_index] / len(cores))
                 process_cycles[p_index] += extra[p_index] / len(cores)
 
-        # 4) pulse everything into the UPC unit
+        # 4) collect every hardware event the run produced
         result = NodeRunResult(
             mode=self.mode,
             core_executions=[executions[i] for i in range(4)],
@@ -206,7 +233,6 @@ class ComputeNode:
                   for i in range(4)]
         events.update(self.mem_model.node_events(mem_result, stores))
         result.events = events
-        self.pulse_events(events)
         return result
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ place**, so those module-level bindings survive.
 from __future__ import annotations
 
 import json
+import os
 from typing import Dict, Optional
 
 
@@ -175,9 +176,13 @@ class MetricsRegistry:
         }
 
     def export_json(self, path: str) -> str:
-        with open(path, "w") as fh:
+        # write-then-rename: the service re-exports this file on every
+        # request, so concurrent readers must never see a torn snapshot
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
             json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
             fh.write("\n")
+        os.replace(tmp, path)
         return path
 
     # ------------------------------------------------------------------

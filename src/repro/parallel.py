@@ -67,6 +67,8 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
 from .obs import metrics as _metrics
 from .obs import tracer as _tracer
 from .obs.logging import get_logger, kv
@@ -146,6 +148,32 @@ def get_vectorize() -> bool:
     return _vectorize
 
 
+def _batch_sweep_from_env() -> bool:
+    """The ``REPRO_BATCH_SWEEP`` default (off unless explicitly on)."""
+    raw = os.environ.get("REPRO_BATCH_SWEEP", "").strip().lower()
+    return raw in ("1", "true", "on", "yes")
+
+
+#: Process-wide sweep-engine switch: True routes memo warm-ups through
+#: the cross-point batched sweep engine (``repro.harness.batch``), which
+#: dedupes node classes *across* sweep points and advances every point
+#: through each model stage in one stacked matrix pass; False keeps the
+#: per-point path (the identity oracle).  Results are byte-identical by
+#: construction — ``tests/test_harness_batch.py`` enforces it.
+_batch_sweep = _batch_sweep_from_env()
+
+
+def set_batch_sweep(on: bool) -> None:
+    """Select the sweep engine: cross-point batched (True) or per-point."""
+    global _batch_sweep
+    _batch_sweep = bool(on)
+
+
+def get_batch_sweep() -> bool:
+    """Whether the cross-point batched sweep engine is active."""
+    return _batch_sweep
+
+
 def cache_context() -> Tuple:
     """Fingerprint of the process state that shapes simulation output.
 
@@ -212,6 +240,161 @@ class TaskTimeoutError(TimeoutError):
     """A pool task exceeded its per-attempt timeout on every attempt."""
 
 
+# ---------------------------------------------------------------------------
+# worker initializer state (invariant context, shipped once per worker)
+# ---------------------------------------------------------------------------
+#: The invariant context installed by ``parallel_map(..., shared=...)``.
+#: Per-worker under the pool (set by the initializer, once), and set
+#: around the serial loop so ``fn`` reads it identically either way.
+_worker_shared: Any = None
+
+
+def worker_shared() -> Any:
+    """The invariant context of the current ``parallel_map`` batch.
+
+    Pool targets whose every task shares a large constant payload (a
+    lowered program, a node configuration) read it from here instead of
+    having it re-pickled into each task's argument tuple: the parent
+    passes it once via ``parallel_map(..., shared=...)`` and the worker
+    initializer installs it before the first task runs.
+    """
+    return _worker_shared
+
+
+def _set_worker_shared(value: Any) -> Any:
+    global _worker_shared
+    previous = _worker_shared
+    _worker_shared = value
+    return previous
+
+
+def _worker_payload(shared: Any) -> Dict[str, Any]:
+    """Everything a fresh pool worker must inherit from the parent.
+
+    Spawned (or long-lived, possibly stale) workers do not share the
+    parent's mutable module state, so the engine switches and the
+    active performance group travel in the initializer payload — once
+    per worker, not once per task.
+    """
+    from .groups import get_active_group_name
+    return {
+        "vectorize": _vectorize,
+        "batch_sweep": _batch_sweep,
+        "group": get_active_group_name(),
+        "shared": shared,
+    }
+
+
+def _pool_worker_init(payload: Dict[str, Any]) -> None:
+    """Pool initializer: install the parent's invariant context once."""
+    global _worker_shared
+    set_jobs(1)
+    set_vectorize(payload["vectorize"])
+    set_batch_sweep(payload["batch_sweep"])
+    _worker_shared = payload["shared"]
+    try:
+        from .groups import set_active_group
+        set_active_group(payload["group"])
+    except Exception:
+        # a user group loaded from a file path may not resolve by name
+        # here; forked workers already inherited it with the fork
+        pass
+
+
+# ---------------------------------------------------------------------------
+# zero-copy array transport (multiprocessing.shared_memory + header)
+# ---------------------------------------------------------------------------
+class SharedArrayBlock:
+    """Named NumPy arrays laid out in one shared-memory block.
+
+    The batched sweep engine moves (nodes x counters) matrices between
+    the parent and its pool workers; pickling them through the task
+    result pipe would serialise and copy every byte.  Instead the
+    parent allocates one block, ships the small header (block name plus
+    per-array shape/dtype/offset) with the task, and workers attach and
+    write the arrays in place — the pickled result shrinks to a few
+    scalars.  The creator owns the block and must :meth:`unlink` it.
+    """
+
+    _ALIGN = 64
+
+    def __init__(self, shm, arrays: Dict[str, Tuple], owner: bool):
+        self._shm = shm
+        self._arrays = arrays
+        self._owner = owner
+
+    @classmethod
+    def create(cls, layout: Sequence[Tuple]) -> "SharedArrayBlock":
+        """Allocate a block holding ``(name, shape, dtype)`` arrays."""
+        from multiprocessing import shared_memory
+        arrays: Dict[str, Tuple] = {}
+        offset = 0
+        for name, shape, dtype in layout:
+            dt = np.dtype(dtype)
+            shape = tuple(int(s) for s in shape)
+            size = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+            offset = -(-offset // cls._ALIGN) * cls._ALIGN
+            arrays[str(name)] = (shape, dt.str, offset)
+            offset += size
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        return cls(shm, arrays, owner=True)
+
+    def header(self) -> Dict[str, Any]:
+        """The picklable attach token (block name + array layout)."""
+        return {"block": self._shm.name, "arrays": dict(self._arrays)}
+
+    @classmethod
+    def attach(cls, header: Dict[str, Any]) -> "SharedArrayBlock":
+        """Map an existing block from its header (worker side)."""
+        from multiprocessing import shared_memory
+        try:
+            # 3.13+: never register with the resource tracker — the
+            # creating process owns the segment's lifetime
+            shm = shared_memory.SharedMemory(name=header["block"],
+                                             track=False)
+        except TypeError:
+            shm = shared_memory.SharedMemory(name=header["block"])
+            # older interpreters register every attach; under fork (and
+            # forkserver) the workers share the parent's tracker, whose
+            # name set dedupes the extra registrations and is cleared by
+            # the creator's unlink — unregistering here as well would
+            # race it.  Only a spawn worker owns a private tracker that
+            # must be told to leave the segment alone.
+            import multiprocessing
+            if multiprocessing.get_start_method() == "spawn":
+                try:
+                    from multiprocessing import resource_tracker
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:  # pragma: no cover - best effort
+                    pass
+        return cls(shm, dict(header["arrays"]), owner=False)
+
+    def array(self, name: str) -> "np.ndarray":
+        """A writable ndarray view of one named array."""
+        shape, dtype, offset = self._arrays[name]
+        return np.ndarray(shape, dtype=np.dtype(dtype),
+                          buffer=self._shm.buf, offset=offset)
+
+    def names(self) -> List[str]:
+        return list(self._arrays)
+
+    def close(self) -> None:
+        """Drop this process's mapping (always safe)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a view is still alive
+            pass
+
+    def unlink(self) -> None:
+        """Free the block (creator only; attached views become invalid)."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
 def _timed_call(fn: Callable, args: Tuple,
                 trace: bool = False) -> Tuple[Any, float, Dict, List]:
     """Pool target: run one task; ship its result *and* its obs state.
@@ -275,13 +458,14 @@ class _PoolRun:
 
     def __init__(self, fn: Callable, argtuples: Sequence[Tuple],
                  workers: int, trace: bool, label: str,
-                 policy: Resilience):
+                 policy: Resilience, payload: Optional[Dict] = None):
         self.fn = fn
         self.argtuples = argtuples
         self.workers = workers
         self.trace = trace
         self.label = label
         self.policy = policy
+        self.payload = _worker_payload(None) if payload is None else payload
         self.results: Dict[int, Any] = {}
         self.attempts = [0] * len(argtuples)
         self.busy = 0.0
@@ -289,9 +473,16 @@ class _PoolRun:
         self.futures: Dict[Future, int] = {}
         self.deadlines: Dict[Future, float] = {}
 
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        # every worker — first spawn and post-crash respawns alike —
+        # inherits the invariant batch context exactly once
+        return ProcessPoolExecutor(max_workers=self.workers,
+                                   initializer=_pool_worker_init,
+                                   initargs=(self.payload,))
+
     # ------------------------------------------------------------------
     def run(self) -> Tuple[List[Any], float]:
-        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.pool = self._spawn_pool()
         try:
             for index in range(len(self.argtuples)):
                 self._submit(index)
@@ -309,6 +500,19 @@ class _PoolRun:
             raise
 
     def _abort(self) -> None:
+        # salvage tasks that finished cleanly before the failure: their
+        # results were not merged yet if the fatal future was processed
+        # first in a done-set iteration, and dropping them would lose
+        # shipped metric deltas (the shared-tier hit counters among
+        # them) that interrupted-run reports rely on
+        for future, index in list(self.futures.items()):
+            if (future.done() and not future.cancelled()
+                    and future.exception() is None
+                    and index not in self.results):
+                try:
+                    self._absorb(index, future.result())
+                except Exception:  # pragma: no cover - salvage is best
+                    pass  # effort; never mask the original error
         for future in self.futures:
             future.cancel()
         _kill_pool(self.pool)
@@ -396,7 +600,7 @@ class _PoolRun:
     def _respawn(self, lost: Sequence[int]) -> None:
         _RESPAWNS.inc()
         _kill_pool(self.pool)
-        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.pool = self._spawn_pool()
         for index in sorted(lost):
             self._submit(index)
 
@@ -450,7 +654,8 @@ class _PoolRun:
 def parallel_map(fn: Callable, argtuples: Sequence[Tuple],
                  jobs: Optional[int] = None,
                  label: str = "map",
-                 resilience: Optional[Resilience] = None) -> List[Any]:
+                 resilience: Optional[Resilience] = None,
+                 shared: Any = None) -> List[Any]:
     """Ordered map of ``fn`` over argument tuples, pooled when allowed.
 
     With ``jobs`` (default: the process-wide setting) at 1, or fewer
@@ -465,12 +670,22 @@ def parallel_map(fn: Callable, argtuples: Sequence[Tuple],
     obs state were merged and pending work was cancelled.  ``fn`` must
     be a module-level function and every argument and result must
     pickle.
+
+    ``shared`` carries context that is invariant across the whole
+    batch (a lowered program, a node configuration): it is pickled once
+    into each worker's initializer instead of once per task, and ``fn``
+    reads it back via :func:`worker_shared` — on the serial path it is
+    installed around the loop so both paths see the same state.
     """
     argtuples = list(argtuples)
     jobs = _jobs if jobs is None else jobs
     if jobs <= 1 or len(argtuples) <= 1:
         _SERIAL_TASKS.inc(len(argtuples))
-        return [fn(*args) for args in argtuples]
+        previous = _set_worker_shared(shared)
+        try:
+            return [fn(*args) for args in argtuples]
+        finally:
+            _set_worker_shared(previous)
     policy = _resilience if resilience is None else resilience
     workers = min(jobs, len(argtuples))
     _POOL_MAPS.inc()
@@ -479,7 +694,7 @@ def parallel_map(fn: Callable, argtuples: Sequence[Tuple],
                workers=workers) as map_span:
         start = time.perf_counter()
         runner = _PoolRun(fn, argtuples, workers, _tracer.enabled(),
-                          label, policy)
+                          label, policy, payload=_worker_payload(shared))
         results, busy = runner.run()
         wall = time.perf_counter() - start
         utilization = busy / (wall * workers) if wall > 0 else 0.0
@@ -507,6 +722,7 @@ class MemoizedFunction:
         self._store = None
         self._encode: Optional[Callable[[Any], Any]] = None
         self._decode: Optional[Callable[[Any], Any]] = None
+        self.batch_handler: Optional[Callable] = None
         functools.update_wrapper(self, fn)
         name = fn.__name__
         self.hits = _metrics.counter(f"memo.{name}.hits")
@@ -591,6 +807,17 @@ class MemoizedFunction:
         self._encode = None
         self._decode = None
 
+    def attach_batch(self, handler: Callable) -> None:
+        """Register a cross-point batch evaluator for :func:`warm`.
+
+        ``handler(keys)`` receives the list of missing cache keys and
+        either returns one result per key (computed by the batched
+        sweep engine in a single stacked pass) or ``None`` to decline —
+        e.g. when fault injection or timeline sampling is active — in
+        which case :func:`warm` falls back to the per-point pool path.
+        """
+        self.batch_handler = handler
+
     @property
     def store(self):
         return self._store
@@ -664,9 +891,18 @@ def warm(memo: MemoizedFunction, calls: Iterable[Tuple],
     (each worker runs the *undecorated* function) and seeded into the
     cache; returns the number of entries warmed.  Keys already resident
     on an attached checkpoint store are pulled from disk, not re-run.
+
+    When the cross-point batched sweep engine is active
+    (:func:`set_batch_sweep`) and the memo has a registered batch
+    handler (:meth:`MemoizedFunction.attach_batch`), the missing keys
+    are instead evaluated in one stacked pass — even at ``--jobs 1``,
+    since the batched engine is itself byte-identical to the per-point
+    path.  A handler that declines (returns ``None``) falls back to the
+    pool fan-out.
     """
     jobs = _jobs if jobs is None else jobs
-    if jobs <= 1:
+    use_batch = memo.batch_handler is not None and _batch_sweep
+    if jobs <= 1 and not use_batch:
         return 0
     missing: List[Tuple] = []
     seen = set(memo.cache)
@@ -680,6 +916,15 @@ def warm(memo: MemoizedFunction, calls: Iterable[Tuple],
         missing.append(key)
     if not missing:
         return 0
+    if use_batch:
+        results = memo.batch_handler(missing)
+        if results is not None:
+            for key, result in zip(missing, results):
+                memo.seed(key, result)
+                memo.misses.inc()
+            return len(missing)
+        if jobs <= 1:
+            return 0
     results = parallel_map(
         _call_undecorated,
         [(memo.__module__, memo.__qualname__, key) for key in missing],

@@ -49,9 +49,9 @@ from ..obs.tracer import span as _span
 from ..parallel import (
     cache_context,
     get_jobs,
-    get_vectorize,
     parallel_map,
     set_vectorize,
+    worker_shared,
 )
 from .mpi import CommResult, SimMPI
 from .process import JobPlacement, place_ranks
@@ -145,6 +145,24 @@ def _simulate_node_class(mode: OperatingMode,
     the process-pool boundary (workers inherit only the env default).
     """
     set_vectorize(vectorize)
+    node = ComputeNode(node_id=0, mode=mode, mem_config=mem_config)
+    result = node.run([work] * residents)
+    return result.process_cycles, result.events
+
+
+def _simulate_node_class_shared(residents: int
+                                ) -> Tuple[List[float], Dict[str, int]]:
+    """Pool target: simulate one node class from hoisted batch context.
+
+    The class context that is invariant across one job's fan-out — the
+    operating mode, the memory configuration and the lowered program
+    work — is shipped once per worker via ``parallel_map(shared=...)``
+    and read back here, so each task's pickled payload is just the
+    resident count (a few dozen bytes instead of the multi-kilobyte
+    lowered program; ``BENCH_sweep_batch.json`` records the before and
+    after sizes).  The engine switches travel in the same initializer.
+    """
+    mode, mem_config, work = worker_shared()
     node = ComputeNode(node_id=0, mode=mode, mem_config=mem_config)
     result = node.run([work] * residents)
     return result.process_cycles, result.events
@@ -406,11 +424,10 @@ class Job:
                 # every member (including the representative) gets the
                 # replicated deltas afterwards
                 outs = parallel_map(
-                    _simulate_node_class,
-                    [(machine.mode, machine.mem_config, work, key[0],
-                      get_vectorize())
-                     for key in pending],
-                    label="node_classes")
+                    _simulate_node_class_shared,
+                    [(key[0],) for key in pending],
+                    label="node_classes",
+                    shared=(machine.mode, machine.mem_config, work))
                 class_results.update(zip(pending, outs))
             else:
                 for key in pending:

@@ -41,7 +41,14 @@ from ..harness import (
 from ..harness.sweep import run_scaled_vnm, run_smp1, run_vnm
 from ..obs import metrics as _metrics
 from ..obs.logging import get_logger, kv
-from ..parallel import cache_context, get_vectorize, set_jobs, warm
+from ..parallel import (
+    cache_context,
+    get_batch_sweep,
+    get_vectorize,
+    set_batch_sweep,
+    set_jobs,
+    warm,
+)
 from .protocol import (
     PROTOCOL_VERSION,
     ExperimentRequest,
@@ -100,6 +107,8 @@ class ServeConfig:
     jobs: int = 1                    #: parallel_map worker processes
     max_active: int = 4              #: concurrently simulating requests
     telemetry_dir: Optional[str] = None
+    batch_sweep: bool = False        #: cross-point batched sweep engine
+    pin_figures: bool = False        #: pin + pre-fill the figure set
 
 
 def _execute_sweep(request: SweepRequest) -> Dict[str, Any]:
@@ -190,10 +199,21 @@ class SimulationService:
     async def _serve(self) -> None:
         config = self.config
         set_jobs(config.jobs)
+        if config.batch_sweep:
+            set_batch_sweep(True)
         self.tier = _checkpoint.install_shared_tier(
             config.cache_dir, max_records=config.max_records,
             max_bytes=config.max_bytes)
         attach_runner_store(self.tier)
+        if config.pin_figures:
+            from ..harness import (
+                pin_figure_working_set,
+                prefill_figure_working_set,
+            )
+            pinned = pin_figure_working_set(self.tier)
+            filled = prefill_figure_working_set()
+            _log.info(kv("serve.figures_pinned", records=pinned,
+                         prefilled=filled))
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         self._sem = asyncio.Semaphore(max(1, config.max_active))
@@ -219,6 +239,8 @@ class SimulationService:
             self._pool.shutdown(wait=True)
             detach_resume()
             _checkpoint.uninstall_shared_tier()
+            if config.batch_sweep:
+                set_batch_sweep(False)
             self._export_telemetry()
             self._ready.clear()
             _log.info(kv("serve.stopped", port=self._bound_port))
@@ -353,6 +375,7 @@ class SimulationService:
         return {"ok": True, "protocol": PROTOCOL_VERSION,
                 "group": get_active_group_name(),
                 "vectorize": get_vectorize(),
+                "batch_sweep": get_batch_sweep(),
                 "jobs": self.config.jobs}
 
     def _stats(self) -> Dict[str, Any]:
@@ -424,3 +447,12 @@ class SimulationService:
             with open(os.path.join(directory, "requests.jsonl"),
                       "a") as fh:
                 fh.write(line + "\n")
+            # metrics.json tracks the request log incrementally (its
+            # export is atomic: temp file + rename), so a crashed or
+            # SIGKILLed service still leaves consistent counters behind
+            # instead of only exporting at clean shutdown
+            try:
+                _metrics.REGISTRY.export_json(
+                    os.path.join(directory, "metrics.json"))
+            except OSError:  # pragma: no cover - disk trouble
+                pass
